@@ -1,0 +1,123 @@
+// E6 — page-size and topology ablations on the simulator (§5).
+//
+// Two ablations the paper's argument implies but its testbed could not vary:
+//
+//   (a) page size: with 2MiB pages fork copies 512x fewer PTEs — the slope of
+//       Figure 1 drops by ~2.5 orders of magnitude, which is why THP blunts
+//       (but does not eliminate) fork's cost;
+//   (b) CPU fan-out: fork write-protects the parent's LIVE address space, so
+//       the more CPUs the parent's threads run on, the more shootdown IPIs
+//       each fork sends — the multiprocessor "doesn't scale" claim isolated
+//       from every other cost.
+#include <cstdio>
+#include <vector>
+
+#include "src/benchlib/table.h"
+#include "src/common/string_util.h"
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 128 * 1024;
+  img.data_bytes = 64 * 1024;
+  img.stack_bytes = 64 * 1024;
+  img.touched_at_start_bytes = 32 * 1024;
+  return img;
+}
+
+uint64_t ForkCostNs(SimKernel& kernel, Pid parent, uint64_t* pte_copies) {
+  uint64_t ns_before = kernel.clock().now_ns();
+  uint64_t pte_before = kernel.clock().ops_for(CostKind::kPteCopy);
+  auto child = kernel.Fork(parent);
+  uint64_t ns = kernel.clock().now_ns() - ns_before;
+  if (pte_copies != nullptr) {
+    *pte_copies = kernel.clock().ops_for(CostKind::kPteCopy) - pte_before;
+  }
+  if (child.ok()) {
+    (void)kernel.Exit(*child, 0);
+    (void)kernel.Wait(parent, *child);
+  }
+  return ns;
+}
+
+void PageSizeAblation() {
+  forklift::PrintBanner("E6a: fork cost vs page size (simulated)");
+  forklift::TablePrinter table(
+      {"heap_dirty", "4K_fork_us", "4K_ptes", "2M_fork_us", "2M_ptes", "speedup"});
+  for (uint64_t mib : {64, 256, 1024, 4096}) {
+    uint64_t cost[2];
+    uint64_t ptes[2];
+    int i = 0;
+    for (PageSize size : {PageSize::k4K, PageSize::k2M}) {
+      SimKernel::Config config;
+      config.phys_frames = 32ull << 20;
+      SimKernel kernel(config);
+      auto init = kernel.CreateInit(TinyImage());
+      if (!init.ok()) {
+        return;
+      }
+      auto base = kernel.MapAnon(*init, mib << 20, "ballast", size);
+      if (!base.ok() || !kernel.Touch(*init, *base, mib << 20, true).ok()) {
+        return;
+      }
+      cost[i] = ForkCostNs(kernel, *init, &ptes[i]);
+      ++i;
+    }
+    table.AddRow({forklift::HumanBytes(mib << 20), forklift::TablePrinter::Cell(cost[0] / 1e3, 1),
+                  forklift::TablePrinter::Cell(ptes[0]),
+                  forklift::TablePrinter::Cell(cost[1] / 1e3, 1),
+                  forklift::TablePrinter::Cell(ptes[1]),
+                  forklift::TablePrinter::Cell(static_cast<double>(cost[0]) / cost[1], 1)});
+  }
+  table.Print();
+  std::printf("(2MiB pages copy 512x fewer PTEs; residual cost is task setup — why THP\n"
+              " mitigates Figure 1's slope but cannot make fork O(1))\n");
+}
+
+void ShootdownAblation() {
+  forklift::PrintBanner("E6b: fork-time TLB shootdown IPIs vs CPUs running the parent");
+  forklift::TablePrinter table({"active_cpus", "ipis_per_fork", "shootdown_us", "fork_us"});
+  for (size_t active : {1, 2, 4, 8, 16}) {
+    SimKernel::Config config;
+    config.cpus = 16;
+    config.phys_frames = 1u << 20;
+    SimKernel kernel(config);
+    auto init = kernel.CreateInit(TinyImage());
+    if (!init.ok()) {
+      return;
+    }
+    auto base = kernel.MapAnon(*init, 64ull << 20, "ballast");
+    if (!base.ok() || !kernel.Touch(*init, *base, 64ull << 20, true).ok()) {
+      return;
+    }
+    // The parent's threads are active on `active` CPUs.
+    for (size_t cpu = 0; cpu < active; ++cpu) {
+      kernel.tlbs().SetActive(cpu, (*kernel.Find(*init))->as->asid());
+    }
+    uint64_t ipi_before = kernel.clock().ops_for(CostKind::kTlbShootdownIpi);
+    uint64_t ipi_ns_before = kernel.clock().ns_for(CostKind::kTlbShootdownIpi);
+    uint64_t fork_ns = ForkCostNs(kernel, *init, nullptr);
+    uint64_t ipis = kernel.clock().ops_for(CostKind::kTlbShootdownIpi) - ipi_before;
+    uint64_t ipi_ns = kernel.clock().ns_for(CostKind::kTlbShootdownIpi) - ipi_ns_before;
+    table.AddRow({forklift::TablePrinter::Cell(static_cast<uint64_t>(active)),
+                  forklift::TablePrinter::Cell(ipis),
+                  forklift::TablePrinter::Cell(ipi_ns / 1e3, 1),
+                  forklift::TablePrinter::Cell(fork_ns / 1e3, 1)});
+  }
+  table.Print();
+  std::printf("(each additional CPU running the parent adds one IPI per fork — the cost\n"
+              " is imposed on CPUs that never asked to participate)\n");
+}
+
+}  // namespace
+}  // namespace forklift::procsim
+
+int main() {
+  forklift::procsim::PageSizeAblation();
+  forklift::procsim::ShootdownAblation();
+  return 0;
+}

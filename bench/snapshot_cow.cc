@@ -1,0 +1,125 @@
+// E8 — the one fork use-case the paper concedes (§3/§5): COW snapshots.
+//
+// Redis-style persistence: a service with a large in-memory state wants a
+// point-in-time snapshot while continuing to serve writes. Two designs:
+//
+//   fork snapshot : fork(); the child walks (reads) the frozen state while
+//                   the parent keeps writing — each parent write to a
+//                   not-yet-copied page pays a COW break;
+//   eager copy    : stop the world, copy every page to a buffer, resume.
+//
+// The figure: initiation latency (pause), total work, and peak memory
+// amplification, as a function of state size and of the write rate during
+// the snapshot. fork wins initiation by orders of magnitude and loses
+// (bounded) memory; that IS the trade the paper says keeps fork alive.
+// Simulated: deterministic, with exact frame accounting.
+#include <cstdio>
+#include <vector>
+
+#include "src/benchlib/table.h"
+#include "src/common/string_util.h"
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage ServerImage() {
+  ProgramImage img;
+  img.name = "kvserver";
+  img.touched_at_start_bytes = 0;
+  return img;
+}
+
+struct SnapshotOutcome {
+  uint64_t initiation_us;  // service pause before writes may resume
+  uint64_t total_us;       // complete snapshot cost (incl. concurrent tax)
+  uint64_t peak_frames;    // memory amplification high-water mark
+};
+
+// Fork-based: fork, then interleave (parent writes `write_pages` randomly
+// spread) with (child reads the whole heap, i.e. the serializer walk).
+SnapshotOutcome ForkSnapshot(uint64_t heap_mib, double write_fraction) {
+  SimKernel::Config config;
+  config.phys_frames = 32ull << 20;
+  SimKernel kernel(config);
+  auto init = kernel.CreateInit(ServerImage());
+  auto base = kernel.MapAnon(*init, heap_mib << 20, "state");
+  (void)kernel.Touch(*init, *base, heap_mib << 20, true);
+
+  SnapshotOutcome out{};
+  uint64_t t0 = kernel.clock().now_ns();
+  auto child = kernel.Fork(*init);
+  out.initiation_us = (kernel.clock().now_ns() - t0) / 1000;
+
+  // Concurrent phase. Order does not change totals in the deterministic
+  // model: parent writes its share (COW breaks), child reads everything.
+  uint64_t heap_bytes = heap_mib << 20;
+  uint64_t write_bytes = static_cast<uint64_t>(heap_bytes * write_fraction);
+  (void)kernel.Touch(*init, *base, write_bytes, true);        // parent's write load
+  (void)kernel.Touch(*child, *base, heap_bytes, false);       // child serializes
+  out.peak_frames = kernel.memory().used_frames();
+  (void)kernel.Exit(*child, 0);
+  (void)kernel.Wait(*init, *child);
+  out.total_us = (kernel.clock().now_ns() - t0) / 1000;
+  return out;
+}
+
+// Eager: stop the world and copy every resident page into a scratch buffer.
+SnapshotOutcome EagerSnapshot(uint64_t heap_mib, double write_fraction) {
+  SimKernel::Config config;
+  config.phys_frames = 32ull << 20;
+  SimKernel kernel(config);
+  auto init = kernel.CreateInit(ServerImage());
+  auto base = kernel.MapAnon(*init, heap_mib << 20, "state");
+  (void)kernel.Touch(*init, *base, heap_mib << 20, true);
+
+  SnapshotOutcome out{};
+  uint64_t t0 = kernel.clock().now_ns();
+  uint64_t pages = (heap_mib << 20) / kPageSize4K;
+  // The copy IS the pause: reads of the source plus a frame copy per page.
+  auto scratch = kernel.MapAnon(*init, heap_mib << 20, "snapshot-buffer");
+  (void)kernel.Touch(*init, *scratch, heap_mib << 20, true);
+  kernel.clock().Charge(CostKind::kFrameCopy4K, pages);
+  out.initiation_us = (kernel.clock().now_ns() - t0) / 1000;
+  out.peak_frames = kernel.memory().used_frames();
+  // Post-pause writes are free of snapshot tax.
+  uint64_t write_bytes = static_cast<uint64_t>((heap_mib << 20) * write_fraction);
+  (void)kernel.Touch(*init, *base, write_bytes, true);
+  out.total_us = (kernel.clock().now_ns() - t0) / 1000;
+  return out;
+}
+
+}  // namespace
+}  // namespace forklift::procsim
+
+int main() {
+  using namespace forklift;
+  using namespace forklift::procsim;
+
+  PrintBanner("E8: COW snapshots — why fork survives (simulated, Redis scenario)");
+  std::printf("pause = service stall to initiate; amp = peak frames / state frames\n\n");
+
+  TablePrinter table({"state", "writes", "fork_pause_us", "eager_pause_us", "pause_ratio",
+                      "fork_total_us", "eager_total_us", "fork_amp", "eager_amp"});
+  for (uint64_t mib : {256, 1024, 4096}) {
+    for (double wf : {0.05, 0.25, 1.0}) {
+      auto f = ForkSnapshot(mib, wf);
+      auto e = EagerSnapshot(mib, wf);
+      uint64_t state_frames = (mib << 20) / kPageSize4K;
+      table.AddRow({HumanBytes(mib << 20), TablePrinter::Cell(wf * 100, 0) + "%",
+                    TablePrinter::Cell(f.initiation_us), TablePrinter::Cell(e.initiation_us),
+                    TablePrinter::Cell(static_cast<double>(e.initiation_us) /
+                                           static_cast<double>(f.initiation_us),
+                                       0),
+                    TablePrinter::Cell(f.total_us), TablePrinter::Cell(e.total_us),
+                    TablePrinter::Cell(static_cast<double>(f.peak_frames) / state_frames, 2),
+                    TablePrinter::Cell(static_cast<double>(e.peak_frames) / state_frames, 2)});
+    }
+  }
+  table.Print();
+  std::printf("\nShape check: fork pauses >100x less (page-table copy vs full data copy)\n"
+              "but amplifies memory by 1+write_fraction; eager always doubles memory and\n"
+              "the pause grows linearly with state. CSV follows.\n\n%s",
+              table.ToCsv().c_str());
+  return 0;
+}

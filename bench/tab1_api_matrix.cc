@@ -1,0 +1,141 @@
+// E4 — the process-creation API comparison table (§6 of the paper).
+//
+// Two halves:
+//   1. google-benchmark microbenchmarks: steady-state latency of each
+//      primitive (plus the Spawner layer itself) with a small parent, i.e.
+//      the left edge of Figure 1 where API overhead dominates;
+//   2. a capability matrix showing which child attributes each backend can
+//      express — the "spawn APIs are less flexible than fork" half of the
+//      paper's argument, as data. A cell is determined by actually attempting
+//      the feature through the library, not hardcoded.
+#include <benchmark/benchmark.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+#include "src/benchlib/table.h"
+#include "src/spawn/command.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+void SpawnTrue(benchmark::State& state, SpawnBackendKind kind) {
+  for (auto _ : state) {
+    auto child = Spawner("/bin/true").SetBackend(kind).Spawn();
+    if (!child.ok()) {
+      state.SkipWithError(child.error().ToString().c_str());
+      return;
+    }
+    auto st = child->Wait();
+    if (!st.ok() || !st->Success()) {
+      state.SkipWithError("child failed");
+      return;
+    }
+  }
+}
+
+void BM_ForkExec(benchmark::State& state) { SpawnTrue(state, SpawnBackendKind::kForkExec); }
+void BM_VforkExec(benchmark::State& state) { SpawnTrue(state, SpawnBackendKind::kVfork); }
+void BM_PosixSpawn(benchmark::State& state) { SpawnTrue(state, SpawnBackendKind::kPosixSpawn); }
+void BM_CloneVm(benchmark::State& state) { SpawnTrue(state, SpawnBackendKind::kCloneVm); }
+
+// Raw fork+waitpid without exec: the floor for any fork-based API.
+void BM_ForkOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      _exit(0);
+    }
+    int status;
+    ::waitpid(pid, &status, 0);
+  }
+}
+
+// The Spawner's own request-building overhead (no process created).
+void BM_SpawnerBuildRequest(benchmark::State& state) {
+  for (auto _ : state) {
+    Spawner s("/bin/true");
+    s.SetEnv("A", "1").SetCwd("/tmp");
+    auto req = s.BuildRequest();
+    benchmark::DoNotOptimize(req);
+  }
+}
+
+// Full capture path: pipes + poll pump + reap.
+void BM_RunAndCapture(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = RunAndCapture("/bin/echo", {"x"});
+    if (!r.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    benchmark::DoNotOptimize(r->stdout_data);
+  }
+}
+
+BENCHMARK(BM_ForkOnly)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ForkExec)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_VforkExec)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PosixSpawn)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_CloneVm)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpawnerBuildRequest)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RunAndCapture)->Unit(benchmark::kMicrosecond);
+
+// --- capability matrix -------------------------------------------------------
+
+const char* Try(SpawnBackendKind kind, void (*configure)(Spawner&)) {
+  Spawner s("/bin/true");
+  configure(s);
+  s.SetBackend(kind).SetStdout(Stdio::Null()).SetStderr(Stdio::Null());
+  auto child = s.Spawn();
+  if (!child.ok()) {
+    return child.error().code() == 0 ? "no" : "fail";
+  }
+  auto st = child->Wait();
+  return (st.ok() && st->exited) ? "yes" : "fail";
+}
+
+void PrintCapabilityMatrix() {
+  struct Feature {
+    const char* name;
+    void (*configure)(Spawner&);
+  };
+  const Feature kFeatures[] = {
+      {"basic exec", [](Spawner&) {}},
+      {"set cwd", [](Spawner& s) { s.SetCwd("/tmp"); }},
+      {"set umask", [](Spawner& s) { s.SetUmask(022); }},
+      {"rlimits", [](Spawner& s) { s.AddRlimit(RLIMIT_NOFILE, 256, 256); }},
+      {"niceness", [](Spawner& s) { s.SetNice(5); }},
+      {"new session", [](Spawner& s) { s.NewSession(); }},
+      {"process group", [](Spawner& s) { s.SetProcessGroup(0); }},
+      {"reset signals", [](Spawner& s) { s.ResetSignals(true); }},
+      {"close other fds", [](Spawner& s) { s.CloseOtherFds(); }},
+      {"fd redirection", [](Spawner& s) { s.SetStdin(Stdio::Null()); }},
+  };
+
+  PrintBanner("E4: capability matrix — which attributes each primitive can express");
+  TablePrinter table({"feature", "fork+exec", "vfork+exec", "posix_spawn", "clone_vm"});
+  for (const auto& f : kFeatures) {
+    table.AddRow({f.name, Try(SpawnBackendKind::kForkExec, f.configure),
+                  Try(SpawnBackendKind::kVfork, f.configure),
+                  Try(SpawnBackendKind::kPosixSpawn, f.configure),
+                  Try(SpawnBackendKind::kCloneVm, f.configure)});
+  }
+  table.Print();
+  std::printf("('no' = the primitive cannot express the attribute — the API gap the paper\n"
+              " blames for fork's survival; forklift closes it via the fork-family backends)\n");
+}
+
+}  // namespace
+}  // namespace forklift
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  forklift::PrintCapabilityMatrix();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// E7 — what safety costs (§4 turned around): the price of auditing fork's
+// hazards, and of the secure-by-default spawn path, in google-benchmark form.
+//
+// The paper argues fork is unsafe *because* making it safe is expensive and
+// nobody pays; this table prices the checks so the claim is quantitative:
+// a full ForkGuard audit vs. the cost of the fork it guards, fd audits as the
+// table grows, lock-registry snapshots, and wipe-on-fork secret allocation.
+#include <benchmark/benchmark.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <vector>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/hazards/fd_audit.h"
+#include "src/hazards/fork_guard.h"
+#include "src/hazards/lock_registry.h"
+#include "src/hazards/secret.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+void BM_ForkGuardCheckNow(benchmark::State& state) {
+  // Populate the fd table to the requested size.
+  std::vector<UniqueFd> extras;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto fd = OpenFd("/dev/null", O_RDONLY | O_CLOEXEC);
+    if (!fd.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    extras.push_back(std::move(fd).value());
+  }
+  for (auto _ : state) {
+    auto report = ForkGuard::CheckNow();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_ForkGuardCheckNow)->Arg(8)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_FdAuditAlone(benchmark::State& state) {
+  std::vector<UniqueFd> extras;
+  for (int i = 0; i < state.range(0); ++i) {
+    auto fd = OpenFd("/dev/null", O_RDONLY);
+    if (!fd.ok()) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    extras.push_back(std::move(fd).value());
+  }
+  for (auto _ : state) {
+    auto report = FindInheritableFds();
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_FdAuditAlone)->Arg(8)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
+
+void BM_LockRegistrySnapshot(benchmark::State& state) {
+  std::vector<std::unique_ptr<TrackedMutex>> mutexes;
+  for (int i = 0; i < state.range(0); ++i) {
+    mutexes.push_back(std::make_unique<TrackedMutex>("m" + std::to_string(i)));
+  }
+  mutexes[0]->lock();
+  for (auto _ : state) {
+    auto held = LockRegistry::Instance().HeldByOtherThreads();
+    benchmark::DoNotOptimize(held);
+  }
+  mutexes[0]->unlock();
+}
+BENCHMARK(BM_LockRegistrySnapshot)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_TrackedMutexLockUnlock(benchmark::State& state) {
+  TrackedMutex mu("bench");
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_TrackedMutexLockUnlock)->Unit(benchmark::kNanosecond);
+
+void BM_PlainMutexLockUnlock(benchmark::State& state) {
+  std::mutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_PlainMutexLockUnlock)->Unit(benchmark::kNanosecond);
+
+void BM_SecretBufferCreate(benchmark::State& state) {
+  for (auto _ : state) {
+    auto buf = SecretBuffer::Create(4096);
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_SecretBufferCreate)->Unit(benchmark::kMicrosecond);
+
+// The end-to-end comparison the table exists for: bare fork+exec vs the
+// secure-by-default spawn with the full audit in front.
+void BM_BareForkExecTrue(benchmark::State& state) {
+  for (auto _ : state) {
+    auto child = Spawner("/bin/true").Spawn();
+    if (!child.ok() || !child->Wait().ok()) {
+      state.SkipWithError("spawn failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_BareForkExecTrue)->Unit(benchmark::kMicrosecond);
+
+void BM_AuditedSpawnTrue(benchmark::State& state) {
+  for (auto _ : state) {
+    auto report = ForkGuard::CheckNow();
+    benchmark::DoNotOptimize(report);
+    auto child = Spawner("/bin/true")
+                     .CloseOtherFds()
+                     .SetBackend(SpawnBackendKind::kPosixSpawn)
+                     .Spawn();
+    if (!child.ok() || !child->Wait().ok()) {
+      state.SkipWithError("spawn failed");
+      return;
+    }
+  }
+}
+BENCHMARK(BM_AuditedSpawnTrue)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace forklift
+
+BENCHMARK_MAIN();

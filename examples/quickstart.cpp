@@ -1,0 +1,59 @@
+// forklift quickstart — the 60-second tour of the spawn API.
+//
+// Build & run:  ./build/examples/quickstart
+//
+// Shows the three everyday shapes: run-and-capture, a spawner with explicit
+// stdio plumbing, and a shell-free pipeline — all without fork appearing
+// anywhere in user code (the backend is selectable, and the default engine is
+// swappable for posix_spawn with one call).
+#include <cstdio>
+
+#include "src/spawn/command.h"
+#include "src/spawn/spawner.h"
+
+using namespace forklift;
+
+int main() {
+  // 1. One-liner: run a program, collect everything.
+  auto result = RunAndCapture("uname", {"-sr"});
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("[1] uname says: %s", result->stdout_data.c_str());
+
+  // 2. Full control: environment, working directory, stdio dispositions,
+  //    and the creation primitive itself.
+  auto child = Spawner("/bin/sh")
+                   .Args({"-c", "echo \"pwd=$(pwd) who=$FORKLIFT_USER\""})
+                   .SetEnv("FORKLIFT_USER", "quickstart")
+                   .SetCwd("/tmp")
+                   .SetStdout(Stdio::Pipe())
+                   .SetBackend(SpawnBackendKind::kPosixSpawn)  // or kForkExec, kVfork
+                   .Spawn();
+  if (!child.ok()) {
+    std::fprintf(stderr, "error: %s\n", child.error().ToString().c_str());
+    return 1;
+  }
+  auto outcome = child->Communicate();
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("[2] child (exit %d) said: %s", outcome->status.exit_code,
+              outcome->stdout_data.c_str());
+
+  // 3. A pipeline, concurrently spawned, no /bin/sh required:
+  //    printf 'c\nb\na\n' | sort | head -n 2
+  auto pipeline = RunPipeline({
+      {"printf", {"c\\nb\\na\\n"}},
+      {"sort", {}},
+      {"head", {"-n", "2"}},
+  });
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "error: %s\n", pipeline.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("[3] pipeline output:\n%s", pipeline->stdout_data.c_str());
+  return 0;
+}

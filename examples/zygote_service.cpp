@@ -1,0 +1,130 @@
+// zygote_service — the Android-zygote scenario from §6 of the paper.
+//
+// A "big" application process (we simulate bigness with dirty ballast) needs
+// to launch many short-lived helpers. Forking the big process directly pays
+// the Figure-1 tax on every launch; instead, a tiny fork server started
+// before the application grew does the forking, with the client's pipes
+// passed over SCM_RIGHTS so the helpers still talk to us directly.
+//
+// Run: ./build/examples/zygote_service [ballast_mib]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/benchlib/memtouch.h"
+#include "src/common/clock.h"
+#include "src/common/pipe.h"
+#include "src/common/string_util.h"
+#include "src/common/syscall.h"
+#include "src/forkserver/client.h"
+#include "src/forkserver/server.h"
+#include "src/spawn/spawner.h"
+
+using namespace forklift;
+
+namespace {
+
+// Launches `date` through the given spawn path and returns its output plus
+// the wall time of launch+read+reap.
+struct LaunchResult {
+  std::string output;
+  double millis = -1;
+};
+
+LaunchResult ViaDirectFork() {
+  LaunchResult r;
+  Stopwatch sw;
+  auto child = Spawner("date").Arg("+%T").SetStdout(Stdio::Pipe()).Spawn();
+  if (!child.ok()) {
+    std::fprintf(stderr, "direct spawn failed: %s\n", child.error().ToString().c_str());
+    return r;
+  }
+  auto oc = child->Communicate();
+  if (!oc.ok()) {
+    return r;
+  }
+  r.output = oc->stdout_data;
+  r.millis = sw.ElapsedMillis();
+  return r;
+}
+
+LaunchResult ViaZygote(ForkServerClient& zygote) {
+  LaunchResult r;
+  Stopwatch sw;
+  auto pipe = MakePipe();
+  if (!pipe.ok()) {
+    return r;
+  }
+  Spawner s("date");
+  s.Arg("+%T").SetStdout(Stdio::Fd(pipe->write_end.get()));
+  auto child = zygote.Spawn(s);
+  if (!child.ok()) {
+    std::fprintf(stderr, "zygote spawn failed: %s\n", child.error().ToString().c_str());
+    return r;
+  }
+  pipe->write_end.Reset();
+  auto data = ReadAll(pipe->read_end.get());
+  auto st = child->Wait();
+  if (!data.ok() || !st.ok()) {
+    return r;
+  }
+  r.output = *data;
+  r.millis = sw.ElapsedMillis();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t ballast_mib = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 512;
+
+  // Step 1: start the zygote while we are still small.
+  auto handle = StartForkServerProcess();
+  if (!handle.ok()) {
+    std::fprintf(stderr, "failed to start zygote: %s\n", handle.error().ToString().c_str());
+    return 1;
+  }
+  ForkServerClient zygote(std::move(handle->client_sock));
+  if (!zygote.Ping().ok()) {
+    std::fprintf(stderr, "zygote not answering\n");
+    return 1;
+  }
+  std::printf("zygote up (pid %d), application about to bloat to %zu MiB...\n",
+              static_cast<int>(handle->server_pid), ballast_mib);
+
+  // Step 2: become a big application.
+  HeapBallast ballast;
+  if (!ballast.Resize(ballast_mib << 20).ok()) {
+    std::fprintf(stderr, "ballast allocation failed\n");
+    return 1;
+  }
+
+  // Step 3: launch helpers both ways and compare.
+  constexpr int kLaunches = 10;
+  double direct_total = 0, zygote_total = 0;
+  std::string last_direct, last_zygote;
+  for (int i = 0; i < kLaunches; ++i) {
+    ballast.TouchAll();  // stay dirty, as a real app's heap would be
+    LaunchResult d = ViaDirectFork();
+    LaunchResult z = ViaZygote(zygote);
+    if (d.millis < 0 || z.millis < 0) {
+      return 1;
+    }
+    direct_total += d.millis;
+    zygote_total += z.millis;
+    last_direct = d.output;
+    last_zygote = z.output;
+  }
+
+  std::printf("\nhelper output (direct):  %s", last_direct.c_str());
+  std::printf("helper output (zygote):  %s\n", last_zygote.c_str());
+  std::printf("avg launch via direct fork+exec : %6.2f ms (parent: %s dirty)\n",
+              direct_total / kLaunches, HumanBytes(ballast_mib << 20).c_str());
+  std::printf("avg launch via zygote           : %6.2f ms (zygote stayed tiny)\n",
+              zygote_total / kLaunches);
+  std::printf("speedup: %.1fx\n", direct_total / zygote_total);
+
+  (void)zygote.Shutdown();
+  (void)WaitForExit(handle->server_pid);
+  return 0;
+}

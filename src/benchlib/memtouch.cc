@@ -1,0 +1,48 @@
+#include "src/benchlib/memtouch.h"
+
+#include <sys/mman.h>
+
+namespace forklift {
+
+namespace {
+constexpr size_t kPage = 4096;
+}
+
+HeapBallast::~HeapBallast() {
+  if (data_ != nullptr) {
+    ::munmap(data_, bytes_);
+  }
+}
+
+Status HeapBallast::Resize(size_t bytes) {
+  if (data_ != nullptr) {
+    ::munmap(data_, bytes_);
+    data_ = nullptr;
+    bytes_ = 0;
+  }
+  if (bytes == 0) {
+    return Status::Ok();
+  }
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return ErrnoError("mmap ballast");
+  }
+  // Ask the kernel NOT to back this with transparent huge pages: the paper's
+  // figure measures the 4KiB-page regime (its text then notes THP as the
+  // mitigation, which bench/fig1_sim ablates explicitly).
+#ifdef MADV_NOHUGEPAGE
+  ::madvise(p, bytes, MADV_NOHUGEPAGE);
+#endif
+  data_ = static_cast<uint8_t*>(p);
+  bytes_ = bytes;
+  TouchAll();
+  return Status::Ok();
+}
+
+void HeapBallast::TouchAll() {
+  for (size_t off = 0; off < bytes_; off += kPage) {
+    data_[off] = static_cast<uint8_t>(off >> 12);
+  }
+}
+
+}  // namespace forklift

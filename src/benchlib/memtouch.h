@@ -1,0 +1,41 @@
+// forklift/benchlib: the Figure-1 workload generator — a parent process that
+// owns a configurable amount of DIRTY anonymous memory. Dirty matters: fork's
+// page-table copy and posix_spawn's indifference to it are both functions of
+// resident pages, not of vm size, so every page is written, not just mapped.
+#ifndef SRC_BENCHLIB_MEMTOUCH_H_
+#define SRC_BENCHLIB_MEMTOUCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/result.h"
+
+namespace forklift {
+
+class HeapBallast {
+ public:
+  HeapBallast() = default;
+  ~HeapBallast();
+
+  HeapBallast(const HeapBallast&) = delete;
+  HeapBallast& operator=(const HeapBallast&) = delete;
+
+  // Maps `bytes` of anonymous memory and writes one word per 4KiB page.
+  // Replaces any previous ballast.
+  Status Resize(size_t bytes);
+
+  // Re-dirties every page (e.g. after a fork downgraded them to COW, to
+  // restore a "hot parent" before the next measurement).
+  void TouchAll();
+
+  size_t bytes() const { return bytes_; }
+  uint8_t* data() { return data_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_BENCHLIB_MEMTOUCH_H_

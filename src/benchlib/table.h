@@ -1,0 +1,37 @@
+// forklift/benchlib: aligned table output for experiment results.
+//
+// Every bench binary prints its series as one of these tables (and optionally
+// CSV) so EXPERIMENTS.md can quote results verbatim.
+#ifndef SRC_BENCHLIB_TABLE_H_
+#define SRC_BENCHLIB_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace forklift {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Convenience for numeric cells.
+  static std::string Cell(double v, int precision = 2);
+  static std::string Cell(uint64_t v);
+
+  void Print(FILE* out = stdout) const;
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner: "== E1: ... ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace forklift
+
+#endif  // SRC_BENCHLIB_TABLE_H_

@@ -1,0 +1,35 @@
+// forklift/common: monotonic timing for the benchmark harnesses.
+#ifndef SRC_COMMON_CLOCK_H_
+#define SRC_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace forklift {
+
+// Nanoseconds from CLOCK_MONOTONIC. Monotonic across the process, unaffected
+// by wall-clock adjustment; the only clock benchmark code should use.
+inline uint64_t MonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull + static_cast<uint64_t>(ts.tv_nsec);
+}
+
+// Scoped stopwatch: elapsed time since construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(MonotonicNanos()) {}
+
+  void Reset() { start_ = MonotonicNanos(); }
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_; }
+  double ElapsedMicros() const { return static_cast<double>(ElapsedNanos()) / 1e3; }
+  double ElapsedMillis() const { return static_cast<double>(ElapsedNanos()) / 1e6; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) / 1e9; }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_CLOCK_H_

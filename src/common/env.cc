@@ -1,0 +1,69 @@
+#include "src/common/env.h"
+
+extern char** environ;
+
+namespace forklift {
+
+EnvMap EnvMap::FromCurrent() { return FromBlock(environ); }
+
+EnvMap EnvMap::FromBlock(char* const* envp) {
+  EnvMap env;
+  if (envp == nullptr) {
+    return env;
+  }
+  for (char* const* p = envp; *p != nullptr; ++p) {
+    std::string_view entry(*p);
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      continue;
+    }
+    env.vars_.emplace(std::string(entry.substr(0, eq)), std::string(entry.substr(eq + 1)));
+  }
+  return env;
+}
+
+EnvMap EnvMap::FromStrings(const std::vector<std::string>& entries) {
+  EnvMap env;
+  for (const auto& entry : entries) {
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      continue;
+    }
+    env.vars_[entry.substr(0, eq)] = entry.substr(eq + 1);
+  }
+  return env;
+}
+
+void EnvMap::Set(std::string_view key, std::string_view value) {
+  vars_[std::string(key)] = std::string(value);
+}
+
+void EnvMap::Unset(std::string_view key) {
+  auto it = vars_.find(key);
+  if (it != vars_.end()) {
+    vars_.erase(it);
+  }
+}
+
+std::optional<std::string> EnvMap::Get(std::string_view key) const {
+  auto it = vars_.find(key);
+  if (it == vars_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+bool EnvMap::Has(std::string_view key) const { return vars_.count(std::string(key)) != 0; }
+
+std::vector<std::string> EnvMap::ToStrings() const {
+  std::vector<std::string> out;
+  out.reserve(vars_.size());
+  for (const auto& [k, v] : vars_) {
+    out.push_back(k + "=" + v);
+  }
+  return out;
+}
+
+ArgvBlock EnvMap::ToBlock() const { return ArgvBlock(ToStrings()); }
+
+}  // namespace forklift

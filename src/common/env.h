@@ -1,0 +1,91 @@
+// forklift/common: environment and argv block handling.
+//
+// exec-family calls want NUL-terminated char* arrays whose storage outlives the
+// call (and, for vfork/posix_spawn, must not be touched by the parent while the
+// child runs). ArgvBlock owns stable storage for such an array. EnvMap is an
+// ordered key→value view of an environment with POSIX "KEY=VALUE" encoding.
+#ifndef SRC_COMMON_ENV_H_
+#define SRC_COMMON_ENV_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace forklift {
+
+// Owns the strings and the char* vector; `data()` is valid until the block is
+// destroyed or mutated.
+class ArgvBlock {
+ public:
+  ArgvBlock() { Finalize(); }
+  explicit ArgvBlock(const std::vector<std::string>& args) {
+    for (const auto& a : args) {
+      Add(a);
+    }
+    Finalize();
+  }
+
+  void Add(std::string_view arg) {
+    storage_.push_back(std::string(arg));
+    Finalize();
+  }
+
+  size_t size() const { return storage_.size(); }
+  bool empty() const { return storage_.empty(); }
+  const std::string& operator[](size_t i) const { return storage_[i]; }
+
+  // NULL-terminated array suitable for execv/posix_spawn. The pointed-to
+  // strings are owned by this block.
+  char* const* data() const { return const_cast<char* const*>(pointers_.data()); }
+
+  const std::vector<std::string>& strings() const { return storage_; }
+
+ private:
+  void Finalize() {
+    pointers_.clear();
+    pointers_.reserve(storage_.size() + 1);
+    for (auto& s : storage_) {
+      pointers_.push_back(s.data());
+    }
+    pointers_.push_back(nullptr);
+  }
+
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+// An environment as a sorted map. Conversion to/from the "KEY=VALUE" block
+// format used by execve and `environ`.
+class EnvMap {
+ public:
+  EnvMap() = default;
+
+  // Snapshot of the calling process's environment.
+  static EnvMap FromCurrent();
+  // Parse a NULL-terminated "KEY=VALUE" array. Entries without '=' ignored.
+  static EnvMap FromBlock(char* const* envp);
+  // Parse a vector of "KEY=VALUE" strings.
+  static EnvMap FromStrings(const std::vector<std::string>& entries);
+
+  void Set(std::string_view key, std::string_view value);
+  void Unset(std::string_view key);
+  std::optional<std::string> Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  size_t size() const { return vars_.size(); }
+
+  // "KEY=VALUE" strings, sorted by key (deterministic for tests and hashing).
+  std::vector<std::string> ToStrings() const;
+  // Stable-storage block for exec.
+  ArgvBlock ToBlock() const;
+
+  const std::map<std::string, std::string, std::less<>>& vars() const { return vars_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> vars_;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_ENV_H_

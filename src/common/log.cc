@@ -1,0 +1,56 @@
+#include "src/common/log.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace forklift {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[2048];
+  int off = std::snprintf(buf, sizeof(buf), "[forklift %s] ", LevelTag(level));
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf + off, sizeof(buf) - static_cast<size_t>(off) - 1, fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    return;
+  }
+  size_t len = static_cast<size_t>(off) + static_cast<size_t>(n);
+  if (len >= sizeof(buf) - 1) {
+    len = sizeof(buf) - 2;
+  }
+  buf[len++] = '\n';
+  // Single write so concurrent messages do not interleave mid-line.
+  ssize_t ignored = ::write(STDERR_FILENO, buf, len);
+  (void)ignored;
+}
+
+}  // namespace forklift

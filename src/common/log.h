@@ -1,0 +1,34 @@
+// forklift/common: minimal leveled logging to stderr.
+//
+// This is deliberately tiny: the library's hot paths never log, and the child
+// side of a fork must not log at all (stdio is not async-signal-safe), so a
+// printf-style stderr logger covers every legitimate use.
+#ifndef SRC_COMMON_LOG_H_
+#define SRC_COMMON_LOG_H_
+
+#include <cstdarg>
+
+namespace forklift {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+// Global threshold; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style. Thread-safe (single write() per message).
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define FORKLIFT_DLOG(...) ::forklift::Logf(::forklift::LogLevel::kDebug, __VA_ARGS__)
+#define FORKLIFT_LOG(...) ::forklift::Logf(::forklift::LogLevel::kInfo, __VA_ARGS__)
+#define FORKLIFT_WARN(...) ::forklift::Logf(::forklift::LogLevel::kWarn, __VA_ARGS__)
+#define FORKLIFT_ERROR(...) ::forklift::Logf(::forklift::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_LOG_H_

@@ -1,0 +1,32 @@
+#include "src/common/pipe.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace forklift {
+
+Result<Pipe> MakePipe(bool cloexec) {
+  int fds[2];
+  if (::pipe2(fds, cloexec ? O_CLOEXEC : 0) < 0) {
+    return ErrnoError("pipe2");
+  }
+  Pipe p;
+  p.read_end = UniqueFd(fds[0]);
+  p.write_end = UniqueFd(fds[1]);
+  return p;
+}
+
+Result<SocketPair> MakeSocketPair(bool cloexec) {
+  int fds[2];
+  int type = SOCK_STREAM | (cloexec ? SOCK_CLOEXEC : 0);
+  if (::socketpair(AF_UNIX, type, 0, fds) < 0) {
+    return ErrnoError("socketpair");
+  }
+  SocketPair p;
+  p.first = UniqueFd(fds[0]);
+  p.second = UniqueFd(fds[1]);
+  return p;
+}
+
+}  // namespace forklift

@@ -1,0 +1,35 @@
+// forklift/common: pipe and socketpair construction.
+//
+// All pairs are created close-on-exec by default — the library's "secure by
+// default" stance (HotOS'19 §4: fork/exec leaks every inherited descriptor
+// unless each call site remembers CLOEXEC). Descriptors are *selectively*
+// re-enabled for inheritance by the spawn fd-action machinery, never by
+// leaving CLOEXEC off at creation.
+#ifndef SRC_COMMON_PIPE_H_
+#define SRC_COMMON_PIPE_H_
+
+#include "src/common/result.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+// A unidirectional pipe. Data written to `write_end` appears on `read_end`.
+struct Pipe {
+  UniqueFd read_end;
+  UniqueFd write_end;
+};
+
+// pipe2(O_CLOEXEC). Pass cloexec=false only for deliberate inheritance tests.
+Result<Pipe> MakePipe(bool cloexec = true);
+
+// A connected AF_UNIX stream socket pair (bidirectional, supports SCM_RIGHTS).
+struct SocketPair {
+  UniqueFd first;
+  UniqueFd second;
+};
+
+Result<SocketPair> MakeSocketPair(bool cloexec = true);
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_PIPE_H_

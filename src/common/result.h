@@ -1,0 +1,198 @@
+// forklift/common: Result<T> — the library-wide error channel.
+//
+// forklift never throws across a public API boundary. Fallible operations return
+// Result<T> (a value or an Error) or Status (Result<void>). Error carries an
+// errno-domain code plus a human-readable context string describing the operation
+// that failed, so callers can both branch on the code and log something useful.
+//
+// This is a from-scratch std::expected analogue (the toolchain is C++20, expected
+// landed in C++23) specialized for the POSIX errno domain that this library lives
+// in. Keep it boring: no monadic tower, just the handful of combinators call
+// sites actually use (Map, AndThen, ValueOr).
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace forklift {
+
+// An error: an errno-domain code plus context. `code == 0` is reserved for
+// "logical" failures that have no errno (protocol violations, bad arguments
+// detected in-library); such errors still carry a message.
+class Error {
+ public:
+  Error() = default;
+  Error(int code, std::string context) : code_(code), context_(std::move(context)) {}
+
+  // Builds an Error from the current errno. Call immediately after the failing
+  // syscall, before anything can clobber errno.
+  static Error FromErrno(std::string_view op) {
+    int saved = errno;
+    return Error(saved, std::string(op));
+  }
+
+  // A logical (non-errno) failure.
+  static Error Logical(std::string message) { return Error(0, std::move(message)); }
+
+  int code() const { return code_; }
+  const std::string& context() const { return context_; }
+
+  bool IsErrno(int e) const { return code_ == e; }
+
+  // "open /etc/passwd: Permission denied (EACCES)"-style rendering.
+  std::string ToString() const {
+    if (code_ == 0) {
+      return context_;
+    }
+    std::string out = context_;
+    out += ": ";
+    out += std::strerror(code_);
+    return out;
+  }
+
+ private:
+  int code_ = 0;
+  std::string context_;
+};
+
+// Tag wrapper so Result<T> construction from an error is unambiguous even when
+// T is itself constructible from Error-ish things.
+struct ErrTag {
+  Error error;
+};
+
+inline ErrTag Err(Error e) { return ErrTag{std::move(e)}; }
+inline ErrTag ErrnoError(std::string_view op) { return ErrTag{Error::FromErrno(op)}; }
+inline ErrTag LogicalError(std::string message) {
+  return ErrTag{Error::Logical(std::move(message))};
+}
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: `return value;` and `return Err(...)` both read well.
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(ErrTag err) : state_(std::move(err.error)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  // Precondition: ok(). Aborts otherwise — an unchecked access is a bug in the
+  // caller, not a recoverable condition.
+  T& value() & {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  // Precondition: !ok().
+  const Error& error() const {
+    CheckErr();
+    return std::get<Error>(state_);
+  }
+
+  T ValueOr(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+  T ValueOr(T fallback) && {
+    return ok() ? std::get<T>(std::move(state_)) : std::move(fallback);
+  }
+
+  // Applies `f` to the value if ok, propagating the error otherwise.
+  template <typename F>
+  auto Map(F&& f) && -> Result<decltype(f(std::declval<T&&>()))> {
+    if (!ok()) {
+      return Err(std::get<Error>(std::move(state_)));
+    }
+    return f(std::get<T>(std::move(state_)));
+  }
+
+  // Like Map but `f` itself returns a Result.
+  template <typename F>
+  auto AndThen(F&& f) && -> decltype(f(std::declval<T&&>())) {
+    if (!ok()) {
+      return Err(std::get<Error>(std::move(state_)));
+    }
+    return f(std::get<T>(std::move(state_)));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      __builtin_trap();
+    }
+  }
+  void CheckErr() const {
+    if (ok()) {
+      __builtin_trap();
+    }
+  }
+
+  std::variant<T, Error> state_;
+};
+
+// Result<void>: success carries nothing.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrTag err) : error_(std::move(err.error)) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Error& error() const {
+    if (ok()) {
+      __builtin_trap();
+    }
+    return *error_;
+  }
+
+  std::string ToString() const { return ok() ? "OK" : error_->ToString(); }
+
+ private:
+  std::optional<Error> error_;
+};
+
+// Propagate-on-error helpers. Usage:
+//   FORKLIFT_RETURN_IF_ERROR(DoThing());
+//   FORKLIFT_ASSIGN_OR_RETURN(auto fd, OpenFile(path));
+#define FORKLIFT_RETURN_IF_ERROR(expr)                   \
+  do {                                                   \
+    auto forklift_status_ = (expr);                      \
+    if (!forklift_status_.ok()) {                        \
+      return ::forklift::Err(forklift_status_.error());  \
+    }                                                    \
+  } while (0)
+
+#define FORKLIFT_CONCAT_INNER_(a, b) a##b
+#define FORKLIFT_CONCAT_(a, b) FORKLIFT_CONCAT_INNER_(a, b)
+
+#define FORKLIFT_ASSIGN_OR_RETURN(decl, expr)                             \
+  auto FORKLIFT_CONCAT_(forklift_res_, __LINE__) = (expr);                \
+  if (!FORKLIFT_CONCAT_(forklift_res_, __LINE__).ok()) {                  \
+    return ::forklift::Err(FORKLIFT_CONCAT_(forklift_res_, __LINE__).error()); \
+  }                                                                       \
+  decl = std::move(FORKLIFT_CONCAT_(forklift_res_, __LINE__)).value()
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,77 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace forklift {
+
+double SampleStats::Sum() const {
+  double s = 0;
+  for (double x : samples_) {
+    s += x;
+  }
+  return s;
+}
+
+double SampleStats::Mean() const { return samples_.empty() ? 0.0 : Sum() / Count(); }
+
+double SampleStats::Min() const {
+  return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Stddev() const {
+  if (samples_.size() < 2) {
+    return 0.0;
+  }
+  double m = Mean();
+  double acc = 0;
+  for (double x : samples_) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / (Count() - 1));
+}
+
+void SampleStats::EnsureSorted() const {
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleStats::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_samples_.empty()) {
+    return 0.0;
+  }
+  if (p <= 0) {
+    return sorted_samples_.front();
+  }
+  if (p >= 100) {
+    return sorted_samples_.back();
+  }
+  double rank = p / 100.0 * (sorted_samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - lo;
+  if (lo + 1 >= sorted_samples_.size()) {
+    return sorted_samples_.back();
+  }
+  return sorted_samples_[lo] * (1 - frac) + sorted_samples_[lo + 1] * frac;
+}
+
+std::string SampleStats::Summary() const {
+  char buf[256];
+  if (samples_.empty()) {
+    return "n=0";
+  }
+  std::snprintf(buf, sizeof(buf), "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+                Count(), Mean(), Percentile(50), Percentile(95), Percentile(99), Min(), Max());
+  return buf;
+}
+
+}  // namespace forklift

@@ -1,0 +1,51 @@
+// forklift/common: sample statistics for the experiment harnesses.
+//
+// SampleStats stores the raw samples (experiments here are small — thousands of
+// points, not millions) so it can report exact percentiles, which matter for
+// latency distributions with long COW-fault tails.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace forklift {
+
+class SampleStats {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  // Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double Stddev() const;
+  // Exact percentile by linear interpolation between order statistics.
+  // `p` in [0,100]. Precondition: not Empty().
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& Samples() const { return samples_; }
+
+  // "n=100 mean=1.23 p50=1.20 p99=2.31 min=1.01 max=2.40"
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_STATS_H_

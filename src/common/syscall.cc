@@ -1,0 +1,164 @@
+#include "src/common/syscall.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace forklift {
+
+Result<UniqueFd> OpenFd(const std::string& path, int flags, mode_t mode) {
+  for (;;) {
+    int fd = ::open(path.c_str(), flags, mode);
+    if (fd >= 0) {
+      return UniqueFd(fd);
+    }
+    if (errno != EINTR) {
+      return ErrnoError("open " + path);
+    }
+  }
+}
+
+Result<size_t> ReadFull(int fd, void* buf, size_t len) {
+  size_t done = 0;
+  auto* p = static_cast<char*>(buf);
+  while (done < len) {
+    ssize_t n = ::read(fd, p + done, len - done);
+    if (n == 0) {
+      break;  // EOF
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("read");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+Status WriteFull(int fd, const void* buf, size_t len) {
+  size_t done = 0;
+  const auto* p = static_cast<const char*>(buf);
+  while (done < len) {
+    ssize_t n = ::write(fd, p + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadAll(int fd, size_t max_bytes) {
+  std::string out;
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) {
+      return out;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("read");
+    }
+    if (out.size() + static_cast<size_t>(n) > max_bytes) {
+      return LogicalError("ReadAll: output exceeds max_bytes cap");
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<int> WaitPid(pid_t pid, int options) {
+  for (;;) {
+    int status = 0;
+    pid_t r = ::waitpid(pid, &status, options);
+    if (r >= 0) {
+      // r == 0 only with WNOHANG and no state change; report status 0 — callers
+      // using WNOHANG should use Child::TryWait which interprets this.
+      return status;
+    }
+    if (errno != EINTR) {
+      return ErrnoError("waitpid");
+    }
+  }
+}
+
+std::string ExitStatus::ToString() const {
+  if (exited) {
+    return "exit(" + std::to_string(exit_code) + ")";
+  }
+  if (signaled) {
+    return "signal(" + std::to_string(term_signal) + ")";
+  }
+  return "unknown";
+}
+
+ExitStatus DecodeWaitStatus(int raw_status) {
+  ExitStatus s;
+  if (WIFEXITED(raw_status)) {
+    s.exited = true;
+    s.exit_code = WEXITSTATUS(raw_status);
+  } else if (WIFSIGNALED(raw_status)) {
+    s.signaled = true;
+    s.term_signal = WTERMSIG(raw_status);
+  }
+  return s;
+}
+
+Result<ExitStatus> WaitForExit(pid_t pid) {
+  FORKLIFT_ASSIGN_OR_RETURN(int raw, WaitPid(pid));
+  return DecodeWaitStatus(raw);
+}
+
+Status SetCloexec(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFD);
+  if (flags < 0) {
+    return ErrnoError("fcntl(F_GETFD)");
+  }
+  int want = enabled ? (flags | FD_CLOEXEC) : (flags & ~FD_CLOEXEC);
+  if (want != flags && ::fcntl(fd, F_SETFD, want) < 0) {
+    return ErrnoError("fcntl(F_SETFD)");
+  }
+  return Status::Ok();
+}
+
+Result<bool> GetCloexec(int fd) {
+  int flags = ::fcntl(fd, F_GETFD);
+  if (flags < 0) {
+    return ErrnoError("fcntl(F_GETFD)");
+  }
+  return (flags & FD_CLOEXEC) != 0;
+}
+
+Status SetNonBlocking(int fd, bool enabled) {
+  int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) {
+    return ErrnoError("fcntl(F_GETFL)");
+  }
+  int want = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return ErrnoError("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Status Dup2(int oldfd, int newfd) {
+  for (;;) {
+    if (::dup2(oldfd, newfd) >= 0) {
+      return Status::Ok();
+    }
+    if (errno != EINTR && errno != EBUSY) {
+      return ErrnoError("dup2");
+    }
+  }
+}
+
+}  // namespace forklift

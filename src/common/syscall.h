@@ -1,0 +1,63 @@
+// forklift/common: thin, EINTR-aware wrappers around the syscalls the library
+// uses. Each wrapper returns Result/Status with the failing operation named in
+// the error context, so call sites never hand-roll errno plumbing.
+#ifndef SRC_COMMON_SYSCALL_H_
+#define SRC_COMMON_SYSCALL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+// open(2) with EINTR retry. `flags`/`mode` as in open(2).
+Result<UniqueFd> OpenFd(const std::string& path, int flags, mode_t mode = 0);
+
+// Reads exactly `len` bytes unless EOF intervenes; returns the number of bytes
+// actually read (< len only at EOF). Retries EINTR.
+Result<size_t> ReadFull(int fd, void* buf, size_t len);
+
+// Writes all `len` bytes. Retries EINTR and short writes.
+Status WriteFull(int fd, const void* buf, size_t len);
+
+// Reads until EOF into a string (for draining pipes). `max_bytes` caps runaway
+// children; exceeding it is an error, not a truncation.
+Result<std::string> ReadAll(int fd, size_t max_bytes = 64u << 20);
+
+// waitpid(2) with EINTR retry. Returns the raw wait status.
+Result<int> WaitPid(pid_t pid, int options = 0);
+
+// Decoded wait status for ergonomic matching.
+struct ExitStatus {
+  bool exited = false;    // WIFEXITED
+  int exit_code = 0;      // WEXITSTATUS if exited
+  bool signaled = false;  // WIFSIGNALED
+  int term_signal = 0;    // WTERMSIG if signaled
+
+  bool Success() const { return exited && exit_code == 0; }
+  std::string ToString() const;
+};
+
+ExitStatus DecodeWaitStatus(int raw_status);
+
+// Blocks until `pid` changes state, returns decoded status.
+Result<ExitStatus> WaitForExit(pid_t pid);
+
+// Sets/clears FD_CLOEXEC on `fd`.
+Status SetCloexec(int fd, bool enabled);
+Result<bool> GetCloexec(int fd);
+
+// Sets O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool enabled);
+
+// dup2 with EINTR retry (dup2 can return EINTR on some kernels).
+Status Dup2(int oldfd, int newfd);
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_SYSCALL_H_

@@ -1,0 +1,55 @@
+// forklift/common: UniqueFd — RAII ownership of a POSIX file descriptor.
+//
+// Every fd owned by forklift code lives in a UniqueFd; a raw int fd in an API
+// signature always means "borrowed, not owned". The destructor close()s; EINTR
+// on close is deliberately not retried (POSIX leaves the fd state unspecified
+// after EINTR, and retrying risks closing a recycled descriptor).
+#ifndef SRC_COMMON_UNIQUE_FD_H_
+#define SRC_COMMON_UNIQUE_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace forklift {
+
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset(other.Release());
+    }
+    return *this;
+  }
+
+  // Borrows the descriptor. Returns -1 when empty.
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  // Transfers ownership to the caller.
+  [[nodiscard]] int Release() { return std::exchange(fd_, -1); }
+
+  // Closes the current descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0 && fd_ != fd) {
+      ::close(fd_);
+    }
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_UNIQUE_FD_H_

@@ -1,0 +1,151 @@
+#include "src/forkserver/client.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include <utility>
+
+#include "src/common/pipe.h"
+#include "src/forkserver/fd_transfer.h"
+#include "src/forkserver/protocol.h"
+#include "src/forkserver/wire.h"
+
+namespace forklift {
+
+Result<ExitStatus> RemoteChild::Wait() {
+  if (!valid() || client_ == nullptr) {
+    return LogicalError("RemoteChild::Wait on invalid handle");
+  }
+  return client_->WaitRemote(pid_);
+}
+
+Status RemoteChild::Kill(int sig) {
+  if (!valid()) {
+    return LogicalError("RemoteChild::Kill on invalid handle");
+  }
+  if (::kill(pid_, sig) < 0) {
+    return ErrnoError("kill (remote child)");
+  }
+  return Status::Ok();
+}
+
+ForkServerClient::ForkServerClient(UniqueFd sock) : sock_(std::move(sock)) {}
+
+Result<std::unique_ptr<ForkServerClient>> ForkServerClient::ConnectPath(
+    const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return LogicalError("ForkServerClient::ConnectPath: socket path too long");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoError("socket (forkserver client)");
+  }
+  UniqueFd sock(fd);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoError("connect " + path);
+  }
+  return std::make_unique<ForkServerClient>(std::move(sock));
+}
+
+Result<pid_t> ForkServerClient::LaunchRequest(const SpawnRequest& req) {
+  std::vector<int> fds;
+  FORKLIFT_ASSIGN_OR_RETURN(std::string payload, EncodeSpawnRequest(req, &fds));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), payload, fds));
+  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
+  if (rr.eof) {
+    return LogicalError("forkserver client: server closed the socket");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(SpawnReply reply, DecodeSpawnReply(rr.frame.payload));
+  if (!reply.ok) {
+    if (reply.err != 0) {
+      return Err(Error(reply.err, "forkserver spawn: " + reply.context));
+    }
+    return LogicalError("forkserver spawn: " + reply.context);
+  }
+  return static_cast<pid_t>(reply.pid);
+}
+
+Result<RemoteChild> ForkServerClient::Spawn(const Spawner& spawner) {
+  FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
+  FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, LaunchRequest(req));
+  return RemoteChild(this, pid);
+}
+
+Result<std::unique_ptr<ForkServerClient>> ForkServerClient::NewChannel() {
+  FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
+  std::lock_guard<std::mutex> lock(mu_);
+  FORKLIFT_RETURN_IF_ERROR(
+      SendFrame(sock_.get(), EncodeControl(MsgType::kNewChannel), {sp.second.get()}));
+  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
+  if (rr.eof) {
+    return LogicalError("forkserver client: server closed during channel setup");
+  }
+  WireReader reader(rr.frame.payload);
+  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
+  if (type != MsgType::kNewChannelAck) {
+    return LogicalError("forkserver client: expected channel ack");
+  }
+  return std::make_unique<ForkServerClient>(std::move(sp.first));
+}
+
+Status ForkServerClient::Ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kPing)));
+  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
+  if (rr.eof) {
+    return LogicalError("forkserver client: server closed during ping");
+  }
+  WireReader reader(rr.frame.payload);
+  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
+  if (type != MsgType::kPong) {
+    return LogicalError("forkserver client: expected pong");
+  }
+  return Status::Ok();
+}
+
+Status ForkServerClient::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kShutdown)));
+  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
+  if (rr.eof) {
+    return Status::Ok();  // server died at EOF: shutdown achieved regardless
+  }
+  WireReader reader(rr.frame.payload);
+  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
+  if (type != MsgType::kShutdownAck) {
+    return LogicalError("forkserver client: expected shutdown ack");
+  }
+  return Status::Ok();
+}
+
+Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeWait(static_cast<int32_t>(pid))));
+  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
+  if (rr.eof) {
+    return LogicalError("forkserver client: server closed during wait");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(WaitReply reply, DecodeWaitReply(rr.frame.payload));
+  if (!reply.ok) {
+    if (reply.err != 0) {
+      return Err(Error(reply.err, "forkserver wait: " + reply.context));
+    }
+    return LogicalError("forkserver wait: " + reply.context);
+  }
+  return reply.status;
+}
+
+Result<pid_t> ForkServerBackend::Launch(const SpawnRequest& req) {
+  if (client_ == nullptr) {
+    return LogicalError("ForkServerBackend: no client");
+  }
+  return client_->LaunchRequest(req);
+}
+
+}  // namespace forklift

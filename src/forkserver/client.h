@@ -1,0 +1,100 @@
+// forklift/forkserver: the client side — talk to a zygote.
+//
+// RemoteChild mirrors spawn::Child for processes that are NOT our children
+// (they belong to the server), so waiting is a protocol round-trip instead of
+// waitpid. ForkServerBackend adapts the client to the SpawnBackend interface
+// for fire-and-forget launches through a plain Spawner.
+#ifndef SRC_FORKSERVER_CLIENT_H_
+#define SRC_FORKSERVER_CLIENT_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <mutex>
+
+#include "src/common/result.h"
+#include "src/common/syscall.h"
+#include "src/common/unique_fd.h"
+#include "src/spawn/backend.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+
+class ForkServerClient;
+
+// A process created on our behalf by the fork server. Exit status comes from
+// the server, which is the actual parent.
+class RemoteChild {
+ public:
+  RemoteChild() = default;
+  RemoteChild(ForkServerClient* client, pid_t pid) : client_(client), pid_(pid) {}
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  // Blocks (via the server) until the child exits.
+  Result<ExitStatus> Wait();
+
+  // kill(2) directly: pids are in our namespace even though parentage is not.
+  Status Kill(int sig = 15);
+
+ private:
+  ForkServerClient* client_ = nullptr;
+  pid_t pid_ = -1;
+};
+
+// Thread-safe client: requests are serialized over the single socket.
+class ForkServerClient {
+ public:
+  // Takes ownership of the client end of the server's socket.
+  explicit ForkServerClient(UniqueFd sock);
+
+  // Connects to a daemon listening on an AF_UNIX path (ForkServer::Listen /
+  // the forkliftd tool).
+  static Result<std::unique_ptr<ForkServerClient>> ConnectPath(const std::string& path);
+
+  // Ships the spawner's resolved request to the server. Pipe stdio is not
+  // supported over the wire (create pipes locally and use Stdio::Fd /
+  // PassFd — the descriptors are transferred via SCM_RIGHTS).
+  Result<RemoteChild> Spawn(const Spawner& spawner);
+
+  // Round-trip liveness probe.
+  Status Ping();
+
+  // Asks the server to exit after acknowledging.
+  Status Shutdown();
+
+  // Used by RemoteChild.
+  Result<ExitStatus> WaitRemote(pid_t pid);
+
+  // Low-level: ship an already-resolved request; returns the remote pid.
+  Result<pid_t> LaunchRequest(const SpawnRequest& req);
+
+  // Opens an additional private channel to the same server (the new socket
+  // travels over this one via SCM_RIGHTS). Each channel serializes its own
+  // requests, so one channel per thread removes all client-side contention.
+  Result<std::unique_ptr<ForkServerClient>> NewChannel();
+
+ private:
+  std::mutex mu_;
+  UniqueFd sock_;
+};
+
+// SpawnBackend adapter: lets `Spawner::SetCustomBackend(&backend)` route a
+// spawn through the zygote. The returned pid is NOT waitable by the caller
+// (the server is the parent) — use ForkServerClient::Spawn for supervised
+// children; the adapter exists for latency experiments and fire-and-forget.
+class ForkServerBackend : public SpawnBackend {
+ public:
+  explicit ForkServerBackend(ForkServerClient* client) : client_(client) {}
+
+  Result<pid_t> Launch(const SpawnRequest& req) override;
+  const char* Name() const override { return "forkserver"; }
+
+ private:
+  ForkServerClient* client_;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_FORKSERVER_CLIENT_H_

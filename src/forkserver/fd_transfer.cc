@@ -1,0 +1,141 @@
+#include "src/forkserver/fd_transfer.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/syscall.h"
+
+namespace forklift {
+
+namespace {
+
+// Sends `len` bytes starting at `data`, attaching `fds` to the first segment.
+Status SendAll(int sock, const void* data, size_t len, const std::vector<int>& fds) {
+  const char* p = static_cast<const char*>(data);
+  bool fds_pending = !fds.empty();
+  size_t sent = 0;
+  while (sent < len || fds_pending) {
+    msghdr msg{};
+    iovec iov{};
+    iov.iov_base = const_cast<char*>(p + sent);
+    iov.iov_len = len - sent;
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int) * kMaxFdsPerFrame)];
+    if (fds_pending) {
+      msg.msg_control = cbuf;
+      msg.msg_controllen = CMSG_SPACE(sizeof(int) * fds.size());
+      cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+      cmsg->cmsg_level = SOL_SOCKET;
+      cmsg->cmsg_type = SCM_RIGHTS;
+      cmsg->cmsg_len = CMSG_LEN(sizeof(int) * fds.size());
+      std::memcpy(CMSG_DATA(cmsg), fds.data(), sizeof(int) * fds.size());
+    }
+
+    ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("sendmsg");
+    }
+    fds_pending = false;  // ancillary data goes out with the first successful segment
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Receives exactly `len` bytes; any SCM_RIGHTS descriptors encountered are
+// appended to `fds` (already wrapped for leak-safety). Returns bytes received
+// (< len only if EOF).
+Result<size_t> RecvAll(int sock, void* data, size_t len, std::vector<UniqueFd>* fds) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    msghdr msg{};
+    iovec iov{};
+    iov.iov_base = p + got;
+    iov.iov_len = len - got;
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int) * kMaxFdsPerFrame)];
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+
+    ssize_t n = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("recvmsg");
+    }
+    for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr; cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS) {
+        size_t nfds = (cmsg->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+        const int* cfds = reinterpret_cast<const int*>(CMSG_DATA(cmsg));
+        for (size_t i = 0; i < nfds; ++i) {
+          fds->emplace_back(cfds[i]);
+        }
+      }
+    }
+    if ((msg.msg_flags & MSG_CTRUNC) != 0) {
+      return LogicalError("recvmsg: ancillary data truncated (too many fds?)");
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    got += static_cast<size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+Status SendFrame(int sock, std::string_view payload, const std::vector<int>& fds) {
+  if (fds.size() > kMaxFdsPerFrame) {
+    return LogicalError("SendFrame: too many fds (" + std::to_string(fds.size()) + ")");
+  }
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  // Length prefix first (no fds attached), then payload with fds on its first
+  // segment. Two sendmsg calls keep the framing logic trivial; the socket is
+  // SOCK_STREAM so coalescing is irrelevant to correctness.
+  FORKLIFT_RETURN_IF_ERROR(SendAll(sock, &len, sizeof(len), {}));
+  if (payload.empty()) {
+    if (!fds.empty()) {
+      return LogicalError("SendFrame: fds require a non-empty payload");
+    }
+    return Status::Ok();
+  }
+  return SendAll(sock, payload.data(), payload.size(), fds);
+}
+
+Result<RecvResult> RecvFrame(int sock, size_t max_payload) {
+  RecvResult out;
+  uint32_t len = 0;
+  FORKLIFT_ASSIGN_OR_RETURN(size_t got, RecvAll(sock, &len, sizeof(len), &out.frame.fds));
+  if (got == 0) {
+    out.eof = true;
+    return out;
+  }
+  if (got != sizeof(len)) {
+    return LogicalError("RecvFrame: truncated length prefix");
+  }
+  if (len > max_payload) {
+    return LogicalError("RecvFrame: payload length " + std::to_string(len) + " exceeds cap");
+  }
+  out.frame.payload.resize(len);
+  if (len > 0) {
+    FORKLIFT_ASSIGN_OR_RETURN(size_t body,
+                              RecvAll(sock, out.frame.payload.data(), len, &out.frame.fds));
+    if (body != len) {
+      return LogicalError("RecvFrame: truncated payload");
+    }
+  }
+  return out;
+}
+
+}  // namespace forklift

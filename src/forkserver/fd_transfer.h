@@ -1,0 +1,40 @@
+// forklift/forkserver: descriptor passing over AF_UNIX sockets (SCM_RIGHTS).
+//
+// A frame is a u32 byte-length followed by the payload; descriptors ride in
+// the ancillary data of the payload's first segment. This is the channel that
+// lets a fork-server child inherit the *client's* pipes — the capability that
+// plain fork gets by ambient copying and spawn APIs must pass explicitly.
+#ifndef SRC_FORKSERVER_FD_TRANSFER_H_
+#define SRC_FORKSERVER_FD_TRANSFER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+// Hard cap on descriptors per frame (kernel SCM_MAX_FD is 253; we stay lower
+// and predictable).
+inline constexpr size_t kMaxFdsPerFrame = 64;
+
+struct Frame {
+  std::string payload;
+  std::vector<UniqueFd> fds;
+};
+
+// Sends payload + fds as one frame. `fds` are borrowed, not consumed.
+Status SendFrame(int sock, std::string_view payload, const std::vector<int>& fds = {});
+
+// Receives one frame. Returns an empty-payload frame with `eof == true` when
+// the peer closed cleanly between frames. `max_payload` caps allocation.
+struct RecvResult {
+  Frame frame;
+  bool eof = false;
+};
+Result<RecvResult> RecvFrame(int sock, size_t max_payload = 16u << 20);
+
+}  // namespace forklift
+
+#endif  // SRC_FORKSERVER_FD_TRANSFER_H_

@@ -1,0 +1,90 @@
+// forklift/forkserver: the request/reply protocol.
+//
+// The fork server is the paper's §6 observation made concrete: the ecosystem's
+// surviving legitimate use of fork is a small, early-forked "zygote" that
+// creates processes on behalf of large clients, because forking a small
+// process is cheap while forking the client is not. The protocol ships a
+// resolved SpawnRequest (argv/env/attrs/fd-plan) to the zygote; descriptors
+// referenced by the plan travel as SCM_RIGHTS and are renumbered on arrival,
+// so the plan encodes them as transfer *indices*, not raw fd numbers.
+#ifndef SRC_FORKSERVER_PROTOCOL_H_
+#define SRC_FORKSERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/syscall.h"
+#include "src/common/unique_fd.h"
+#include "src/spawn/backend.h"
+
+namespace forklift {
+
+inline constexpr uint32_t kForkServerProtocolVersion = 1;
+
+enum class MsgType : uint32_t {
+  kSpawn = 1,       // client → server: launch this request
+  kSpawnReply = 2,  // server → client: pid or error
+  kWait = 3,        // client → server: block until pid exits
+  kWaitReply = 4,   // server → client: decoded exit status
+  kPing = 5,        // client → server: liveness probe
+  kPong = 6,        // server → client
+  kShutdown = 7,    // client → server: drain and exit
+  kShutdownAck = 8, // server → client
+  kNewChannel = 9,      // client → server: adopt the attached socket as a new client
+  kNewChannelAck = 10,  // server → client
+};
+
+// A SpawnRequest plus the descriptor list its plan references. Local fd
+// numbers in dup2 sources are replaced by indices into `fds` during encoding.
+struct WireSpawnRequest {
+  SpawnRequest request;
+  std::vector<int> fds;  // borrowed fds to transfer (encode side)
+};
+
+// Encodes header {version, type} + typed payload.
+std::string EncodeHeader(MsgType type);
+// Decodes and validates the header, leaving the reader at the payload.
+Result<MsgType> DecodeHeader(class WireReader& reader);
+
+// kSpawn. Returns the payload and fills `fds_out` with the descriptors (in
+// transfer order) the frame must carry.
+Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<int>* fds_out);
+
+// Decodes a kSpawn payload. `received_fds` are the SCM_RIGHTS descriptors in
+// arrival order; the decoded plan's sources point at their (renumbered) fd
+// values. Ownership of the fds stays with the caller; the returned request
+// borrows them and must be launched before they are released.
+Result<SpawnRequest> DecodeSpawnRequest(std::string_view payload,
+                                        const std::vector<UniqueFd>& received_fds);
+
+// kSpawnReply.
+struct SpawnReply {
+  bool ok = false;
+  int32_t pid = -1;
+  int32_t err = 0;
+  std::string context;
+};
+std::string EncodeSpawnReply(const SpawnReply& reply);
+Result<SpawnReply> DecodeSpawnReply(std::string_view payload);
+
+// kWait / kWaitReply.
+std::string EncodeWait(int32_t pid);
+Result<int32_t> DecodeWait(std::string_view payload);
+
+struct WaitReply {
+  bool ok = false;
+  ExitStatus status;
+  int32_t err = 0;
+  std::string context;
+};
+std::string EncodeWaitReply(const WaitReply& reply);
+Result<WaitReply> DecodeWaitReply(std::string_view payload);
+
+// Bare control messages (kPing/kPong/kShutdown/kShutdownAck) are header-only.
+std::string EncodeControl(MsgType type);
+
+}  // namespace forklift
+
+#endif  // SRC_FORKSERVER_PROTOCOL_H_

@@ -1,0 +1,255 @@
+#include "src/forkserver/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/forkserver/fd_transfer.h"
+#include "src/forkserver/protocol.h"
+#include "src/forkserver/wire.h"
+#include "src/spawn/backend.h"
+
+namespace forklift {
+
+namespace {
+
+// Received descriptors are renumbered here so they can never collide with the
+// request's plan targets (< CompiledFdPlan::kScratchBase) or its scratch range.
+constexpr int kTransferFdFloor = 600;
+
+}  // namespace
+
+ForkServer::ForkServer(UniqueFd sock) { socks_.push_back(std::move(sock)); }
+
+Result<ForkServer> ForkServer::Listen(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return LogicalError("ForkServer::Listen: socket path too long");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return ErrnoError("socket (forkserver listener)");
+  }
+  UniqueFd listener(fd);
+  ::unlink(path.c_str());  // clear a stale socket from a previous run
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoError("bind " + path);
+  }
+  if (::listen(fd, 16) < 0) {
+    return ErrnoError("listen " + path);
+  }
+  ForkServer server;
+  server.listener_ = std::move(listener);
+  server.listen_path_ = path;
+  return server;
+}
+
+Result<uint64_t> ForkServer::Serve() {
+  while (listener_.valid() || !socks_.empty()) {
+    std::vector<pollfd> pfds;
+    pfds.reserve(socks_.size() + 1);
+    for (const auto& sock : socks_) {
+      pfds.push_back(pollfd{sock.get(), POLLIN, 0});
+    }
+    if (listener_.valid()) {
+      pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+    }
+    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("forkserver poll");
+    }
+
+    if (listener_.valid() && (pfds.back().revents & POLLIN) != 0) {
+      int client = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+      if (client >= 0) {
+        socks_.emplace_back(client);
+      } else if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+        return ErrnoError("accept (forkserver)");
+      }
+      continue;  // channel list changed: rebuild the poll set
+    }
+
+    // Walk backwards so channel removal does not disturb earlier indices.
+    for (size_t i = socks_.size(); i-- > 0;) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(socks_[i].get()));
+      if (rr.eof) {
+        socks_.erase(socks_.begin() + static_cast<long>(i));
+        continue;
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(bool keep_running, HandleFrame(i, std::move(rr.frame)));
+      if (!keep_running) {
+        if (!listen_path_.empty()) {
+          ::unlink(listen_path_.c_str());
+        }
+        return spawns_handled_;
+      }
+    }
+  }
+  if (!listen_path_.empty()) {
+    ::unlink(listen_path_.c_str());
+  }
+  return spawns_handled_;
+}
+
+Result<bool> ForkServer::HandleFrame(size_t idx, Frame frame) {
+  int sock = socks_[idx].get();
+  WireReader reader(frame.payload);
+  auto type = DecodeHeader(reader);
+  if (!type.ok()) {
+    SpawnReply reply;
+    reply.ok = false;
+    reply.context = type.error().ToString();
+    FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+    return true;
+  }
+
+  switch (*type) {
+    case MsgType::kSpawn: {
+      FORKLIFT_RETURN_IF_ERROR(HandleSpawn(sock, frame.payload, std::move(frame.fds)));
+      return true;
+    }
+    case MsgType::kWait: {
+      FORKLIFT_RETURN_IF_ERROR(HandleWait(sock, frame.payload));
+      return true;
+    }
+    case MsgType::kPing: {
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kPong)));
+      return true;
+    }
+    case MsgType::kNewChannel: {
+      if (frame.fds.size() != 1) {
+        SpawnReply reply;
+        reply.ok = false;
+        reply.context = "forkserver: kNewChannel must carry exactly one socket";
+        FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+        return true;
+      }
+      socks_.push_back(std::move(frame.fds[0]));
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kNewChannelAck)));
+      return true;
+    }
+    case MsgType::kShutdown: {
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kShutdownAck)));
+      return false;
+    }
+    default: {
+      SpawnReply reply;
+      reply.ok = false;
+      reply.context = "forkserver: unexpected message type";
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+      return true;
+    }
+  }
+}
+
+Status ForkServer::HandleSpawn(int sock, const std::string& payload,
+                               std::vector<UniqueFd> fds) {
+  // Renumber every received descriptor above the plan's reachable range.
+  std::vector<UniqueFd> high_fds;
+  high_fds.reserve(fds.size());
+  for (auto& fd : fds) {
+    int high = ::fcntl(fd.get(), F_DUPFD_CLOEXEC, kTransferFdFloor);
+    if (high < 0) {
+      SpawnReply reply;
+      reply.ok = false;
+      reply.err = errno;
+      reply.context = "forkserver: relocating transferred fd";
+      return SendFrame(sock, EncodeSpawnReply(reply));
+    }
+    high_fds.emplace_back(high);
+    fd.Reset();
+  }
+
+  auto req = DecodeSpawnRequest(payload, high_fds);
+  SpawnReply reply;
+  if (!req.ok()) {
+    reply.ok = false;
+    reply.err = req.error().code();
+    reply.context = req.error().ToString();
+  } else {
+    auto pid = ForkExecBackend().Launch(*req);
+    if (!pid.ok()) {
+      reply.ok = false;
+      reply.err = pid.error().code();
+      reply.context = pid.error().ToString();
+    } else {
+      reply.ok = true;
+      reply.pid = static_cast<int32_t>(*pid);
+      live_children_.insert(*pid);
+      ++spawns_handled_;
+    }
+  }
+  return SendFrame(sock, EncodeSpawnReply(reply));
+}
+
+Status ForkServer::HandleWait(int sock, const std::string& payload) {
+  auto pid = DecodeWait(payload);
+  WaitReply reply;
+  if (!pid.ok()) {
+    reply.ok = false;
+    reply.context = pid.error().ToString();
+  } else if (live_children_.count(static_cast<pid_t>(*pid)) == 0) {
+    reply.ok = false;
+    reply.err = ECHILD;
+    reply.context = "forkserver: pid " + std::to_string(*pid) + " is not a live child";
+  } else {
+    auto st = WaitForExit(static_cast<pid_t>(*pid));
+    if (!st.ok()) {
+      reply.ok = false;
+      reply.err = st.error().code();
+      reply.context = st.error().ToString();
+    } else {
+      reply.ok = true;
+      reply.status = *st;
+      live_children_.erase(static_cast<pid_t>(*pid));
+    }
+  }
+  return SendFrame(sock, EncodeWaitReply(reply));
+}
+
+Result<ForkServerHandle> StartForkServerProcess() {
+  FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    return ErrnoError("fork (starting fork server)");
+  }
+  if (pid == 0) {
+    // Server process. Drop the client end; serve; die quietly. The zygote
+    // inherits the parent's current (ideally small) address space — starting
+    // it early is the documented contract.
+    sp.first.Reset();
+    ForkServer server(std::move(sp.second));
+    auto served = server.Serve();
+    if (!served.ok()) {
+      FORKLIFT_ERROR("fork server terminating on transport error: %s",
+                     served.error().ToString().c_str());
+      _exit(1);
+    }
+    _exit(0);
+  }
+  ForkServerHandle handle;
+  handle.client_sock = std::move(sp.first);
+  handle.server_pid = pid;
+  return handle;
+}
+
+}  // namespace forklift

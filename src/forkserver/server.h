@@ -1,0 +1,72 @@
+// forklift/forkserver: the zygote process.
+//
+// A ForkServer serves one or more AF_UNIX stream channels: it decodes spawn
+// requests, launches them with the fork+exec engine (forking the *small*
+// server rather than the large client — the entire point of the zygote
+// pattern, §6 of the paper), supervises the children, and answers wait
+// requests. Additional channels are adopted at runtime via kNewChannel frames
+// carrying a socket (SCM_RIGHTS), so each client thread can own a private
+// channel. Single-threaded by design: a zygote must stay small and must not
+// hold locks across its forks; a blocking kWait therefore stalls all
+// channels, which is the documented trade for that simplicity.
+#ifndef SRC_FORKSERVER_SERVER_H_
+#define SRC_FORKSERVER_SERVER_H_
+
+#include <sys/types.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+class ForkServer {
+ public:
+  // Takes ownership of the server end of a connected socket pair.
+  explicit ForkServer(UniqueFd sock);
+
+  // Daemon mode: bind + listen on an AF_UNIX socket at `path` (unlinking any
+  // stale socket first). Accepted connections become channels; the server
+  // runs until a client sends kShutdown (EOF of all clients does NOT stop a
+  // listening server). The socket file is unlinked when Serve returns.
+  static Result<ForkServer> Listen(const std::string& path);
+
+  // Serves until a client sends kShutdown or the last channel closes.
+  // Returns the number of spawn requests handled, or the transport error that
+  // ended the loop. Protocol errors on a single request are reported to that
+  // client and do not end the loop.
+  Result<uint64_t> Serve();
+
+  // Children spawned but not yet waited (visible for tests).
+  const std::set<pid_t>& live_children() const { return live_children_; }
+
+ private:
+  // Returns true when the server should keep running.
+  Result<bool> HandleFrame(size_t idx, struct Frame frame);
+  Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds);
+  Status HandleWait(int sock, const std::string& payload);
+
+  ForkServer() = default;
+
+  std::vector<UniqueFd> socks_;
+  UniqueFd listener_;
+  std::string listen_path_;
+  std::set<pid_t> live_children_;
+  uint64_t spawns_handled_ = 0;
+};
+
+// Launches a dedicated fork-server *process* (forked before the caller grows —
+// call it early) and returns the client end of its socket. The server process
+// serves until shutdown/EOF, then _exits. The returned pid is the server's.
+struct ForkServerHandle {
+  UniqueFd client_sock;
+  pid_t server_pid = -1;
+};
+Result<ForkServerHandle> StartForkServerProcess();
+
+}  // namespace forklift
+
+#endif  // SRC_FORKSERVER_SERVER_H_

@@ -1,0 +1,85 @@
+#include "src/hazards/env_audit.h"
+
+#include <cctype>
+#include <string_view>
+
+#include "src/common/string_util.h"
+
+namespace forklift {
+
+namespace {
+
+// Key substrings that overwhelmingly name credentials. Matched
+// case-insensitively against the key.
+constexpr std::string_view kSecretKeyPatterns[] = {
+    "SECRET", "TOKEN", "PASSWORD", "PASSWD", "API_KEY", "APIKEY",
+    "PRIVATE_KEY", "ACCESS_KEY", "AUTH", "CREDENTIAL", "SESSION_KEY",
+};
+
+// Value prefixes used by well-known credential formats.
+constexpr std::string_view kSecretValuePrefixes[] = {
+    "sk-",      // OpenAI/Stripe-style secret keys
+    "ghp_",     // GitHub personal access tokens
+    "gho_",     // GitHub OAuth tokens
+    "xoxb-",    // Slack bot tokens
+    "xoxp-",    // Slack user tokens
+    "AKIA",     // AWS access key ids
+    "eyJhbGci", // JWTs (base64 of {"alg":...)
+    "-----BEGIN",  // PEM material
+};
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EnvFinding::ToString() const {
+  return key + ": " + reason + " (would be inherited by every child)";
+}
+
+std::vector<EnvFinding> AuditEnv(const EnvMap& env) {
+  std::vector<EnvFinding> findings;
+  for (const auto& [key, value] : env.vars()) {
+    std::string upper_key = ToUpper(key);
+    bool flagged = false;
+    for (std::string_view pattern : kSecretKeyPatterns) {
+      if (upper_key.find(pattern) != std::string::npos) {
+        findings.push_back(
+            EnvFinding{key, EnvFindingKind::kSecretKeyName,
+                       "key contains '" + std::string(pattern) + "'"});
+        flagged = true;
+        break;
+      }
+    }
+    if (flagged) {
+      continue;
+    }
+    for (std::string_view prefix : kSecretValuePrefixes) {
+      if (StartsWith(value, prefix)) {
+        findings.push_back(
+            EnvFinding{key, EnvFindingKind::kSecretValueShape,
+                       "value starts with credential prefix '" + std::string(prefix) + "'"});
+        break;
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<EnvFinding> AuditCurrentEnv() { return AuditEnv(EnvMap::FromCurrent()); }
+
+std::vector<std::string> StripFlagged(EnvMap* env) {
+  std::vector<std::string> removed;
+  for (const auto& finding : AuditEnv(*env)) {
+    env->Unset(finding.key);
+    removed.push_back(finding.key);
+  }
+  return removed;
+}
+
+}  // namespace forklift

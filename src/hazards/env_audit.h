@@ -1,0 +1,45 @@
+// forklift/hazards: environment auditing.
+//
+// The environment block is fork+exec's third ambient channel (after memory
+// and descriptors): every child of every spawn inherits it wholesale unless a
+// call site remembers ClearEnv. Credentials exported "temporarily" —
+// AWS_SECRET_ACCESS_KEY, DATABASE_URL with embedded passwords, *_TOKEN — thus
+// leak into build tools, shells, and crash reporters. This audit flags
+// suspicious variables by key pattern and value shape so a spawn policy can
+// strip them (Spawner::UnsetEnv) before any child exists.
+#ifndef SRC_HAZARDS_ENV_AUDIT_H_
+#define SRC_HAZARDS_ENV_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/env.h"
+
+namespace forklift {
+
+enum class EnvFindingKind {
+  kSecretKeyName,    // key matches a credential naming pattern
+  kSecretValueShape, // value looks like a key/token (long, high-entropy prefix)
+};
+
+struct EnvFinding {
+  std::string key;
+  EnvFindingKind kind;
+  // Why it was flagged, e.g. "key contains 'SECRET'".
+  std::string reason;
+
+  std::string ToString() const;
+};
+
+// Audits an environment (defaults to the current process's).
+std::vector<EnvFinding> AuditEnv(const EnvMap& env);
+std::vector<EnvFinding> AuditCurrentEnv();
+
+// Removes every flagged variable from `env`; returns the removed keys.
+// (For the current process, apply to a Spawner via UnsetEnv instead of
+// mutating global state.)
+std::vector<std::string> StripFlagged(EnvMap* env);
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_ENV_AUDIT_H_

@@ -1,0 +1,151 @@
+#include "src/hazards/fd_audit.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "src/common/string_util.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+const char* FdKindName(FdKind kind) {
+  switch (kind) {
+    case FdKind::kRegularFile:
+      return "file";
+    case FdKind::kDirectory:
+      return "dir";
+    case FdKind::kPipe:
+      return "pipe";
+    case FdKind::kSocket:
+      return "socket";
+    case FdKind::kCharDevice:
+      return "chardev";
+    case FdKind::kAnon:
+      return "anon";
+    case FdKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::string FdInfo::ToString() const {
+  std::string out = "fd " + std::to_string(fd) + " [" + FdKindName(kind) + "] ";
+  out += cloexec ? "cloexec " : "INHERITABLE ";
+  out += target;
+  return out;
+}
+
+namespace {
+
+FdKind ClassifyFd(int fd, const std::string& target) {
+  struct stat st;
+  if (::fstat(fd, &st) == 0) {
+    if (S_ISREG(st.st_mode)) {
+      return FdKind::kRegularFile;
+    }
+    if (S_ISDIR(st.st_mode)) {
+      return FdKind::kDirectory;
+    }
+    if (S_ISFIFO(st.st_mode)) {
+      return FdKind::kPipe;
+    }
+    if (S_ISSOCK(st.st_mode)) {
+      return FdKind::kSocket;
+    }
+    if (S_ISCHR(st.st_mode)) {
+      return FdKind::kCharDevice;
+    }
+  }
+  if (StartsWith(target, "anon_inode:")) {
+    return FdKind::kAnon;
+  }
+  return FdKind::kOther;
+}
+
+}  // namespace
+
+Result<std::vector<FdInfo>> AuditFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return ErrnoError("opendir /proc/self/fd");
+  }
+  int dir_fd = ::dirfd(dir);
+
+  std::vector<FdInfo> out;
+  for (;;) {
+    errno = 0;
+    dirent* ent = ::readdir(dir);
+    if (ent == nullptr) {
+      if (errno != 0) {
+        int saved = errno;
+        ::closedir(dir);
+        errno = saved;
+        return ErrnoError("readdir /proc/self/fd");
+      }
+      break;
+    }
+    if (ent->d_name[0] == '.') {
+      continue;
+    }
+    char* endp = nullptr;
+    long fd_long = std::strtol(ent->d_name, &endp, 10);
+    if (endp == ent->d_name || *endp != '\0') {
+      continue;
+    }
+    int fd = static_cast<int>(fd_long);
+    if (fd == dir_fd) {
+      continue;  // our own directory handle
+    }
+
+    FdInfo info;
+    info.fd = fd;
+    int flags = ::fcntl(fd, F_GETFD);
+    if (flags < 0) {
+      continue;  // raced with a close; skip
+    }
+    info.cloexec = (flags & FD_CLOEXEC) != 0;
+
+    char buf[512];
+    std::string link = "/proc/self/fd/" + std::string(ent->d_name);
+    ssize_t n = ::readlink(link.c_str(), buf, sizeof(buf) - 1);
+    if (n > 0) {
+      info.target.assign(buf, static_cast<size_t>(n));
+    }
+    info.kind = ClassifyFd(fd, info.target);
+    out.push_back(std::move(info));
+  }
+  ::closedir(dir);
+  return out;
+}
+
+std::string FdLeakReport::ToString() const {
+  std::string out = "fd audit: " + std::to_string(total_fds) + " open, " +
+                    std::to_string(inheritable.size()) + " inheritable";
+  for (const auto& info : inheritable) {
+    out += "\n  " + info.ToString();
+  }
+  return out;
+}
+
+Result<FdLeakReport> FindInheritableFds(bool ignore_stdio) {
+  FORKLIFT_ASSIGN_OR_RETURN(std::vector<FdInfo> fds, AuditFds());
+  FdLeakReport report;
+  report.total_fds = fds.size();
+  for (auto& info : fds) {
+    if (info.cloexec) {
+      continue;
+    }
+    if (ignore_stdio && info.fd <= 2) {
+      continue;
+    }
+    report.inheritable.push_back(std::move(info));
+  }
+  return report;
+}
+
+}  // namespace forklift

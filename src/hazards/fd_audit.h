@@ -1,0 +1,58 @@
+// forklift/hazards: descriptor-table auditing.
+//
+// HotOS'19 §4, "Fork is insecure by default": every descriptor without
+// FD_CLOEXEC silently flows into any child the process ever forks, and from
+// there through exec into arbitrary programs. This module makes the leak
+// surface visible: it enumerates /proc/self/fd, classifies each descriptor,
+// and reports the inheritable ones so code (or a ForkGuard policy) can fail
+// loudly instead of leaking quietly.
+#ifndef SRC_HAZARDS_FD_AUDIT_H_
+#define SRC_HAZARDS_FD_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace forklift {
+
+enum class FdKind {
+  kRegularFile,
+  kDirectory,
+  kPipe,
+  kSocket,
+  kCharDevice,
+  kAnon,   // anon_inode: eventfd, epoll, timerfd, ...
+  kOther,
+};
+
+const char* FdKindName(FdKind kind);
+
+struct FdInfo {
+  int fd = -1;
+  bool cloexec = false;
+  FdKind kind = FdKind::kOther;
+  std::string target;  // readlink of /proc/self/fd/<n>
+
+  std::string ToString() const;
+};
+
+// Snapshot of the calling process's descriptor table. The fd used to read the
+// /proc directory is excluded.
+Result<std::vector<FdInfo>> AuditFds();
+
+struct FdLeakReport {
+  std::vector<FdInfo> inheritable;  // would survive fork+exec
+  size_t total_fds = 0;
+
+  bool clean() const { return inheritable.empty(); }
+  std::string ToString() const;
+};
+
+// Reports descriptors that would leak through fork+exec. stdio (0,1,2) is
+// exempt by default: inheriting the standard streams is the contract.
+Result<FdLeakReport> FindInheritableFds(bool ignore_stdio = true);
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_FD_AUDIT_H_

@@ -1,0 +1,91 @@
+#include "src/hazards/fork_guard.h"
+
+#include <pthread.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "src/common/log.h"
+#include "src/hazards/lock_registry.h"
+
+namespace forklift {
+
+namespace {
+
+std::mutex g_state_mu;
+HazardReport g_last_report;
+std::atomic<int> g_action{static_cast<int>(ForkGuardAction::kReport)};
+std::atomic<bool> g_installed{false};
+std::atomic<uint64_t> g_forks_observed{0};
+
+void PrepareHook() {
+  g_forks_observed.fetch_add(1);
+  auto report = ForkGuard::CheckNow();
+  if (!report.ok()) {
+    FORKLIFT_WARN("fork guard: audit failed: %s", report.error().ToString().c_str());
+    return;
+  }
+  auto action = static_cast<ForkGuardAction>(g_action.load());
+  if (action == ForkGuardAction::kFlushAndWarn && !report->unflushed_streams.empty()) {
+    size_t flushed = StdioAudit::Instance().FlushAll();
+    FORKLIFT_WARN("fork guard: flushed %zu buffered bytes before fork", flushed);
+  }
+  if (action != ForkGuardAction::kReport && !report->clean()) {
+    FORKLIFT_WARN("fork guard: forking with %zu hazard(s):\n%s", report->finding_count(),
+                  report->ToString().c_str());
+  }
+  std::lock_guard<std::mutex> lock(g_state_mu);
+  g_last_report = std::move(report).value();
+}
+
+}  // namespace
+
+std::string HazardReport::ToString() const {
+  std::string out;
+  if (clean()) {
+    return "no fork hazards detected";
+  }
+  for (const auto& name : locks_held_by_others) {
+    out += "  [lock] '" + name + "' is held by another thread (child would deadlock)\n";
+  }
+  for (const auto& s : unflushed_streams) {
+    out += "  [stdio] " + s.name + " has " + std::to_string(s.pending_bytes) +
+           " unflushed bytes (child would duplicate them)\n";
+  }
+  for (const auto& info : fd_leaks.inheritable) {
+    out += "  [fd] " + info.ToString() + " (child would inherit it)\n";
+  }
+  if (!out.empty() && out.back() == '\n') {
+    out.pop_back();
+  }
+  return out;
+}
+
+Result<HazardReport> ForkGuard::CheckNow(bool ignore_stdio_fds) {
+  HazardReport report;
+  report.locks_held_by_others = LockRegistry::Instance().HeldByOtherThreads();
+  report.unflushed_streams = StdioAudit::Instance().FindUnflushed();
+  FORKLIFT_ASSIGN_OR_RETURN(report.fd_leaks, FindInheritableFds(ignore_stdio_fds));
+  return report;
+}
+
+Status ForkGuard::Install(ForkGuardAction action) {
+  g_action.store(static_cast<int>(action));
+  bool expected = false;
+  if (g_installed.compare_exchange_strong(expected, true)) {
+    if (::pthread_atfork(&PrepareHook, nullptr, nullptr) != 0) {
+      g_installed.store(false);
+      return ErrnoError("pthread_atfork");
+    }
+  }
+  return Status::Ok();
+}
+
+HazardReport ForkGuard::LastReport() {
+  std::lock_guard<std::mutex> lock(g_state_mu);
+  return g_last_report;
+}
+
+uint64_t ForkGuard::ForksObserved() { return g_forks_observed.load(); }
+
+}  // namespace forklift

@@ -1,0 +1,65 @@
+// forklift/hazards: ForkGuard — run the §4 hazard checks at (or before) fork.
+//
+// A HazardReport aggregates the three auditable fork hazards:
+//   * locks held by other threads   (child would inherit orphaned locks)
+//   * unflushed stdio buffers       (output would be duplicated)
+//   * inheritable descriptors       (capabilities would leak to the child)
+//
+// CheckNow() answers "is it safe to fork right now?" on demand; Install()
+// arms a pthread_atfork prepare-hook so every fork in the process — including
+// ones inside libraries — is audited, with a configurable reaction. This is
+// deliberately the inverse of the fork contract: fork asks nothing and copies
+// everything; ForkGuard asks everything before anything is copied.
+#ifndef SRC_HAZARDS_FORK_GUARD_H_
+#define SRC_HAZARDS_FORK_GUARD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/hazards/fd_audit.h"
+#include "src/hazards/stdio_audit.h"
+
+namespace forklift {
+
+struct HazardReport {
+  std::vector<std::string> locks_held_by_others;
+  std::vector<UnflushedStream> unflushed_streams;
+  FdLeakReport fd_leaks;
+
+  bool clean() const {
+    return locks_held_by_others.empty() && unflushed_streams.empty() && fd_leaks.clean();
+  }
+  // Number of distinct findings.
+  size_t finding_count() const {
+    return locks_held_by_others.size() + unflushed_streams.size() + fd_leaks.inheritable.size();
+  }
+  std::string ToString() const;
+};
+
+enum class ForkGuardAction {
+  kReport,          // collect only; caller inspects LastReport()
+  kWarn,            // log each finding at warning level
+  kFlushAndWarn,    // additionally flush unflushed streams (fixes that hazard)
+};
+
+class ForkGuard {
+ public:
+  // Runs all audits immediately.
+  static Result<HazardReport> CheckNow(bool ignore_stdio_fds = true);
+
+  // Arms the process-wide pthread_atfork prepare hook. Idempotent: later
+  // calls only update the action. Cannot be disarmed (pthread_atfork handlers
+  // are permanent) — the action can be set back to kReport to silence it.
+  static Status Install(ForkGuardAction action);
+
+  // The report captured by the most recent guarded fork (or CheckNow).
+  static HazardReport LastReport();
+
+  // Number of forks observed by the installed hook.
+  static uint64_t ForksObserved();
+};
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_FORK_GUARD_H_

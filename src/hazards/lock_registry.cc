@@ -1,0 +1,91 @@
+#include "src/hazards/lock_registry.h"
+
+#include <atomic>
+
+namespace forklift {
+
+uint64_t CurrentThreadToken() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t token = next.fetch_add(1);
+  return token;
+}
+
+TrackedMutex::TrackedMutex(std::string name) : name_(std::move(name)) {
+  LockRegistry::Instance().Register(this);
+}
+
+TrackedMutex::~TrackedMutex() { LockRegistry::Instance().Unregister(this); }
+
+void TrackedMutex::lock() {
+  mu_.lock();
+  holder_.store(CurrentThreadToken(), std::memory_order_release);
+}
+
+void TrackedMutex::unlock() {
+  holder_.store(0, std::memory_order_release);
+  mu_.unlock();
+}
+
+bool TrackedMutex::try_lock() {
+  if (!mu_.try_lock()) {
+    return false;
+  }
+  holder_.store(CurrentThreadToken(), std::memory_order_release);
+  return true;
+}
+
+bool TrackedMutex::held() const { return holder_.load(std::memory_order_acquire) != 0; }
+
+bool TrackedMutex::held_by_me() const {
+  return holder_.load(std::memory_order_acquire) == CurrentThreadToken();
+}
+
+LockRegistry& LockRegistry::Instance() {
+  static LockRegistry* instance = new LockRegistry();  // leaked: outlives all users
+  return *instance;
+}
+
+void LockRegistry::Register(TrackedMutex* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  locks_.push_back(mu);
+}
+
+void LockRegistry::Unregister(TrackedMutex* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = locks_.begin(); it != locks_.end(); ++it) {
+    if (*it == mu) {
+      locks_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<HeldLockInfo> LockRegistry::HeldLocks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HeldLockInfo> out;
+  uint64_t me = CurrentThreadToken();
+  for (TrackedMutex* mu : locks_) {
+    uint64_t holder = mu->holder_.load(std::memory_order_acquire);
+    if (holder != 0) {
+      out.push_back(HeldLockInfo{mu->name(), holder == me});
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> LockRegistry::HeldByOtherThreads() {
+  std::vector<std::string> out;
+  for (auto& info : HeldLocks()) {
+    if (!info.held_by_current_thread) {
+      out.push_back(info.name);
+    }
+  }
+  return out;
+}
+
+size_t LockRegistry::size() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return locks_.size();
+}
+
+}  // namespace forklift

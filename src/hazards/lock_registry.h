@@ -1,0 +1,90 @@
+// forklift/hazards: lock tracking — the fork-vs-threads deadlock made visible.
+//
+// HotOS'19 §4, "Fork doesn't compose" / "isn't thread-safe": fork snapshots
+// the whole address space but only the calling thread. A mutex held by any
+// *other* thread at fork time is copied in the locked state with its owner
+// gone — the child deadlocks the first time it touches that lock (malloc's
+// arena locks being the classic victim). TrackedMutex + LockRegistry make the
+// hazard checkable: at any moment the registry can answer "which locks are
+// held, and by whom relative to me", which is exactly the question a fork call
+// site cannot answer with raw pthread mutexes.
+#ifndef SRC_HAZARDS_LOCK_REGISTRY_H_
+#define SRC_HAZARDS_LOCK_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace forklift {
+
+class LockRegistry;
+
+// A named mutex that reports its hold state to the global LockRegistry.
+// Satisfies the Lockable requirements (usable with std::lock_guard).
+class TrackedMutex {
+ public:
+  explicit TrackedMutex(std::string name);
+  ~TrackedMutex();
+
+  TrackedMutex(const TrackedMutex&) = delete;
+  TrackedMutex& operator=(const TrackedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  bool try_lock();
+
+  const std::string& name() const { return name_; }
+  // Whether the mutex is currently held (by anyone).
+  bool held() const;
+  // Whether the calling thread is the holder.
+  bool held_by_me() const;
+
+ private:
+  friend class LockRegistry;
+
+  std::string name_;
+  std::mutex mu_;
+  // Holder identity, guarded by mu_ being held (writes only happen while
+  // holding mu_); reads are racy-by-design snapshots for reporting.
+  std::atomic<uint64_t> holder_{0};  // 0 = unheld, else hashed thread id
+};
+
+struct HeldLockInfo {
+  std::string name;
+  bool held_by_current_thread = false;
+};
+
+// Process-wide registry of TrackedMutex instances.
+class LockRegistry {
+ public:
+  static LockRegistry& Instance();
+
+  // Snapshot of currently-held tracked locks.
+  std::vector<HeldLockInfo> HeldLocks();
+
+  // The fork hazard: locks held by threads OTHER than the caller. Forking
+  // while this is non-empty copies orphaned locked mutexes into the child.
+  std::vector<std::string> HeldByOtherThreads();
+
+  // Total number of registered (live) tracked mutexes.
+  size_t size();
+
+ private:
+  friend class TrackedMutex;
+
+  void Register(TrackedMutex* mu);
+  void Unregister(TrackedMutex* mu);
+
+  std::mutex mu_;
+  std::vector<TrackedMutex*> locks_;
+};
+
+// Stable per-thread token (never 0) for holder identification.
+uint64_t CurrentThreadToken();
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_LOCK_REGISTRY_H_

@@ -1,0 +1,87 @@
+#include "src/hazards/secret.h"
+
+#include <string.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace forklift {
+
+Result<SecretBuffer> SecretBuffer::Create(size_t size) {
+  if (size == 0) {
+    return LogicalError("SecretBuffer: zero size");
+  }
+  long page = ::sysconf(_SC_PAGESIZE);
+  size_t map_size = (size + static_cast<size_t>(page) - 1) & ~(static_cast<size_t>(page) - 1);
+  void* p = ::mmap(nullptr, map_size, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    return ErrnoError("mmap (secret buffer)");
+  }
+  SecretBuffer buf;
+  buf.data_ = static_cast<uint8_t*>(p);
+  buf.size_ = size;
+  buf.map_size_ = map_size;
+#ifdef MADV_WIPEONFORK
+  buf.wipe_on_fork_ = ::madvise(p, map_size, MADV_WIPEONFORK) == 0;
+#endif
+  // Best effort: keep the secret off swap; ignore EPERM under tight rlimits.
+  (void)::mlock(p, map_size);
+  return buf;
+}
+
+SecretBuffer::~SecretBuffer() {
+  if (data_ != nullptr) {
+    Wipe();
+    ::munmap(data_, map_size_);
+  }
+}
+
+SecretBuffer::SecretBuffer(SecretBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      wipe_on_fork_(other.wipe_on_fork_) {}
+
+SecretBuffer& SecretBuffer::operator=(SecretBuffer&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) {
+      Wipe();
+      ::munmap(data_, map_size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    map_size_ = std::exchange(other.map_size_, 0);
+    wipe_on_fork_ = other.wipe_on_fork_;
+  }
+  return *this;
+}
+
+Status SecretBuffer::Store(std::string_view secret) {
+  if (!valid()) {
+    return LogicalError("SecretBuffer: not allocated");
+  }
+  if (secret.size() > size_) {
+    return LogicalError("SecretBuffer: secret larger than buffer");
+  }
+  Wipe();
+  std::memcpy(data_, secret.data(), secret.size());
+  return Status::Ok();
+}
+
+std::string_view SecretBuffer::View() const {
+  if (!valid()) {
+    return {};
+  }
+  return std::string_view(reinterpret_cast<const char*>(data_), size_);
+}
+
+void SecretBuffer::Wipe() {
+  if (data_ != nullptr) {
+    ::explicit_bzero(data_, map_size_);
+  }
+}
+
+}  // namespace forklift

@@ -1,0 +1,61 @@
+// forklift/hazards: secrets that refuse to cross a fork.
+//
+// HotOS'19 §4, "Fork is insecure": the child receives a byte-for-byte copy of
+// the parent's memory — keys, tokens, password buffers — whether or not it
+// needs them, and an exec'd successor can be heap-sprayed into revealing them.
+// SecretBuffer stores sensitive bytes in a dedicated mapping marked
+// MADV_WIPEONFORK (Linux ≥ 4.14): the kernel replaces the pages with zeros in
+// every forked child, making the leak structurally impossible rather than
+// procedurally avoided. mlock-ing (no swap) and explicit_bzero-on-destroy are
+// applied as well.
+#ifndef SRC_HAZARDS_SECRET_H_
+#define SRC_HAZARDS_SECRET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace forklift {
+
+class SecretBuffer {
+ public:
+  // Allocates a page-aligned wipe-on-fork mapping of at least `size` bytes.
+  static Result<SecretBuffer> Create(size_t size);
+
+  SecretBuffer() = default;
+  ~SecretBuffer();
+
+  SecretBuffer(const SecretBuffer&) = delete;
+  SecretBuffer& operator=(const SecretBuffer&) = delete;
+  SecretBuffer(SecretBuffer&& other) noexcept;
+  SecretBuffer& operator=(SecretBuffer&& other) noexcept;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+  // Convenience: copy a secret in / view it.
+  Status Store(std::string_view secret);
+  std::string_view View() const;
+
+  // Zeroes the contents now (compiler-proof).
+  void Wipe();
+
+  // True when the kernel honoured MADV_WIPEONFORK for this mapping. On
+  // kernels without it the buffer still works but children must be trusted;
+  // callers can branch on this to refuse to fork instead.
+  bool wipe_on_fork() const { return wipe_on_fork_; }
+
+ private:
+  uint8_t* data_ = nullptr;
+  size_t size_ = 0;       // usable size requested by the caller
+  size_t map_size_ = 0;   // page-rounded mapping size
+  bool wipe_on_fork_ = false;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_SECRET_H_

@@ -1,0 +1,57 @@
+#include "src/hazards/stdio_audit.h"
+
+#include <stdio_ext.h>
+
+namespace forklift {
+
+size_t PendingBytes(FILE* stream) {
+  if (stream == nullptr) {
+    return 0;
+  }
+  return __fpending(stream);
+}
+
+StdioAudit& StdioAudit::Instance() {
+  static StdioAudit* instance = new StdioAudit();
+  return *instance;
+}
+
+StdioAudit::StdioAudit() {
+  tracked_.push_back(UnflushedStream{"stdout", stdout, 0});
+  tracked_.push_back(UnflushedStream{"stderr", stderr, 0});
+}
+
+void StdioAudit::Register(std::string name, FILE* stream) {
+  tracked_.push_back(UnflushedStream{std::move(name), stream, 0});
+}
+
+void StdioAudit::Unregister(FILE* stream) {
+  for (auto it = tracked_.begin(); it != tracked_.end(); ++it) {
+    if (it->stream == stream) {
+      tracked_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<UnflushedStream> StdioAudit::FindUnflushed() {
+  std::vector<UnflushedStream> out;
+  for (const auto& t : tracked_) {
+    size_t pending = PendingBytes(t.stream);
+    if (pending > 0) {
+      out.push_back(UnflushedStream{t.name, t.stream, pending});
+    }
+  }
+  return out;
+}
+
+size_t StdioAudit::FlushAll() {
+  size_t total = 0;
+  for (const auto& t : tracked_) {
+    total += PendingBytes(t.stream);
+    std::fflush(t.stream);
+  }
+  return total;
+}
+
+}  // namespace forklift

@@ -1,0 +1,53 @@
+// forklift/hazards: buffered-stream auditing.
+//
+// HotOS'19 §4, "Fork doesn't compose": stdio buffers are ordinary heap memory,
+// so fork duplicates any unflushed bytes into the child; if both processes
+// then exit (flushing), the output appears twice. The classic demo is
+// `printf("hello"); fork();` printing "hellohello" when stdout is a pipe.
+// This module counts the bytes at risk (glibc's __fpending) so a fork guard
+// can flush — or object — before the duplication happens.
+#ifndef SRC_HAZARDS_STDIO_AUDIT_H_
+#define SRC_HAZARDS_STDIO_AUDIT_H_
+
+#include <cstdio>
+
+#include <string>
+#include <vector>
+
+namespace forklift {
+
+// Bytes sitting in `stream`'s output buffer, not yet written to the kernel.
+size_t PendingBytes(FILE* stream);
+
+struct UnflushedStream {
+  std::string name;  // "stdout", "stderr", or user-registered name
+  FILE* stream;
+  size_t pending_bytes;
+};
+
+// Audits stdout/stderr plus any registered streams.
+class StdioAudit {
+ public:
+  static StdioAudit& Instance();
+
+  // Tracks an additional stream (e.g. a log file) in audits. The stream must
+  // be unregistered before it is fclosed.
+  void Register(std::string name, FILE* stream);
+  void Unregister(FILE* stream);
+
+  // Streams with unflushed output right now.
+  std::vector<UnflushedStream> FindUnflushed();
+
+  // Flushes every audited stream; returns the number of bytes that were
+  // pending (i.e. how much output a fork would have duplicated).
+  size_t FlushAll();
+
+ private:
+  StdioAudit();
+
+  std::vector<UnflushedStream> tracked_;  // pending_bytes unused in storage
+};
+
+}  // namespace forklift
+
+#endif  // SRC_HAZARDS_STDIO_AUDIT_H_

@@ -1,0 +1,235 @@
+#include "src/procsim/address_space.h"
+
+#include <algorithm>
+
+namespace forklift::procsim {
+
+AddressSpace::AddressSpace(PhysicalMemory* pm, Asid asid)
+    : pm_(pm), asid_(asid), pt_(std::make_unique<PageTable>(pm)) {}
+
+Status AddressSpace::MapSharedRegion(Vaddr start, uint64_t bytes, bool writable,
+                                     std::string name, PageSize page_size) {
+  FORKLIFT_RETURN_IF_ERROR(MapRegion(start, bytes, writable, std::move(name), page_size));
+  for (auto& vma : vmas_) {
+    if (vma.start == start) {
+      vma.shared = true;
+      vma.backing = std::make_shared<SharedBacking>(pm_);
+      break;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AddressSpace::MapRegion(Vaddr start, uint64_t bytes, bool writable, std::string name,
+                               PageSize page_size) {
+  uint64_t page = BytesOf(page_size);
+  if ((start & (page - 1)) != 0) {
+    return LogicalError("MapRegion: start not aligned to page size");
+  }
+  if (bytes == 0) {
+    return LogicalError("MapRegion: zero-length region");
+  }
+  uint64_t end = start + ((bytes + page - 1) & ~(page - 1));
+  for (const auto& vma : vmas_) {
+    if (start < vma.end && vma.start < end) {
+      return LogicalError("MapRegion: overlaps VMA '" + vma.name + "'");
+    }
+  }
+  Vma vma;
+  vma.start = start;
+  vma.end = end;
+  vma.writable = writable;
+  vma.page_size = page_size;
+  vma.name = std::move(name);
+  vmas_.push_back(std::move(vma));
+  std::sort(vmas_.begin(), vmas_.end(),
+            [](const Vma& a, const Vma& b) { return a.start < b.start; });
+  return Status::Ok();
+}
+
+Status AddressSpace::UnmapRegion(Vaddr start) {
+  for (auto it = vmas_.begin(); it != vmas_.end(); ++it) {
+    if (it->start == start) {
+      uint64_t page = BytesOf(it->page_size);
+      for (Vaddr va = it->start; va < it->end; va += page) {
+        if (pt_->Lookup(va).pte != nullptr) {
+          FORKLIFT_RETURN_IF_ERROR(pt_->Unmap(va));
+        }
+      }
+      vmas_.erase(it);
+      return Status::Ok();
+    }
+  }
+  return LogicalError("UnmapRegion: no VMA at given start");
+}
+
+const Vma* AddressSpace::FindVma(Vaddr va) const {
+  for (const auto& vma : vmas_) {
+    if (vma.Contains(va)) {
+      return &vma;
+    }
+  }
+  return nullptr;
+}
+
+Result<PteRef> AddressSpace::FaultIn(Vaddr va, const Vma& vma, SimClock* clock) {
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kFaultTrap);
+  }
+  Vaddr base = va & ~(BytesOf(vma.page_size) - 1);
+  uint16_t flags = static_cast<uint16_t>(kPteUser | (vma.writable ? kPteWritable : 0));
+
+  FrameId frame = kNoFrame;
+  if (vma.shared) {
+    // Shared fault: every mapper of this region must see the same frame, so
+    // resolve through the backing object ("the page cache").
+    flags |= kPteShared;
+    uint64_t index = (base - vma.start) / BytesOf(vma.page_size);
+    auto it = vma.backing->frames.find(index);
+    if (it != vma.backing->frames.end()) {
+      frame = it->second;
+      FORKLIFT_RETURN_IF_ERROR(pm_->AddRef(frame));
+    } else {
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kFrameZero,
+                      vma.page_size == PageSize::k2M ? kPageSize2M / kPageSize4K : 1);
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(frame, pm_->Allocate());  // backing's reference
+      vma.backing->frames[index] = frame;
+      FORKLIFT_RETURN_IF_ERROR(pm_->AddRef(frame));  // this mapping's reference
+    }
+  } else {
+    // Demand-zero fault: a fresh private frame.
+    if (clock != nullptr) {
+      clock->Charge(CostKind::kFrameZero,
+                    vma.page_size == PageSize::k2M ? kPageSize2M / kPageSize4K : 1);
+    }
+    FORKLIFT_ASSIGN_OR_RETURN(frame, pm_->Allocate());
+  }
+
+  FORKLIFT_RETURN_IF_ERROR(pt_->Map(base, frame, flags, vma.page_size));
+  ++demand_faults_;
+  PteRef ref = pt_->Lookup(va);
+  if (ref.pte == nullptr) {
+    return LogicalError("FaultIn: mapping vanished");
+  }
+  return ref;
+}
+
+Result<uint64_t> AddressSpace::Read(Vaddr va, SimClock* clock) {
+  const Vma* vma = FindVma(va);
+  if (vma == nullptr) {
+    return Err(Error(EFAULT, "procsim segfault: read of unmapped va " + std::to_string(va)));
+  }
+  PteRef ref = pt_->Lookup(va);
+  if (ref.pte == nullptr) {
+    FORKLIFT_ASSIGN_OR_RETURN(ref, FaultIn(va, *vma, clock));
+  }
+  ref.pte->flags |= kPteAccessed;
+  return pm_->Read(ref.pte->frame);
+}
+
+Status AddressSpace::Write(Vaddr va, uint64_t value, SimClock* clock, TlbDomain* tlbs,
+                           size_t cpu) {
+  const Vma* vma = FindVma(va);
+  if (vma == nullptr) {
+    return Err(Error(EFAULT, "procsim segfault: write to unmapped va " + std::to_string(va)));
+  }
+  if (!vma->writable) {
+    return Err(Error(EFAULT, "procsim segfault: write to read-only VMA '" + vma->name + "'"));
+  }
+  PteRef ref = pt_->Lookup(va);
+  if (ref.pte == nullptr) {
+    FORKLIFT_ASSIGN_OR_RETURN(ref, FaultIn(va, *vma, clock));
+  }
+
+  if (!ref.pte->writable()) {
+    if (!ref.pte->cow()) {
+      return LogicalError("procsim: write-protected non-COW page in writable VMA");
+    }
+    // COW break.
+    if (clock != nullptr) {
+      clock->Charge(CostKind::kFaultTrap);
+    }
+    FORKLIFT_ASSIGN_OR_RETURN(uint32_t refs, pm_->RefCount(ref.pte->frame));
+    if (refs > 1) {
+      // Shared: copy the frame, drop our reference to the original.
+      if (clock != nullptr) {
+        clock->Charge(ref.size == PageSize::k2M ? CostKind::kFrameCopy2M
+                                                : CostKind::kFrameCopy4K);
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(FrameId copy, pm_->CopyFrame(ref.pte->frame));
+      FORKLIFT_RETURN_IF_ERROR(pm_->Release(ref.pte->frame));
+      ref.pte->frame = copy;
+    }
+    // Sole owner now (either we copied, or everyone else already did):
+    // restore write permission.
+    ref.pte->flags = static_cast<uint16_t>((ref.pte->flags | kPteWritable) & ~kPteCow);
+    ++cow_breaks_;
+    // The stale read-only translation must leave every TLB running this AS.
+    if (tlbs != nullptr) {
+      tlbs->Shootdown(asid_, cpu, clock);
+    }
+  }
+
+  ref.pte->flags |= static_cast<uint16_t>(kPteDirty | kPteAccessed);
+  return pm_->Write(ref.pte->frame, value);
+}
+
+Status AddressSpace::TouchRange(Vaddr start, uint64_t bytes, bool write, SimClock* clock,
+                                TlbDomain* tlbs, size_t cpu) {
+  const Vma* vma = FindVma(start);
+  if (vma == nullptr) {
+    return Err(Error(EFAULT, "procsim segfault: touch of unmapped range"));
+  }
+  uint64_t page = BytesOf(vma->page_size);
+  for (Vaddr va = start; va < start + bytes; va += page) {
+    if (write) {
+      FORKLIFT_RETURN_IF_ERROR(Write(va, va, clock, tlbs, cpu));
+    } else {
+      FORKLIFT_ASSIGN_OR_RETURN(uint64_t ignored, Read(va, clock));
+      (void)ignored;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<AddressSpace>> AddressSpace::CloneCow(Asid new_asid, SimClock* clock,
+                                                             TlbDomain* tlbs,
+                                                             size_t initiating_cpu) {
+  auto child = std::make_unique<AddressSpace>(pm_, new_asid);
+  child->vmas_ = vmas_;
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kVmaCopy, vmas_.size());
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(child->pt_, pt_->CloneCow(clock));
+  // The parent's writable translations were just downgraded; CPUs running the
+  // parent must not keep stale writable entries.
+  if (tlbs != nullptr) {
+    tlbs->Shootdown(asid_, initiating_cpu, clock);
+  }
+  return child;
+}
+
+uint64_t AddressSpace::CowPromiseFrames() {
+  uint64_t promise = 0;
+  pt_->ForEach([&promise](Vaddr, Pte& pte, PageSize size) {
+    if (pte.shared()) {
+      return;  // MAP_SHARED pages are never copied: no promise
+    }
+    if (pte.writable() || pte.cow()) {
+      promise += size == PageSize::k2M ? kPageSize2M / kPageSize4K : 1;
+    }
+  });
+  return promise;
+}
+
+uint64_t AddressSpace::vma_bytes() const {
+  uint64_t total = 0;
+  for (const auto& vma : vmas_) {
+    total += vma.bytes();
+  }
+  return total;
+}
+
+}  // namespace forklift::procsim

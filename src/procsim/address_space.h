@@ -1,0 +1,139 @@
+// forklift/procsim: address spaces — VMAs + page table + demand paging + COW.
+//
+// This is where the paper's §5 mechanics live. CloneCow() is fork's eager
+// work (VMA list copy + full page-table replication + write-protect);
+// Write()'s COW path is fork's deferred work (trap, frame copy, remap,
+// invalidate). Both are charged to a SimClock so experiments can attribute
+// simulated time to each mechanism separately.
+#ifndef SRC_PROCSIM_ADDRESS_SPACE_H_
+#define SRC_PROCSIM_ADDRESS_SPACE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/procsim/cost_model.h"
+#include "src/procsim/page_table.h"
+#include "src/procsim/phys_mem.h"
+#include "src/procsim/tlb.h"
+
+namespace forklift::procsim {
+
+// The "page cache" object behind a MAP_SHARED region: page-index → frame.
+// Shared across every address space mapping the region (the shared_ptr is
+// copied by fork and by explicit grants); holds one reference per frame,
+// released on destruction.
+struct SharedBacking {
+  PhysicalMemory* pm = nullptr;
+  std::map<uint64_t, FrameId> frames;
+
+  explicit SharedBacking(PhysicalMemory* pm_in) : pm(pm_in) {}
+  ~SharedBacking() {
+    for (const auto& [index, frame] : frames) {
+      (void)index;
+      (void)pm->Release(frame);
+    }
+  }
+  SharedBacking(const SharedBacking&) = delete;
+  SharedBacking& operator=(const SharedBacking&) = delete;
+};
+
+struct Vma {
+  Vaddr start = 0;
+  Vaddr end = 0;  // exclusive
+  bool writable = false;
+  // MAP_SHARED semantics: fork copies the PTEs (it must — that is why fork
+  // stays O(pages) even for file-backed text) but the frames are genuinely
+  // shared, never COW'd, and writes are mutually visible. Most of a real
+  // process image (libc, the executable) is this kind of mapping.
+  bool shared = false;
+  std::shared_ptr<SharedBacking> backing;  // set iff shared
+  PageSize page_size = PageSize::k4K;
+  std::string name;
+
+  uint64_t bytes() const { return end - start; }
+  bool Contains(Vaddr va) const { return va >= start && va < end; }
+};
+
+// Conventional layout constants for synthetic processes.
+inline constexpr Vaddr kTextBase = 0x0000'0000'0040'0000;
+inline constexpr Vaddr kHeapBase = 0x0000'4000'0000'0000;
+inline constexpr Vaddr kStackTop = 0x0000'7fff'ffff'f000;
+
+class AddressSpace {
+ public:
+  AddressSpace(PhysicalMemory* pm, Asid asid);
+  ~AddressSpace() = default;
+
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  Asid asid() const { return asid_; }
+
+  // Adds a demand-paged region. Must not overlap an existing VMA; start must
+  // be aligned to the region's page size.
+  Status MapRegion(Vaddr start, uint64_t bytes, bool writable, std::string name,
+                   PageSize page_size = PageSize::k4K);
+
+  // As MapRegion but with MAP_SHARED semantics (see Vma::shared).
+  Status MapSharedRegion(Vaddr start, uint64_t bytes, bool writable, std::string name,
+                         PageSize page_size = PageSize::k4K);
+
+  // Removes the VMA starting at `start` and releases its mapped frames.
+  Status UnmapRegion(Vaddr start);
+
+  const std::vector<Vma>& vmas() const { return vmas_; }
+  const Vma* FindVma(Vaddr va) const;
+
+  // One simulated load. Demand-faults an unmapped page (zero frame).
+  // Returns the page's content token.
+  Result<uint64_t> Read(Vaddr va, SimClock* clock);
+
+  // One simulated store of `value`. Demand-faults and breaks COW as needed;
+  // a COW break on a shared frame copies it and, when `tlbs` is given,
+  // shoots down the page on other CPUs running this address space.
+  Status Write(Vaddr va, uint64_t value, SimClock* clock, TlbDomain* tlbs = nullptr,
+               size_t cpu = 0);
+
+  // Touches every page in [start, start+bytes) (stride = page size).
+  Status TouchRange(Vaddr start, uint64_t bytes, bool write, SimClock* clock,
+                    TlbDomain* tlbs = nullptr, size_t cpu = 0);
+
+  // fork(): clone VMAs and page table with COW semantics. The parent's own
+  // mappings are downgraded (write-protected) as a side effect, and when
+  // `tlbs` is given the parent's stale writable translations are shot down —
+  // the multiprocessor cost the paper highlights. The child gets `new_asid`.
+  Result<std::unique_ptr<AddressSpace>> CloneCow(Asid new_asid, SimClock* clock,
+                                                 TlbDomain* tlbs = nullptr,
+                                                 size_t initiating_cpu = 0);
+
+  // Statistics.
+  uint64_t resident_pages() const { return pt_->present_pages(); }
+  uint64_t table_pages() const { return pt_->table_pages(); }
+  uint64_t mapped_bytes() const { return pt_->mapped_bytes(); }
+  uint64_t vma_bytes() const;
+  uint64_t cow_breaks() const { return cow_breaks_; }
+  uint64_t demand_faults() const { return demand_faults_; }
+  // Frames a fork of this space PROMISES beyond what it allocates: one per
+  // resident private page that is (or would become) COW — each may require a
+  // copy later. 2 MiB pages count as 512 frames. This is the §5 commit
+  // charge a strict accountant levies at fork time.
+  uint64_t CowPromiseFrames();
+  PageTable& page_table() { return *pt_; }
+
+ private:
+  Result<PteRef> FaultIn(Vaddr va, const Vma& vma, SimClock* clock);
+
+  PhysicalMemory* pm_;
+  Asid asid_;
+  std::vector<Vma> vmas_;
+  std::unique_ptr<PageTable> pt_;
+  uint64_t cow_breaks_ = 0;
+  uint64_t demand_faults_ = 0;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_ADDRESS_SPACE_H_

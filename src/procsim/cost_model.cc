@@ -1,0 +1,94 @@
+#include "src/procsim/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+namespace forklift::procsim {
+
+const char* CostKindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kSyscallEntry:
+      return "syscall_entry";
+    case CostKind::kTaskCreate:
+      return "task_create";
+    case CostKind::kVmaCopy:
+      return "vma_copy";
+    case CostKind::kPtePageAlloc:
+      return "pte_page_alloc";
+    case CostKind::kPteCopy:
+      return "pte_copy";
+    case CostKind::kFrameZero:
+      return "frame_zero";
+    case CostKind::kFrameCopy4K:
+      return "frame_copy_4k";
+    case CostKind::kFrameCopy2M:
+      return "frame_copy_2m";
+    case CostKind::kFaultTrap:
+      return "fault_trap";
+    case CostKind::kTlbFlushLocal:
+      return "tlb_flush_local";
+    case CostKind::kTlbShootdownIpi:
+      return "tlb_shootdown_ipi";
+    case CostKind::kFdClone:
+      return "fd_clone";
+    case CostKind::kExecLoad:
+      return "exec_load";
+    case CostKind::kSchedWake:
+      return "sched_wake";
+    case CostKind::kWireByte:
+      return "wire_byte";
+    case CostKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+CostModel CostModel::Default() {
+  CostModel m;
+  m.ns.fill(0);
+  m.set(CostKind::kSyscallEntry, 300);
+  m.set(CostKind::kTaskCreate, 15000);
+  m.set(CostKind::kVmaCopy, 150);
+  m.set(CostKind::kPtePageAlloc, 250);
+  m.set(CostKind::kPteCopy, 6);       // two cache-line touches amortized
+  m.set(CostKind::kFrameZero, 150);
+  m.set(CostKind::kFrameCopy4K, 220); // ~4KiB at ~20GB/s
+  m.set(CostKind::kFrameCopy2M, 90000);
+  m.set(CostKind::kFaultTrap, 500);
+  m.set(CostKind::kTlbFlushLocal, 400);
+  m.set(CostKind::kTlbShootdownIpi, 1200);
+  m.set(CostKind::kFdClone, 60);
+  m.set(CostKind::kExecLoad, 60000);  // ELF mapping, stack/arg setup
+  m.set(CostKind::kSchedWake, 1500);
+  m.set(CostKind::kWireByte, 1);
+  return m;
+}
+
+std::string SimClock::Breakdown() const {
+  struct Row {
+    CostKind kind;
+    uint64_t ns;
+    uint64_t ops;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < static_cast<size_t>(CostKind::kCount); ++i) {
+    if (by_kind_[i] > 0) {
+      rows.push_back(Row{static_cast<CostKind>(i), by_kind_[i], ops_[i]});
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.ns > b.ns; });
+  std::string out;
+  char buf[128];
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "  %-18s %12llu ns  (%llu ops)\n", CostKindName(r.kind),
+                  static_cast<unsigned long long>(r.ns), static_cast<unsigned long long>(r.ops));
+    out += buf;
+  }
+  if (!out.empty()) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace forklift::procsim

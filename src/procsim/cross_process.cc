@@ -1,0 +1,130 @@
+#include "src/procsim/cross_process.h"
+
+#include <utility>
+
+namespace forklift::procsim {
+
+Result<ProcessBuilder> ProcessBuilder::Create(SimKernel* kernel, Pid parent) {
+  FORKLIFT_ASSIGN_OR_RETURN(Pid pid, kernel->CreateEmbryo(parent));
+  return ProcessBuilder(kernel, parent, pid);
+}
+
+Status ProcessBuilder::LoadImage(const ProgramImage& image) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, kernel_->Find(pid_));
+  if (proc->state != Process::State::kEmbryo) {
+    return LogicalError("ProcessBuilder: process already started");
+  }
+  kernel_->clock().Charge(CostKind::kExecLoad);
+  auto& as = *proc->as;
+  FORKLIFT_RETURN_IF_ERROR(
+      as.MapRegion(kTextBase, image.text_bytes, /*writable=*/false, "text", image.page_size));
+  Vaddr data_base = kTextBase + (64ull << 30);
+  FORKLIFT_RETURN_IF_ERROR(
+      as.MapRegion(data_base, image.data_bytes, /*writable=*/true, "data", image.page_size));
+  Vaddr stack_base = kStackTop - ((image.stack_bytes + kPageSize4K - 1) & ~(kPageSize4K - 1));
+  FORKLIFT_RETURN_IF_ERROR(as.MapRegion(stack_base, image.stack_bytes, true, "stack"));
+  proc->image_name = image.name;
+  image_loaded_ = true;
+  return Status::Ok();
+}
+
+Result<Vaddr> ProcessBuilder::MapAnon(uint64_t bytes, std::string name, PageSize page_size) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, kernel_->Find(pid_));
+  if (proc->state != Process::State::kEmbryo) {
+    return LogicalError("ProcessBuilder: process already started");
+  }
+  return kernel_->MapAnon(pid_, bytes, std::move(name), page_size);
+}
+
+Status ProcessBuilder::ShareRegion(Vaddr parent_start, bool writable) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * parent, kernel_->Find(parent_));
+  FORKLIFT_ASSIGN_OR_RETURN(Process * child, kernel_->Find(pid_));
+  if (child->state != Process::State::kEmbryo) {
+    return LogicalError("ProcessBuilder: process already started");
+  }
+  const Vma* vma = nullptr;
+  for (const auto& v : parent->as->vmas()) {
+    if (v.start == parent_start) {
+      vma = &v;
+      break;
+    }
+  }
+  if (vma == nullptr) {
+    return LogicalError("ProcessBuilder::ShareRegion: parent has no VMA at that address");
+  }
+  if (writable && !vma->writable) {
+    return LogicalError("ProcessBuilder::ShareRegion: cannot grant write to a read-only region");
+  }
+  kernel_->clock().Charge(CostKind::kVmaCopy);
+  FORKLIFT_RETURN_IF_ERROR(child->as->MapSharedRegion(vma->start, vma->bytes(), writable,
+                                                      vma->name, vma->page_size));
+  std::shared_ptr<SharedBacking> backing;
+  for (const auto& v : child->as->vmas()) {
+    if (v.start == vma->start) {
+      backing = v.backing;
+      break;
+    }
+  }
+
+  // Resident parent pages become shared mappings in the child: refcounted
+  // frames, genuinely the same memory (writes are mutually visible when
+  // writable — IPC-grade sharing, not COW), and marked kPteShared so a later
+  // fork of the child preserves the sharing instead of COW-downgrading it.
+  uint64_t page = BytesOf(vma->page_size);
+  auto& pm = kernel_->memory();
+  for (Vaddr va = vma->start; va < vma->end; va += page) {
+    PteRef ref = parent->as->page_table().Lookup(va);
+    if (ref.pte == nullptr) {
+      continue;  // not resident: the child will demand-fault via the backing
+    }
+    FORKLIFT_RETURN_IF_ERROR(pm.AddRef(ref.pte->frame));  // backing's reference
+    backing->frames[(va - vma->start) / page] = ref.pte->frame;
+    FORKLIFT_RETURN_IF_ERROR(pm.AddRef(ref.pte->frame));  // the mapping's reference
+    uint16_t flags =
+        static_cast<uint16_t>(kPteUser | kPteShared | (writable ? kPteWritable : 0));
+    FORKLIFT_RETURN_IF_ERROR(
+        child->as->page_table().Map(va, ref.pte->frame, flags, vma->page_size));
+    kernel_->clock().Charge(CostKind::kPteCopy);
+  }
+  return Status::Ok();
+}
+
+Status ProcessBuilder::GrantFd(Fd fd) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * parent, kernel_->Find(parent_));
+  FORKLIFT_ASSIGN_OR_RETURN(Process * child, kernel_->Find(pid_));
+  if (child->state != Process::State::kEmbryo) {
+    return LogicalError("ProcessBuilder: process already started");
+  }
+  auto it = parent->fds.find(fd);
+  if (it == parent->fds.end()) {
+    return Err(Error(EBADF, "ProcessBuilder::GrantFd: parent has no such fd"));
+  }
+  child->fds[fd] = it->second;
+  if (child->next_fd <= fd) {
+    child->next_fd = fd + 1;
+  }
+  kernel_->clock().Charge(CostKind::kFdClone);
+  return Status::Ok();
+}
+
+Status ProcessBuilder::Start() && {
+  if (!image_loaded_) {
+    return LogicalError("ProcessBuilder::Start: no image loaded");
+  }
+  return kernel_->StartEmbryo(pid_);
+}
+
+Status ProcessBuilder::Abort() && {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * child, kernel_->Find(pid_));
+  if (child->state != Process::State::kEmbryo) {
+    return LogicalError("ProcessBuilder::Abort: process already started");
+  }
+  // Tear down as an exit+reap so pid accounting stays consistent.
+  child->state = Process::State::kRunning;
+  FORKLIFT_RETURN_IF_ERROR(kernel_->Exit(pid_, 0, /*flush_streams=*/false));
+  FORKLIFT_ASSIGN_OR_RETURN(int code, kernel_->Wait(parent_, pid_));
+  (void)code;
+  return Status::Ok();
+}
+
+}  // namespace forklift::procsim

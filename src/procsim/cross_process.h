@@ -1,0 +1,68 @@
+// forklift/procsim: cross-process operations — the paper's preferred design.
+//
+// §6 of HotOS'19 ends by advocating neither fork nor a monolithic spawn but
+// *cross-process APIs* (Zircon, L4, Barrelfish, Windows NT internals): a
+// child is created EMPTY, and the parent — or any suitably-privileged broker —
+// explicitly constructs it piece by piece (map memory here, grant this
+// descriptor there), then starts it. Nothing is inherited ambiently; every
+// capability transfer is a visible, chargeable operation.
+//
+// ProcessBuilder implements that model over SimKernel. It exists so the
+// repository can measure the paper's endgame against fork and spawn
+// (bench/xproc_builder) and test its security property: an embryo given
+// nothing HAS nothing.
+#ifndef SRC_PROCSIM_CROSS_PROCESS_H_
+#define SRC_PROCSIM_CROSS_PROCESS_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+
+class ProcessBuilder {
+ public:
+  // Creates an embryo child of `parent`: a pid and an empty address space,
+  // not yet runnable.
+  static Result<ProcessBuilder> Create(SimKernel* kernel, Pid parent);
+
+  Pid pid() const { return pid_; }
+
+  // Maps the image's text/data/stack into the embryo (the loader's job, done
+  // by the parent). Without this, Start() fails.
+  Status LoadImage(const ProgramImage& image);
+
+  // Maps an additional anonymous region into the embryo at the builder's
+  // choice of address; returns the address.
+  Result<Vaddr> MapAnon(uint64_t bytes, std::string name,
+                        PageSize page_size = PageSize::k4K);
+
+  // Shares one of the PARENT's regions with the embryo, read-only or
+  // read-write, at the same virtual address: the explicit alternative to
+  // fork's copy-everything. Pages currently resident in the parent become
+  // shared mappings (refcounted frames, no COW unless read-only requested).
+  Status ShareRegion(Vaddr parent_start, bool writable);
+
+  // Grants one parent descriptor to the embryo (at the same number).
+  Status GrantFd(Fd fd);
+
+  // Makes the embryo runnable. Consumes the builder.
+  Status Start() &&;
+
+  // Abandons the embryo (frees everything). Consumed builders are inert.
+  Status Abort() &&;
+
+ private:
+  ProcessBuilder(SimKernel* kernel, Pid parent, Pid pid)
+      : kernel_(kernel), parent_(parent), pid_(pid) {}
+
+  SimKernel* kernel_ = nullptr;
+  Pid parent_ = 0;
+  Pid pid_ = 0;
+  bool image_loaded_ = false;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_CROSS_PROCESS_H_

@@ -1,0 +1,604 @@
+#include "src/procsim/kernel.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <utility>
+
+#include "src/procsim/trace.h"
+
+namespace forklift::procsim {
+
+SimKernel::SimKernel() : SimKernel(Config{}) {}
+
+SimKernel::SimKernel(Config config)
+    : pm_(config.phys_frames),
+      tlbs_(config.cpus, config.tlb_entries),
+      clock_(config.costs),
+      commit_policy_(config.commit_policy) {}
+
+Result<Process*> SimKernel::Find(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end() || it->second->state == Process::State::kDead) {
+    return Err(Error(ESRCH, "procsim: no such process " + std::to_string(pid)));
+  }
+  return it->second.get();
+}
+
+// User-initiated operations may only come from a process that can actually
+// run: a vfork parent is suspended until its child execs or exits, and an
+// embryo has not started. (Lifecycle calls check their own state rules.)
+Result<Process*> SimKernel::FindRunnable(Pid pid) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->state == Process::State::kBlockedVfork) {
+    return Err(Error(EBUSY, "procsim: process " + std::to_string(pid) +
+                                " is suspended in vfork"));
+  }
+  return proc;
+}
+
+void SimKernel::Trace(Pid pid, const char* op, std::string detail) {
+  if (tracer_ != nullptr) {
+    tracer_->Record(pid, op, std::move(detail), clock_.now_ns());
+  }
+}
+
+size_t SimKernel::CpuOf(Pid pid) const {
+  auto it = placement_.find(pid);
+  return it == placement_.end() ? 0 : it->second;
+}
+
+Status SimKernel::SetRunningOn(Pid pid, size_t cpu) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (cpu >= tlbs_.num_cpus()) {
+    return LogicalError("SetRunningOn: no such cpu");
+  }
+  placement_[pid] = cpu;
+  tlbs_.SetActive(cpu, proc->as->asid());
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<AddressSpace>> SimKernel::BuildImageSpace(const ProgramImage& image,
+                                                                 Asid asid) {
+  auto as = std::make_shared<AddressSpace>(&pm_, asid);
+  clock_.Charge(CostKind::kExecLoad);
+  FORKLIFT_RETURN_IF_ERROR(
+      as->MapRegion(kTextBase, image.text_bytes, /*writable=*/false, "text", image.page_size));
+  Vaddr data_base = kTextBase + (64ull << 30);
+  FORKLIFT_RETURN_IF_ERROR(
+      as->MapRegion(data_base, image.data_bytes, /*writable=*/true, "data", image.page_size));
+  Vaddr stack_base = kStackTop - ((image.stack_bytes + kPageSize4K - 1) & ~(kPageSize4K - 1));
+  FORKLIFT_RETURN_IF_ERROR(
+      as->MapRegion(stack_base, image.stack_bytes, /*writable=*/true, "stack"));
+  // Startup touches: text is read, data is written, proportional to the
+  // image's declared working set — this is why spawn cost tracks the CHILD
+  // image instead of the parent's footprint.
+  uint64_t touch = image.touched_at_start_bytes;
+  uint64_t text_touch = std::min(touch / 2, image.text_bytes);
+  uint64_t data_touch = std::min(touch - text_touch, image.data_bytes);
+  FORKLIFT_RETURN_IF_ERROR(as->TouchRange(kTextBase, text_touch, /*write=*/false, &clock_));
+  if (data_touch > 0) {
+    FORKLIFT_RETURN_IF_ERROR(as->TouchRange(data_base, data_touch, /*write=*/true, &clock_));
+  }
+  return as;
+}
+
+Result<Pid> SimKernel::CreateInit(const ProgramImage& image) {
+  Pid pid = next_pid_++;
+  auto proc = std::make_unique<Process>();
+  proc->pid = pid;
+  proc->ppid = 0;
+  proc->image_name = image.name;
+  clock_.Charge(CostKind::kTaskCreate);
+  FORKLIFT_ASSIGN_OR_RETURN(proc->as, BuildImageSpace(image, pid));
+  proc->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+  procs_[pid] = std::move(proc);
+  Trace(pid, "boot", "image=" + image.name);
+  return pid;
+}
+
+Result<Pid> SimKernel::Fork(Pid caller, Tid caller_tid) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * parent, Find(caller));
+  if (parent->state != Process::State::kRunning) {
+    return Err(Error(EBUSY, "procsim: fork from non-running process"));
+  }
+  if (parent->threads.count(caller_tid) == 0) {
+    return LogicalError("procsim: fork from nonexistent thread");
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+
+  // Strict commit accounting (§5): every private resident page the child
+  // will share COW is a promised future frame. Refuse forks whose promises
+  // physical memory could not honour — this is why a 2x-overcommitted Redis
+  // cannot fork-snapshot under strict accounting even though the snapshot
+  // would only ever copy a fraction of the pages.
+  uint64_t promise = 0;
+  if (commit_policy_ == CommitPolicy::kStrict) {
+    promise = parent->as->CowPromiseFrames();
+    if (promise > pm_.AvailableCommit()) {
+      return Err(Error(ENOMEM, "procsim: fork refused under strict commit (" +
+                                   std::to_string(promise) + " frames promised, " +
+                                   std::to_string(pm_.AvailableCommit()) + " available)"));
+    }
+  }
+  clock_.Charge(CostKind::kTaskCreate);
+
+  Pid pid = next_pid_++;
+  auto child = std::make_unique<Process>();
+  child->pid = pid;
+  child->ppid = caller;
+  child->image_name = parent->image_name;
+  if (promise > 0) {
+    pm_.ChargeCommit(promise);
+    child->commit_charge = promise;
+  }
+
+  // The expensive part: clone the whole address space COW (and shoot down the
+  // parent's stale writable translations on every CPU running it).
+  FORKLIFT_ASSIGN_OR_RETURN(
+      std::unique_ptr<AddressSpace> as,
+      parent->as->CloneCow(pid, &clock_, &tlbs_, CpuOf(caller)));
+  child->as = std::move(as);
+
+  // Descriptors: ALL of them, CLOEXEC or not — fork's ambient grant.
+  child->fds = parent->fds;
+  child->next_fd = parent->next_fd;
+  clock_.Charge(CostKind::kFdClone, parent->fds.size());
+
+  // Memory is copied wholesale: mutex state and stream buffers come along...
+  child->mutexes = parent->mutexes;
+  child->next_mutex = parent->next_mutex;
+  child->streams = parent->streams;
+  child->next_stream = parent->next_stream;
+  child->next_map = parent->next_map;
+
+  // ...but only the calling thread exists on the other side. This asymmetry
+  // IS the paper's thread-safety hazard.
+  child->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+  // Remap the held-by marker: if the caller held it, the child's main thread
+  // holds it; if any OTHER thread held it, the holder is now a ghost.
+  for (auto& [id, mu] : child->mutexes) {
+    (void)id;
+    if (mu.holder == caller_tid) {
+      mu.holder = Process::kMainTid;
+    }
+  }
+
+  clock_.Charge(CostKind::kSchedWake);
+  procs_[pid] = std::move(child);
+  Trace(caller, "fork", "child=" + std::to_string(pid));
+  return pid;
+}
+
+Result<Pid> SimKernel::Vfork(Pid caller) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * parent, Find(caller));
+  if (parent->state != Process::State::kRunning) {
+    return Err(Error(EBUSY, "procsim: vfork from non-running process"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  clock_.Charge(CostKind::kTaskCreate);
+
+  Pid pid = next_pid_++;
+  auto child = std::make_unique<Process>();
+  child->pid = pid;
+  child->ppid = caller;
+  child->image_name = parent->image_name;
+  child->as = parent->as;  // shared, not copied: the whole point of vfork
+  child->shares_parent_as = true;
+  child->fds = parent->fds;
+  child->next_fd = parent->next_fd;
+  clock_.Charge(CostKind::kFdClone, parent->fds.size());
+  child->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+
+  parent->state = Process::State::kBlockedVfork;
+  clock_.Charge(CostKind::kSchedWake);
+  procs_[pid] = std::move(child);
+  Trace(caller, "vfork", "child=" + std::to_string(pid));
+  return pid;
+}
+
+Result<Pid> SimKernel::Spawn(Pid caller, const ProgramImage& image) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * parent, Find(caller));
+  if (parent->state != Process::State::kRunning) {
+    return Err(Error(EBUSY, "procsim: spawn from non-running process"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  clock_.Charge(CostKind::kTaskCreate);
+
+  Pid pid = next_pid_++;
+  auto child = std::make_unique<Process>();
+  child->pid = pid;
+  child->ppid = caller;
+  child->image_name = image.name;
+  FORKLIFT_ASSIGN_OR_RETURN(child->as, BuildImageSpace(image, pid));
+
+  // Only non-CLOEXEC descriptors cross — the explicit-grant model.
+  for (const auto& [fd, entry] : parent->fds) {
+    if (!entry.cloexec) {
+      child->fds[fd] = entry;
+      clock_.Charge(CostKind::kFdClone);
+    }
+  }
+  child->next_fd = parent->next_fd;
+  child->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+  clock_.Charge(CostKind::kSchedWake);
+  procs_[pid] = std::move(child);
+  return pid;
+}
+
+Result<Pid> SimKernel::CreateEmbryo(Pid parent) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * creator, Find(parent));
+  if (creator->state != Process::State::kRunning) {
+    return Err(Error(EBUSY, "procsim: embryo creation from non-running process"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  clock_.Charge(CostKind::kTaskCreate);
+  Pid pid = next_pid_++;
+  auto child = std::make_unique<Process>();
+  child->pid = pid;
+  child->ppid = parent;
+  child->state = Process::State::kEmbryo;
+  child->image_name = "(embryo)";
+  child->as = std::make_shared<AddressSpace>(&pm_, pid);
+  child->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+  procs_[pid] = std::move(child);
+  Trace(parent, "create_embryo", "child=" + std::to_string(pid));
+  return pid;
+}
+
+Status SimKernel::StartEmbryo(Pid pid) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->state != Process::State::kEmbryo) {
+    return LogicalError("procsim: StartEmbryo on non-embryo process");
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  clock_.Charge(CostKind::kSchedWake);
+  proc->state = Process::State::kRunning;
+  Trace(pid, "start_embryo", "");
+  return Status::Ok();
+}
+
+Status SimKernel::Exec(Pid pid, const ProgramImage& image) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->state != Process::State::kRunning) {
+    return Err(Error(EBUSY, "procsim: exec from non-running process"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+
+  bool was_vfork_child = proc->shares_parent_as;
+  FORKLIFT_ASSIGN_OR_RETURN(std::shared_ptr<AddressSpace> fresh,
+                            BuildImageSpace(image, pid));
+  proc->as = std::move(fresh);  // old AS released here (or returned to vfork parent)
+  proc->shares_parent_as = false;
+  if (proc->commit_charge > 0) {
+    pm_.UnchargeCommit(proc->commit_charge);
+    proc->commit_charge = 0;
+  }
+  proc->image_name = image.name;
+
+  // exec discards user-space state: buffers unflushed (data loss — faithful),
+  // extra threads, mutexes.
+  proc->streams.clear();
+  proc->mutexes.clear();
+  proc->threads.clear();
+  proc->threads[Process::kMainTid] = SimThreadInfo{Process::kMainTid};
+
+  // CLOEXEC descriptors drop here.
+  for (auto it = proc->fds.begin(); it != proc->fds.end();) {
+    if (it->second.cloexec) {
+      it = proc->fds.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (was_vfork_child) {
+    FORKLIFT_ASSIGN_OR_RETURN(Process * parent, Find(proc->ppid));
+    if (parent->state == Process::State::kBlockedVfork) {
+      parent->state = Process::State::kRunning;
+      clock_.Charge(CostKind::kSchedWake);
+    }
+  }
+  Trace(pid, "exec", "image=" + image.name);
+  return Status::Ok();
+}
+
+Status SimKernel::ReleaseProcessMemory(Process& proc) {
+  if (proc.commit_charge > 0) {
+    pm_.UnchargeCommit(proc.commit_charge);
+    proc.commit_charge = 0;
+  }
+  proc.as.reset();
+  proc.fds.clear();
+  proc.streams.clear();
+  proc.mutexes.clear();
+  proc.threads.clear();
+  return Status::Ok();
+}
+
+Status SimKernel::Exit(Pid pid, int code, bool flush_streams) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->state == Process::State::kZombie) {
+    return LogicalError("procsim: double exit");
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+
+  if (flush_streams) {
+    // exit(3) walks atexit handlers and flushes stdio. A forked child doing
+    // this re-emits the inherited buffers: §4's duplication, by construction.
+    for (auto& [id, stream] : proc->streams) {
+      (void)id;
+      auto it = proc->fds.find(stream.fd);
+      if (it != proc->fds.end()) {
+        for (uint64_t token : stream.buffer) {
+          it->second.file->sink.push_back(token);
+        }
+      }
+      stream.buffer.clear();
+    }
+  }
+
+  bool was_vfork_child = proc->shares_parent_as;
+  Pid ppid = proc->ppid;
+  proc->shares_parent_as = false;
+  FORKLIFT_RETURN_IF_ERROR(ReleaseProcessMemory(*proc));
+  proc->exit_code = code;
+  proc->state = Process::State::kZombie;
+
+  if (was_vfork_child) {
+    auto parent = Find(ppid);
+    if (parent.ok() && (*parent)->state == Process::State::kBlockedVfork) {
+      (*parent)->state = Process::State::kRunning;
+      clock_.Charge(CostKind::kSchedWake);
+    }
+  }
+  Trace(pid, "exit", "code=" + std::to_string(code));
+  return Status::Ok();
+}
+
+Result<int> SimKernel::Wait(Pid parent, Pid child) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(child));
+  if (proc->ppid != parent) {
+    return Err(Error(ECHILD, "procsim: not a child of the waiting process"));
+  }
+  if (proc->state != Process::State::kZombie) {
+    return Err(Error(EBUSY, "procsim: child still running"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  int code = proc->exit_code;
+  proc->state = Process::State::kDead;
+  procs_.erase(child);
+  placement_.erase(child);
+  Trace(parent, "wait", "reaped=" + std::to_string(child) + " code=" + std::to_string(code));
+  return code;
+}
+
+std::string SimKernel::FormatProcessTable() {
+  std::string out =
+      "  PID  PPID  STATE     IMAGE            RSS_PAGES  PT_PAGES  FDS  COMMIT\n";
+  char buf[192];
+  for (const auto& [pid, proc] : procs_) {
+    const char* state = "?";
+    switch (proc->state) {
+      case Process::State::kEmbryo:
+        state = "embryo";
+        break;
+      case Process::State::kRunning:
+        state = "run";
+        break;
+      case Process::State::kBlockedVfork:
+        state = "vfork";
+        break;
+      case Process::State::kZombie:
+        state = "zombie";
+        break;
+      case Process::State::kDead:
+        continue;
+    }
+    uint64_t rss = proc->as != nullptr ? proc->as->resident_pages() : 0;
+    uint64_t pt = proc->as != nullptr ? proc->as->table_pages() : 0;
+    std::snprintf(buf, sizeof(buf), "%5llu %5llu  %-8s  %-15s %10llu %9llu %4zu  %llu\n",
+                  static_cast<unsigned long long>(pid),
+                  static_cast<unsigned long long>(proc->ppid), state,
+                  proc->image_name.c_str(), static_cast<unsigned long long>(rss),
+                  static_cast<unsigned long long>(pt), proc->fds.size(),
+                  static_cast<unsigned long long>(proc->commit_charge));
+    out += buf;
+  }
+  return out;
+}
+
+Result<Vaddr> SimKernel::MapAnon(Pid pid, uint64_t bytes, std::string name,
+                                 PageSize page_size) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  clock_.Charge(CostKind::kSyscallEntry);
+  uint64_t align = BytesOf(page_size);
+  Vaddr base = (proc->next_map + align - 1) & ~(align - 1);
+  FORKLIFT_RETURN_IF_ERROR(
+      proc->as->MapRegion(base, bytes, /*writable=*/true, std::move(name), page_size));
+  proc->next_map = base + ((bytes + align - 1) & ~(align - 1)) + align;  // guard gap
+  return base;
+}
+
+Result<Vaddr> SimKernel::MapSharedAnon(Pid pid, uint64_t bytes, std::string name,
+                                       PageSize page_size) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  clock_.Charge(CostKind::kSyscallEntry);
+  uint64_t align = BytesOf(page_size);
+  Vaddr base = (proc->next_map + align - 1) & ~(align - 1);
+  FORKLIFT_RETURN_IF_ERROR(
+      proc->as->MapSharedRegion(base, bytes, /*writable=*/true, std::move(name), page_size));
+  proc->next_map = base + ((bytes + align - 1) & ~(align - 1)) + align;
+  return base;
+}
+
+Status SimKernel::Touch(Pid pid, Vaddr start, uint64_t bytes, bool write) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, FindRunnable(pid));
+  return proc->as->TouchRange(start, bytes, write, &clock_, &tlbs_, CpuOf(pid));
+}
+
+Result<uint64_t> SimKernel::ReadWord(Pid pid, Vaddr va) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, FindRunnable(pid));
+  return proc->as->Read(va, &clock_);
+}
+
+Status SimKernel::WriteWord(Pid pid, Vaddr va, uint64_t value) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, FindRunnable(pid));
+  return proc->as->Write(va, value, &clock_, &tlbs_, CpuOf(pid));
+}
+
+Result<Fd> SimKernel::OpenFile(Pid pid, std::string description, bool cloexec) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, FindRunnable(pid));
+  clock_.Charge(CostKind::kSyscallEntry);
+  Fd fd = proc->next_fd++;
+  FdEntry entry;
+  entry.file = std::make_shared<SimFile>();
+  entry.file->description = std::move(description);
+  entry.cloexec = cloexec;
+  proc->fds[fd] = std::move(entry);
+  return fd;
+}
+
+Status SimKernel::CloseFd(Pid pid, Fd fd) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->fds.erase(fd) == 0) {
+    return Err(Error(EBADF, "procsim: close of unknown fd"));
+  }
+  return Status::Ok();
+}
+
+Status SimKernel::SetCloexec(Pid pid, Fd fd, bool cloexec) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->fds.find(fd);
+  if (it == proc->fds.end()) {
+    return Err(Error(EBADF, "procsim: fcntl of unknown fd"));
+  }
+  it->second.cloexec = cloexec;
+  return Status::Ok();
+}
+
+Result<std::shared_ptr<SimFile>> SimKernel::FileOf(Pid pid, Fd fd) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->fds.find(fd);
+  if (it == proc->fds.end()) {
+    return Err(Error(EBADF, "procsim: no such fd"));
+  }
+  return it->second.file;
+}
+
+Result<Tid> SimKernel::SpawnThread(Pid pid) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  clock_.Charge(CostKind::kTaskCreate);
+  Tid tid = proc->next_tid++;
+  proc->threads[tid] = SimThreadInfo{tid};
+  return tid;
+}
+
+Result<MutexId> SimKernel::MutexCreate(Pid pid, std::string name) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  MutexId id = proc->next_mutex++;
+  proc->mutexes[id] = SimMutexState{std::move(name), 0};
+  return id;
+}
+
+Status SimKernel::MutexLock(Pid pid, Tid tid, MutexId id) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->threads.count(tid) == 0) {
+    return LogicalError("procsim: lock from nonexistent thread");
+  }
+  auto it = proc->mutexes.find(id);
+  if (it == proc->mutexes.end()) {
+    return LogicalError("procsim: lock of unknown mutex");
+  }
+  SimMutexState& mu = it->second;
+  if (mu.holder == 0) {
+    mu.holder = tid;
+    return Status::Ok();
+  }
+  if (mu.holder == tid) {
+    return Err(Error(EDEADLK, "procsim: recursive lock of '" + mu.name + "'"));
+  }
+  if (proc->threads.count(mu.holder) == 0) {
+    // The holder does not exist in this process: it was a thread of the
+    // pre-fork parent. Nobody can ever unlock this mutex here. A real child
+    // hangs; the simulator reports the deadlock.
+    return Err(Error(EDEADLK, "procsim: mutex '" + mu.name +
+                                  "' is held by a thread that did not survive fork"));
+  }
+  // A live holder: a real kernel would block; the deterministic simulator
+  // (one runnable entity at a time) reports contention instead.
+  return Err(Error(EBUSY, "procsim: mutex '" + mu.name + "' held by live thread " +
+                              std::to_string(mu.holder)));
+}
+
+Status SimKernel::MutexUnlock(Pid pid, Tid tid, MutexId id) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->mutexes.find(id);
+  if (it == proc->mutexes.end()) {
+    return LogicalError("procsim: unlock of unknown mutex");
+  }
+  if (it->second.holder != tid) {
+    return Err(Error(EPERM, "procsim: unlock by non-holder"));
+  }
+  it->second.holder = 0;
+  return Status::Ok();
+}
+
+Result<Tid> SimKernel::MutexHolder(Pid pid, MutexId id) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->mutexes.find(id);
+  if (it == proc->mutexes.end()) {
+    return LogicalError("procsim: unknown mutex");
+  }
+  return it->second.holder;
+}
+
+Result<StreamId> SimKernel::StreamCreate(Pid pid, Fd fd) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  if (proc->fds.count(fd) == 0) {
+    return Err(Error(EBADF, "procsim: stream on unknown fd"));
+  }
+  StreamId id = proc->next_stream++;
+  SimStream s;
+  s.fd = fd;
+  proc->streams[id] = std::move(s);
+  return id;
+}
+
+Status SimKernel::StreamWrite(Pid pid, StreamId id, uint64_t token) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->streams.find(id);
+  if (it == proc->streams.end()) {
+    return LogicalError("procsim: write to unknown stream");
+  }
+  it->second.buffer.push_back(token);  // stays in process memory until flush
+  return Status::Ok();
+}
+
+Status SimKernel::StreamFlush(Pid pid, StreamId id) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->streams.find(id);
+  if (it == proc->streams.end()) {
+    return LogicalError("procsim: flush of unknown stream");
+  }
+  auto fd_it = proc->fds.find(it->second.fd);
+  if (fd_it == proc->fds.end()) {
+    return Err(Error(EBADF, "procsim: stream's fd is closed"));
+  }
+  clock_.Charge(CostKind::kSyscallEntry);
+  for (uint64_t token : it->second.buffer) {
+    fd_it->second.file->sink.push_back(token);
+  }
+  it->second.buffer.clear();
+  return Status::Ok();
+}
+
+Result<size_t> SimKernel::StreamPending(Pid pid, StreamId id) {
+  FORKLIFT_ASSIGN_OR_RETURN(Process * proc, Find(pid));
+  auto it = proc->streams.find(id);
+  if (it == proc->streams.end()) {
+    return LogicalError("procsim: unknown stream");
+  }
+  return it->second.buffer.size();
+}
+
+}  // namespace forklift::procsim

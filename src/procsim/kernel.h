@@ -1,0 +1,242 @@
+// forklift/procsim: the simulated process subsystem.
+//
+// SimKernel implements just enough of a POSIX-shaped kernel to run every
+// experiment the paper implies but that cannot be run safely or
+// deterministically against a real kernel:
+//
+//   * Fork/Vfork/Spawn/Exec/Exit/Wait with real COW address-space semantics
+//     (backed by the 4-level page table) and per-operation cost accounting;
+//   * descriptor tables with CLOEXEC, copied ambiently by Fork and filtered
+//     by Exec/Spawn — the §4 security model difference, executable;
+//   * threads and mutexes where Fork copies *memory* (mutex state) but only
+//     the calling *thread* — so the child that touches a mutex held by a
+//     non-forked thread deadlocks deterministically (reported as EDEADLK
+//     rather than hanging), the §4 thread-safety claim;
+//   * buffered output streams living in process memory, duplicated by Fork
+//     and flushed at Exit — the §4 composability (double-flush) claim.
+//
+// Everything is deterministic: no real time, no real concurrency; "which CPU
+// runs what" is explicit test input via SetRunningOn.
+#ifndef SRC_PROCSIM_KERNEL_H_
+#define SRC_PROCSIM_KERNEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/procsim/address_space.h"
+#include "src/procsim/cost_model.h"
+#include "src/procsim/phys_mem.h"
+#include "src/procsim/tlb.h"
+
+namespace forklift::procsim {
+
+class KernelTracer;
+
+using Pid = uint64_t;
+using Tid = uint64_t;
+using Fd = int;
+using StreamId = uint64_t;
+using MutexId = uint64_t;
+
+// A program binary, abstractly: segment sizes plus how much of the image a
+// freshly exec'd process touches before doing useful work.
+struct ProgramImage {
+  std::string name = "a.out";
+  uint64_t text_bytes = 512 * 1024;
+  uint64_t data_bytes = 256 * 1024;
+  uint64_t stack_bytes = 128 * 1024;
+  uint64_t touched_at_start_bytes = 64 * 1024;  // demand-faulted during startup
+  PageSize page_size = PageSize::k4K;
+};
+
+// A kernel-side file object (shared between processes holding descriptors to
+// it). `sink` records written tokens, which is how stream-flush tests observe
+// output ordering and duplication.
+struct SimFile {
+  std::string description;
+  std::vector<uint64_t> sink;
+};
+
+struct FdEntry {
+  std::shared_ptr<SimFile> file;
+  bool cloexec = false;
+};
+
+struct SimThreadInfo {
+  Tid tid = 0;
+};
+
+// Mutex state lives in process MEMORY (a pthread_mutex_t is just bytes), so
+// Fork copies it verbatim — holder tid and all. That verbatim copy is the bug.
+struct SimMutexState {
+  std::string name;
+  Tid holder = 0;  // 0 = unheld
+};
+
+// A user-space buffered writer (stdio FILE analogue): buffer in process
+// memory, flushed to a kernel file on demand or at exit.
+struct SimStream {
+  Fd fd = -1;
+  std::vector<uint64_t> buffer;
+};
+
+struct Process {
+  enum class State { kEmbryo, kRunning, kBlockedVfork, kZombie, kDead };
+
+  Pid pid = 0;
+  Pid ppid = 0;
+  State state = State::kRunning;
+  std::string image_name;
+  std::shared_ptr<AddressSpace> as;
+  bool shares_parent_as = false;  // vfork child until exec/exit
+
+  std::map<Fd, FdEntry> fds;
+  Fd next_fd = 3;
+
+  std::map<Tid, SimThreadInfo> threads;
+  Tid next_tid = 2;
+  static constexpr Tid kMainTid = 1;
+
+  std::map<MutexId, SimMutexState> mutexes;
+  MutexId next_mutex = 1;
+
+  std::map<StreamId, SimStream> streams;
+  StreamId next_stream = 1;
+
+  int exit_code = 0;
+  Vaddr next_map = kHeapBase;  // bump allocator for anonymous regions
+  // Strict-commit frames this process's fork promised; released with its AS.
+  uint64_t commit_charge = 0;
+};
+
+class SimKernel {
+ public:
+  // §5 of the paper: fork's COW promises either fail early (strict) or are
+  // accepted and may blow up later at an arbitrary write (overcommit + OOM).
+  enum class CommitPolicy {
+    kOvercommit,  // Linux-default shape: fork never fails for commit reasons
+    kStrict,      // historical/Solaris shape: fork ENOMEMs when promises
+                  // exceed what physical memory could honour
+  };
+
+  struct Config {
+    uint64_t phys_frames = 16ull << 20;  // 64 GiB of 4K frames by default
+    size_t cpus = 4;
+    size_t tlb_entries = 1536;
+    CostModel costs = CostModel::Default();
+    CommitPolicy commit_policy = CommitPolicy::kOvercommit;
+  };
+
+  SimKernel();  // default Config
+  explicit SimKernel(Config config);
+
+  // --- process lifecycle -----------------------------------------------
+  // Boots pid 1 from `image` (no parent).
+  Result<Pid> CreateInit(const ProgramImage& image);
+
+  // fork(2): full COW clone. `caller_tid` is the only thread that exists in
+  // the child.
+  Result<Pid> Fork(Pid caller, Tid caller_tid = Process::kMainTid);
+
+  // vfork(2): child borrows the parent's address space; the parent blocks
+  // until the child execs or exits.
+  Result<Pid> Vfork(Pid caller);
+
+  // posix_spawn(3)-shaped: new process running `image`, inheriting only the
+  // caller's non-CLOEXEC descriptors. No address-space copy at any point.
+  Result<Pid> Spawn(Pid caller, const ProgramImage& image);
+
+  // Cross-process model (see cross_process.h): an empty, not-yet-runnable
+  // child that inherits NOTHING; made runnable by StartEmbryo once its
+  // creator has constructed it.
+  Result<Pid> CreateEmbryo(Pid parent);
+  Status StartEmbryo(Pid pid);
+
+  // execve(2): replace the address space with `image`, drop CLOEXEC fds,
+  // reduce to one thread, discard user-space buffers unflushed (exec does not
+  // flush stdio — faithfully modeled).
+  Status Exec(Pid pid, const ProgramImage& image);
+
+  // _exit-with-stdio-atexit semantics: flush all streams, release the address
+  // space, become a zombie (or plain exit(3) path: flush_streams = true).
+  Status Exit(Pid pid, int code, bool flush_streams = true);
+
+  // waitpid: reap a zombie child. EBUSY if the child is still running.
+  Result<int> Wait(Pid parent, Pid child);
+
+  // --- memory -----------------------------------------------------------
+  // Anonymous writable mapping in `pid`'s space; returns its base address.
+  Result<Vaddr> MapAnon(Pid pid, uint64_t bytes, std::string name,
+                        PageSize page_size = PageSize::k4K);
+  // MAP_SHARED|MAP_ANONYMOUS equivalent: fork children share the frames
+  // (writes mutually visible), not COW copies.
+  Result<Vaddr> MapSharedAnon(Pid pid, uint64_t bytes, std::string name,
+                              PageSize page_size = PageSize::k4K);
+  Status Touch(Pid pid, Vaddr start, uint64_t bytes, bool write);
+  Result<uint64_t> ReadWord(Pid pid, Vaddr va);
+  Status WriteWord(Pid pid, Vaddr va, uint64_t value);
+
+  // --- descriptors --------------------------------------------------------
+  Result<Fd> OpenFile(Pid pid, std::string description, bool cloexec = false);
+  Status CloseFd(Pid pid, Fd fd);
+  Status SetCloexec(Pid pid, Fd fd, bool cloexec);
+  // The file object behind a descriptor (shared across processes).
+  Result<std::shared_ptr<SimFile>> FileOf(Pid pid, Fd fd);
+
+  // --- threads and locks ---------------------------------------------------
+  Result<Tid> SpawnThread(Pid pid);
+  Result<MutexId> MutexCreate(Pid pid, std::string name);
+  // EDEADLK when the recorded holder no longer exists in this process — the
+  // post-fork orphaned-lock deadlock, detected instead of hung.
+  Status MutexLock(Pid pid, Tid tid, MutexId id);
+  Status MutexUnlock(Pid pid, Tid tid, MutexId id);
+  Result<Tid> MutexHolder(Pid pid, MutexId id);
+
+  // --- buffered streams -----------------------------------------------------
+  Result<StreamId> StreamCreate(Pid pid, Fd fd);
+  Status StreamWrite(Pid pid, StreamId id, uint64_t token);
+  Status StreamFlush(Pid pid, StreamId id);
+  Result<size_t> StreamPending(Pid pid, StreamId id);
+
+  // --- placement & introspection -------------------------------------------
+  // Declares that `pid` currently runs on `cpu` (for TLB/shootdown modeling).
+  Status SetRunningOn(Pid pid, size_t cpu);
+
+  // Attaches an operation journal (see trace.h). Non-owning; nullptr
+  // detaches. Every lifecycle operation is recorded while attached.
+  void AttachTracer(KernelTracer* tracer) { tracer_ = tracer; }
+
+  Result<Process*> Find(Pid pid);
+  // As Find, but rejects processes that cannot run (vfork-suspended).
+  Result<Process*> FindRunnable(Pid pid);
+
+  // ps(1)-style snapshot: one line per live process (pid, ppid, state, image,
+  // resident/table pages, fds, commit charge), sorted by pid.
+  std::string FormatProcessTable();
+  SimClock& clock() { return clock_; }
+  PhysicalMemory& memory() { return pm_; }
+  TlbDomain& tlbs() { return tlbs_; }
+  size_t process_count() const { return procs_.size(); }
+
+ private:
+  Result<std::shared_ptr<AddressSpace>> BuildImageSpace(const ProgramImage& image, Asid asid);
+  Status ReleaseProcessMemory(Process& proc);
+  size_t CpuOf(Pid pid) const;
+  void Trace(Pid pid, const char* op, std::string detail);
+
+  PhysicalMemory pm_;
+  TlbDomain tlbs_;
+  SimClock clock_;
+  CommitPolicy commit_policy_ = CommitPolicy::kOvercommit;
+  KernelTracer* tracer_ = nullptr;
+  std::map<Pid, std::unique_ptr<Process>> procs_;
+  std::map<Pid, size_t> placement_;
+  Pid next_pid_ = 1;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_KERNEL_H_

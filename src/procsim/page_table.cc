@@ -1,0 +1,199 @@
+#include "src/procsim/page_table.h"
+
+#include <string>
+
+namespace forklift::procsim {
+
+PageTable::PageTable(PhysicalMemory* pm) : pm_(pm), root_(std::make_unique<Node>()) {
+  table_pages_ = 1;  // the root (PML4) page
+}
+
+PageTable::~PageTable() {
+  if (root_ != nullptr) {
+    ReleaseNode(root_.get(), 3);
+  }
+}
+
+void PageTable::ReleaseNode(Node* node, int level) {
+  if (!node->ptes.empty()) {
+    for (auto& pte : node->ptes) {
+      if (pte.present()) {
+        (void)pm_->Release(pte.frame);
+      }
+    }
+  }
+  if (level > 0) {
+    for (auto& child : node->children) {
+      if (child != nullptr) {
+        ReleaseNode(child.get(), level - 1);
+      }
+    }
+  }
+}
+
+PageTable::Node* PageTable::DescendAlloc(Vaddr va, int to_level, SimClock* clock) {
+  Node* node = root_.get();
+  for (int level = 3; level > to_level; --level) {
+    int idx = IndexAt(va, level);
+    if (node->children[idx] == nullptr) {
+      node->children[idx] = std::make_unique<Node>();
+      ++table_pages_;
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kPtePageAlloc);
+      }
+    }
+    node = node->children[idx].get();
+  }
+  return node;
+}
+
+Status PageTable::Map(Vaddr va, FrameId frame, uint16_t flags, PageSize size) {
+  uint64_t bytes = BytesOf(size);
+  if ((va & (bytes - 1)) != 0) {
+    return LogicalError("PageTable::Map: misaligned va " + std::to_string(va));
+  }
+  if (va >> kVaBits != 0) {
+    return LogicalError("PageTable::Map: va beyond 48 bits");
+  }
+  if (Lookup(va).pte != nullptr) {
+    // Covers both an exact duplicate and a 4K map shadowed by a huge page.
+    return LogicalError("PageTable::Map: va already mapped");
+  }
+  int leaf_level = size == PageSize::k4K ? 0 : 1;
+  Node* node = DescendAlloc(va, leaf_level, nullptr);
+  node->EnsurePtes();
+  int idx = IndexAt(va, leaf_level);
+  if (leaf_level == 1 && node->children[idx] != nullptr) {
+    return LogicalError("PageTable::Map: huge page overlaps existing 4K subtree");
+  }
+  Pte& pte = node->ptes[idx];
+  if (pte.present()) {
+    return LogicalError("PageTable::Map: va already mapped");
+  }
+  pte.frame = frame;
+  pte.flags = static_cast<uint16_t>(flags | kPtePresent |
+                                    (size == PageSize::k2M ? kPteHuge : 0));
+  ++present_pages_;
+  if (size == PageSize::k2M) {
+    ++huge_pages_;
+  }
+  return Status::Ok();
+}
+
+PteRef PageTable::Lookup(Vaddr va) {
+  PteRef out;
+  if (va >> kVaBits != 0) {
+    return out;
+  }
+  Node* node = root_.get();
+  for (int level = 3; level >= 0; --level) {
+    int idx = IndexAt(va, level);
+    // Huge leaf at the PD level.
+    if (level == 1 && !node->ptes.empty() && node->ptes[idx].present()) {
+      out.pte = &node->ptes[idx];
+      out.size = PageSize::k2M;
+      out.base = va & ~(kPageSize2M - 1);
+      return out;
+    }
+    if (level == 0) {
+      if (node->ptes.empty() || !node->ptes[idx].present()) {
+        return out;
+      }
+      out.pte = &node->ptes[idx];
+      out.size = PageSize::k4K;
+      out.base = va & ~(kPageSize4K - 1);
+      return out;
+    }
+    if (node->children[idx] == nullptr) {
+      return out;
+    }
+    node = node->children[idx].get();
+  }
+  return out;
+}
+
+Status PageTable::Unmap(Vaddr va) {
+  PteRef ref = Lookup(va);
+  if (ref.pte == nullptr) {
+    return LogicalError("PageTable::Unmap: va not mapped");
+  }
+  FORKLIFT_RETURN_IF_ERROR(pm_->Release(ref.pte->frame));
+  if (ref.size == PageSize::k2M) {
+    --huge_pages_;
+  }
+  --present_pages_;
+  *ref.pte = Pte{};
+  return Status::Ok();
+}
+
+void PageTable::ForEachNode(Node* node, int level, Vaddr base,
+                            const std::function<void(Vaddr, Pte&, PageSize)>& fn) {
+  uint64_t span = 1ull << (12 + 9 * level);
+  for (int idx = 0; idx < 512; ++idx) {
+    Vaddr va = base + static_cast<uint64_t>(idx) * span;
+    if (!node->ptes.empty() && node->ptes[idx].present()) {
+      fn(va, node->ptes[idx], level == 0 ? PageSize::k4K : PageSize::k2M);
+    }
+    if (level > 0 && node->children[idx] != nullptr) {
+      ForEachNode(node->children[idx].get(), level - 1, va, fn);
+    }
+  }
+}
+
+void PageTable::ForEach(const std::function<void(Vaddr, Pte&, PageSize)>& fn) {
+  ForEachNode(root_.get(), 3, 0, fn);
+}
+
+std::unique_ptr<PageTable::Node> PageTable::CloneNode(const Node* node, int level,
+                                                      PageTable* dst, SimClock* clock) {
+  auto copy = std::make_unique<Node>();
+  ++dst->table_pages_;
+  if (clock != nullptr) {
+    clock->Charge(CostKind::kPtePageAlloc);
+  }
+  if (!node->ptes.empty()) {
+    copy->ptes = node->ptes;  // PTE array copy; also applies the COW downgrade below
+    for (int idx = 0; idx < 512; ++idx) {
+      Pte& pte = copy->ptes[idx];
+      if (!pte.present()) {
+        continue;
+      }
+      // Both copies lose write permission; writable pages become COW —
+      // except MAP_SHARED pages, which stay writable and shared.
+      if (pte.writable() && !pte.shared()) {
+        pte.flags = static_cast<uint16_t>((pte.flags & ~kPteWritable) | kPteCow);
+        Pte& orig = const_cast<Node*>(node)->ptes[idx];
+        orig.flags = static_cast<uint16_t>((orig.flags & ~kPteWritable) | kPteCow);
+      }
+      (void)dst->pm_->AddRef(pte.frame);
+      ++dst->present_pages_;
+      if (pte.huge()) {
+        ++dst->huge_pages_;
+      }
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kPteCopy);
+      }
+    }
+  }
+  if (level > 0) {
+    for (int idx = 0; idx < 512; ++idx) {
+      if (node->children[idx] != nullptr) {
+        copy->children[idx] = CloneNode(node->children[idx].get(), level - 1, dst, clock);
+      }
+    }
+  }
+  return copy;
+}
+
+Result<std::unique_ptr<PageTable>> PageTable::CloneCow(SimClock* clock) {
+  auto dst = std::unique_ptr<PageTable>(new PageTable(pm_));
+  dst->table_pages_ = 0;  // CloneNode counts every node including the new root
+  dst->root_ = CloneNode(root_.get(), 3, dst.get(), clock);
+  return dst;
+}
+
+uint64_t PageTable::mapped_bytes() const {
+  return (present_pages_ - huge_pages_) * kPageSize4K + huge_pages_ * kPageSize2M;
+}
+
+}  // namespace forklift::procsim

@@ -1,0 +1,139 @@
+// forklift/procsim: a faithful x86-64 4-level radix page table.
+//
+// Virtual addresses are 48-bit; each level indexes 9 bits (PML4→PDPT→PD→PT)
+// over a 4KiB page, and the PD level can hold 2MiB "huge" leaf entries. The
+// structure is modeled exactly — including the page-table *pages* themselves —
+// because the paper's central quantitative claim is that fork must replicate
+// this whole radix tree eagerly: CloneCow() is precisely that work, charged
+// PTE-by-PTE and node-by-node to the SimClock, which is what makes the
+// simulated Figure-1 slope emerge from structure rather than from a fitted
+// formula.
+#ifndef SRC_PROCSIM_PAGE_TABLE_H_
+#define SRC_PROCSIM_PAGE_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/procsim/cost_model.h"
+#include "src/procsim/phys_mem.h"
+
+namespace forklift::procsim {
+
+using Vaddr = uint64_t;
+
+inline constexpr uint64_t kPageSize4K = 4096;
+inline constexpr uint64_t kPageSize2M = 2ull << 20;
+inline constexpr int kVaBits = 48;
+
+enum PteFlag : uint16_t {
+  kPtePresent = 1u << 0,
+  kPteWritable = 1u << 1,
+  kPteUser = 1u << 2,
+  kPteCow = 1u << 3,
+  kPteDirty = 1u << 4,
+  kPteAccessed = 1u << 5,
+  kPteHuge = 1u << 6,
+  // MAP_SHARED page: fork copies the entry verbatim (no COW downgrade) and
+  // the frame is never copied — writes are mutually visible by design.
+  kPteShared = 1u << 7,
+};
+
+struct Pte {
+  FrameId frame = kNoFrame;
+  uint16_t flags = 0;
+
+  bool present() const { return (flags & kPtePresent) != 0; }
+  bool writable() const { return (flags & kPteWritable) != 0; }
+  bool cow() const { return (flags & kPteCow) != 0; }
+  bool huge() const { return (flags & kPteHuge) != 0; }
+  bool shared() const { return (flags & kPteShared) != 0; }
+};
+
+enum class PageSize { k4K, k2M };
+
+inline uint64_t BytesOf(PageSize size) {
+  return size == PageSize::k4K ? kPageSize4K : kPageSize2M;
+}
+
+// Result of a lookup: a borrowed, mutable view of the live entry.
+struct PteRef {
+  Pte* pte = nullptr;
+  PageSize size = PageSize::k4K;
+  Vaddr base = 0;  // page-aligned start of the mapping
+};
+
+class PageTable {
+ public:
+  // Frames mapped into this table hold references in `pm`; the destructor
+  // releases them (and the table pages are accounted as freed).
+  explicit PageTable(PhysicalMemory* pm);
+  ~PageTable();
+
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+  PageTable(PageTable&&) = delete;
+  PageTable& operator=(PageTable&&) = delete;
+
+  // Installs a mapping. `va` must be size-aligned and unmapped; the frame's
+  // reference is consumed (caller allocated or AddRef'd it for us).
+  Status Map(Vaddr va, FrameId frame, uint16_t flags, PageSize size);
+
+  // Removes a mapping and releases its frame reference.
+  Status Unmap(Vaddr va);
+
+  // Finds the entry covering `va` (any alignment within the page).
+  // Returns nullopt PteRef (pte == nullptr) if unmapped.
+  PteRef Lookup(Vaddr va);
+
+  // Visits every present entry in ascending address order.
+  void ForEach(const std::function<void(Vaddr, Pte&, PageSize)>& fn);
+
+  // fork(): deep-copies the radix structure into a fresh table. Private
+  // writable mappings become read-only+COW in BOTH tables (the write-protect
+  // fork performs on the parent is charged too); every frame gains a
+  // reference. Table-page allocations and PTE copies are charged to `clock`.
+  Result<std::unique_ptr<PageTable>> CloneCow(SimClock* clock);
+
+  // Statistics.
+  uint64_t present_pages() const { return present_pages_; }   // leaf mappings
+  uint64_t huge_pages() const { return huge_pages_; }
+  uint64_t table_pages() const { return table_pages_; }       // radix nodes
+  uint64_t mapped_bytes() const;
+
+ private:
+  struct Node {
+    std::array<std::unique_ptr<Node>, 512> children;  // interior slots
+    std::vector<Pte> ptes;                            // leaf slots (lazily sized to 512)
+
+    void EnsurePtes() {
+      if (ptes.empty()) {
+        ptes.resize(512);
+      }
+    }
+  };
+
+  static int IndexAt(Vaddr va, int level) {
+    // level 3 = PML4 (bits 47:39) ... level 0 = PT (bits 20:12)
+    return static_cast<int>((va >> (12 + 9 * level)) & 0x1ff);
+  }
+
+  Node* DescendAlloc(Vaddr va, int to_level, SimClock* clock);
+  void ForEachNode(Node* node, int level, Vaddr base,
+                   const std::function<void(Vaddr, Pte&, PageSize)>& fn);
+  std::unique_ptr<Node> CloneNode(const Node* node, int level, PageTable* dst, SimClock* clock);
+  void ReleaseNode(Node* node, int level);
+
+  PhysicalMemory* pm_;
+  std::unique_ptr<Node> root_;
+  uint64_t present_pages_ = 0;
+  uint64_t huge_pages_ = 0;
+  uint64_t table_pages_ = 0;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_PAGE_TABLE_H_

@@ -1,0 +1,76 @@
+#include "src/procsim/phys_mem.h"
+
+#include <cerrno>
+#include <string>
+
+namespace forklift::procsim {
+
+Result<FrameId> PhysicalMemory::Allocate() {
+  if (frames_.size() >= capacity_) {
+    return Err(Error(ENOMEM, "procsim: out of physical frames (" +
+                                 std::to_string(capacity_) + " capacity)"));
+  }
+  FrameId id = next_++;
+  frames_[id] = Frame{1, 0};
+  ++allocations_;
+  return id;
+}
+
+Status PhysicalMemory::AddRef(FrameId frame) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: AddRef of unknown frame " + std::to_string(frame));
+  }
+  ++it->second.refcount;
+  return Status::Ok();
+}
+
+Status PhysicalMemory::Release(FrameId frame) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: Release of unknown frame " + std::to_string(frame));
+  }
+  if (--it->second.refcount == 0) {
+    frames_.erase(it);
+    ++frees_;
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> PhysicalMemory::RefCount(FrameId frame) const {
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: RefCount of unknown frame " + std::to_string(frame));
+  }
+  return it->second.refcount;
+}
+
+Result<uint64_t> PhysicalMemory::Read(FrameId frame) const {
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: Read of unknown frame " + std::to_string(frame));
+  }
+  return it->second.content;
+}
+
+Status PhysicalMemory::Write(FrameId frame, uint64_t value) {
+  auto it = frames_.find(frame);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: Write of unknown frame " + std::to_string(frame));
+  }
+  it->second.content = value;
+  return Status::Ok();
+}
+
+Result<FrameId> PhysicalMemory::CopyFrame(FrameId src) {
+  auto it = frames_.find(src);
+  if (it == frames_.end()) {
+    return LogicalError("procsim: CopyFrame of unknown frame " + std::to_string(src));
+  }
+  uint64_t content = it->second.content;  // read before Allocate can rehash
+  FORKLIFT_ASSIGN_OR_RETURN(FrameId dst, Allocate());
+  frames_[dst].content = content;
+  return dst;
+}
+
+}  // namespace forklift::procsim

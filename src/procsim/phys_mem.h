@@ -1,0 +1,87 @@
+// forklift/procsim: the simulated physical memory manager.
+//
+// Frames are integer handles with a reference count (COW sharing) and a
+// 64-bit content token standing in for the page's data. The token is what
+// lets tests prove COW end-to-end: after a simulated fork, parent and child
+// must read the same token through different page tables; after a write in
+// one, the other's token must be unchanged.
+#ifndef SRC_PROCSIM_PHYS_MEM_H_
+#define SRC_PROCSIM_PHYS_MEM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/result.h"
+
+namespace forklift::procsim {
+
+using FrameId = uint64_t;
+inline constexpr FrameId kNoFrame = 0;  // frame ids start at 1
+
+class PhysicalMemory {
+ public:
+  // `capacity_frames` bounds allocation; exceeding it is the simulated OOM.
+  explicit PhysicalMemory(uint64_t capacity_frames) : capacity_(capacity_frames) {}
+
+  // --- commit accounting (the paper's §5 overcommit argument) -------------
+  //
+  // Every COW sharing created by fork is a *promise* of a future frame: if
+  // both sides write, the kernel owes one more frame than it charged. Under
+  // STRICT accounting the kernel refuses promises it cannot keep (fork fails
+  // with ENOMEM long before memory is actually exhausted — the historical
+  // behaviour that pushed Unix into overcommit); under OVERCOMMIT it accepts
+  // them and a COW break can fail at an unrelated, un-handleable moment (the
+  // OOM-killer scenario). Charge/Uncharge track the outstanding promises;
+  // AvailableCommit says whether a strict fork may proceed.
+  void ChargeCommit(uint64_t frames) { committed_ += frames; }
+  void UnchargeCommit(uint64_t frames) {
+    committed_ -= std::min(committed_, frames);
+  }
+  uint64_t committed_frames() const { return committed_; }
+  // Frames a strict accountant may still promise.
+  uint64_t AvailableCommit() const {
+    uint64_t used = frames_.size() + committed_;
+    return used >= capacity_ ? 0 : capacity_ - used;
+  }
+
+  // Allocates a frame with refcount 1 and content 0 ("zeroed").
+  Result<FrameId> Allocate();
+
+  // Increments the sharing count (fork mapping the same frame twice).
+  Status AddRef(FrameId frame);
+
+  // Decrements; frees at zero.
+  Status Release(FrameId frame);
+
+  Result<uint32_t> RefCount(FrameId frame) const;
+
+  // Content token access (the "page data").
+  Result<uint64_t> Read(FrameId frame) const;
+  Status Write(FrameId frame, uint64_t value);
+
+  // Allocates a new frame holding a copy of `src`'s content (COW break).
+  Result<FrameId> CopyFrame(FrameId src);
+
+  uint64_t used_frames() const { return frames_.size(); }
+  uint64_t capacity_frames() const { return capacity_; }
+  uint64_t allocations() const { return allocations_; }
+  uint64_t frees() const { return frees_; }
+
+ private:
+  struct Frame {
+    uint32_t refcount = 0;
+    uint64_t content = 0;
+  };
+
+  uint64_t capacity_;
+  uint64_t committed_ = 0;
+  FrameId next_ = 1;
+  uint64_t allocations_ = 0;
+  uint64_t frees_ = 0;
+  std::unordered_map<FrameId, Frame> frames_;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_PHYS_MEM_H_

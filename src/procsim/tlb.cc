@@ -1,0 +1,82 @@
+#include "src/procsim/tlb.h"
+
+#include <algorithm>
+
+namespace forklift::procsim {
+
+bool Tlb::Access(Asid asid, Vaddr page_base) {
+  Key key{asid, page_base};
+  if (entries_.count(key) != 0) {
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (entries_.size() >= capacity_ && !fifo_.empty()) {
+    entries_.erase(fifo_.front());
+    fifo_.pop_front();
+    ++evictions_;
+  }
+  entries_.insert(key);
+  fifo_.push_back(key);
+  return false;
+}
+
+void Tlb::FlushAll() {
+  entries_.clear();
+  fifo_.clear();
+}
+
+void Tlb::FlushAsid(Asid asid) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first == asid) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  fifo_.erase(std::remove_if(fifo_.begin(), fifo_.end(),
+                             [asid](const Key& k) { return k.first == asid; }),
+              fifo_.end());
+}
+
+void Tlb::FlushPage(Asid asid, Vaddr page_base) {
+  Key key{asid, page_base};
+  entries_.erase(key);
+  fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), key), fifo_.end());
+}
+
+TlbDomain::TlbDomain(size_t num_cpus, size_t tlb_capacity) {
+  cpus_.reserve(num_cpus);
+  for (size_t i = 0; i < num_cpus; ++i) {
+    cpus_.emplace_back(tlb_capacity);
+  }
+}
+
+void TlbDomain::SetActive(size_t cpu, Asid asid) { cpus_[cpu].active = asid; }
+
+bool TlbDomain::Access(size_t cpu, Asid asid, Vaddr page_base) {
+  return cpus_[cpu].tlb.Access(asid, page_base);
+}
+
+size_t TlbDomain::Shootdown(Asid asid, size_t initiator, SimClock* clock) {
+  size_t ipis = 0;
+  for (size_t i = 0; i < cpus_.size(); ++i) {
+    if (i == initiator) {
+      cpus_[i].tlb.FlushAsid(asid);
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kTlbFlushLocal);
+      }
+      continue;
+    }
+    if (cpus_[i].active == asid) {
+      cpus_[i].tlb.FlushAsid(asid);
+      ++ipis;
+      if (clock != nullptr) {
+        clock->Charge(CostKind::kTlbShootdownIpi);
+      }
+    }
+  }
+  return ipis;
+}
+
+}  // namespace forklift::procsim

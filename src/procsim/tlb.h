@@ -1,0 +1,91 @@
+// forklift/procsim: TLB model with shootdown accounting.
+//
+// Relevant to two of the paper's claims: COW faults after fork pay not just a
+// frame copy but a TLB invalidation, and on multiprocessors the write-protect
+// pass fork performs on the *parent's* live address space requires shootdown
+// IPIs to every CPU running it ("fork doesn't scale"). The model is a per-CPU
+// set-of-pages cache with FIFO eviction — enough to count hits, misses, and
+// the remote invalidations a real kernel would issue.
+#ifndef SRC_PROCSIM_TLB_H_
+#define SRC_PROCSIM_TLB_H_
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/procsim/cost_model.h"
+#include "src/procsim/page_table.h"
+
+namespace forklift::procsim {
+
+using Asid = uint64_t;  // address-space id; procsim uses the owning pid
+
+class Tlb {
+ public:
+  explicit Tlb(size_t capacity) : capacity_(capacity) {}
+
+  // True on hit; on miss the translation is inserted (FIFO eviction).
+  bool Access(Asid asid, Vaddr page_base);
+
+  void FlushAll();
+  void FlushAsid(Asid asid);
+  void FlushPage(Asid asid, Vaddr page_base);
+
+  bool Contains(Asid asid, Vaddr page_base) const {
+    return entries_.count({asid, page_base}) != 0;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  using Key = std::pair<Asid, Vaddr>;
+
+  size_t capacity_;
+  std::set<Key> entries_;
+  std::deque<Key> fifo_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+// A set of CPUs, each with a private TLB and a notion of which address space
+// is currently active on it.
+class TlbDomain {
+ public:
+  TlbDomain(size_t num_cpus, size_t tlb_capacity);
+
+  size_t num_cpus() const { return cpus_.size(); }
+  Tlb& cpu(size_t i) { return cpus_[i].tlb; }
+
+  // Marks `asid` as running on `cpu` (kNoAsid to idle it).
+  static constexpr Asid kNoAsid = 0;
+  void SetActive(size_t cpu, Asid asid);
+  Asid active(size_t cpu) const { return cpus_[cpu].active; }
+
+  // One memory access from `cpu` in `asid`; charges the fault-free TLB cost
+  // is the caller's business — this only tracks hit/miss state.
+  bool Access(size_t cpu, Asid asid, Vaddr page_base);
+
+  // Invalidate `asid` everywhere. CPUs other than `initiator` that are
+  // actively running the address space cost one IPI each (charged to clock);
+  // the initiator pays a local flush. Returns the number of IPIs sent.
+  size_t Shootdown(Asid asid, size_t initiator, SimClock* clock);
+
+ private:
+  struct Cpu {
+    Tlb tlb;
+    Asid active = kNoAsid;
+    explicit Cpu(size_t capacity) : tlb(capacity) {}
+  };
+
+  std::vector<Cpu> cpus_;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_TLB_H_

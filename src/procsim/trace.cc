@@ -1,0 +1,45 @@
+#include "src/procsim/trace.h"
+
+#include <cstdio>
+
+namespace forklift::procsim {
+
+std::string TraceEntry::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "#%04llu t=%lluns pid=%llu %s%s%s",
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(sim_ns),
+                static_cast<unsigned long long>(pid), op.c_str(),
+                detail.empty() ? "" : " ", detail.c_str());
+  return buf;
+}
+
+std::vector<std::string> KernelTracer::OpSequence() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    out.push_back(e.op);
+  }
+  return out;
+}
+
+std::vector<TraceEntry> KernelTracer::ForPid(uint64_t pid) const {
+  std::vector<TraceEntry> out;
+  for (const auto& e : entries_) {
+    if (e.pid == pid) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::string KernelTracer::ToString() const {
+  std::string out;
+  for (const auto& e : entries_) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace forklift::procsim

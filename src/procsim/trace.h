@@ -1,0 +1,56 @@
+// forklift/procsim: the kernel operation journal.
+//
+// A deterministic simulator's superpower is that the *exact* sequence of
+// kernel operations is an assertable artifact. When a tracer is attached,
+// SimKernel records every process-lifecycle operation with its simulated
+// timestamp, so tests can pin down regressions as "the op sequence changed",
+// and sim_explorer-style tools can narrate what the kernel did and why it
+// cost what it cost.
+#ifndef SRC_PROCSIM_TRACE_H_
+#define SRC_PROCSIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace forklift::procsim {
+
+struct TraceEntry {
+  uint64_t seq = 0;      // 0-based, gapless
+  uint64_t sim_ns = 0;   // clock AFTER the operation completed
+  uint64_t pid = 0;      // acting process
+  std::string op;        // "fork", "exec", ...
+  std::string detail;    // op-specific, e.g. "child=3"
+
+  std::string ToString() const;
+};
+
+class KernelTracer {
+ public:
+  void Record(uint64_t pid, std::string op, std::string detail, uint64_t sim_ns) {
+    TraceEntry e;
+    e.seq = entries_.size();
+    e.sim_ns = sim_ns;
+    e.pid = pid;
+    e.op = std::move(op);
+    e.detail = std::move(detail);
+    entries_.push_back(std::move(e));
+  }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  void Clear() { entries_.clear(); }
+
+  // Just the op names, in order — the usual assertion target.
+  std::vector<std::string> OpSequence() const;
+  // Entries for one pid.
+  std::vector<TraceEntry> ForPid(uint64_t pid) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace forklift::procsim
+
+#endif  // SRC_PROCSIM_TRACE_H_

@@ -1,0 +1,284 @@
+#include "src/spawn/child.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/syscall.h>
+#endif
+
+#include <cerrno>
+
+#include "src/common/clock.h"
+#include "src/common/log.h"
+
+namespace forklift {
+
+Child::~Child() {
+  if (valid() && !reaped_.has_value()) {
+    FORKLIFT_WARN("Child handle for pid %d dropped without Wait(); process not reaped",
+                  static_cast<int>(pid_));
+  }
+}
+
+Child::Child(Child&& other) noexcept
+    : pid_(other.pid_),
+      reaped_(other.reaped_),
+      stdin_fd_(std::move(other.stdin_fd_)),
+      stdout_fd_(std::move(other.stdout_fd_)),
+      stderr_fd_(std::move(other.stderr_fd_)) {
+  other.pid_ = -1;
+  other.reaped_.reset();
+}
+
+Child& Child::operator=(Child&& other) noexcept {
+  if (this != &other) {
+    if (valid() && !reaped_.has_value()) {
+      FORKLIFT_WARN("Child handle for pid %d overwritten without Wait()",
+                    static_cast<int>(pid_));
+    }
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    stdin_fd_ = std::move(other.stdin_fd_);
+    stdout_fd_ = std::move(other.stdout_fd_);
+    stderr_fd_ = std::move(other.stderr_fd_);
+    other.pid_ = -1;
+    other.reaped_.reset();
+  }
+  return *this;
+}
+
+Result<ExitStatus> Child::Wait() {
+  if (reaped_.has_value()) {
+    return *reaped_;
+  }
+  if (!valid()) {
+    return LogicalError("Wait on invalid Child");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, WaitForExit(pid_));
+  reaped_ = st;
+  return st;
+}
+
+Result<std::optional<ExitStatus>> Child::TryWait() {
+  if (reaped_.has_value()) {
+    return std::optional<ExitStatus>(*reaped_);
+  }
+  if (!valid()) {
+    return LogicalError("TryWait on invalid Child");
+  }
+  for (;;) {
+    int status = 0;
+    pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == 0) {
+      return std::optional<ExitStatus>();
+    }
+    if (r == pid_) {
+      reaped_ = DecodeWaitStatus(status);
+      return std::optional<ExitStatus>(*reaped_);
+    }
+    if (errno != EINTR) {
+      return ErrnoError("waitpid(WNOHANG)");
+    }
+  }
+}
+
+Result<std::optional<ExitStatus>> Child::WaitWithTimeout(double timeout_seconds) {
+  // Fast path: already exited (or reaped).
+  FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, TryWait());
+  if (st.has_value()) {
+    return st;
+  }
+
+#ifdef __linux__
+  // pidfd path: block in poll(2) until exit or deadline — no polling loop.
+  int pidfd = static_cast<int>(::syscall(SYS_pidfd_open, pid_, 0));
+  if (pidfd >= 0) {
+    UniqueFd guard(pidfd);
+    Stopwatch sw;
+    for (;;) {
+      double remaining = timeout_seconds - sw.ElapsedSeconds();
+      if (remaining <= 0) {
+        return std::optional<ExitStatus>();
+      }
+      pollfd pfd{pidfd, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(remaining * 1000) + 1);
+      if (rc < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return ErrnoError("poll(pidfd)");
+      }
+      if (rc == 0) {
+        return std::optional<ExitStatus>();
+      }
+      return TryWait();
+    }
+  }
+  // pidfd_open can fail (ESRCH race, old kernel, seccomp): fall through.
+#endif
+
+  // Portable fallback: poll with exponential backoff.
+  Stopwatch sw;
+  uint64_t sleep_ns = 50'000;  // 50us initial poll interval
+  for (;;) {
+    FORKLIFT_ASSIGN_OR_RETURN(st, TryWait());
+    if (st.has_value()) {
+      return st;
+    }
+    if (sw.ElapsedSeconds() >= timeout_seconds) {
+      return std::optional<ExitStatus>();
+    }
+    timespec ts{0, static_cast<long>(sleep_ns)};
+    ::nanosleep(&ts, nullptr);
+    sleep_ns = std::min<uint64_t>(sleep_ns * 2, 5'000'000);
+  }
+}
+
+Status Child::Kill(int sig) {
+  if (!valid()) {
+    return LogicalError("Kill on invalid Child");
+  }
+  if (reaped_.has_value()) {
+    return LogicalError("Kill on already-reaped Child");
+  }
+  if (::kill(pid_, sig) < 0) {
+    return ErrnoError("kill");
+  }
+  return Status::Ok();
+}
+
+Status Child::KillAndWait() {
+  if (reaped_.has_value()) {
+    return Status::Ok();
+  }
+  FORKLIFT_RETURN_IF_ERROR(Kill(SIGKILL));
+  auto res = Wait();
+  if (!res.ok()) {
+    return Err(res.error());
+  }
+  return Status::Ok();
+}
+
+Result<Child::Outcome> Child::Communicate(std::string_view input) {
+  // Non-blocking everywhere so a child that stalls on one stream can't wedge
+  // us on another.
+  struct Stream {
+    UniqueFd* fd;
+    std::string data;
+    bool open;
+  };
+  Stream out{&stdout_fd_, {}, stdout_fd_.valid()};
+  Stream err{&stderr_fd_, {}, stderr_fd_.valid()};
+  if (out.open) {
+    FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(out.fd->get(), true));
+  }
+  if (err.open) {
+    FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(err.fd->get(), true));
+  }
+
+  size_t in_off = 0;
+  bool in_open = stdin_fd_.valid();
+  if (!in_open && !input.empty()) {
+    return LogicalError("Communicate: input given but stdin was not piped");
+  }
+  if (in_open && input.empty()) {
+    stdin_fd_.Reset();  // nothing to write: give the child EOF immediately
+    in_open = false;
+  }
+  if (in_open) {
+    FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(stdin_fd_.get(), true));
+  }
+
+  while (in_open || out.open || err.open) {
+    pollfd fds[3];
+    int n = 0;
+    int in_idx = -1, out_idx = -1, err_idx = -1;
+    if (in_open) {
+      in_idx = n;
+      fds[n++] = {stdin_fd_.get(), POLLOUT, 0};
+    }
+    if (out.open) {
+      out_idx = n;
+      fds[n++] = {out.fd->get(), POLLIN, 0};
+    }
+    if (err.open) {
+      err_idx = n;
+      fds[n++] = {err.fd->get(), POLLIN, 0};
+    }
+    int rc = ::poll(fds, static_cast<nfds_t>(n), -1);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ErrnoError("poll");
+    }
+
+    if (in_idx >= 0 && (fds[in_idx].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+      if ((fds[in_idx].revents & (POLLERR | POLLHUP)) != 0 && (fds[in_idx].revents & POLLOUT) == 0) {
+        // Child closed its stdin (EPIPE side); stop writing.
+        stdin_fd_.Reset();
+        in_open = false;
+      } else {
+        ssize_t w = ::write(stdin_fd_.get(), input.data() + in_off, input.size() - in_off);
+        if (w < 0) {
+          if (errno == EPIPE) {
+            stdin_fd_.Reset();
+            in_open = false;
+          } else if (errno != EINTR && errno != EAGAIN) {
+            return ErrnoError("write to child stdin");
+          }
+        } else {
+          in_off += static_cast<size_t>(w);
+          if (in_off == input.size()) {
+            stdin_fd_.Reset();  // EOF to the child
+            in_open = false;
+          }
+        }
+      }
+    }
+
+    auto drain = [](Stream& s) -> Status {
+      char buf[16384];
+      for (;;) {
+        ssize_t r = ::read(s.fd->get(), buf, sizeof(buf));
+        if (r > 0) {
+          s.data.append(buf, static_cast<size_t>(r));
+          if (static_cast<size_t>(r) < sizeof(buf)) {
+            return Status::Ok();
+          }
+          continue;
+        }
+        if (r == 0) {
+          s.fd->Reset();
+          s.open = false;
+          return Status::Ok();
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Status::Ok();
+        }
+        if (errno != EINTR) {
+          return ErrnoError("read from child");
+        }
+      }
+    };
+    if (out_idx >= 0 && (fds[out_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      FORKLIFT_RETURN_IF_ERROR(drain(out));
+    }
+    if (err_idx >= 0 && (fds[err_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      FORKLIFT_RETURN_IF_ERROR(drain(err));
+    }
+  }
+
+  FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, Wait());
+  Outcome oc;
+  oc.status = st;
+  oc.stdout_data = std::move(out.data);
+  oc.stderr_data = std::move(err.data);
+  return oc;
+}
+
+}  // namespace forklift

@@ -1,0 +1,82 @@
+// forklift/spawn: Child — the handle a spawn returns.
+//
+// Owns the child's pid for reaping plus any pipe ends the Spawner set up for
+// stdio capture. Destroying an un-reaped Child does NOT kill or reap it (that
+// would turn a dropped handle into a silent SIGKILL); it logs a warning and
+// leaks the zombie to the caller's wait discipline, exactly like std::thread's
+// terminate-on-drop is replaced with a softer failure here because processes,
+// unlike threads, are reaped by init eventually.
+#ifndef SRC_SPAWN_CHILD_H_
+#define SRC_SPAWN_CHILD_H_
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/syscall.h"
+#include "src/common/unique_fd.h"
+
+namespace forklift {
+
+class Child {
+ public:
+  Child() = default;
+  explicit Child(pid_t pid) : pid_(pid) {}
+  ~Child();
+
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+
+  pid_t pid() const { return pid_; }
+  bool valid() const { return pid_ > 0; }
+
+  // Blocks until the child exits; reaps it. Idempotent: after the first
+  // successful Wait, returns the cached status.
+  Result<ExitStatus> Wait();
+
+  // Non-blocking: returns nullopt if still running.
+  Result<std::optional<ExitStatus>> TryWait();
+
+  // Polls until exit or deadline. Returns nullopt on timeout (child keeps
+  // running). Poll interval starts at 50us and backs off to 5ms.
+  Result<std::optional<ExitStatus>> WaitWithTimeout(double timeout_seconds);
+
+  // kill(2). `sig` default SIGTERM.
+  Status Kill(int sig = 15);
+
+  // SIGKILL then reap. Use from tests' cleanup paths.
+  Status KillAndWait();
+
+  // Pipe ends owned by this handle when the Spawner configured Stdio::kPipe.
+  // stdin_fd is the write end; stdout/stderr are read ends.
+  UniqueFd& stdin_fd() { return stdin_fd_; }
+  UniqueFd& stdout_fd() { return stdout_fd_; }
+  UniqueFd& stderr_fd() { return stderr_fd_; }
+
+  // Writes `input` to the child's stdin (then closes it), drains stdout and
+  // stderr concurrently via poll(2) — deadlock-free even when the child
+  // interleaves output on both streams — and reaps the child.
+  struct Outcome {
+    ExitStatus status;
+    std::string stdout_data;
+    std::string stderr_data;
+  };
+  Result<Outcome> Communicate(std::string_view input = "");
+
+ private:
+  friend class Spawner;
+
+  pid_t pid_ = -1;
+  std::optional<ExitStatus> reaped_;
+  UniqueFd stdin_fd_;
+  UniqueFd stdout_fd_;
+  UniqueFd stderr_fd_;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_SPAWN_CHILD_H_

@@ -1,0 +1,201 @@
+#include "src/spawn/fd_actions.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace forklift {
+
+FdPlan& FdPlan::Dup2(int parent_fd, int child_fd) {
+  FdAction a;
+  a.kind = FdAction::Kind::kDup2;
+  a.src_fd = parent_fd;
+  a.child_fd = child_fd;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FdPlan& FdPlan::Open(std::string path, int flags, mode_t mode, int child_fd) {
+  FdAction a;
+  a.kind = FdAction::Kind::kOpen;
+  a.path = std::move(path);
+  a.flags = flags;
+  a.mode = mode;
+  a.child_fd = child_fd;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FdPlan& FdPlan::Close(int child_fd) {
+  FdAction a;
+  a.kind = FdAction::Kind::kClose;
+  a.child_fd = child_fd;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+FdPlan& FdPlan::Inherit(int fd) {
+  FdAction a;
+  a.kind = FdAction::Kind::kInherit;
+  a.child_fd = fd;
+  actions_.push_back(std::move(a));
+  return *this;
+}
+
+Result<CompiledFdPlan> FdPlan::Compile() const {
+  constexpr int kScratchBase = CompiledFdPlan::kScratchBase;
+
+  // Validation pass: all fds non-negative and below the scratch range.
+  for (const auto& a : actions_) {
+    if (a.child_fd < 0 || a.child_fd >= kScratchBase) {
+      return LogicalError("FdPlan: child fd " + std::to_string(a.child_fd) +
+                          " out of range [0, " + std::to_string(kScratchBase) + ")");
+    }
+    if (a.kind == FdAction::Kind::kDup2 && (a.src_fd < 0 || a.src_fd >= kScratchBase)) {
+      return LogicalError("FdPlan: source fd " + std::to_string(a.src_fd) +
+                          " out of range [0, " + std::to_string(kScratchBase) + ")");
+    }
+  }
+
+  // Pre-staging analysis: a Dup2 source needs a scratch copy iff some *earlier*
+  // action rebinds or closes that descriptor number — otherwise the parent's
+  // binding is still live when the op executes.
+  std::set<int> needs_scratch;
+  {
+    std::set<int> modified;
+    for (const auto& a : actions_) {
+      if (a.kind == FdAction::Kind::kDup2 && modified.count(a.src_fd) != 0) {
+        needs_scratch.insert(a.src_fd);
+      }
+      if (a.kind != FdAction::Kind::kInherit) {
+        modified.insert(a.child_fd);
+      }
+    }
+  }
+
+  CompiledFdPlan plan;
+  std::map<int, int> scratch_of;  // parent fd -> scratch fd
+  int next_scratch = kScratchBase;
+  for (int src : needs_scratch) {
+    CompiledFdOp op;
+    op.kind = CompiledFdOp::Kind::kDupToScratch;
+    op.src_fd = src;
+    op.scratch_fd = next_scratch;
+    scratch_of[src] = next_scratch;
+    plan.max_scratch_fd = next_scratch;
+    ++next_scratch;
+    plan.ops.push_back(op);
+  }
+
+  // Main pass: emit user actions in order, rewriting endangered sources to
+  // their scratch copies once the original number has been rebound.
+  std::set<int> modified;
+  for (const auto& a : actions_) {
+    CompiledFdOp op;
+    switch (a.kind) {
+      case FdAction::Kind::kDup2: {
+        op.kind = CompiledFdOp::Kind::kDup2;
+        op.src_fd =
+            modified.count(a.src_fd) != 0 ? scratch_of.at(a.src_fd) : a.src_fd;
+        op.dst_fd = a.child_fd;
+        break;
+      }
+      case FdAction::Kind::kOpen: {
+        op.kind = CompiledFdOp::Kind::kOpen;
+        op.path = a.path;
+        op.flags = a.flags;
+        op.mode = a.mode;
+        op.dst_fd = a.child_fd;
+        break;
+      }
+      case FdAction::Kind::kClose: {
+        op.kind = CompiledFdOp::Kind::kClose;
+        op.dst_fd = a.child_fd;
+        break;
+      }
+      case FdAction::Kind::kInherit: {
+        // dup2(fd, fd) is specified (and implemented here) as "clear CLOEXEC".
+        op.kind = CompiledFdOp::Kind::kDup2;
+        op.src_fd = a.child_fd;
+        op.dst_fd = a.child_fd;
+        break;
+      }
+    }
+    if (a.kind != FdAction::Kind::kInherit) {
+      modified.insert(a.child_fd);
+    }
+    plan.ops.push_back(std::move(op));
+  }
+
+  // Epilogue: drop the scratch descriptors so they never reach the new image.
+  for (const auto& [src, scratch] : scratch_of) {
+    (void)src;
+    CompiledFdOp op;
+    op.kind = CompiledFdOp::Kind::kCloseScratch;
+    op.scratch_fd = scratch;
+    plan.ops.push_back(std::move(op));
+  }
+  return plan;
+}
+
+Result<std::map<int, std::string>> FdPlan::SpecApply(
+    const std::map<int, std::string>& parent_inheritable,
+    const std::map<int, std::string>& parent_cloexec) const {
+  struct Entry {
+    std::string token;
+    bool inheritable;
+  };
+
+  // Snapshot of the parent table: Dup2/Inherit sources resolve against this.
+  std::map<int, Entry> snapshot;
+  for (const auto& [fd, tok] : parent_inheritable) {
+    snapshot[fd] = Entry{tok, true};
+  }
+  for (const auto& [fd, tok] : parent_cloexec) {
+    if (snapshot.count(fd) != 0) {
+      return LogicalError("SpecApply: fd " + std::to_string(fd) + " in both parent maps");
+    }
+    snapshot[fd] = Entry{tok, false};
+  }
+
+  std::map<int, Entry> table = snapshot;
+  for (const auto& a : actions_) {
+    switch (a.kind) {
+      case FdAction::Kind::kDup2: {
+        auto it = snapshot.find(a.src_fd);
+        if (it == snapshot.end()) {
+          return LogicalError("SpecApply: dup2 from closed parent fd " +
+                              std::to_string(a.src_fd));
+        }
+        table[a.child_fd] = Entry{it->second.token, true};
+        break;
+      }
+      case FdAction::Kind::kOpen: {
+        table[a.child_fd] = Entry{"open:" + a.path, true};
+        break;
+      }
+      case FdAction::Kind::kClose: {
+        table.erase(a.child_fd);
+        break;
+      }
+      case FdAction::Kind::kInherit: {
+        auto it = table.find(a.child_fd);
+        if (it == table.end()) {
+          return LogicalError("SpecApply: inherit of closed fd " + std::to_string(a.child_fd));
+        }
+        it->second.inheritable = true;
+        break;
+      }
+    }
+  }
+
+  std::map<int, std::string> out;
+  for (const auto& [fd, e] : table) {
+    if (e.inheritable) {
+      out[fd] = e.token;
+    }
+  }
+  return out;
+}
+
+}  // namespace forklift

@@ -1,0 +1,116 @@
+// forklift/spawn: declarative file-descriptor plans for child processes.
+//
+// The HotOS'19 paper's security complaint about fork() is that the child
+// ambiently inherits *everything* and the programmer must remember to close or
+// CLOEXEC each descriptor. forklift inverts the default: children inherit only
+// stdin/stdout/stderr plus what the FdPlan explicitly grants.
+//
+// Semantics: every dup2 *source* refers to a descriptor of the PARENT at spawn
+// time ("parent semantics"), regardless of the order of actions. This is what
+// callers invariably mean, and unlike raw posix_spawn file-actions it cannot be
+// silently corrupted by an earlier action clobbering a later action's source
+// (e.g. the classic swap of stdout and stderr). Compile() lowers the plan to a
+// clobber-free sequence of primitive operations by pre-staging endangered
+// sources to high CLOEXEC scratch descriptors.
+#ifndef SRC_SPAWN_FD_ACTIONS_H_
+#define SRC_SPAWN_FD_ACTIONS_H_
+
+#include <sys/types.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace forklift {
+
+// A user-level fd action. Targets are child fds; Dup2 sources are parent fds.
+struct FdAction {
+  enum class Kind {
+    kDup2,     // child_fd := parent fd `src_fd`, inheritable
+    kOpen,     // child_fd := open(path, flags, mode), inheritable
+    kClose,    // close(child_fd) in the child
+    kInherit,  // clear CLOEXEC on `child_fd` (same number in parent and child)
+  };
+
+  Kind kind;
+  int src_fd = -1;    // kDup2
+  int child_fd = -1;  // all kinds
+  std::string path;   // kOpen
+  int flags = 0;      // kOpen
+  mode_t mode = 0;    // kOpen
+};
+
+// A primitive operation, directly executable (async-signal-safely) in the
+// child between fork/vfork and exec, and translatable to posix_spawn
+// file-actions.
+struct CompiledFdOp {
+  enum class Kind {
+    kDupToScratch,  // scratch_fd := dup(src_fd) with CLOEXEC (pre-staging)
+    kDup2,          // dup2(src_fd, dst_fd); if src==dst clear CLOEXEC instead
+    kOpen,          // open path at dst_fd exactly
+    kClose,         // close(dst_fd)
+    kCloseScratch,  // close a pre-staging scratch (posix_spawn lowering only)
+  };
+
+  Kind kind;
+  int src_fd = -1;
+  int dst_fd = -1;
+  int scratch_fd = -1;
+  std::string path;
+  int flags = 0;
+  mode_t mode = 0;
+};
+
+// The executable lowering of an FdPlan. `ops` preserve user action order;
+// pre-staging dups come first. Scratch fds are assigned starting at
+// `kScratchBase` and are CLOEXEC so they never outlive exec.
+struct CompiledFdPlan {
+  static constexpr int kScratchBase = 400;
+
+  std::vector<CompiledFdOp> ops;
+  int max_scratch_fd = -1;  // highest scratch assigned, -1 if none
+
+  bool empty() const { return ops.empty(); }
+};
+
+class FdPlan {
+ public:
+  FdPlan() = default;
+
+  // child_fd becomes a duplicate of the parent's `parent_fd` (CLOEXEC cleared).
+  FdPlan& Dup2(int parent_fd, int child_fd);
+  // child_fd becomes open(path, flags, mode).
+  FdPlan& Open(std::string path, int flags, mode_t mode, int child_fd);
+  // child_fd is closed in the child.
+  FdPlan& Close(int child_fd);
+  // The parent's fd `fd` is inherited at the same number (CLOEXEC cleared).
+  FdPlan& Inherit(int fd);
+
+  const std::vector<FdAction>& actions() const { return actions_; }
+  bool empty() const { return actions_.empty(); }
+  size_t size() const { return actions_.size(); }
+
+  // Lowers to a clobber-free op sequence. Fails on invalid fds (< 0), on
+  // scratch-range collisions, or on a plan that assigns the same child fd from
+  // two different actions where the second is an Inherit (ambiguous intent).
+  Result<CompiledFdPlan> Compile() const;
+
+  // Specification of the plan's effect, for testing: given a model of the
+  // parent fd table (fd → token), returns the child's inheritable fd table
+  // (after exec, i.e. CLOEXEC entries dropped). Open actions produce the token
+  // "open:<path>". Entries absent from `parent_fds` are treated as closed;
+  // dup2 from a closed parent fd is an error.
+  Result<std::map<int, std::string>> SpecApply(
+      const std::map<int, std::string>& parent_inheritable,
+      const std::map<int, std::string>& parent_cloexec) const;
+
+ private:
+  std::vector<FdAction> actions_;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_SPAWN_FD_ACTIONS_H_

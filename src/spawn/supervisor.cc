@@ -1,0 +1,245 @@
+#include "src/spawn/supervisor.h"
+
+#include <signal.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/common/log.h"
+
+namespace forklift {
+
+namespace {
+
+// Signals a service's process — or its whole process group when the
+// supervisor owns the group (reaching grandchildren a shell may have left).
+void SignalService(const Child& child, int sig, bool group) {
+  pid_t target = group ? -child.pid() : child.pid();
+  (void)::kill(target, sig);
+}
+
+}  // namespace
+
+Supervisor::Supervisor() : Supervisor(Options{}) {}
+
+Supervisor::Supervisor(Options options) : options_(options) {}
+
+Supervisor::~Supervisor() {
+  if (running_count() > 0) {
+    (void)ShutdownAll();
+  }
+}
+
+Result<Supervisor::ServiceId> Supervisor::Launch(const Spawner& spawner, std::string name,
+                                                 RestartPolicy policy) {
+  if (spawner.UsesPipeStdio()) {
+    return LogicalError("Supervisor: pipe stdio cannot be supervised (restarts would orphan "
+                        "the pipe ends); use Stdio::Path or Stdio::Fd");
+  }
+  Service service{std::move(name), spawner, policy, Child(), false, false, 0, 0, 0, false};
+  if (options_.kill_process_group) {
+    service.spawner.SetProcessGroup(0);  // own group, so group signals work
+  }
+  auto child = service.spawner.Spawn();
+  if (!child.ok()) {
+    return Err(child.error());
+  }
+  service.child = std::move(child).value();
+  service.running = true;
+  service.starts = 1;
+  ServiceId id = next_id_++;
+  services_.emplace(id, std::move(service));
+  return id;
+}
+
+Result<std::vector<Supervisor::Event>> Supervisor::ReapAndRestart() {
+  std::vector<Event> events;
+  uint64_t now = MonotonicNanos();
+
+  for (auto& [id, svc] : services_) {
+    if (svc.running) {
+      auto st = svc.child.TryWait();
+      if (!st.ok()) {
+        return Err(st.error());
+      }
+      if (!st->has_value()) {
+        continue;  // still alive
+      }
+      svc.running = false;
+      Event ev;
+      ev.id = id;
+      ev.name = svc.name;
+      ev.status = **st;
+      bool failed = !ev.status.Success();
+      svc.consecutive_failures = failed ? svc.consecutive_failures + 1 : 0;
+      bool want_restart = svc.policy == RestartPolicy::kAlways ||
+                          (svc.policy == RestartPolicy::kOnFailure && failed);
+      if (want_restart && svc.consecutive_failures > options_.max_consecutive_failures) {
+        svc.abandoned = true;
+        ev.abandoned = true;
+        FORKLIFT_WARN("supervisor: abandoning '%s' after %d consecutive failures",
+                      svc.name.c_str(), svc.consecutive_failures);
+      } else if (want_restart) {
+        double backoff = options_.restart_backoff_base_seconds *
+                         std::pow(2.0, std::max(0, svc.consecutive_failures - 1));
+        backoff = std::min(backoff, options_.restart_backoff_cap_seconds);
+        svc.restart_not_before_ns = now + static_cast<uint64_t>(backoff * 1e9);
+        svc.pending_restart = true;
+        ev.will_restart = true;
+      }
+      events.push_back(std::move(ev));
+    }
+
+    if (svc.pending_restart && !svc.abandoned && MonotonicNanos() >= svc.restart_not_before_ns) {
+      svc.pending_restart = false;
+      auto child = svc.spawner.Spawn();
+      if (!child.ok()) {
+        // Spawn failure counts as an instant failed start.
+        ++svc.consecutive_failures;
+        if (svc.consecutive_failures > options_.max_consecutive_failures) {
+          svc.abandoned = true;
+          Event ev;
+          ev.id = id;
+          ev.name = svc.name;
+          ev.abandoned = true;
+          events.push_back(std::move(ev));
+        } else {
+          double backoff = options_.restart_backoff_base_seconds *
+                           std::pow(2.0, std::max(0, svc.consecutive_failures - 1));
+          svc.restart_not_before_ns =
+              MonotonicNanos() + static_cast<uint64_t>(
+                                     std::min(backoff, options_.restart_backoff_cap_seconds) * 1e9);
+          svc.pending_restart = true;
+        }
+        continue;
+      }
+      svc.child = std::move(child).value();
+      svc.running = true;
+      ++svc.starts;
+    }
+  }
+  return events;
+}
+
+Result<std::vector<Supervisor::Event>> Supervisor::PollOnce() { return ReapAndRestart(); }
+
+Result<std::vector<Supervisor::Event>> Supervisor::WaitEvents(double deadline_seconds) {
+  Stopwatch sw;
+  for (;;) {
+    FORKLIFT_ASSIGN_OR_RETURN(std::vector<Event> events, PollOnce());
+    if (!events.empty() || sw.ElapsedSeconds() >= deadline_seconds) {
+      return events;
+    }
+    timespec ts{0, 2'000'000};  // 2ms
+    ::nanosleep(&ts, nullptr);
+  }
+}
+
+Status Supervisor::Stop(ServiceId id) {
+  auto it = services_.find(id);
+  if (it == services_.end()) {
+    return LogicalError("Supervisor::Stop: unknown service id");
+  }
+  Service& svc = it->second;
+  svc.policy = RestartPolicy::kNever;
+  svc.pending_restart = false;
+  if (svc.running) {
+    SignalService(svc.child, SIGTERM, options_.kill_process_group);
+    auto st = svc.child.WaitWithTimeout(options_.shutdown_grace_seconds);
+    if (!st.ok()) {
+      return Err(st.error());
+    }
+    if (!st->has_value()) {
+      SignalService(svc.child, SIGKILL, options_.kill_process_group);
+      auto reaped = svc.child.Wait();
+      if (!reaped.ok()) {
+        return Err(reaped.error());
+      }
+    }
+    svc.running = false;
+  }
+  services_.erase(it);
+  return Status::Ok();
+}
+
+Status Supervisor::ShutdownAll() {
+  // Phase 1: TERM everyone (in parallel — one grace period total, not per
+  // service).
+  for (auto& [id, svc] : services_) {
+    (void)id;
+    svc.policy = RestartPolicy::kNever;
+    svc.pending_restart = false;
+    if (svc.running) {
+      SignalService(svc.child, SIGTERM, options_.kill_process_group);
+    }
+  }
+  // Phase 2: grace window.
+  Stopwatch sw;
+  while (sw.ElapsedSeconds() < options_.shutdown_grace_seconds) {
+    bool any_running = false;
+    for (auto& [id, svc] : services_) {
+      (void)id;
+      if (!svc.running) {
+        continue;
+      }
+      auto st = svc.child.TryWait();
+      if (st.ok() && st->has_value()) {
+        svc.running = false;
+      } else {
+        any_running = true;
+      }
+    }
+    if (!any_running) {
+      break;
+    }
+    timespec ts{0, 5'000'000};  // 5ms
+    ::nanosleep(&ts, nullptr);
+  }
+  // Phase 3: KILL stragglers.
+  Status first_error;
+  for (auto& [id, svc] : services_) {
+    (void)id;
+    if (svc.running) {
+      SignalService(svc.child, SIGKILL, options_.kill_process_group);
+      auto st = svc.child.Wait();
+      if (!st.ok() && first_error.ok()) {
+        first_error = Err(st.error());
+      }
+      svc.running = false;
+    }
+  }
+  services_.clear();
+  return first_error;
+}
+
+size_t Supervisor::running_count() const {
+  size_t n = 0;
+  for (const auto& [id, svc] : services_) {
+    (void)id;
+    if (svc.running) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::optional<pid_t> Supervisor::PidOf(ServiceId id) const {
+  auto it = services_.find(id);
+  if (it == services_.end() || !it->second.running) {
+    return std::nullopt;
+  }
+  return it->second.child.pid();
+}
+
+Result<uint64_t> Supervisor::StartCount(ServiceId id) const {
+  auto it = services_.find(id);
+  if (it == services_.end()) {
+    return LogicalError("Supervisor::StartCount: unknown service id");
+  }
+  return it->second.starts;
+}
+
+}  // namespace forklift

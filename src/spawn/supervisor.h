@@ -1,0 +1,116 @@
+// forklift/spawn: Supervisor — keep a fleet of children alive.
+//
+// The layer every adopter writes on top of a spawn API (and the layer fork
+// makes miserable to write correctly, between SIGCHLD races and wait-status
+// stealing): launch named services from reusable Spawner templates, observe
+// exits, restart per policy with exponential backoff, and shut the fleet down
+// gracefully (SIGTERM, grace period, SIGKILL). No signal handlers are
+// installed — exits are detected by non-blocking reaping of exactly the pids
+// this supervisor owns, so it composes with any other child-management in the
+// process (the composability bar fork-based designs fail, §4).
+#ifndef SRC_SPAWN_SUPERVISOR_H_
+#define SRC_SPAWN_SUPERVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/spawn/child.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+
+enum class RestartPolicy {
+  kNever,      // one-shot: report the exit, forget the service
+  kOnFailure,  // restart unless it exited 0
+  kAlways,     // restart regardless
+};
+
+class Supervisor {
+ public:
+  struct Options {
+    // SIGTERM → grace → SIGKILL during ShutdownAll.
+    double shutdown_grace_seconds = 2.0;
+    // Backoff between restarts of the same service: base * 2^consecutive,
+    // capped. (Simulated by a not-before timestamp; PollOnce never sleeps.)
+    double restart_backoff_base_seconds = 0.05;
+    double restart_backoff_cap_seconds = 2.0;
+    // A service exceeding this many consecutive failed starts is abandoned.
+    int max_consecutive_failures = 5;
+    // Place each service in its own process group and signal the whole group:
+    // TERM/KILL then reach grandchildren too (a shell's `sleep` survives the
+    // shell's death otherwise). Off by default because it changes the
+    // children's job-control relationship with any controlling terminal.
+    bool kill_process_group = false;
+  };
+
+  using ServiceId = uint64_t;
+
+  struct Event {
+    ServiceId id = 0;
+    std::string name;
+    ExitStatus status;
+    bool will_restart = false;
+    bool abandoned = false;  // gave up after max_consecutive_failures
+  };
+
+  Supervisor();  // default Options
+  explicit Supervisor(Options options);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  // Launches `spawner` now and remembers it as the service's template for
+  // restarts. The spawner is copied; pipe stdio is rejected (a restarted
+  // child would have nowhere to hand the new pipe ends).
+  Result<ServiceId> Launch(const Spawner& spawner, std::string name, RestartPolicy policy);
+
+  // One supervision step: reap exits, apply restart policies whose backoff
+  // has elapsed. Returns the events observed this step (possibly empty).
+  // Never blocks.
+  Result<std::vector<Event>> PollOnce();
+
+  // Runs PollOnce in a sleep loop until `deadline_seconds` elapses or at
+  // least one event is observed (whichever first).
+  Result<std::vector<Event>> WaitEvents(double deadline_seconds);
+
+  // Stops one service (kNever semantics from here on) and reaps it.
+  Status Stop(ServiceId id);
+
+  // TERM everyone, grace period, KILL stragglers, reap all.
+  Status ShutdownAll();
+
+  size_t running_count() const;
+  // Pid of a service's current incarnation, if running.
+  std::optional<pid_t> PidOf(ServiceId id) const;
+  // Total times the service has been (re)started.
+  Result<uint64_t> StartCount(ServiceId id) const;
+
+ private:
+  struct Service {
+    std::string name;
+    Spawner spawner;
+    RestartPolicy policy;
+    Child child;
+    bool running = false;
+    bool abandoned = false;
+    uint64_t starts = 0;
+    int consecutive_failures = 0;
+    uint64_t restart_not_before_ns = 0;  // MonotonicNanos gate
+    bool pending_restart = false;
+  };
+
+  Result<std::vector<Event>> ReapAndRestart();
+
+  Options options_;
+  std::map<ServiceId, Service> services_;
+  ServiceId next_id_ = 1;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_SPAWN_SUPERVISOR_H_

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/benchlib/memtouch.h"
+#include "src/benchlib/table.h"
+
+namespace forklift {
+namespace {
+
+TEST(TablePrinterTest, CsvMatchesRows) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "x"});
+  t.AddRow({"2", "y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(TablePrinterTest, CellFormatting) {
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 0), "3");
+  EXPECT_EQ(TablePrinter::Cell(static_cast<uint64_t>(42)), "42");
+}
+
+TEST(TablePrinterTest, PrintAlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"longer-name", "1"});
+  // Render to a memstream and check the header pads to the widest cell.
+  char* buf = nullptr;
+  size_t len = 0;
+  FILE* mem = open_memstream(&buf, &len);
+  ASSERT_NE(mem, nullptr);
+  t.Print(mem);
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  EXPECT_NE(out.find("name       "), std::string::npos);  // padded header
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);  // separator line
+}
+
+TEST(HeapBallastTest, ResizeAllocatesAndZeroSizeClears) {
+  HeapBallast b;
+  EXPECT_EQ(b.bytes(), 0u);
+  ASSERT_TRUE(b.Resize(1 << 20).ok());
+  EXPECT_EQ(b.bytes(), 1u << 20);
+  ASSERT_NE(b.data(), nullptr);
+  // Every page was dirtied by Resize.
+  for (size_t off = 0; off < b.bytes(); off += 4096) {
+    EXPECT_EQ(b.data()[off], static_cast<uint8_t>(off >> 12));
+  }
+  ASSERT_TRUE(b.Resize(0).ok());
+  EXPECT_EQ(b.bytes(), 0u);
+}
+
+TEST(HeapBallastTest, ResizeReplacesPrevious) {
+  HeapBallast b;
+  ASSERT_TRUE(b.Resize(1 << 20).ok());
+  ASSERT_TRUE(b.Resize(2 << 20).ok());
+  EXPECT_EQ(b.bytes(), 2u << 20);
+  b.data()[0] = 99;
+  b.TouchAll();
+  EXPECT_EQ(b.data()[0], 0);  // TouchAll rewrites the pattern
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,46 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+#include <time.h>
+
+namespace forklift {
+namespace {
+
+TEST(ClockTest, MonotonicNeverGoesBackwards) {
+  uint64_t prev = MonotonicNanos();
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t now = MonotonicNanos();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(StopwatchTest, MeasuresSleeps) {
+  Stopwatch sw;
+  timespec ts{0, 20'000'000};  // 20ms
+  ::nanosleep(&ts, nullptr);
+  double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, 19.0);
+  EXPECT_LT(ms, 2000.0);  // loose upper bound: scheduler noise only
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch sw;
+  timespec ts{0, 5'000'000};
+  ::nanosleep(&ts, nullptr);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedMillis(), 5.0);
+}
+
+TEST(StopwatchTest, UnitConversionsConsistent) {
+  Stopwatch sw;
+  timespec ts{0, 2'000'000};
+  ::nanosleep(&ts, nullptr);
+  uint64_t ns = sw.ElapsedNanos();
+  // Re-reads advance, so compare loosely across units.
+  EXPECT_NEAR(sw.ElapsedMicros(), static_cast<double>(ns) / 1e3, 1e3);
+  EXPECT_NEAR(sw.ElapsedSeconds() * 1e6, sw.ElapsedMicros(), 1e3);
+}
+
+}  // namespace
+}  // namespace forklift

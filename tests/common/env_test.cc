@@ -1,0 +1,80 @@
+#include "src/common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace forklift {
+namespace {
+
+TEST(ArgvBlockTest, NullTerminated) {
+  ArgvBlock b({"ls", "-l", "/tmp"});
+  ASSERT_EQ(b.size(), 3u);
+  char* const* p = b.data();
+  EXPECT_STREQ(p[0], "ls");
+  EXPECT_STREQ(p[1], "-l");
+  EXPECT_STREQ(p[2], "/tmp");
+  EXPECT_EQ(p[3], nullptr);
+}
+
+TEST(ArgvBlockTest, EmptyBlockStillTerminated) {
+  ArgvBlock b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.data()[0], nullptr);
+}
+
+TEST(ArgvBlockTest, AddRefreshesPointers) {
+  ArgvBlock b;
+  b.Add("a");
+  b.Add("bb");
+  EXPECT_STREQ(b.data()[0], "a");
+  EXPECT_STREQ(b.data()[1], "bb");
+  EXPECT_EQ(b.data()[2], nullptr);
+}
+
+TEST(EnvMapTest, SetGetUnset) {
+  EnvMap env;
+  env.Set("KEY", "value");
+  EXPECT_TRUE(env.Has("KEY"));
+  EXPECT_EQ(env.Get("KEY").value(), "value");
+  env.Set("KEY", "other");
+  EXPECT_EQ(env.Get("KEY").value(), "other");
+  env.Unset("KEY");
+  EXPECT_FALSE(env.Has("KEY"));
+  EXPECT_FALSE(env.Get("KEY").has_value());
+}
+
+TEST(EnvMapTest, FromStringsParsesAndIgnoresMalformed) {
+  EnvMap env = EnvMap::FromStrings({"A=1", "B=x=y", "NOEQ", "=empty", "C="});
+  EXPECT_EQ(env.size(), 3u);
+  EXPECT_EQ(env.Get("A").value(), "1");
+  EXPECT_EQ(env.Get("B").value(), "x=y");  // only first '=' splits
+  EXPECT_EQ(env.Get("C").value(), "");
+}
+
+TEST(EnvMapTest, ToStringsSortedDeterministic) {
+  EnvMap env = EnvMap::FromStrings({"Z=9", "A=1", "M=5"});
+  EXPECT_EQ(env.ToStrings(), (std::vector<std::string>{"A=1", "M=5", "Z=9"}));
+}
+
+TEST(EnvMapTest, RoundTripThroughBlock) {
+  EnvMap env = EnvMap::FromStrings({"PATH=/bin", "HOME=/root"});
+  ArgvBlock block = env.ToBlock();
+  EnvMap back = EnvMap::FromBlock(block.data());
+  EXPECT_EQ(back.ToStrings(), env.ToStrings());
+}
+
+TEST(EnvMapTest, FromCurrentSeesRealEnvironment) {
+  ASSERT_EQ(setenv("FORKLIFT_TEST_VAR", "present", 1), 0);
+  EnvMap env = EnvMap::FromCurrent();
+  EXPECT_EQ(env.Get("FORKLIFT_TEST_VAR").value(), "present");
+  unsetenv("FORKLIFT_TEST_VAR");
+}
+
+TEST(EnvMapTest, FromNullBlock) {
+  EnvMap env = EnvMap::FromBlock(nullptr);
+  EXPECT_EQ(env.size(), 0u);
+}
+
+}  // namespace
+}  // namespace forklift

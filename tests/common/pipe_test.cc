@@ -1,0 +1,103 @@
+#include "src/common/pipe.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/common/syscall.h"
+
+namespace forklift {
+namespace {
+
+TEST(PipeTest, DataFlowsThrough) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(WriteFull(p->write_end.get(), "hello", 5).ok());
+  char buf[8] = {};
+  auto n = ReadFull(p->read_end.get(), buf, 5);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_STREQ(buf, "hello");
+}
+
+TEST(PipeTest, CloexecByDefault) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  auto r = GetCloexec(p->read_end.get());
+  auto w = GetCloexec(p->write_end.get());
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(w.ok());
+  EXPECT_TRUE(*r);
+  EXPECT_TRUE(*w);
+}
+
+TEST(PipeTest, CloexecOptOut) {
+  auto p = MakePipe(/*cloexec=*/false);
+  ASSERT_TRUE(p.ok());
+  auto r = GetCloexec(p->read_end.get());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(PipeTest, EofAfterWriterCloses) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(WriteFull(p->write_end.get(), "x", 1).ok());
+  p->write_end.Reset();
+  auto all = ReadAll(p->read_end.get());
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, "x");
+}
+
+TEST(SocketPairTest, Bidirectional) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(WriteFull(sp->first.get(), "ping", 4).ok());
+  char buf[4];
+  auto n = ReadFull(sp->second.get(), buf, 4);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(std::string(buf, 4), "ping");
+
+  ASSERT_TRUE(WriteFull(sp->second.get(), "pong", 4).ok());
+  auto m = ReadFull(sp->first.get(), buf, 4);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(std::string(buf, 4), "pong");
+}
+
+TEST(SocketPairTest, CloexecByDefault) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  auto c = GetCloexec(sp->first.get());
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*c);
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  int raw = p->read_end.get();
+  UniqueFd moved = std::move(p->read_end);
+  EXPECT_EQ(moved.get(), raw);
+  EXPECT_FALSE(p->read_end.valid());
+}
+
+TEST(UniqueFdTest, ResetCloses) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  int raw = p->read_end.get();
+  p->read_end.Reset();
+  // The descriptor must now be invalid.
+  EXPECT_LT(::fcntl(raw, F_GETFD), 0);
+}
+
+TEST(UniqueFdTest, ReleaseDisownsWithoutClosing) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  int raw = p->read_end.Release();
+  EXPECT_FALSE(p->read_end.valid());
+  EXPECT_GE(::fcntl(raw, F_GETFD), 0);  // still open
+  ::close(raw);
+}
+
+}  // namespace
+}  // namespace forklift

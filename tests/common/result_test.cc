@@ -1,0 +1,142 @@
+// Unit tests for Result<T>/Status — the error channel everything else uses.
+#include "src/common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace forklift {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Err(Error(ENOENT, "open /nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), ENOENT);
+  EXPECT_TRUE(r.error().IsErrno(ENOENT));
+  EXPECT_EQ(r.error().context(), "open /nope");
+}
+
+TEST(ResultTest, ErrorToStringIncludesStrerror) {
+  Error e(EACCES, "connect");
+  std::string s = e.ToString();
+  EXPECT_NE(s.find("connect"), std::string::npos);
+  EXPECT_NE(s.find("Permission denied"), std::string::npos);
+}
+
+TEST(ResultTest, LogicalErrorHasNoErrno) {
+  Result<int> r = LogicalError("bad plan");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), 0);
+  EXPECT_EQ(r.error().ToString(), "bad plan");
+}
+
+TEST(ResultTest, ErrnoErrorCapturesErrno) {
+  errno = EBADF;
+  Result<int> r = ErrnoError("write");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), EBADF);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> good = 1;
+  Result<int> bad = LogicalError("x");
+  EXPECT_EQ(good.ValueOr(9), 1);
+  EXPECT_EQ(bad.ValueOr(9), 9);
+}
+
+TEST(ResultTest, MapTransformsValue) {
+  Result<int> r = 21;
+  auto doubled = std::move(r).Map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+}
+
+TEST(ResultTest, MapPropagatesError) {
+  Result<int> r = LogicalError("nope");
+  auto doubled = std::move(r).Map([](int v) { return v * 2; });
+  ASSERT_FALSE(doubled.ok());
+  EXPECT_EQ(doubled.error().ToString(), "nope");
+}
+
+TEST(ResultTest, AndThenChains) {
+  Result<int> r = 5;
+  auto chained = std::move(r).AndThen([](int v) -> Result<std::string> {
+    if (v > 0) {
+      return std::to_string(v);
+    }
+    return LogicalError("negative");
+  });
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(*chained, "5");
+}
+
+TEST(ResultTest, AndThenShortCircuits) {
+  Result<int> r = LogicalError("first");
+  bool called = false;
+  auto chained = std::move(r).AndThen([&](int) -> Result<int> {
+    called = true;
+    return 0;
+  });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(chained.error().ToString(), "first");
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorState) {
+  Status s = Err(Error(EPIPE, "write"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code(), EPIPE);
+}
+
+Status FailsAtStep(int step) {
+  if (step == 1) {
+    return LogicalError("step1");
+  }
+  return Status::Ok();
+}
+
+Result<int> UsesMacros(int step) {
+  FORKLIFT_RETURN_IF_ERROR(FailsAtStep(step));
+  FORKLIFT_ASSIGN_OR_RETURN(int v, Result<int>(10));
+  return v + step;
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto ok = UsesMacros(0);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 10);
+
+  auto bad = UsesMacros(1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().ToString(), "step1");
+}
+
+TEST(ResultTest, NodiscardEnforcedByConvention) {
+  // Compile-time property; this test documents that Result must be consumed.
+  auto f = []() -> Result<int> { return 3; };
+  auto r = f();
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace forklift

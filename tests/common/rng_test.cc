@@ -1,0 +1,81 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace forklift {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+  EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.Below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);  // every bucket hit in 1000 draws
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = rng.Range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // law of large numbers sanity
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,79 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace forklift {
+namespace {
+
+TEST(StatsTest, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0);
+  EXPECT_EQ(s.Summary(), "n=0");
+}
+
+TEST(StatsTest, BasicMoments) {
+  SampleStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  // Known sample stddev of this classic dataset: sqrt(32/7).
+  EXPECT_NEAR(s.Stddev(), 2.13809, 1e-4);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  SampleStats s;
+  s.Add(10);
+  s.Add(20);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 15.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 12.5);
+}
+
+TEST(StatsTest, SingleSample) {
+  SampleStats s;
+  s.Add(3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.5);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0.0);
+}
+
+TEST(StatsTest, AddAfterPercentileResorts) {
+  SampleStats s;
+  s.Add(1);
+  s.Add(3);
+  EXPECT_DOUBLE_EQ(s.Median(), 2.0);
+  s.Add(100);
+  EXPECT_DOUBLE_EQ(s.Median(), 3.0);
+}
+
+TEST(StatsTest, PercentilesMonotone) {
+  SampleStats s;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    s.Add(rng.NextDouble() * 1000);
+  }
+  double prev = s.Percentile(0);
+  for (double p = 5; p <= 100; p += 5) {
+    double cur = s.Percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace forklift

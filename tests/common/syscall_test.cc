@@ -1,0 +1,112 @@
+#include "src/common/syscall.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/common/pipe.h"
+
+namespace forklift {
+namespace {
+
+TEST(SyscallTest, OpenFdSuccessAndFailure) {
+  auto ok = OpenFd("/dev/null", O_RDONLY);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->valid());
+
+  auto bad = OpenFd("/definitely/not/a/path", O_RDONLY);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code(), ENOENT);
+  EXPECT_NE(bad.error().ToString().find("/definitely/not/a/path"), std::string::npos);
+}
+
+TEST(SyscallTest, ReadFullStopsAtEof) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(WriteFull(p->write_end.get(), "abc", 3).ok());
+  p->write_end.Reset();
+  char buf[16];
+  auto n = ReadFull(p->read_end.get(), buf, sizeof(buf));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 3u);
+}
+
+TEST(SyscallTest, ReadAllCapEnforced) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  std::string big(1024, 'x');
+  ASSERT_TRUE(WriteFull(p->write_end.get(), big.data(), big.size()).ok());
+  p->write_end.Reset();
+  auto r = ReadAll(p->read_end.get(), /*max_bytes=*/100);
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(SyscallTest, WaitForExitDecodesExitCode) {
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    _exit(42);
+  }
+  auto st = WaitForExit(pid);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->exited);
+  EXPECT_EQ(st->exit_code, 42);
+  EXPECT_FALSE(st->Success());
+  EXPECT_EQ(st->ToString(), "exit(42)");
+}
+
+TEST(SyscallTest, WaitForExitDecodesSignal) {
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Die by signal.
+    ::raise(SIGKILL);
+    _exit(0);
+  }
+  auto st = WaitForExit(pid);
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->signaled);
+  EXPECT_EQ(st->term_signal, SIGKILL);
+  EXPECT_EQ(st->ToString(), "signal(9)");
+}
+
+TEST(SyscallTest, CloexecRoundTrip) {
+  auto fd = OpenFd("/dev/null", O_RDONLY);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(SetCloexec(fd->get(), true).ok());
+  EXPECT_TRUE(GetCloexec(fd->get()).value());
+  ASSERT_TRUE(SetCloexec(fd->get(), false).ok());
+  EXPECT_FALSE(GetCloexec(fd->get()).value());
+}
+
+TEST(SyscallTest, CloexecOnBadFdFails) {
+  EXPECT_FALSE(SetCloexec(-1, true).ok());
+  EXPECT_FALSE(GetCloexec(999999).ok());
+}
+
+TEST(SyscallTest, Dup2Works) {
+  auto a = OpenFd("/dev/null", O_RDONLY);
+  ASSERT_TRUE(a.ok());
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  int target = p->read_end.get();
+  ASSERT_TRUE(Dup2(a->get(), target).ok());
+  // target now refers to /dev/null: reading gives EOF immediately.
+  char c;
+  EXPECT_EQ(::read(target, &c, 1), 0);
+}
+
+TEST(SyscallTest, NonBlockingToggle) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(SetNonBlocking(p->read_end.get(), true).ok());
+  char c;
+  errno = 0;
+  EXPECT_LT(::read(p->read_end.get(), &c, 1), 0);
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+  ASSERT_TRUE(SetNonBlocking(p->read_end.get(), false).ok());
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,171 @@
+// Shape regression tests: miniature versions of the headline experiments run
+// inside the test suite, asserting the QUALITATIVE results the paper reports.
+// If a refactor of procsim (or of the cost model) ever flattens fork's curve
+// or tilts spawn's, these fail — the reproduction itself is under test.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/procsim/cross_process.h"
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 64 * 1024;
+  img.data_bytes = 32 * 1024;
+  img.stack_bytes = 32 * 1024;
+  img.touched_at_start_bytes = 16 * 1024;
+  return img;
+}
+
+// Creation cost (sim ns) under each primitive for a parent with `mib` dirty.
+struct Costs {
+  uint64_t fork_ns;
+  uint64_t vfork_ns;
+  uint64_t spawn_ns;
+};
+
+Costs MeasureAt(uint64_t mib) {
+  SimKernel::Config config;
+  config.phys_frames = 8ull << 20;
+  SimKernel kernel(config);
+  Pid parent = *kernel.CreateInit(TinyImage());
+  if (mib > 0) {
+    Vaddr base = *kernel.MapAnon(parent, mib << 20, "ballast");
+    EXPECT_TRUE(kernel.Touch(parent, base, mib << 20, true).ok());
+  }
+  Costs costs{};
+  auto measure = [&](auto&& op) {
+    uint64_t t0 = kernel.clock().now_ns();
+    op();
+    return kernel.clock().now_ns() - t0;
+  };
+  costs.fork_ns = measure([&] {
+    auto child = kernel.Fork(parent);
+    ASSERT_TRUE(child.ok());
+    (void)kernel.Exit(*child, 0);
+    (void)kernel.Wait(parent, *child);
+  });
+  costs.vfork_ns = measure([&] {
+    auto child = kernel.Vfork(parent);
+    ASSERT_TRUE(child.ok());
+    (void)kernel.Exit(*child, 0, false);
+    (void)kernel.Wait(parent, *child);
+  });
+  costs.spawn_ns = measure([&] {
+    auto child = kernel.Spawn(parent, TinyImage());
+    ASSERT_TRUE(child.ok());
+    (void)kernel.Exit(*child, 0);
+    (void)kernel.Wait(parent, *child);
+  });
+  return costs;
+}
+
+TEST(Figure1ShapeTest, ForkMonotoneVforkAndSpawnFlat) {
+  const std::vector<uint64_t> sweep = {0, 32, 128, 512};
+  std::vector<Costs> rows;
+  for (uint64_t mib : sweep) {
+    rows.push_back(MeasureAt(mib));
+  }
+  // fork strictly increases with heap.
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].fork_ns, rows[i - 1].fork_ns) << "at " << sweep[i] << " MiB";
+  }
+  // vfork and spawn are exactly flat (deterministic simulator).
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].vfork_ns, rows[0].vfork_ns);
+    EXPECT_EQ(rows[i].spawn_ns, rows[0].spawn_ns);
+  }
+  // The crossover exists: fork beats spawn on a tiny parent, loses at 512 MiB
+  // by a wide margin.
+  EXPECT_LT(rows[0].fork_ns, rows[0].spawn_ns);
+  EXPECT_GT(rows.back().fork_ns, 5 * rows.back().spawn_ns);
+}
+
+TEST(Figure1ShapeTest, ForkCostIsLinearInPages) {
+  // Doubling the dirty heap should roughly double fork's marginal cost.
+  Costs at128 = MeasureAt(128);
+  Costs at256 = MeasureAt(256);
+  Costs at512 = MeasureAt(512);
+  uint64_t d1 = at256.fork_ns - at128.fork_ns;
+  uint64_t d2 = at512.fork_ns - at256.fork_ns;
+  // d2 covers twice the pages of d1: expect ~2x within 25%.
+  EXPECT_GT(d2, d1 * 3 / 2);
+  EXPECT_LT(d2, d1 * 5 / 2);
+}
+
+TEST(HugePageShapeTest, TwoMegPagesCutForkCostByOrdersOfMagnitude) {
+  auto fork_cost = [](PageSize size) {
+    SimKernel::Config config;
+    config.phys_frames = 8ull << 20;
+    SimKernel kernel(config);
+    Pid parent = *kernel.CreateInit(TinyImage());
+    Vaddr base = *kernel.MapAnon(parent, 512ull << 20, "ballast", size);
+    EXPECT_TRUE(kernel.Touch(parent, base, 512ull << 20, true).ok());
+    uint64_t t0 = kernel.clock().now_ns();
+    auto child = kernel.Fork(parent);
+    EXPECT_TRUE(child.ok());
+    uint64_t cost = kernel.clock().now_ns() - t0;
+    (void)kernel.Exit(*child, 0);
+    (void)kernel.Wait(parent, *child);
+    return cost;
+  };
+  uint64_t small_pages = fork_cost(PageSize::k4K);
+  uint64_t huge_pages = fork_cost(PageSize::k2M);
+  EXPECT_GT(small_pages, 20 * huge_pages);
+}
+
+TEST(SnapshotShapeTest, ForkSnapshotPausesFarLessThanEagerCopy) {
+  SimKernel::Config config;
+  config.phys_frames = 8ull << 20;
+  SimKernel kernel(config);
+  Pid server = *kernel.CreateInit(TinyImage());
+  Vaddr state = *kernel.MapAnon(server, 256ull << 20, "state");
+  ASSERT_TRUE(kernel.Touch(server, state, 256ull << 20, true).ok());
+
+  uint64_t t0 = kernel.clock().now_ns();
+  auto snap = kernel.Fork(server);
+  ASSERT_TRUE(snap.ok());
+  uint64_t fork_pause = kernel.clock().now_ns() - t0;
+
+  // Eager alternative: copy every page (modeled as demand-alloc + copy cost).
+  uint64_t pages = (256ull << 20) / kPageSize4K;
+  uint64_t eager_pause =
+      pages * (kernel.clock().model().of(CostKind::kFrameCopy4K) +
+               kernel.clock().model().of(CostKind::kFrameZero));
+  EXPECT_GT(eager_pause, 50 * fork_pause);
+
+  (void)kernel.Exit(*snap, 0);
+  (void)kernel.Wait(server, *snap);
+}
+
+TEST(BuilderShapeTest, ExplicitConstructionFlatInParentSize) {
+  auto builder_cost = [](uint64_t mib) {
+    SimKernel::Config config;
+    config.phys_frames = 8ull << 20;
+    SimKernel kernel(config);
+    Pid parent = *kernel.CreateInit(TinyImage());
+    if (mib > 0) {
+      Vaddr base = *kernel.MapAnon(parent, mib << 20, "ballast");
+      EXPECT_TRUE(kernel.Touch(parent, base, mib << 20, true).ok());
+    }
+    uint64_t t0 = kernel.clock().now_ns();
+    auto builder = ProcessBuilder::Create(&kernel, parent);
+    EXPECT_TRUE(builder.ok());
+    EXPECT_TRUE(builder->LoadImage(TinyImage()).ok());
+    Pid pid = builder->pid();
+    EXPECT_TRUE(std::move(*builder).Start().ok());
+    uint64_t cost = kernel.clock().now_ns() - t0;
+    (void)kernel.Exit(pid, 0);
+    (void)kernel.Wait(parent, pid);
+    return cost;
+  };
+  EXPECT_EQ(builder_cost(0), builder_cost(512));
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,128 @@
+// Failure injection for the fork-server stack: dead servers, killed workers,
+// and garbage on the wire must produce errors, not hangs or crashes.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/forkserver/client.h"
+#include "src/forkserver/fd_transfer.h"
+#include "src/forkserver/pool.h"
+#include "src/forkserver/protocol.h"
+#include "src/forkserver/server.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+// Pipe-heavy code: a worker can die between our liveness check and the
+// write. Ignore SIGPIPE (the library contract) so that window surfaces as
+// EPIPE instead of death.
+class IgnoreSigpipe : public ::testing::Environment {
+ public:
+  void SetUp() override { ::signal(SIGPIPE, SIG_IGN); }
+};
+const auto* const kIgnoreSigpipe =
+    ::testing::AddGlobalTestEnvironment(new IgnoreSigpipe());
+
+TEST(ForkServerFailureTest, SpawnAgainstDeadServerFailsCleanly) {
+  auto handle = StartForkServerProcess();
+  ASSERT_TRUE(handle.ok());
+  // Kill the server outright (no shutdown handshake).
+  ASSERT_EQ(::kill(handle->server_pid, SIGKILL), 0);
+  ASSERT_TRUE(WaitForExit(handle->server_pid).ok());
+
+  ForkServerClient client(std::move(handle->client_sock));
+  Spawner s("/bin/true");
+  auto child = client.Spawn(s);
+  EXPECT_FALSE(child.ok());  // EOF or EPIPE — never a hang
+}
+
+TEST(ForkServerFailureTest, PingAfterServerCrashFails) {
+  auto handle = StartForkServerProcess();
+  ASSERT_TRUE(handle.ok());
+  ASSERT_EQ(::kill(handle->server_pid, SIGKILL), 0);
+  ASSERT_TRUE(WaitForExit(handle->server_pid).ok());
+  ForkServerClient client(std::move(handle->client_sock));
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+TEST(ForkServerFailureTest, GarbageFrameGetsErrorReply) {
+  auto handle = StartForkServerProcess();
+  ASSERT_TRUE(handle.ok());
+  // Send a syntactically valid frame with garbage payload.
+  ASSERT_TRUE(SendFrame(handle->client_sock.get(), "not-a-protocol-message").ok());
+  auto rr = RecvFrame(handle->client_sock.get());
+  ASSERT_TRUE(rr.ok());
+  ASSERT_FALSE(rr->eof);
+  auto reply = DecodeSpawnReply(rr->frame.payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+
+  // The server survives and still works.
+  ForkServerClient client(std::move(handle->client_sock));
+  EXPECT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Shutdown().ok());
+  ASSERT_TRUE(WaitForExit(handle->server_pid).ok());
+}
+
+TEST(ForkServerFailureTest, ServerSurvivesSpawnOfMissingBinary) {
+  auto handle = StartForkServerProcess();
+  ASSERT_TRUE(handle.ok());
+  ForkServerClient client(std::move(handle->client_sock));
+  for (int i = 0; i < 3; ++i) {
+    Spawner bad("/no/such/thing");
+    auto child = client.Spawn(bad);
+    EXPECT_FALSE(child.ok());
+  }
+  Spawner good("/bin/true");
+  auto child = client.Spawn(good);
+  ASSERT_TRUE(child.ok());
+  EXPECT_TRUE(child->Wait().value().Success());
+  ASSERT_TRUE(client.Shutdown().ok());
+  ASSERT_TRUE(WaitForExit(handle->server_pid).ok());
+}
+
+TEST(WorkerPoolFailureTest, KilledWorkerIsDetectedAndRoutedAround) {
+  ShellWorkerPool pool;
+  ASSERT_TRUE(pool.Start({.workers = 2}).ok());
+
+  // Find a worker's pid, kill it behind the pool's back.
+  auto r = pool.Execute("echo $$");
+  ASSERT_TRUE(r.ok());
+  pid_t victim = static_cast<pid_t>(std::stol(r->output));
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // The next task routed to the dead worker errors; subsequent tasks succeed
+  // on the survivor (round-robin passes the corpse once, marks it unhealthy).
+  bool saw_error = false;
+  int successes = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto task = pool.Execute("echo alive");
+    if (task.ok()) {
+      EXPECT_EQ(task->output, "alive\n");
+      ++successes;
+    } else {
+      saw_error = true;
+    }
+  }
+  EXPECT_TRUE(saw_error);
+  EXPECT_GE(successes, 4);
+}
+
+TEST(WorkerPoolFailureTest, AllWorkersDeadIsTerminalError) {
+  ShellWorkerPool pool;
+  ASSERT_TRUE(pool.Start({.workers = 1}).ok());
+  auto r = pool.Execute("echo $$");
+  ASSERT_TRUE(r.ok());
+  pid_t victim = static_cast<pid_t>(std::stol(r->output));
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+  // First attempt detects the death, second finds no healthy workers.
+  (void)pool.Execute("echo x");
+  auto after = pool.Execute("echo x");
+  EXPECT_FALSE(after.ok());
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,144 @@
+// SCM_RIGHTS framing: payloads, descriptor passing, EOF, hostile frames.
+#include "src/forkserver/fd_transfer.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+
+namespace forklift {
+namespace {
+
+TEST(FdTransferTest, PayloadOnlyRoundTrip) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(SendFrame(sp->first.get(), "frame-one").ok());
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_FALSE(rr->eof);
+  EXPECT_EQ(rr->frame.payload, "frame-one");
+  EXPECT_TRUE(rr->frame.fds.empty());
+}
+
+TEST(FdTransferTest, EmptyPayloadFrame) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(SendFrame(sp->first.get(), "").ok());
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_FALSE(rr->eof);
+  EXPECT_TRUE(rr->frame.payload.empty());
+}
+
+TEST(FdTransferTest, MultipleFramesInOrder) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(SendFrame(sp->first.get(), "frame" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto rr = RecvFrame(sp->second.get());
+    ASSERT_TRUE(rr.ok());
+    EXPECT_EQ(rr->frame.payload, "frame" + std::to_string(i));
+  }
+}
+
+TEST(FdTransferTest, EofDetected) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  sp->first.Reset();
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  EXPECT_TRUE(rr->eof);
+}
+
+TEST(FdTransferTest, SingleFdArrivesUsable) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+
+  ASSERT_TRUE(SendFrame(sp->first.get(), "take-this", {pipe->write_end.get()}).ok());
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr->frame.fds.size(), 1u);
+
+  // Write through the received duplicate; read from the original pipe.
+  ASSERT_TRUE(WriteFull(rr->frame.fds[0].get(), "via-scm", 7).ok());
+  rr->frame.fds.clear();
+  pipe->write_end.Reset();
+  auto data = ReadAll(pipe->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "via-scm");
+}
+
+TEST(FdTransferTest, ManyFdsPreserveOrder) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  std::vector<Pipe> pipes;
+  std::vector<int> to_send;
+  for (int i = 0; i < 8; ++i) {
+    auto p = MakePipe();
+    ASSERT_TRUE(p.ok());
+    to_send.push_back(p->write_end.get());
+    pipes.push_back(std::move(p).value());
+  }
+  ASSERT_TRUE(SendFrame(sp->first.get(), "octet", to_send).ok());
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr->frame.fds.size(), 8u);
+  // Identify each received fd by writing its index through it.
+  for (int i = 0; i < 8; ++i) {
+    char c = static_cast<char>('0' + i);
+    ASSERT_TRUE(WriteFull(rr->frame.fds[i].get(), &c, 1).ok());
+  }
+  rr->frame.fds.clear();
+  for (int i = 0; i < 8; ++i) {
+    pipes[i].write_end.Reset();
+    auto data = ReadAll(pipes[i].read_end.get());
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, std::string(1, static_cast<char>('0' + i)));
+  }
+}
+
+TEST(FdTransferTest, TooManyFdsRejected) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  std::vector<int> fds(kMaxFdsPerFrame + 1, 0);
+  EXPECT_FALSE(SendFrame(sp->first.get(), "x", fds).ok());
+}
+
+TEST(FdTransferTest, FdsRequirePayload) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  EXPECT_FALSE(SendFrame(sp->first.get(), "", {0}).ok());
+}
+
+TEST(FdTransferTest, OversizedFrameRejectedByReceiver) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  // Hand-craft a length prefix claiming 1 GiB.
+  uint32_t huge = 1u << 30;
+  ASSERT_TRUE(WriteFull(sp->first.get(), &huge, sizeof(huge)).ok());
+  auto rr = RecvFrame(sp->second.get(), /*max_payload=*/1 << 20);
+  EXPECT_FALSE(rr.ok());
+}
+
+TEST(FdTransferTest, ReceivedFdsAreCloexec) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_TRUE(SendFrame(sp->first.get(), "p", {pipe->read_end.get()}).ok());
+  auto rr = RecvFrame(sp->second.get());
+  ASSERT_TRUE(rr.ok());
+  ASSERT_EQ(rr->frame.fds.size(), 1u);
+  // MSG_CMSG_CLOEXEC: a received descriptor must not leak through exec.
+  auto cloexec = GetCloexec(rr->frame.fds[0].get());
+  ASSERT_TRUE(cloexec.ok());
+  EXPECT_TRUE(*cloexec);
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,110 @@
+#include "src/hazards/fd_audit.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+
+namespace forklift {
+namespace {
+
+TEST(FdAuditTest, SeesStandardStreams) {
+  auto fds = AuditFds();
+  ASSERT_TRUE(fds.ok());
+  bool saw0 = false, saw1 = false, saw2 = false;
+  for (const auto& info : *fds) {
+    saw0 |= info.fd == 0;
+    saw1 |= info.fd == 1;
+    saw2 |= info.fd == 2;
+  }
+  EXPECT_TRUE(saw0 && saw1 && saw2);
+}
+
+TEST(FdAuditTest, DetectsInheritableFd) {
+  auto p = MakePipe(/*cloexec=*/false);
+  ASSERT_TRUE(p.ok());
+  auto report = FindInheritableFds();
+  ASSERT_TRUE(report.ok());
+  bool found_read = false, found_write = false;
+  for (const auto& info : report->inheritable) {
+    found_read |= info.fd == p->read_end.get();
+    found_write |= info.fd == p->write_end.get();
+    if (info.fd == p->read_end.get()) {
+      EXPECT_EQ(info.kind, FdKind::kPipe);
+    }
+  }
+  EXPECT_TRUE(found_read);
+  EXPECT_TRUE(found_write);
+}
+
+TEST(FdAuditTest, CloexecFdNotReported) {
+  auto p = MakePipe(/*cloexec=*/true);
+  ASSERT_TRUE(p.ok());
+  auto report = FindInheritableFds();
+  ASSERT_TRUE(report.ok());
+  for (const auto& info : report->inheritable) {
+    EXPECT_NE(info.fd, p->read_end.get());
+    EXPECT_NE(info.fd, p->write_end.get());
+  }
+}
+
+TEST(FdAuditTest, StdioExemptionToggle) {
+  auto with_stdio = FindInheritableFds(/*ignore_stdio=*/false);
+  auto without_stdio = FindInheritableFds(/*ignore_stdio=*/true);
+  ASSERT_TRUE(with_stdio.ok());
+  ASSERT_TRUE(without_stdio.ok());
+  // stdio is typically inheritable, so the exemption must strictly shrink (or
+  // preserve) the finding list.
+  EXPECT_GE(with_stdio->inheritable.size(), without_stdio->inheritable.size());
+}
+
+TEST(FdAuditTest, ClassifiesKinds) {
+  auto file = OpenFd("/etc/hostname", O_RDONLY);
+  auto dir = OpenFd("/tmp", O_RDONLY | O_DIRECTORY);
+  auto dev = OpenFd("/dev/null", O_RDONLY);
+  auto sock = MakeSocketPair();
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(dev.ok());
+  ASSERT_TRUE(sock.ok());
+
+  auto fds = AuditFds();
+  ASSERT_TRUE(fds.ok());
+  auto kind_of = [&](int fd) {
+    for (const auto& info : *fds) {
+      if (info.fd == fd) {
+        return info.kind;
+      }
+    }
+    return FdKind::kOther;
+  };
+  EXPECT_EQ(kind_of(file->get()), FdKind::kRegularFile);
+  EXPECT_EQ(kind_of(dir->get()), FdKind::kDirectory);
+  EXPECT_EQ(kind_of(dev->get()), FdKind::kCharDevice);
+  EXPECT_EQ(kind_of(sock->first.get()), FdKind::kSocket);
+}
+
+TEST(FdAuditTest, ReportToStringMentionsLeaks) {
+  auto p = MakePipe(/*cloexec=*/false);
+  ASSERT_TRUE(p.ok());
+  auto report = FindInheritableFds();
+  ASSERT_TRUE(report.ok());
+  std::string s = report->ToString();
+  EXPECT_NE(s.find("inheritable"), std::string::npos);
+  EXPECT_NE(s.find("pipe"), std::string::npos);
+}
+
+TEST(FdAuditTest, TotalCountsAllOpenFds) {
+  auto before = FindInheritableFds();
+  ASSERT_TRUE(before.ok());
+  auto extra = OpenFd("/dev/null", O_RDONLY | O_CLOEXEC);
+  ASSERT_TRUE(extra.ok());
+  auto after = FindInheritableFds();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->total_fds, before->total_fds + 1);
+}
+
+}  // namespace
+}  // namespace forklift

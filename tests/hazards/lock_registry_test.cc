@@ -1,0 +1,129 @@
+#include "src/hazards/lock_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <thread>
+
+namespace forklift {
+namespace {
+
+TEST(TrackedMutexTest, LockUnlockTracksHolder) {
+  TrackedMutex mu("test.basic");
+  EXPECT_FALSE(mu.held());
+  mu.lock();
+  EXPECT_TRUE(mu.held());
+  EXPECT_TRUE(mu.held_by_me());
+  mu.unlock();
+  EXPECT_FALSE(mu.held());
+}
+
+TEST(TrackedMutexTest, TryLock) {
+  TrackedMutex mu("test.trylock");
+  EXPECT_TRUE(mu.try_lock());
+  EXPECT_TRUE(mu.held_by_me());
+  mu.unlock();
+}
+
+TEST(TrackedMutexTest, WorksWithLockGuard) {
+  TrackedMutex mu("test.guard");
+  {
+    std::lock_guard<TrackedMutex> guard(mu);
+    EXPECT_TRUE(mu.held());
+  }
+  EXPECT_FALSE(mu.held());
+}
+
+TEST(LockRegistryTest, RegistersAndUnregisters) {
+  size_t before = LockRegistry::Instance().size();
+  {
+    TrackedMutex mu("test.scoped");
+    EXPECT_EQ(LockRegistry::Instance().size(), before + 1);
+  }
+  EXPECT_EQ(LockRegistry::Instance().size(), before);
+}
+
+TEST(LockRegistryTest, HeldLocksSnapshot) {
+  TrackedMutex mu("test.snapshot");
+  auto held_before = LockRegistry::Instance().HeldLocks();
+  for (const auto& info : held_before) {
+    EXPECT_NE(info.name, "test.snapshot");
+  }
+  std::lock_guard<TrackedMutex> guard(mu);
+  auto held_after = LockRegistry::Instance().HeldLocks();
+  bool found = false;
+  for (const auto& info : held_after) {
+    if (info.name == "test.snapshot") {
+      found = true;
+      EXPECT_TRUE(info.held_by_current_thread);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The paper's fork-vs-threads hazard: a lock held by ANOTHER thread is the
+// dangerous one. A lock held by the forking thread itself is (relatively)
+// fine — the child inherits it with a live owner.
+TEST(LockRegistryTest, DetectsLockHeldByOtherThread) {
+  TrackedMutex mu("malloc.arena.sim");
+
+  std::mutex cv_mu;
+  std::condition_variable cv;
+  bool locked = false;
+  bool release = false;
+
+  std::thread holder([&] {
+    std::lock_guard<TrackedMutex> guard(mu);
+    {
+      std::lock_guard<std::mutex> l(cv_mu);
+      locked = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> l(cv_mu);
+    cv.wait(l, [&] { return release; });
+  });
+
+  {
+    std::unique_lock<std::mutex> l(cv_mu);
+    cv.wait(l, [&] { return locked; });
+  }
+
+  // From this thread's perspective: the lock is held by someone else —
+  // forking NOW would deadlock the child. This is the check fork can't do.
+  auto dangers = LockRegistry::Instance().HeldByOtherThreads();
+  ASSERT_EQ(dangers.size(), 1u);
+  EXPECT_EQ(dangers[0], "malloc.arena.sim");
+  EXPECT_TRUE(mu.held());
+  EXPECT_FALSE(mu.held_by_me());
+
+  {
+    std::lock_guard<std::mutex> l(cv_mu);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+  EXPECT_TRUE(LockRegistry::Instance().HeldByOtherThreads().empty());
+}
+
+TEST(LockRegistryTest, OwnLocksNotFlaggedAsOtherThreads) {
+  TrackedMutex mu("test.own");
+  std::lock_guard<TrackedMutex> guard(mu);
+  auto dangers = LockRegistry::Instance().HeldByOtherThreads();
+  for (const auto& name : dangers) {
+    EXPECT_NE(name, "test.own");
+  }
+}
+
+TEST(ThreadTokenTest, DistinctPerThread) {
+  uint64_t mine = CurrentThreadToken();
+  EXPECT_NE(mine, 0u);
+  EXPECT_EQ(CurrentThreadToken(), mine);  // stable within a thread
+  uint64_t theirs = 0;
+  std::thread t([&] { theirs = CurrentThreadToken(); });
+  t.join();
+  EXPECT_NE(theirs, 0u);
+  EXPECT_NE(theirs, mine);
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,182 @@
+// Live demonstrations of the paper's composability and security claims:
+// duplicated buffered output through a real fork, and MADV_WIPEONFORK
+// preventing a secret from reaching a child.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/hazards/secret.h"
+#include "src/hazards/stdio_audit.h"
+
+namespace forklift {
+namespace {
+
+TEST(StdioAuditTest, FreshStreamHasNothingPending) {
+  // A tmpfile-backed stream we fully control.
+  FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(PendingBytes(f), 0u);
+  std::fclose(f);
+}
+
+TEST(StdioAuditTest, UnflushedBytesCounted) {
+  FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  std::fputs("buffered", f);  // full buffering on a regular file: stays in memory
+  EXPECT_EQ(PendingBytes(f), 8u);
+  std::fflush(f);
+  EXPECT_EQ(PendingBytes(f), 0u);
+  std::fclose(f);
+}
+
+TEST(StdioAuditTest, RegisteredStreamAudited) {
+  FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  StdioAudit::Instance().Register("testlog", f);
+  std::fputs("xyz", f);
+  auto unflushed = StdioAudit::Instance().FindUnflushed();
+  bool found = false;
+  for (const auto& s : unflushed) {
+    if (s.name == "testlog") {
+      found = true;
+      EXPECT_EQ(s.pending_bytes, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  size_t flushed = StdioAudit::Instance().FlushAll();
+  EXPECT_GE(flushed, 3u);
+  EXPECT_TRUE(StdioAudit::Instance().FindUnflushed().empty());
+  StdioAudit::Instance().Unregister(f);
+  std::fclose(f);
+}
+
+TEST(StdioAuditTest, NullStreamSafe) { EXPECT_EQ(PendingBytes(nullptr), 0u); }
+
+// The classic §4 composability bug, reproduced for real: unflushed buffered
+// output is duplicated by fork — once from the parent, once from the child.
+TEST(ForkCompositionTest, UnflushedOutputDuplicatedByFork) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+
+  FILE* f = ::fdopen(::dup(p->write_end.get()), "w");
+  ASSERT_NE(f, nullptr);
+  // Force full buffering so the write definitely sits in userspace.
+  setvbuf(f, nullptr, _IOFBF, 4096);
+  std::fputs("once", f);
+  ASSERT_GT(PendingBytes(f), 0u);
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::fclose(f);  // child flush: emits the inherited buffer
+    _exit(0);
+  }
+  std::fclose(f);  // parent flush: emits the same bytes again
+  ASSERT_TRUE(WaitForExit(pid).ok());
+  p->write_end.Reset();
+  auto data = ReadAll(p->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "onceonce");  // the paper's bug, verbatim
+}
+
+// The fix the audit enables: flush before fork, and the duplication is gone.
+TEST(ForkCompositionTest, FlushBeforeForkPreventsDuplication) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  FILE* f = ::fdopen(::dup(p->write_end.get()), "w");
+  ASSERT_NE(f, nullptr);
+  setvbuf(f, nullptr, _IOFBF, 4096);
+  std::fputs("once", f);
+  std::fflush(f);  // what a ForkGuard kFlushAndWarn policy does
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    std::fclose(f);
+    _exit(0);
+  }
+  std::fclose(f);
+  ASSERT_TRUE(WaitForExit(pid).ok());
+  p->write_end.Reset();
+  auto data = ReadAll(p->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "once");
+}
+
+TEST(SecretBufferTest, StoreAndView) {
+  auto buf = SecretBuffer::Create(64);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Store("hunter2").ok());
+  EXPECT_EQ(buf->View().substr(0, 7), "hunter2");
+}
+
+TEST(SecretBufferTest, WipeZeroes) {
+  auto buf = SecretBuffer::Create(32);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Store("api-key").ok());
+  buf->Wipe();
+  for (size_t i = 0; i < buf->size(); ++i) {
+    EXPECT_EQ(buf->data()[i], 0) << "byte " << i;
+  }
+}
+
+TEST(SecretBufferTest, OversizeStoreRejected) {
+  auto buf = SecretBuffer::Create(4);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_FALSE(buf->Store("way too long for four bytes").ok());
+}
+
+TEST(SecretBufferTest, ZeroSizeRejected) {
+  EXPECT_FALSE(SecretBuffer::Create(0).ok());
+}
+
+TEST(SecretBufferTest, MoveTransfersOwnership) {
+  auto buf = SecretBuffer::Create(16);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Store("tok").ok());
+  SecretBuffer moved = std::move(buf).value();
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.View().substr(0, 3), "tok");
+}
+
+// §4's "fork is insecure" countered in hardware: the child sees zeros where
+// the parent's secret lives, because the kernel wiped the pages at fork.
+TEST(SecretBufferTest, SecretDoesNotSurviveFork) {
+  auto buf = SecretBuffer::Create(64);
+  ASSERT_TRUE(buf.ok());
+  if (!buf->wipe_on_fork()) {
+    GTEST_SKIP() << "kernel lacks MADV_WIPEONFORK";
+  }
+  ASSERT_TRUE(buf->Store("tippy-top-secret").ok());
+
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: report whether any non-zero byte survived.
+    bool leaked = false;
+    for (size_t i = 0; i < buf->size(); ++i) {
+      leaked |= buf->data()[i] != 0;
+    }
+    char verdict = leaked ? 'L' : 'Z';
+    ssize_t ignored = ::write(p->write_end.get(), &verdict, 1);
+    (void)ignored;
+    _exit(0);
+  }
+  ASSERT_TRUE(WaitForExit(pid).ok());
+  p->write_end.Reset();
+  auto data = ReadAll(p->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "Z") << "secret leaked into forked child";
+  // Parent still has its secret.
+  EXPECT_EQ(buf->View().substr(0, 16), "tippy-top-secret");
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,183 @@
+// Address-space semantics: demand paging, the full COW lifecycle across a
+// simulated fork, TLB shootdowns, and OOM behaviour.
+#include "src/procsim/address_space.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+class AddressSpaceTest : public ::testing::Test {
+ protected:
+  PhysicalMemory pm_{1u << 20};
+  SimClock clock_;
+};
+
+TEST_F(AddressSpaceTest, MapRegionValidation) {
+  AddressSpace as(&pm_, 1);
+  EXPECT_TRUE(as.MapRegion(kHeapBase, 1 << 20, true, "heap").ok());
+  // Overlap rejected.
+  EXPECT_FALSE(as.MapRegion(kHeapBase + kPageSize4K, kPageSize4K, true, "x").ok());
+  // Misaligned start rejected.
+  EXPECT_FALSE(as.MapRegion(kHeapBase + (2 << 20) + 1, kPageSize4K, true, "y").ok());
+  // Zero length rejected.
+  EXPECT_FALSE(as.MapRegion(kTextBase, 0, true, "z").ok());
+}
+
+TEST_F(AddressSpaceTest, DemandPagingAllocatesLazily) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 64 * kPageSize4K, true, "heap").ok());
+  EXPECT_EQ(as.resident_pages(), 0u);  // nothing faulted yet
+  ASSERT_TRUE(as.Write(kHeapBase, 1, &clock_).ok());
+  EXPECT_EQ(as.resident_pages(), 1u);
+  EXPECT_EQ(as.demand_faults(), 1u);
+  // Second touch of the same page: no new fault.
+  ASSERT_TRUE(as.Write(kHeapBase + 8, 2, &clock_).ok());
+  EXPECT_EQ(as.demand_faults(), 1u);
+}
+
+TEST_F(AddressSpaceTest, ReadOfUnmappedVaFaults) {
+  AddressSpace as(&pm_, 1);
+  auto r = as.Read(0xdead000, &clock_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), EFAULT);
+}
+
+TEST_F(AddressSpaceTest, WriteToReadOnlyVmaFaults) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kTextBase, kPageSize4K, false, "text").ok());
+  auto w = as.Write(kTextBase, 1, &clock_);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code(), EFAULT);
+  // Reads are fine.
+  EXPECT_TRUE(as.Read(kTextBase, &clock_).ok());
+}
+
+TEST_F(AddressSpaceTest, ValuesRoundTrip) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 16 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(as.Write(kHeapBase + 4096, 0x1234, &clock_).ok());
+  EXPECT_EQ(as.Read(kHeapBase + 4096, &clock_).value(), 0x1234u);
+}
+
+TEST_F(AddressSpaceTest, CloneSharesUntilWrite) {
+  AddressSpace parent(&pm_, 1);
+  ASSERT_TRUE(parent.MapRegion(kHeapBase, 8 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(parent.Write(kHeapBase, 111, &clock_).ok());
+  uint64_t frames_before = pm_.used_frames();
+
+  auto child = parent.CloneCow(2, &clock_);
+  ASSERT_TRUE(child.ok());
+  // No new data frames at clone time.
+  EXPECT_EQ(pm_.used_frames(), frames_before);
+  // Both read the same value.
+  EXPECT_EQ(parent.Read(kHeapBase, &clock_).value(), 111u);
+  EXPECT_EQ((*child)->Read(kHeapBase, &clock_).value(), 111u);
+}
+
+TEST_F(AddressSpaceTest, CowBreakIsolatesWriter) {
+  AddressSpace parent(&pm_, 1);
+  ASSERT_TRUE(parent.MapRegion(kHeapBase, 8 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(parent.Write(kHeapBase, 111, &clock_).ok());
+  auto child_result = parent.CloneCow(2, &clock_);
+  ASSERT_TRUE(child_result.ok());
+  auto child = std::move(child_result).value();
+
+  // Child writes: gets its own copy; parent unaffected.
+  ASSERT_TRUE(child->Write(kHeapBase, 222, &clock_).ok());
+  EXPECT_EQ(child->cow_breaks(), 1u);
+  EXPECT_EQ(child->Read(kHeapBase, &clock_).value(), 222u);
+  EXPECT_EQ(parent.Read(kHeapBase, &clock_).value(), 111u);
+
+  // Parent then writes: it is now sole owner — no copy, just re-arm write.
+  uint64_t frames = pm_.used_frames();
+  ASSERT_TRUE(parent.Write(kHeapBase, 333, &clock_).ok());
+  EXPECT_EQ(pm_.used_frames(), frames);  // no extra frame for the last owner
+  EXPECT_EQ(parent.Read(kHeapBase, &clock_).value(), 333u);
+  EXPECT_EQ(child->Read(kHeapBase, &clock_).value(), 222u);
+}
+
+TEST_F(AddressSpaceTest, CowBreakChargesCopyCost) {
+  AddressSpace parent(&pm_, 1);
+  ASSERT_TRUE(parent.MapRegion(kHeapBase, 4 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(parent.TouchRange(kHeapBase, 4 * kPageSize4K, true, &clock_).ok());
+  auto child = parent.CloneCow(2, &clock_);
+  ASSERT_TRUE(child.ok());
+
+  SimClock write_clock;
+  ASSERT_TRUE((*child)->TouchRange(kHeapBase, 4 * kPageSize4K, true, &write_clock).ok());
+  EXPECT_EQ(write_clock.ops_for(CostKind::kFrameCopy4K), 4u);
+  EXPECT_EQ(write_clock.ops_for(CostKind::kFaultTrap), 4u);
+}
+
+TEST_F(AddressSpaceTest, CloneDowngradeShootsDownParentTlb) {
+  TlbDomain tlbs(4, 64);
+  AddressSpace parent(&pm_, /*asid=*/7);
+  ASSERT_TRUE(parent.MapRegion(kHeapBase, 4 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(parent.TouchRange(kHeapBase, 4 * kPageSize4K, true, &clock_).ok());
+
+  // The parent's AS is active on cpus 1 and 2; the fork runs on cpu 0.
+  tlbs.SetActive(0, 7);
+  tlbs.SetActive(1, 7);
+  tlbs.SetActive(2, 7);
+  tlbs.cpu(1).Access(7, kHeapBase);
+  SimClock fork_clock;
+  auto child = parent.CloneCow(2, &fork_clock, &tlbs, /*initiating_cpu=*/0);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(fork_clock.ops_for(CostKind::kTlbShootdownIpi), 2u);  // cpus 1 and 2
+  EXPECT_FALSE(tlbs.cpu(1).Contains(7, kHeapBase));
+}
+
+TEST_F(AddressSpaceTest, CowWriteShootsDownStaleTranslation) {
+  TlbDomain tlbs(2, 64);
+  AddressSpace parent(&pm_, 7);
+  ASSERT_TRUE(parent.MapRegion(kHeapBase, kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(parent.Write(kHeapBase, 1, &clock_).ok());
+  auto child = parent.CloneCow(8, &clock_).value();
+
+  tlbs.SetActive(0, 7);
+  tlbs.SetActive(1, 7);
+  SimClock write_clock;
+  ASSERT_TRUE(parent.Write(kHeapBase, 2, &write_clock, &tlbs, /*cpu=*/0).ok());
+  EXPECT_EQ(write_clock.ops_for(CostKind::kTlbShootdownIpi), 1u);
+  (void)child;
+}
+
+TEST_F(AddressSpaceTest, HugePageRegionFaultsWholeHugePages) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 4ull << 20, true, "heap2m", PageSize::k2M).ok());
+  ASSERT_TRUE(as.Write(kHeapBase, 5, &clock_).ok());
+  EXPECT_EQ(as.resident_pages(), 1u);
+  EXPECT_EQ(as.page_table().huge_pages(), 1u);
+  // 512 4K-equivalents zeroed for one 2M fault.
+  EXPECT_EQ(clock_.ops_for(CostKind::kFrameZero), 512u);
+}
+
+TEST_F(AddressSpaceTest, UnmapRegionReleasesResidentFrames) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 8 * kPageSize4K, true, "heap").ok());
+  ASSERT_TRUE(as.TouchRange(kHeapBase, 8 * kPageSize4K, true, &clock_).ok());
+  EXPECT_EQ(pm_.used_frames(), 8u);
+  ASSERT_TRUE(as.UnmapRegion(kHeapBase).ok());
+  EXPECT_EQ(pm_.used_frames(), 0u);
+  EXPECT_EQ(as.FindVma(kHeapBase), nullptr);
+}
+
+TEST_F(AddressSpaceTest, OomSurfacesAsEnomem) {
+  PhysicalMemory tiny(4);
+  AddressSpace as(&tiny, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 16 * kPageSize4K, true, "heap").ok());
+  auto st = as.TouchRange(kHeapBase, 16 * kPageSize4K, true, &clock_);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), ENOMEM);
+}
+
+TEST_F(AddressSpaceTest, VmaBytesSumsRegions) {
+  AddressSpace as(&pm_, 1);
+  ASSERT_TRUE(as.MapRegion(kHeapBase, 1 << 20, true, "a").ok());
+  ASSERT_TRUE(as.MapRegion(kTextBase, 1 << 19, false, "b").ok());
+  EXPECT_EQ(as.vma_bytes(), (1u << 20) + (1u << 19));
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,156 @@
+// §5's overcommit dilemma, both horns, deterministically:
+//   strict     — fork fails EARLY (a clean, handleable ENOMEM at the fork
+//                call) even though memory would have sufficed in practice;
+//   overcommit — fork always succeeds, and the bill arrives LATER as an
+//                ENOMEM at some innocent write (the un-handleable OOM).
+#include <gtest/gtest.h>
+
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 16 * 1024;
+  img.data_bytes = 16 * 1024;
+  img.stack_bytes = 16 * 1024;
+  img.touched_at_start_bytes = 0;
+  return img;
+}
+
+SimKernel::Config SmallConfig(SimKernel::CommitPolicy policy) {
+  SimKernel::Config config;
+  config.phys_frames = 1024;  // 4 MiB of simulated RAM
+  config.commit_policy = policy;
+  return config;
+}
+
+TEST(CommitPolicyTest, StrictForkFailsWhenPromisesExceedMemory) {
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kStrict));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  // Dirty ~600 frames: a fork must promise ~600 more, but only ~400 remain.
+  auto heap = kernel.MapAnon(*init, 600 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 600 * kPageSize4K, true).ok());
+
+  auto child = kernel.Fork(*init);
+  ASSERT_FALSE(child.ok());
+  EXPECT_EQ(child.error().code(), ENOMEM);
+  EXPECT_NE(child.error().ToString().find("strict commit"), std::string::npos);
+}
+
+TEST(CommitPolicyTest, StrictForkSucceedsWithinBudgetAndReleasesOnExit) {
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kStrict));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 100 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 100 * kPageSize4K, true).ok());
+
+  uint64_t committed_before = kernel.memory().committed_frames();
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  EXPECT_GT(kernel.memory().committed_frames(), committed_before);
+
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+  EXPECT_EQ(kernel.memory().committed_frames(), committed_before);
+}
+
+TEST(CommitPolicyTest, StrictChargeReleasedByExecToo) {
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kStrict));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 100 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 100 * kPageSize4K, true).ok());
+
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+  EXPECT_GT(kernel.memory().committed_frames(), 0u);
+  // exec discards the COW space — and with it the promise.
+  ASSERT_TRUE(kernel.Exec(*child, TinyImage()).ok());
+  EXPECT_EQ(kernel.memory().committed_frames(), 0u);
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(CommitPolicyTest, OvercommitForkAlwaysSucceeds) {
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kOvercommit));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 600 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 600 * kPageSize4K, true).ok());
+
+  // The same fork strict accounting refused.
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(CommitPolicyTest, OvercommitBillArrivesAtAnInnocentWrite) {
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kOvercommit));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 600 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 600 * kPageSize4K, true).ok());
+
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+
+  // The child rewrites its inherited heap: each write COW-copies a frame.
+  // Physical memory runs out mid-loop — an ENOMEM surfacing at a WRITE the
+  // program had every reason to believe was to its own, already-allocated
+  // memory. This is the un-handleable failure overcommit trades for fork
+  // never failing.
+  auto st = kernel.Touch(*child, *heap, 600 * kPageSize4K, true);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code(), ENOMEM);
+
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(CommitPolicyTest, StrictNeverHitsWriteTimeOom) {
+  // The inverse guarantee: under strict accounting, any fork that SUCCEEDS
+  // can have all its COW pages broken without ENOMEM.
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kStrict));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 300 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 300 * kPageSize4K, true).ok());
+
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  // Break every single COW page — must not OOM.
+  ASSERT_TRUE(kernel.Touch(*child, *heap, 300 * kPageSize4K, true).ok());
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(CommitPolicyTest, SpawnUnaffectedByStrictPressure) {
+  // Spawn promises nothing beyond its own image: it works where fork is
+  // refused — the §5 argument for spawn in one test.
+  SimKernel kernel(SmallConfig(SimKernel::CommitPolicy::kStrict));
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto heap = kernel.MapAnon(*init, 600 * kPageSize4K, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel.Touch(*init, *heap, 600 * kPageSize4K, true).ok());
+
+  ASSERT_FALSE(kernel.Fork(*init).ok());
+  auto spawned = kernel.Spawn(*init, TinyImage());
+  ASSERT_TRUE(spawned.ok()) << spawned.error().ToString();
+  ASSERT_TRUE(kernel.Exit(*spawned, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *spawned).ok());
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,67 @@
+#include "src/procsim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+TEST(CostModelTest, EveryKindHasANameAndDefaultCost) {
+  CostModel model = CostModel::Default();
+  for (int i = 0; i < static_cast<int>(CostKind::kCount); ++i) {
+    auto kind = static_cast<CostKind>(i);
+    EXPECT_STRNE(CostKindName(kind), "?") << i;
+    EXPECT_GT(model.of(kind), 0u) << CostKindName(kind);
+  }
+}
+
+TEST(CostModelTest, DefaultsEncodeTheStructuralOrdering) {
+  // The relationships the experiments depend on, pinned: a PTE copy is far
+  // cheaper than a frame copy; a 2M copy is ~512 4K copies; an IPI costs more
+  // than a local flush; task creation dwarfs a syscall.
+  CostModel m = CostModel::Default();
+  EXPECT_LT(m.of(CostKind::kPteCopy) * 10, m.of(CostKind::kFrameCopy4K));
+  EXPECT_NEAR(static_cast<double>(m.of(CostKind::kFrameCopy2M)) /
+                  static_cast<double>(m.of(CostKind::kFrameCopy4K)),
+              512.0, 200.0);
+  EXPECT_GT(m.of(CostKind::kTlbShootdownIpi), m.of(CostKind::kTlbFlushLocal));
+  EXPECT_GT(m.of(CostKind::kTaskCreate), 10 * m.of(CostKind::kSyscallEntry));
+}
+
+TEST(CostModelTest, SetOverridesAreHonoured) {
+  CostModel m = CostModel::Default();
+  m.set(CostKind::kPteCopy, 123);
+  SimClock clock(m);
+  clock.Charge(CostKind::kPteCopy, 2);
+  EXPECT_EQ(clock.now_ns(), 246u);
+}
+
+TEST(SimClockTest, BreakdownSortsLargestFirst) {
+  SimClock clock;
+  clock.Charge(CostKind::kPteCopy, 1);          // small
+  clock.Charge(CostKind::kExecLoad, 1);         // large
+  clock.Charge(CostKind::kSyscallEntry, 1);     // medium
+  std::string b = clock.Breakdown();
+  size_t exec_pos = b.find("exec_load");
+  size_t sys_pos = b.find("syscall_entry");
+  size_t pte_pos = b.find("pte_copy");
+  ASSERT_NE(exec_pos, std::string::npos);
+  ASSERT_NE(sys_pos, std::string::npos);
+  ASSERT_NE(pte_pos, std::string::npos);
+  EXPECT_LT(exec_pos, sys_pos);
+  EXPECT_LT(sys_pos, pte_pos);
+}
+
+TEST(SimClockTest, PerKindAccountingIsExact) {
+  SimClock clock;
+  clock.Charge(CostKind::kFaultTrap, 3);
+  clock.Charge(CostKind::kFrameZero, 5);
+  EXPECT_EQ(clock.ops_for(CostKind::kFaultTrap), 3u);
+  EXPECT_EQ(clock.ops_for(CostKind::kFrameZero), 5u);
+  EXPECT_EQ(clock.ns_for(CostKind::kFaultTrap),
+            3 * clock.model().of(CostKind::kFaultTrap));
+  EXPECT_EQ(clock.now_ns(),
+            clock.ns_for(CostKind::kFaultTrap) + clock.ns_for(CostKind::kFrameZero));
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,198 @@
+// Cross-process construction (§6's endgame): nothing ambient, everything
+// explicit, and the security property that an embryo given nothing has
+// nothing.
+#include "src/procsim/cross_process.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 64 * 1024;
+  img.data_bytes = 32 * 1024;
+  img.stack_bytes = 32 * 1024;
+  img.touched_at_start_bytes = 0;
+  return img;
+}
+
+class CrossProcessTest : public ::testing::Test {
+ protected:
+  CrossProcessTest() {
+    auto init = kernel_.CreateInit(TinyImage());
+    EXPECT_TRUE(init.ok());
+    init_ = *init;
+  }
+
+  SimKernel kernel_;
+  Pid init_ = 0;
+};
+
+TEST_F(CrossProcessTest, BuildLoadStartRun) {
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+
+  auto proc = kernel_.Find(pid);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_EQ((*proc)->state, Process::State::kRunning);
+  EXPECT_EQ((*proc)->image_name, "tiny");
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  EXPECT_EQ(kernel_.Wait(init_, pid).value(), 0);
+}
+
+TEST_F(CrossProcessTest, EmbryoCannotStartWithoutImage) {
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  EXPECT_FALSE(std::move(*builder).Start().ok());
+  // Still an embryo: clean it up via a fresh builder-style abort path.
+  auto again = kernel_.Find(pid);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ((*again)->state, Process::State::kEmbryo);
+}
+
+TEST_F(CrossProcessTest, EmbryoInheritsNothing) {
+  // Parent has descriptors, memory, and streams.
+  auto fd = kernel_.OpenFile(init_, "secret", /*cloexec=*/false);
+  ASSERT_TRUE(fd.ok());
+  auto heap = kernel_.MapAnon(init_, 1 << 20, "heap");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *heap, 42).ok());
+
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+
+  // No fds (not even the non-CLOEXEC one fork and spawn would both copy)...
+  EXPECT_FALSE(kernel_.FileOf(pid, *fd).ok());
+  // ...and no view of the parent's heap.
+  auto read = kernel_.ReadWord(pid, *heap);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.error().code(), EFAULT);
+
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, pid).ok());
+}
+
+TEST_F(CrossProcessTest, ExplicitFdGrantWorks) {
+  auto fd = kernel_.OpenFile(init_, "granted", false);
+  ASSERT_TRUE(fd.ok());
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(builder->GrantFd(*fd).ok());
+  EXPECT_FALSE(builder->GrantFd(999).ok());  // no such parent fd
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+
+  // Same kernel object on both sides.
+  EXPECT_EQ(kernel_.FileOf(pid, *fd).value().get(), kernel_.FileOf(init_, *fd).value().get());
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, pid).ok());
+}
+
+TEST_F(CrossProcessTest, SharedRegionIsTrueSharing) {
+  auto heap = kernel_.MapAnon(init_, 4 * kPageSize4K, "shm");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *heap, 7).ok());
+
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(builder->ShareRegion(*heap, /*writable=*/true).ok());
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+
+  // Both see 7; a write on either side is visible to the other — sharing,
+  // not COW.
+  EXPECT_EQ(kernel_.ReadWord(pid, *heap).value(), 7u);
+  ASSERT_TRUE(kernel_.WriteWord(pid, *heap, 8).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *heap).value(), 8u);
+  ASSERT_TRUE(kernel_.WriteWord(init_, *heap, 9).ok());
+  EXPECT_EQ(kernel_.ReadWord(pid, *heap).value(), 9u);
+
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, pid).ok());
+  // Parent's view survives the child's death.
+  EXPECT_EQ(kernel_.ReadWord(init_, *heap).value(), 9u);
+}
+
+TEST_F(CrossProcessTest, ReadOnlyShareRejectsWritsAndWriteGrantNeedsWritableSource) {
+  auto heap = kernel_.MapAnon(init_, kPageSize4K, "ro-share");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *heap, 5).ok());
+
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(builder->ShareRegion(*heap, /*writable=*/false).ok());
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+
+  EXPECT_EQ(kernel_.ReadWord(pid, *heap).value(), 5u);
+  auto w = kernel_.WriteWord(pid, *heap, 6);
+  ASSERT_FALSE(w.ok());
+  EXPECT_EQ(w.error().code(), EFAULT);
+
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, pid).ok());
+}
+
+TEST_F(CrossProcessTest, ShareUnknownRegionFails) {
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  EXPECT_FALSE(builder->ShareRegion(0xdead000, true).ok());
+  ASSERT_TRUE(std::move(*builder).Abort().ok());
+}
+
+TEST_F(CrossProcessTest, AbortReleasesEverything) {
+  uint64_t frames_before = kernel_.memory().used_frames();
+  size_t procs_before = kernel_.process_count();
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  auto anon = builder->MapAnon(1 << 20, "scratch");
+  ASSERT_TRUE(anon.ok());
+  ASSERT_TRUE(kernel_.Touch(builder->pid(), *anon, 1 << 20, true).ok());
+  ASSERT_TRUE(std::move(*builder).Abort().ok());
+  EXPECT_EQ(kernel_.memory().used_frames(), frames_before);
+  EXPECT_EQ(kernel_.process_count(), procs_before);
+}
+
+TEST_F(CrossProcessTest, CostIsProportionalToWhatWasGranted) {
+  // The paper's argument in one assertion: an embryo that takes nothing costs
+  // O(image); fork costs O(parent) — build a fat parent and compare.
+  auto heap = kernel_.MapAnon(init_, 1ull << 30, "fat");
+  ASSERT_TRUE(heap.ok());
+  ASSERT_TRUE(kernel_.Touch(init_, *heap, 1ull << 30, true).ok());
+
+  uint64_t before = kernel_.clock().now_ns();
+  auto builder = ProcessBuilder::Create(&kernel_, init_);
+  ASSERT_TRUE(builder.ok());
+  Pid pid = builder->pid();
+  ASSERT_TRUE(builder->LoadImage(TinyImage()).ok());
+  ASSERT_TRUE(std::move(*builder).Start().ok());
+  uint64_t xproc_cost = kernel_.clock().now_ns() - before;
+
+  before = kernel_.clock().now_ns();
+  auto forked = kernel_.Fork(init_);
+  ASSERT_TRUE(forked.ok());
+  uint64_t fork_cost = kernel_.clock().now_ns() - before;
+
+  EXPECT_LT(xproc_cost * 10, fork_cost);  // an order of magnitude apart
+
+  ASSERT_TRUE(kernel_.Exit(pid, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, pid).ok());
+  ASSERT_TRUE(kernel_.Exit(*forked, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *forked).ok());
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,445 @@
+// SimKernel semantics: the paper's §4 claims as deterministic, assertable
+// facts — fork cost scaling, vfork blocking, spawn's independence from parent
+// size, fd inheritance asymmetry, the post-fork mutex deadlock, and the
+// buffered-stream double flush.
+#include "src/procsim/kernel.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 64 * 1024;
+  img.data_bytes = 32 * 1024;
+  img.stack_bytes = 32 * 1024;
+  img.touched_at_start_bytes = 16 * 1024;
+  return img;
+}
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() : kernel_() {
+    auto init = kernel_.CreateInit(TinyImage());
+    EXPECT_TRUE(init.ok());
+    init_ = *init;
+  }
+
+  SimKernel kernel_;
+  Pid init_ = 0;
+};
+
+TEST_F(KernelTest, InitBoots) {
+  auto proc = kernel_.Find(init_);
+  ASSERT_TRUE(proc.ok());
+  EXPECT_EQ((*proc)->pid, init_);
+  EXPECT_EQ((*proc)->state, Process::State::kRunning);
+  EXPECT_GT((*proc)->as->resident_pages(), 0u);
+}
+
+TEST_F(KernelTest, ForkWaitExitRoundTrip) {
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_NE(*child, init_);
+  ASSERT_TRUE(kernel_.Exit(*child, 42).ok());
+  auto code = kernel_.Wait(init_, *child);
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(*code, 42);
+  // Reaped: the pid is gone.
+  EXPECT_FALSE(kernel_.Find(*child).ok());
+}
+
+TEST_F(KernelTest, WaitOnRunningChildIsEbusy) {
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  auto code = kernel_.Wait(init_, *child);
+  ASSERT_FALSE(code.ok());
+  EXPECT_EQ(code.error().code(), EBUSY);
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  EXPECT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, WaitOnNonChildIsEchild) {
+  auto a = kernel_.Fork(init_);
+  auto b = kernel_.Fork(init_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(kernel_.Exit(*b, 0).ok());
+  auto code = kernel_.Wait(*a, *b);  // sibling, not parent
+  ASSERT_FALSE(code.ok());
+  EXPECT_EQ(code.error().code(), ECHILD);
+  ASSERT_TRUE(kernel_.Wait(init_, *b).ok());
+  ASSERT_TRUE(kernel_.Exit(*a, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *a).ok());
+}
+
+TEST_F(KernelTest, ForkCopiesMemoryCow) {
+  auto base = kernel_.MapAnon(init_, 16 * kPageSize4K, "heap");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *base, 1234).ok());
+
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(kernel_.ReadWord(*child, *base).value(), 1234u);
+
+  // Writes are isolated both ways.
+  ASSERT_TRUE(kernel_.WriteWord(*child, *base, 5678).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *base).value(), 1234u);
+  ASSERT_TRUE(kernel_.WriteWord(init_, *base, 9999).ok());
+  EXPECT_EQ(kernel_.ReadWord(*child, *base).value(), 5678u);
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, ForkCostScalesWithResidentPages) {
+  // The paper's Figure 1, as an inequality: forking after dirtying N pages
+  // costs ~linear in N; the PTE-copy charge is exactly N plus the image's.
+  auto base = kernel_.MapAnon(init_, 1024 * kPageSize4K, "heap");
+  ASSERT_TRUE(base.ok());
+
+  ASSERT_TRUE(kernel_.Touch(init_, *base, 64 * kPageSize4K, true).ok());
+  uint64_t small_ptes;
+  {
+    SimClock& clock = kernel_.clock();
+    uint64_t before = clock.ops_for(CostKind::kPteCopy);
+    auto child = kernel_.Fork(init_);
+    ASSERT_TRUE(child.ok());
+    small_ptes = clock.ops_for(CostKind::kPteCopy) - before;
+    ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+    ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  }
+
+  ASSERT_TRUE(kernel_.Touch(init_, *base, 1024 * kPageSize4K, true).ok());
+  uint64_t big_ptes;
+  {
+    SimClock& clock = kernel_.clock();
+    uint64_t before = clock.ops_for(CostKind::kPteCopy);
+    auto child = kernel_.Fork(init_);
+    ASSERT_TRUE(child.ok());
+    big_ptes = clock.ops_for(CostKind::kPteCopy) - before;
+    ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+    ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  }
+  EXPECT_EQ(big_ptes - small_ptes, 1024u - 64u);  // exactly the extra pages
+}
+
+TEST_F(KernelTest, SpawnCostIndependentOfParentSize) {
+  ProgramImage img = TinyImage();
+  // Small parent.
+  uint64_t small_cost;
+  {
+    uint64_t before = kernel_.clock().now_ns();
+    auto child = kernel_.Spawn(init_, img);
+    ASSERT_TRUE(child.ok());
+    small_cost = kernel_.clock().now_ns() - before;
+    ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+    ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  }
+  // Parent balloons to 64 MiB dirty.
+  auto base = kernel_.MapAnon(init_, 64ull << 20, "ballast");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.Touch(init_, *base, 64ull << 20, true).ok());
+  uint64_t big_cost;
+  {
+    uint64_t before = kernel_.clock().now_ns();
+    auto child = kernel_.Spawn(init_, img);
+    ASSERT_TRUE(child.ok());
+    big_cost = kernel_.clock().now_ns() - before;
+    ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+    ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  }
+  EXPECT_EQ(small_cost, big_cost);  // deterministic simulator: exactly equal
+}
+
+TEST_F(KernelTest, VforkBlocksParentUntilExec) {
+  auto child = kernel_.Vfork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ((*kernel_.Find(init_))->state, Process::State::kBlockedVfork);
+  // A blocked parent cannot fork/spawn.
+  EXPECT_FALSE(kernel_.Fork(init_).ok());
+
+  ASSERT_TRUE(kernel_.Exec(*child, TinyImage()).ok());
+  EXPECT_EQ((*kernel_.Find(init_))->state, Process::State::kRunning);
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, VforkBlocksParentUntilExit) {
+  auto child = kernel_.Vfork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ((*kernel_.Find(init_))->state, Process::State::kBlockedVfork);
+  ASSERT_TRUE(kernel_.Exit(*child, 3).ok());
+  EXPECT_EQ((*kernel_.Find(init_))->state, Process::State::kRunning);
+  EXPECT_EQ(kernel_.Wait(init_, *child).value(), 3);
+}
+
+TEST_F(KernelTest, VforkChildSharesParentMemory) {
+  auto base = kernel_.MapAnon(init_, 4 * kPageSize4K, "shared");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *base, 1).ok());
+  auto child = kernel_.Vfork(init_);
+  ASSERT_TRUE(child.ok());
+  // The vfork child's write is visible to the parent — the footgun that makes
+  // vfork "fork without the safety", per the paper.
+  ASSERT_TRUE(kernel_.WriteWord(*child, *base, 777).ok());
+  ASSERT_TRUE(kernel_.Exit(*child, 0, /*flush_streams=*/false).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *base).value(), 777u);
+}
+
+TEST_F(KernelTest, VforkSuspendedParentCannotRun) {
+  auto base = kernel_.MapAnon(init_, 4 * kPageSize4K, "heap");
+  ASSERT_TRUE(base.ok());
+  auto child = kernel_.Vfork(init_);
+  ASSERT_TRUE(child.ok());
+  // The parent is suspended: every user-initiated operation is EBUSY until
+  // the child execs or exits.
+  EXPECT_EQ(kernel_.WriteWord(init_, *base, 1).error().code(), EBUSY);
+  EXPECT_EQ(kernel_.ReadWord(init_, *base).error().code(), EBUSY);
+  EXPECT_EQ(kernel_.OpenFile(init_, "f").error().code(), EBUSY);
+  ASSERT_TRUE(kernel_.Exit(*child, 0, /*flush_streams=*/false).ok());
+  EXPECT_TRUE(kernel_.WriteWord(init_, *base, 1).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, VforkCopiesNoPtes) {
+  auto base = kernel_.MapAnon(init_, 256 * kPageSize4K, "heap");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.Touch(init_, *base, 256 * kPageSize4K, true).ok());
+  uint64_t before = kernel_.clock().ops_for(CostKind::kPteCopy);
+  auto child = kernel_.Vfork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(kernel_.clock().ops_for(CostKind::kPteCopy), before);
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, ExecReplacesAddressSpace) {
+  auto base = kernel_.MapAnon(init_, 4 * kPageSize4K, "old-heap");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *base, 5).ok());
+  ASSERT_TRUE(kernel_.Exec(init_, TinyImage()).ok());
+  // Old mapping is gone.
+  auto r = kernel_.ReadWord(init_, *base);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code(), EFAULT);
+  EXPECT_EQ((*kernel_.Find(init_))->image_name, "tiny");
+}
+
+TEST_F(KernelTest, ForkInheritsAllFdsSpawnOnlyNonCloexec) {
+  auto keep = kernel_.OpenFile(init_, "keep-me", /*cloexec=*/false);
+  auto secret = kernel_.OpenFile(init_, "secret-db", /*cloexec=*/true);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(secret.ok());
+
+  auto forked = kernel_.Fork(init_);
+  ASSERT_TRUE(forked.ok());
+  // fork: ambient inheritance of everything, CLOEXEC or not.
+  EXPECT_TRUE(kernel_.FileOf(*forked, *keep).ok());
+  EXPECT_TRUE(kernel_.FileOf(*forked, *secret).ok());
+
+  auto spawned = kernel_.Spawn(init_, TinyImage());
+  ASSERT_TRUE(spawned.ok());
+  // spawn: explicit model — CLOEXEC stays home.
+  EXPECT_TRUE(kernel_.FileOf(*spawned, *keep).ok());
+  EXPECT_FALSE(kernel_.FileOf(*spawned, *secret).ok());
+
+  ASSERT_TRUE(kernel_.Exit(*forked, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *forked).ok());
+  ASSERT_TRUE(kernel_.Exit(*spawned, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *spawned).ok());
+}
+
+TEST_F(KernelTest, ExecDropsCloexecFds) {
+  auto keep = kernel_.OpenFile(init_, "keep", false);
+  auto drop = kernel_.OpenFile(init_, "drop", true);
+  ASSERT_TRUE(keep.ok());
+  ASSERT_TRUE(drop.ok());
+  ASSERT_TRUE(kernel_.Exec(init_, TinyImage()).ok());
+  EXPECT_TRUE(kernel_.FileOf(init_, *keep).ok());
+  EXPECT_FALSE(kernel_.FileOf(init_, *drop).ok());
+}
+
+TEST_F(KernelTest, SharedFileObjectAcrossFork) {
+  auto fd = kernel_.OpenFile(init_, "log", false);
+  ASSERT_TRUE(fd.ok());
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  // Same kernel object behind both descriptors (offset sharing in real POSIX).
+  EXPECT_EQ(kernel_.FileOf(init_, *fd).value().get(),
+            kernel_.FileOf(*child, *fd).value().get());
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+// ---- The §4 thread-safety deadlock, deterministically -----------------------
+
+TEST_F(KernelTest, ForkWithForeignHeldMutexDeadlocksChild) {
+  auto mu = kernel_.MutexCreate(init_, "malloc-arena");
+  ASSERT_TRUE(mu.ok());
+  auto helper = kernel_.SpawnThread(init_);
+  ASSERT_TRUE(helper.ok());
+
+  // The helper thread holds the allocator lock while the main thread forks.
+  ASSERT_TRUE(kernel_.MutexLock(init_, *helper, *mu).ok());
+  auto child = kernel_.Fork(init_, Process::kMainTid);
+  ASSERT_TRUE(child.ok());
+
+  // In the child, the helper thread does not exist, but the mutex memory says
+  // "held". The child's first malloc would hang forever; the simulator
+  // reports EDEADLK.
+  auto lock_in_child = kernel_.MutexLock(*child, Process::kMainTid, *mu);
+  ASSERT_FALSE(lock_in_child.ok());
+  EXPECT_EQ(lock_in_child.error().code(), EDEADLK);
+  EXPECT_NE(lock_in_child.error().ToString().find("did not survive fork"), std::string::npos);
+
+  // The parent is fine: its helper eventually unlocks.
+  ASSERT_TRUE(kernel_.MutexUnlock(init_, *helper, *mu).ok());
+  ASSERT_TRUE(kernel_.MutexLock(init_, Process::kMainTid, *mu).ok());
+  ASSERT_TRUE(kernel_.MutexUnlock(init_, Process::kMainTid, *mu).ok());
+
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, ForkFromHoldingThreadIsSafe) {
+  auto mu = kernel_.MutexCreate(init_, "self-held");
+  ASSERT_TRUE(mu.ok());
+  ASSERT_TRUE(kernel_.MutexLock(init_, Process::kMainTid, *mu).ok());
+  auto child = kernel_.Fork(init_, Process::kMainTid);
+  ASSERT_TRUE(child.ok());
+  // The child's main thread IS the (remapped) holder: it can unlock.
+  EXPECT_EQ(kernel_.MutexHolder(*child, *mu).value(), Process::kMainTid);
+  ASSERT_TRUE(kernel_.MutexUnlock(*child, Process::kMainTid, *mu).ok());
+  ASSERT_TRUE(kernel_.MutexUnlock(init_, Process::kMainTid, *mu).ok());
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, MutexBasicErrors) {
+  auto mu = kernel_.MutexCreate(init_, "m");
+  ASSERT_TRUE(mu.ok());
+  EXPECT_FALSE(kernel_.MutexUnlock(init_, Process::kMainTid, *mu).ok());  // not held
+  ASSERT_TRUE(kernel_.MutexLock(init_, Process::kMainTid, *mu).ok());
+  auto again = kernel_.MutexLock(init_, Process::kMainTid, *mu);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code(), EDEADLK);  // recursive
+}
+
+// ---- The §4 composability double-flush, deterministically --------------------
+
+TEST_F(KernelTest, ForkDuplicatesUnflushedStreamBuffer) {
+  auto fd = kernel_.OpenFile(init_, "stdout", false);
+  ASSERT_TRUE(fd.ok());
+  auto stream = kernel_.StreamCreate(init_, *fd);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(kernel_.StreamWrite(init_, *stream, 0xCAFE).ok());
+  EXPECT_EQ(kernel_.StreamPending(init_, *stream).value(), 1u);
+
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  // Both exit via the flushing path.
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  ASSERT_TRUE(kernel_.StreamFlush(init_, *stream).ok());
+
+  auto file = kernel_.FileOf(init_, *fd);
+  ASSERT_TRUE(file.ok());
+  // The token appears TWICE: once from the child's inherited buffer, once
+  // from the parent — the paper's "hellohello".
+  EXPECT_EQ((*file)->sink, (std::vector<uint64_t>{0xCAFE, 0xCAFE}));
+}
+
+TEST_F(KernelTest, FlushBeforeForkPreventsDuplication) {
+  auto fd = kernel_.OpenFile(init_, "stdout", false);
+  ASSERT_TRUE(fd.ok());
+  auto stream = kernel_.StreamCreate(init_, *fd);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(kernel_.StreamWrite(init_, *stream, 0xBEEF).ok());
+  ASSERT_TRUE(kernel_.StreamFlush(init_, *stream).ok());
+
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+
+  auto file = kernel_.FileOf(init_, *fd);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ((*file)->sink, (std::vector<uint64_t>{0xBEEF}));
+}
+
+TEST_F(KernelTest, SpawnDoesNotInheritStreamBuffers) {
+  auto fd = kernel_.OpenFile(init_, "stdout", false);
+  ASSERT_TRUE(fd.ok());
+  auto stream = kernel_.StreamCreate(init_, *fd);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE(kernel_.StreamWrite(init_, *stream, 0xAAAA).ok());
+
+  auto child = kernel_.Spawn(init_, TinyImage());
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+
+  auto file = kernel_.FileOf(init_, *fd);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE((*file)->sink.empty());  // spawn copied no ambient buffers
+}
+
+TEST_F(KernelTest, ExitReleasesMemory) {
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  auto base = kernel_.MapAnon(*child, 128 * kPageSize4K, "heap");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(kernel_.Touch(*child, *base, 128 * kPageSize4K, true).ok());
+  uint64_t peak = kernel_.memory().used_frames();
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  EXPECT_LT(kernel_.memory().used_frames(), peak);
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, ProcessTableSnapshot) {
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  auto vchild = kernel_.Vfork(*child);
+  ASSERT_TRUE(vchild.ok());
+  std::string table = kernel_.FormatProcessTable();
+  // init running, child vfork-suspended, grandchild running.
+  EXPECT_NE(table.find("tiny"), std::string::npos);
+  EXPECT_NE(table.find("vfork"), std::string::npos);
+  EXPECT_NE(table.find("run"), std::string::npos);
+  ASSERT_TRUE(kernel_.Exit(*vchild, 0, false).ok());
+  ASSERT_TRUE(kernel_.Wait(*child, *vchild).ok());
+  // Zombie visible until reaped.
+  auto z = kernel_.Fork(init_);
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(kernel_.Exit(*z, 0).ok());
+  EXPECT_NE(kernel_.FormatProcessTable().find("zombie"), std::string::npos);
+  ASSERT_TRUE(kernel_.Wait(init_, *z).ok());
+  EXPECT_EQ(kernel_.FormatProcessTable().find("zombie"), std::string::npos);
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(KernelTest, DeepProcessTree) {
+  // fork a chain of 20 processes, each dirtying memory, then unwind.
+  std::vector<Pid> chain = {init_};
+  for (int i = 0; i < 20; ++i) {
+    auto child = kernel_.Fork(chain.back());
+    ASSERT_TRUE(child.ok()) << "depth " << i;
+    auto base = kernel_.MapAnon(*child, 8 * kPageSize4K, "d" + std::to_string(i));
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(kernel_.Touch(*child, *base, 8 * kPageSize4K, true).ok());
+    chain.push_back(*child);
+  }
+  EXPECT_EQ(kernel_.process_count(), 21u);
+  for (size_t i = chain.size() - 1; i > 0; --i) {
+    ASSERT_TRUE(kernel_.Exit(chain[i], 0).ok());
+    ASSERT_TRUE(kernel_.Wait(chain[i - 1], chain[i]).ok());
+  }
+  EXPECT_EQ(kernel_.process_count(), 1u);
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,282 @@
+// Page-table structure and CloneCow invariants, including the randomized
+// property suite: after a clone, (1) both tables translate every address to
+// the same frame, (2) no formerly-writable entry is writable in either, (3)
+// every shared frame's refcount equals the number of tables mapping it.
+#include "src/procsim/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace forklift::procsim {
+namespace {
+
+class PageTableTest : public ::testing::Test {
+ protected:
+  PhysicalMemory pm_{1u << 20};
+};
+
+TEST_F(PageTableTest, MapAndLookup4K) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(pt.Map(0x1000, *frame, kPteWritable | kPteUser, PageSize::k4K).ok());
+
+  PteRef ref = pt.Lookup(0x1000);
+  ASSERT_NE(ref.pte, nullptr);
+  EXPECT_EQ(ref.pte->frame, *frame);
+  EXPECT_TRUE(ref.pte->writable());
+  EXPECT_EQ(ref.size, PageSize::k4K);
+
+  // Any offset within the page resolves to the same entry.
+  EXPECT_EQ(pt.Lookup(0x1fff).pte, ref.pte);
+  EXPECT_EQ(pt.Lookup(0x2000).pte, nullptr);
+}
+
+TEST_F(PageTableTest, MapAndLookup2M) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  Vaddr base = 4ull << 20;  // 2MiB-aligned
+  ASSERT_TRUE(pt.Map(base, *frame, kPteWritable, PageSize::k2M).ok());
+  PteRef ref = pt.Lookup(base + 12345);
+  ASSERT_NE(ref.pte, nullptr);
+  EXPECT_TRUE(ref.pte->huge());
+  EXPECT_EQ(ref.size, PageSize::k2M);
+  EXPECT_EQ(ref.base, base);
+  EXPECT_EQ(pt.huge_pages(), 1u);
+}
+
+TEST_F(PageTableTest, MisalignedMapRejected) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(pt.Map(0x1001, *frame, 0, PageSize::k4K).ok());
+  EXPECT_FALSE(pt.Map(kPageSize4K, *frame, 0, PageSize::k2M).ok());
+}
+
+TEST_F(PageTableTest, DoubleMapRejected) {
+  PageTable pt(&pm_);
+  auto f1 = pm_.Allocate();
+  auto f2 = pm_.Allocate();
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(pt.Map(0x1000, *f1, 0, PageSize::k4K).ok());
+  EXPECT_FALSE(pt.Map(0x1000, *f2, 0, PageSize::k4K).ok());
+}
+
+TEST_F(PageTableTest, BeyondVaBitsRejected) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(pt.Map(1ull << 48, *frame, 0, PageSize::k4K).ok());
+  EXPECT_EQ(pt.Lookup(1ull << 50).pte, nullptr);
+}
+
+TEST_F(PageTableTest, UnmapReleasesFrame) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(pt.Map(0x3000, *frame, 0, PageSize::k4K).ok());
+  EXPECT_EQ(pm_.used_frames(), 1u);
+  ASSERT_TRUE(pt.Unmap(0x3000).ok());
+  EXPECT_EQ(pm_.used_frames(), 0u);
+  EXPECT_EQ(pt.present_pages(), 0u);
+  EXPECT_FALSE(pt.Unmap(0x3000).ok());
+}
+
+TEST_F(PageTableTest, DestructorReleasesAllFrames) {
+  {
+    PageTable pt(&pm_);
+    for (int i = 0; i < 10; ++i) {
+      auto frame = pm_.Allocate();
+      ASSERT_TRUE(frame.ok());
+      ASSERT_TRUE(pt.Map(0x1000 * (i + 1), *frame, 0, PageSize::k4K).ok());
+    }
+    EXPECT_EQ(pm_.used_frames(), 10u);
+  }
+  EXPECT_EQ(pm_.used_frames(), 0u);
+}
+
+TEST_F(PageTableTest, TablePagesGrowWithSpread) {
+  PageTable pt(&pm_);
+  EXPECT_EQ(pt.table_pages(), 1u);  // root only
+  auto f1 = pm_.Allocate();
+  ASSERT_TRUE(f1.ok());
+  // One 4K mapping forces PDPT + PD + PT below the root.
+  ASSERT_TRUE(pt.Map(0x1000, *f1, 0, PageSize::k4K).ok());
+  EXPECT_EQ(pt.table_pages(), 4u);
+  // A second page in the same PT adds nothing.
+  auto f2 = pm_.Allocate();
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(pt.Map(0x2000, *f2, 0, PageSize::k4K).ok());
+  EXPECT_EQ(pt.table_pages(), 4u);
+  // A page in a distant PML4 slot adds a full fresh path (3 nodes).
+  auto f3 = pm_.Allocate();
+  ASSERT_TRUE(f3.ok());
+  ASSERT_TRUE(pt.Map(1ull << 40, *f3, 0, PageSize::k4K).ok());
+  EXPECT_EQ(pt.table_pages(), 7u);
+}
+
+TEST_F(PageTableTest, HugeMappingSkipsPtLevel) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(pt.Map(0, *frame, 0, PageSize::k2M).ok());
+  // Root + PDPT + PD — no PT page for a huge mapping.
+  EXPECT_EQ(pt.table_pages(), 3u);
+}
+
+TEST_F(PageTableTest, ForEachVisitsInOrder) {
+  PageTable pt(&pm_);
+  std::vector<Vaddr> want = {0x1000, 0x5000, 1ull << 30, 1ull << 40};
+  for (Vaddr va : want) {
+    auto frame = pm_.Allocate();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(pt.Map(va, *frame, 0, PageSize::k4K).ok());
+  }
+  std::vector<Vaddr> got;
+  pt.ForEach([&](Vaddr va, Pte&, PageSize) { got.push_back(va); });
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(PageTableTest, MappedBytesMixesSizes) {
+  PageTable pt(&pm_);
+  auto f1 = pm_.Allocate();
+  auto f2 = pm_.Allocate();
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(pt.Map(0x1000, *f1, 0, PageSize::k4K).ok());
+  ASSERT_TRUE(pt.Map(4ull << 20, *f2, 0, PageSize::k2M).ok());
+  EXPECT_EQ(pt.mapped_bytes(), kPageSize4K + kPageSize2M);
+}
+
+TEST_F(PageTableTest, CloneCowSharesFramesReadOnly) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(pm_.Write(*frame, 77).ok());
+  ASSERT_TRUE(pt.Map(0x1000, *frame, kPteWritable, PageSize::k4K).ok());
+
+  SimClock clock;
+  auto clone = pt.CloneCow(&clock);
+  ASSERT_TRUE(clone.ok());
+
+  PteRef orig = pt.Lookup(0x1000);
+  PteRef copy = (*clone)->Lookup(0x1000);
+  ASSERT_NE(orig.pte, nullptr);
+  ASSERT_NE(copy.pte, nullptr);
+  EXPECT_EQ(orig.pte->frame, copy.pte->frame);  // shared frame
+  EXPECT_FALSE(orig.pte->writable());           // parent downgraded too
+  EXPECT_FALSE(copy.pte->writable());
+  EXPECT_TRUE(orig.pte->cow());
+  EXPECT_TRUE(copy.pte->cow());
+  EXPECT_EQ(pm_.RefCount(*frame).value(), 2u);
+  EXPECT_EQ(pm_.Read(copy.pte->frame).value(), 77u);
+}
+
+TEST_F(PageTableTest, CloneCowChargesPerPteAndPerNode) {
+  PageTable pt(&pm_);
+  constexpr int kPages = 100;
+  for (int i = 0; i < kPages; ++i) {
+    auto frame = pm_.Allocate();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(pt.Map(0x1000 * (1 + i), *frame, kPteWritable, PageSize::k4K).ok());
+  }
+  SimClock clock;
+  auto clone = pt.CloneCow(&clock);
+  ASSERT_TRUE(clone.ok());
+  EXPECT_EQ(clock.ops_for(CostKind::kPteCopy), static_cast<uint64_t>(kPages));
+  EXPECT_EQ(clock.ops_for(CostKind::kPtePageAlloc), pt.table_pages());
+  EXPECT_EQ((*clone)->table_pages(), pt.table_pages());
+  EXPECT_EQ((*clone)->present_pages(), pt.present_pages());
+}
+
+TEST_F(PageTableTest, ReadOnlyEntriesStayPlainReadOnlyAfterClone) {
+  PageTable pt(&pm_);
+  auto frame = pm_.Allocate();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(pt.Map(0x1000, *frame, 0, PageSize::k4K).ok());  // text-like
+  SimClock clock;
+  auto clone = pt.CloneCow(&clock);
+  ASSERT_TRUE(clone.ok());
+  PteRef copy = (*clone)->Lookup(0x1000);
+  ASSERT_NE(copy.pte, nullptr);
+  EXPECT_FALSE(copy.pte->writable());
+  EXPECT_FALSE(copy.pte->cow());  // was never writable: no COW needed
+}
+
+// ---- Property suite ---------------------------------------------------------
+
+class PageTablePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageTablePropertyTest, CloneInvariants) {
+  Rng rng(GetParam());
+  PhysicalMemory pm(1u << 20);
+  PageTable pt(&pm);
+
+  // Random sparse layout: mix of 4K and 2M pages, writable and not.
+  std::map<Vaddr, uint64_t> contents;
+  size_t n = 1 + rng.Below(200);
+  for (size_t i = 0; i < n; ++i) {
+    bool huge = rng.Chance(0.15);
+    Vaddr va;
+    if (huge) {
+      va = (rng.Below(1u << 16)) * kPageSize2M;
+    } else {
+      va = (rng.Below(1u << 24)) * kPageSize4K;
+    }
+    auto frame = pm.Allocate();
+    ASSERT_TRUE(frame.ok());
+    uint64_t token = rng.Next();
+    ASSERT_TRUE(pm.Write(*frame, token).ok());
+    uint16_t flags = rng.Chance(0.7) ? kPteWritable : 0;
+    auto mapped = pt.Map(va, *frame, flags, huge ? PageSize::k2M : PageSize::k4K);
+    if (!mapped.ok()) {
+      ASSERT_TRUE(pm.Release(*frame).ok());  // collision: drop this attempt
+      continue;
+    }
+    contents[va] = token;
+  }
+
+  SimClock clock;
+  auto clone_result = pt.CloneCow(&clock);
+  ASSERT_TRUE(clone_result.ok());
+  auto clone = std::move(clone_result).value();
+
+  // 1. Same translations, same contents, no writable entries anywhere a
+  //    writable entry existed (COW downgrade applied to both).
+  for (const auto& [va, token] : contents) {
+    PteRef a = pt.Lookup(va);
+    PteRef b = clone->Lookup(va);
+    ASSERT_NE(a.pte, nullptr) << "va " << va;
+    ASSERT_NE(b.pte, nullptr) << "va " << va;
+    EXPECT_EQ(a.pte->frame, b.pte->frame);
+    EXPECT_EQ(pm.Read(a.pte->frame).value(), token);
+    EXPECT_FALSE(a.pte->writable());
+    EXPECT_FALSE(b.pte->writable());
+    EXPECT_EQ(a.pte->cow(), b.pte->cow());
+  }
+
+  // 2. Refcount conservation: every mapped frame is held exactly twice.
+  pt.ForEach([&](Vaddr, Pte& pte, PageSize) {
+    EXPECT_EQ(pm.RefCount(pte.frame).value(), 2u);
+  });
+
+  // 3. PTE-copy charge equals the number of present mappings.
+  EXPECT_EQ(clock.ops_for(CostKind::kPteCopy), pt.present_pages());
+
+  // 4. Destroying the clone returns every refcount to one.
+  clone.reset();
+  pt.ForEach([&](Vaddr, Pte& pte, PageSize) {
+    EXPECT_EQ(pm.RefCount(pte.frame).value(), 1u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLayouts, PageTablePropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+}  // namespace
+}  // namespace forklift::procsim

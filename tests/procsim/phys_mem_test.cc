@@ -1,0 +1,94 @@
+#include "src/procsim/phys_mem.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+TEST(PhysMemTest, AllocateAndRelease) {
+  PhysicalMemory pm(4);
+  auto f = pm.Allocate();
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(pm.used_frames(), 1u);
+  EXPECT_EQ(pm.RefCount(*f).value(), 1u);
+  ASSERT_TRUE(pm.Release(*f).ok());
+  EXPECT_EQ(pm.used_frames(), 0u);
+}
+
+TEST(PhysMemTest, OomAtCapacity) {
+  PhysicalMemory pm(2);
+  ASSERT_TRUE(pm.Allocate().ok());
+  ASSERT_TRUE(pm.Allocate().ok());
+  auto third = pm.Allocate();
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code(), ENOMEM);
+}
+
+TEST(PhysMemTest, ReleaseFreesCapacity) {
+  PhysicalMemory pm(1);
+  auto a = pm.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_FALSE(pm.Allocate().ok());
+  ASSERT_TRUE(pm.Release(*a).ok());
+  EXPECT_TRUE(pm.Allocate().ok());
+}
+
+TEST(PhysMemTest, RefCountingSharesFrame) {
+  PhysicalMemory pm(4);
+  auto f = pm.Allocate();
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(pm.AddRef(*f).ok());
+  EXPECT_EQ(pm.RefCount(*f).value(), 2u);
+  ASSERT_TRUE(pm.Release(*f).ok());
+  EXPECT_EQ(pm.RefCount(*f).value(), 1u);
+  EXPECT_EQ(pm.used_frames(), 1u);  // still alive
+  ASSERT_TRUE(pm.Release(*f).ok());
+  EXPECT_EQ(pm.used_frames(), 0u);
+}
+
+TEST(PhysMemTest, ContentReadWrite) {
+  PhysicalMemory pm(4);
+  auto f = pm.Allocate();
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(pm.Read(*f).value(), 0u);  // frames come zeroed
+  ASSERT_TRUE(pm.Write(*f, 0xabcd).ok());
+  EXPECT_EQ(pm.Read(*f).value(), 0xabcdu);
+}
+
+TEST(PhysMemTest, CopyFrameDuplicatesContent) {
+  PhysicalMemory pm(4);
+  auto src = pm.Allocate();
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(pm.Write(*src, 42).ok());
+  auto dst = pm.CopyFrame(*src);
+  ASSERT_TRUE(dst.ok());
+  EXPECT_NE(*dst, *src);
+  EXPECT_EQ(pm.Read(*dst).value(), 42u);
+  // Copies are independent.
+  ASSERT_TRUE(pm.Write(*dst, 7).ok());
+  EXPECT_EQ(pm.Read(*src).value(), 42u);
+}
+
+TEST(PhysMemTest, OperationsOnUnknownFrameFail) {
+  PhysicalMemory pm(4);
+  EXPECT_FALSE(pm.AddRef(999).ok());
+  EXPECT_FALSE(pm.Release(999).ok());
+  EXPECT_FALSE(pm.Read(999).ok());
+  EXPECT_FALSE(pm.Write(999, 1).ok());
+  EXPECT_FALSE(pm.RefCount(999).ok());
+  EXPECT_FALSE(pm.CopyFrame(999).ok());
+}
+
+TEST(PhysMemTest, StatsTrackAllocsAndFrees) {
+  PhysicalMemory pm(8);
+  auto a = pm.Allocate();
+  auto b = pm.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(pm.Release(*a).ok());
+  EXPECT_EQ(pm.allocations(), 2u);
+  EXPECT_EQ(pm.frees(), 1u);
+}
+
+}  // namespace
+}  // namespace forklift::procsim

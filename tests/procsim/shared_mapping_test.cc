@@ -1,0 +1,156 @@
+// MAP_SHARED semantics across the simulator: fork preserves true sharing
+// (no COW), demand faults resolve through a common backing, and the commit
+// accountant correctly ignores shared pages.
+#include <gtest/gtest.h>
+
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 16 * 1024;
+  img.data_bytes = 16 * 1024;
+  img.stack_bytes = 16 * 1024;
+  img.touched_at_start_bytes = 0;
+  return img;
+}
+
+class SharedMappingTest : public ::testing::Test {
+ protected:
+  SharedMappingTest() {
+    auto init = kernel_.CreateInit(TinyImage());
+    EXPECT_TRUE(init.ok());
+    init_ = *init;
+  }
+
+  SimKernel kernel_;
+  Pid init_ = 0;
+};
+
+TEST_F(SharedMappingTest, WritesVisibleAcrossFork) {
+  auto shm = kernel_.MapSharedAnon(init_, 8 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *shm, 1).ok());
+
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  // Unlike the private-heap COW tests: writes propagate BOTH ways.
+  ASSERT_TRUE(kernel_.WriteWord(*child, *shm, 42).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *shm).value(), 42u);
+  ASSERT_TRUE(kernel_.WriteWord(init_, *shm, 43).ok());
+  EXPECT_EQ(kernel_.ReadWord(*child, *shm).value(), 43u);
+
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *shm).value(), 43u);
+}
+
+TEST_F(SharedMappingTest, NoCowBreaksOnSharedWrites) {
+  auto shm = kernel_.MapSharedAnon(init_, 8 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  ASSERT_TRUE(kernel_.Touch(init_, *shm, 8 * kPageSize4K, true).ok());
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+
+  uint64_t frames_before = kernel_.memory().used_frames();
+  ASSERT_TRUE(kernel_.Touch(*child, *shm, 8 * kPageSize4K, true).ok());
+  EXPECT_EQ(kernel_.memory().used_frames(), frames_before);  // no copies
+  EXPECT_EQ((*kernel_.Find(*child))->as->cow_breaks(), 0u);
+
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(SharedMappingTest, DemandFaultsResolveToSameFrame) {
+  auto shm = kernel_.MapSharedAnon(init_, 4 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+
+  // Neither side has touched the page yet; the child faults first, then the
+  // parent — both must land on the same frame (write visible).
+  ASSERT_TRUE(kernel_.WriteWord(*child, *shm + kPageSize4K, 7).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *shm + kPageSize4K).value(), 7u);
+
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(SharedMappingTest, SharedFramesFreedWithLastMapper) {
+  uint64_t base_frames = kernel_.memory().used_frames();
+  {
+    auto shm = kernel_.MapSharedAnon(init_, 4 * kPageSize4K, "shm");
+    ASSERT_TRUE(shm.ok());
+    ASSERT_TRUE(kernel_.Touch(init_, *shm, 4 * kPageSize4K, true).ok());
+    EXPECT_EQ(kernel_.memory().used_frames(), base_frames + 4);
+    auto child = kernel_.Fork(init_);
+    ASSERT_TRUE(child.ok());
+    ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+    ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+    EXPECT_EQ(kernel_.memory().used_frames(), base_frames + 4);
+    // Unmap from the only remaining mapper: frames die with the backing.
+    ASSERT_TRUE((*kernel_.Find(init_))->as->UnmapRegion(*shm).ok());
+  }
+  EXPECT_EQ(kernel_.memory().used_frames(), base_frames);
+}
+
+TEST_F(SharedMappingTest, ForkStillCopiesSharedPtes) {
+  // The paper's point about file-backed mappings: no frame copies, but the
+  // PTEs still have to be walked and copied — fork stays O(pages) even for
+  // a fully shared address space.
+  auto shm = kernel_.MapSharedAnon(init_, 64 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  ASSERT_TRUE(kernel_.Touch(init_, *shm, 64 * kPageSize4K, true).ok());
+
+  uint64_t pte_before = kernel_.clock().ops_for(CostKind::kPteCopy);
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  EXPECT_GE(kernel_.clock().ops_for(CostKind::kPteCopy) - pte_before, 64u);
+
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+TEST_F(SharedMappingTest, StrictCommitIgnoresSharedPages) {
+  SimKernel::Config config;
+  config.phys_frames = 1024;
+  config.commit_policy = SimKernel::CommitPolicy::kStrict;
+  SimKernel strict(config);
+  auto init = strict.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+
+  // 600 shared dirty frames: would doom a private fork, but shared pages
+  // promise nothing.
+  auto shm = strict.MapSharedAnon(*init, 600 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  ASSERT_TRUE(strict.Touch(*init, *shm, 600 * kPageSize4K, true).ok());
+
+  auto child = strict.Fork(*init);
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  ASSERT_TRUE(strict.Exit(*child, 0).ok());
+  ASSERT_TRUE(strict.Wait(*init, *child).ok());
+}
+
+TEST_F(SharedMappingTest, GrandchildInheritsSharingThroughDoubleFork) {
+  auto shm = kernel_.MapSharedAnon(init_, 4 * kPageSize4K, "shm");
+  ASSERT_TRUE(shm.ok());
+  ASSERT_TRUE(kernel_.WriteWord(init_, *shm, 1).ok());
+  auto child = kernel_.Fork(init_);
+  ASSERT_TRUE(child.ok());
+  auto grandchild = kernel_.Fork(*child);
+  ASSERT_TRUE(grandchild.ok());
+
+  ASSERT_TRUE(kernel_.WriteWord(*grandchild, *shm, 99).ok());
+  EXPECT_EQ(kernel_.ReadWord(init_, *shm).value(), 99u);
+
+  ASSERT_TRUE(kernel_.Exit(*grandchild, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(*child, *grandchild).ok());
+  ASSERT_TRUE(kernel_.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel_.Wait(init_, *child).ok());
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,108 @@
+#include "src/procsim/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace forklift::procsim {
+namespace {
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb(16);
+  EXPECT_FALSE(tlb.Access(1, 0x1000));
+  EXPECT_TRUE(tlb.Access(1, 0x1000));
+  EXPECT_EQ(tlb.misses(), 1u);
+  EXPECT_EQ(tlb.hits(), 1u);
+}
+
+TEST(TlbTest, AsidsDistinct) {
+  Tlb tlb(16);
+  EXPECT_FALSE(tlb.Access(1, 0x1000));
+  EXPECT_FALSE(tlb.Access(2, 0x1000));  // same page, other AS: a miss
+  EXPECT_TRUE(tlb.Access(1, 0x1000));
+}
+
+TEST(TlbTest, FifoEvictionAtCapacity) {
+  Tlb tlb(2);
+  tlb.Access(1, 0x1000);
+  tlb.Access(1, 0x2000);
+  tlb.Access(1, 0x3000);  // evicts 0x1000
+  EXPECT_EQ(tlb.evictions(), 1u);
+  EXPECT_FALSE(tlb.Contains(1, 0x1000));
+  EXPECT_TRUE(tlb.Contains(1, 0x3000));
+}
+
+TEST(TlbTest, FlushVariants) {
+  Tlb tlb(16);
+  tlb.Access(1, 0x1000);
+  tlb.Access(1, 0x2000);
+  tlb.Access(2, 0x1000);
+
+  tlb.FlushPage(1, 0x1000);
+  EXPECT_FALSE(tlb.Contains(1, 0x1000));
+  EXPECT_TRUE(tlb.Contains(1, 0x2000));
+  EXPECT_TRUE(tlb.Contains(2, 0x1000));
+
+  tlb.FlushAsid(1);
+  EXPECT_FALSE(tlb.Contains(1, 0x2000));
+  EXPECT_TRUE(tlb.Contains(2, 0x1000));
+
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(TlbDomainTest, ShootdownCostsIpiPerRemoteCpu) {
+  TlbDomain domain(4, 16);
+  domain.SetActive(0, 5);
+  domain.SetActive(1, 5);
+  domain.SetActive(2, 5);
+  domain.SetActive(3, 9);  // different AS: not shot down
+  domain.Access(1, 5, 0x1000);
+
+  SimClock clock;
+  size_t ipis = domain.Shootdown(5, /*initiator=*/0, &clock);
+  EXPECT_EQ(ipis, 2u);
+  EXPECT_EQ(clock.ops_for(CostKind::kTlbShootdownIpi), 2u);
+  EXPECT_EQ(clock.ops_for(CostKind::kTlbFlushLocal), 1u);
+  EXPECT_FALSE(domain.cpu(1).Contains(5, 0x1000));
+}
+
+TEST(TlbDomainTest, IdleCpusCostNothing) {
+  TlbDomain domain(8, 16);
+  domain.SetActive(0, 5);
+  SimClock clock;
+  EXPECT_EQ(domain.Shootdown(5, 0, &clock), 0u);
+  EXPECT_EQ(clock.ops_for(CostKind::kTlbShootdownIpi), 0u);
+}
+
+TEST(SimClockTest, ChargesAccumulate) {
+  SimClock clock;
+  clock.Charge(CostKind::kPteCopy, 100);
+  clock.Charge(CostKind::kFaultTrap);
+  EXPECT_EQ(clock.now_ns(),
+            100 * clock.model().of(CostKind::kPteCopy) + clock.model().of(CostKind::kFaultTrap));
+  EXPECT_EQ(clock.ops_for(CostKind::kPteCopy), 100u);
+  clock.Reset();
+  EXPECT_EQ(clock.now_ns(), 0u);
+}
+
+TEST(SimClockTest, BreakdownListsChargedKinds) {
+  SimClock clock;
+  clock.Charge(CostKind::kFrameCopy4K, 3);
+  std::string b = clock.Breakdown();
+  EXPECT_NE(b.find("frame_copy_4k"), std::string::npos);
+  EXPECT_EQ(b.find("tlb_shootdown"), std::string::npos);
+}
+
+TEST(SimClockTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimClock clock;
+    for (int i = 0; i < 50; ++i) {
+      clock.Charge(CostKind::kPteCopy, static_cast<uint64_t>(i));
+      clock.Charge(CostKind::kSyscallEntry);
+    }
+    return clock.now_ns();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace forklift::procsim

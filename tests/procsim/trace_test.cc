@@ -1,0 +1,134 @@
+// The kernel journal: exact, deterministic op sequences as regression pins.
+#include "src/procsim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/procsim/kernel.h"
+
+namespace forklift::procsim {
+namespace {
+
+ProgramImage TinyImage() {
+  ProgramImage img;
+  img.name = "tiny";
+  img.text_bytes = 16 * 1024;
+  img.data_bytes = 16 * 1024;
+  img.stack_bytes = 16 * 1024;
+  img.touched_at_start_bytes = 0;
+  return img;
+}
+
+TEST(TraceTest, LifecycleSequenceIsExact) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(kernel.Exec(*child, TinyImage()).ok());
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+
+  EXPECT_EQ(tracer.OpSequence(),
+            (std::vector<std::string>{"boot", "fork", "exec", "exit", "wait"}));
+}
+
+TEST(TraceTest, EntriesCarryActorAndDetail) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+
+  const auto& entries = tracer.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].op, "fork");
+  EXPECT_EQ(entries[1].pid, *init);  // the CALLER is the actor
+  EXPECT_EQ(entries[1].detail, "child=" + std::to_string(*child));
+  EXPECT_GT(entries[1].sim_ns, entries[0].sim_ns);  // time moved forward
+  EXPECT_EQ(entries[0].seq, 0u);
+  EXPECT_EQ(entries[1].seq, 1u);
+
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(TraceTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    SimKernel kernel;
+    KernelTracer tracer;
+    kernel.AttachTracer(&tracer);
+    auto init = kernel.CreateInit(TinyImage());
+    EXPECT_TRUE(init.ok());
+    for (int i = 0; i < 3; ++i) {
+      auto child = kernel.Spawn(*init, TinyImage());
+      EXPECT_TRUE(child.ok());
+      EXPECT_TRUE(kernel.Exit(*child, i).ok());
+      EXPECT_TRUE(kernel.Wait(*init, *child).ok());
+    }
+    return tracer.ToString();
+  };
+  EXPECT_EQ(run(), run());  // byte-identical journal, timestamps included
+}
+
+TEST(TraceTest, ForPidFilters) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+
+  auto child_ops = tracer.ForPid(*child);
+  ASSERT_EQ(child_ops.size(), 1u);  // only its own exit; fork/wait belong to init
+  EXPECT_EQ(child_ops[0].op, "exit");
+}
+
+TEST(TraceTest, DetachStopsRecording) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  kernel.AttachTracer(nullptr);
+  auto child = kernel.Fork(*init);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(tracer.entries().size(), 1u);  // just the boot
+  ASSERT_TRUE(kernel.Exit(*child, 0).ok());
+  ASSERT_TRUE(kernel.Wait(*init, *child).ok());
+}
+
+TEST(TraceTest, EmbryoOpsTraced) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  auto embryo = kernel.CreateEmbryo(*init);
+  ASSERT_TRUE(embryo.ok());
+  // Give it an image through the kernel path used by ProcessBuilder, then
+  // start it directly.
+  auto ops_before = tracer.OpSequence();
+  EXPECT_EQ(ops_before.back(), "create_embryo");
+}
+
+TEST(TraceTest, ToStringIsLinePerEntry) {
+  SimKernel kernel;
+  KernelTracer tracer;
+  kernel.AttachTracer(&tracer);
+  auto init = kernel.CreateInit(TinyImage());
+  ASSERT_TRUE(init.ok());
+  std::string s = tracer.ToString();
+  EXPECT_NE(s.find("#0000"), std::string::npos);
+  EXPECT_NE(s.find("boot image=tiny"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace forklift::procsim

@@ -1,0 +1,159 @@
+// Tests for the one-call command layer: capture, timeouts, and pipelines.
+#include "src/spawn/command.h"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+namespace forklift {
+namespace {
+
+TEST(RunAndCaptureTest, CapturesBothStreams) {
+  auto r = RunAndCapture("/bin/sh", {"-c", "echo one; echo two 1>&2; exit 3"});
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r->stdout_data, "one\n");
+  EXPECT_EQ(r->stderr_data, "two\n");
+  EXPECT_TRUE(r->status.exited);
+  EXPECT_EQ(r->status.exit_code, 3);
+}
+
+TEST(RunAndCaptureTest, FeedsStdin) {
+  RunOptions opts;
+  opts.stdin_data = "3\n1\n2\n";
+  auto r = RunAndCapture("sort", {}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "1\n2\n3\n");
+}
+
+TEST(RunAndCaptureTest, LargeInputRoundTrip) {
+  // Bigger than a pipe buffer, exercising the nonblocking pump.
+  std::string big;
+  for (int i = 0; i < 20000; ++i) {
+    big += "line ";
+    big += std::to_string(i);
+    big += "\n";
+  }
+  RunOptions opts;
+  opts.stdin_data = big;
+  auto r = RunAndCapture("cat", {}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data.size(), big.size());
+  EXPECT_EQ(r->stdout_data, big);
+}
+
+TEST(RunAndCaptureTest, NonZeroExitIsNotAnError) {
+  auto r = RunAndCapture("/bin/false", {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->status.Success());
+}
+
+TEST(RunAndCaptureTest, SpawnFailureIsAnError) {
+  auto r = RunAndCapture("/no/such/tool", {});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RunAndCaptureTest, TimeoutKillsRunaway) {
+  RunOptions opts;
+  opts.timeout_seconds = 0.2;
+  auto r = RunAndCapture("sleep", {"10"}, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().ToString().find("timeout"), std::string::npos);
+}
+
+TEST(RunAndCaptureTest, TimeoutNotTriggeredByFastChild) {
+  RunOptions opts;
+  opts.timeout_seconds = 10;
+  auto r = RunAndCapture("echo", {"quick"}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "quick\n");
+}
+
+TEST(RunAndCaptureTest, EachBackendWorks) {
+  for (auto kind : {SpawnBackendKind::kForkExec, SpawnBackendKind::kVfork,
+                    SpawnBackendKind::kPosixSpawn}) {
+    RunOptions opts;
+    opts.backend = kind;
+    auto r = RunAndCapture("echo", {"b"}, opts);
+    ASSERT_TRUE(r.ok()) << SpawnBackendKindName(kind);
+    EXPECT_EQ(r->stdout_data, "b\n") << SpawnBackendKindName(kind);
+  }
+}
+
+TEST(PipelineTest, SingleStage) {
+  auto r = RunPipeline({{"echo", {"solo"}}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "solo\n");
+  ASSERT_EQ(r->statuses.size(), 1u);
+  EXPECT_TRUE(r->statuses[0].Success());
+}
+
+TEST(PipelineTest, TwoStages) {
+  auto r = RunPipeline({{"echo", {"c\nb\na"}}, {"sort", {}}});
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r->stdout_data, "a\nb\nc\n");
+  EXPECT_EQ(r->statuses.size(), 2u);
+}
+
+TEST(PipelineTest, ThreeStages) {
+  // echo | tr | rev-sort: classic shell plumbing, no shell involved.
+  auto r = RunPipeline({{"printf", {"b\\na\\nc\\n"}}, {"sort", {"-r"}}, {"head", {"-n", "2"}}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data, "c\nb\n");
+  ASSERT_EQ(r->statuses.size(), 3u);
+  for (const auto& st : r->statuses) {
+    EXPECT_TRUE(st.Success());
+  }
+}
+
+TEST(PipelineTest, StdinFeedsHead) {
+  auto r = RunPipeline({{"cat", {}}, {"wc", {"-l"}}}, "x\ny\nz\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->stdout_data.find("3"), r->stdout_data.find_first_not_of(" \t"));
+}
+
+TEST(PipelineTest, LargeDataThroughPipeline) {
+  std::string big;
+  for (int i = 0; i < 50000; ++i) {
+    big += std::to_string(i % 10);
+    big += "\n";
+  }
+  auto r = RunPipeline({{"cat", {}}, {"sort", {}}, {"uniq", {"-c"}}}, big);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  // 10 distinct digits, each counted 5000 times.
+  EXPECT_NE(r->stdout_data.find("5000"), std::string::npos);
+}
+
+TEST(PipelineTest, EmptyPipelineRejected) {
+  auto r = RunPipeline({});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(PipelineTest, MissingStageUnwindsOthers) {
+  auto r = RunPipeline({{"cat", {}}, {"/no/such/filter", {}}, {"wc", {"-l"}}});
+  EXPECT_FALSE(r.ok());
+  // The error must be the missing program, and no zombies may remain: the
+  // first stage was killed and reaped during unwind (verified implicitly by
+  // the test harness not hanging).
+}
+
+TEST(PipelineTest, FailingMiddleStageStatusRecorded) {
+  auto r = RunPipeline({{"echo", {"x"}}, {"/bin/false", {}}, {"cat", {}}});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->statuses.size(), 3u);
+  // Stage 0 races the dying middle stage: it either wins (exit 0) or takes
+  // SIGPIPE writing to the dead reader — both are correct shell semantics.
+  EXPECT_TRUE(r->statuses[0].Success() ||
+              (r->statuses[0].signaled && r->statuses[0].term_signal == SIGPIPE));
+  EXPECT_FALSE(r->statuses[1].Success());
+  EXPECT_TRUE(r->statuses[2].Success());
+}
+
+TEST(PipelineTest, BackendSelectable) {
+  for (auto kind : {SpawnBackendKind::kVfork, SpawnBackendKind::kPosixSpawn}) {
+    auto r = RunPipeline({{"echo", {"z"}}, {"cat", {}}}, "", kind);
+    ASSERT_TRUE(r.ok()) << SpawnBackendKindName(kind);
+    EXPECT_EQ(r->stdout_data, "z\n");
+  }
+}
+
+}  // namespace
+}  // namespace forklift

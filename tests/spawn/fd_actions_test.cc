@@ -1,0 +1,287 @@
+// Unit and property tests for FdPlan compilation.
+//
+// The property suite cross-checks Compile() against SpecApply(): a software
+// model executes the compiled op sequence over a synthetic fd table and must
+// land on exactly the table the specification predicts, for randomized plans —
+// including the adversarial shapes (swaps, chains through clobbered numbers)
+// that break naive dup2 sequences.
+#include "src/spawn/fd_actions.h"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "src/common/rng.h"
+
+namespace forklift {
+namespace {
+
+using Kind = CompiledFdOp::Kind;
+
+TEST(FdPlanTest, EmptyPlanCompilesEmpty) {
+  FdPlan plan;
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_TRUE(compiled->empty());
+}
+
+TEST(FdPlanTest, SimpleDup2NoPrestage) {
+  FdPlan plan;
+  plan.Dup2(5, 1);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->ops.size(), 1u);
+  EXPECT_EQ(compiled->ops[0].kind, Kind::kDup2);
+  EXPECT_EQ(compiled->ops[0].src_fd, 5);
+  EXPECT_EQ(compiled->ops[0].dst_fd, 1);
+}
+
+TEST(FdPlanTest, SwapRequiresPrestage) {
+  // Swap stdout and stderr: naive sequential dup2 loses one binding.
+  FdPlan plan;
+  plan.Dup2(2, 1).Dup2(1, 2);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  // Expect: prestage dup of parent fd 1, then dup2(2,1), then dup2(scratch,2),
+  // then close scratch.
+  ASSERT_EQ(compiled->ops.size(), 4u);
+  EXPECT_EQ(compiled->ops[0].kind, Kind::kDupToScratch);
+  EXPECT_EQ(compiled->ops[0].src_fd, 1);
+  int scratch = compiled->ops[0].scratch_fd;
+  EXPECT_GE(scratch, CompiledFdPlan::kScratchBase);
+  EXPECT_EQ(compiled->ops[1].kind, Kind::kDup2);
+  EXPECT_EQ(compiled->ops[1].src_fd, 2);
+  EXPECT_EQ(compiled->ops[1].dst_fd, 1);
+  EXPECT_EQ(compiled->ops[2].kind, Kind::kDup2);
+  EXPECT_EQ(compiled->ops[2].src_fd, scratch);
+  EXPECT_EQ(compiled->ops[2].dst_fd, 2);
+  EXPECT_EQ(compiled->ops[3].kind, Kind::kCloseScratch);
+}
+
+TEST(FdPlanTest, SourceAfterCloseUsesPrestage) {
+  FdPlan plan;
+  plan.Close(7).Dup2(7, 3);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_GE(compiled->ops.size(), 3u);
+  EXPECT_EQ(compiled->ops[0].kind, Kind::kDupToScratch);
+  EXPECT_EQ(compiled->ops[0].src_fd, 7);
+}
+
+TEST(FdPlanTest, UntouchedSourceNotPrestaged) {
+  FdPlan plan;
+  plan.Dup2(9, 0).Dup2(9, 1).Dup2(9, 2);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  for (const auto& op : compiled->ops) {
+    EXPECT_NE(op.kind, Kind::kDupToScratch);
+  }
+}
+
+TEST(FdPlanTest, InheritLowersToSelfDup) {
+  FdPlan plan;
+  plan.Inherit(6);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->ops.size(), 1u);
+  EXPECT_EQ(compiled->ops[0].kind, Kind::kDup2);
+  EXPECT_EQ(compiled->ops[0].src_fd, 6);
+  EXPECT_EQ(compiled->ops[0].dst_fd, 6);
+}
+
+TEST(FdPlanTest, OpenPreserved) {
+  FdPlan plan;
+  plan.Open("/dev/null", O_WRONLY, 0, 1);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->ops.size(), 1u);
+  EXPECT_EQ(compiled->ops[0].kind, Kind::kOpen);
+  EXPECT_EQ(compiled->ops[0].path, "/dev/null");
+  EXPECT_EQ(compiled->ops[0].dst_fd, 1);
+}
+
+TEST(FdPlanTest, RejectsNegativeFds) {
+  FdPlan plan;
+  plan.Dup2(-1, 1);
+  EXPECT_FALSE(plan.Compile().ok());
+
+  FdPlan plan2;
+  plan2.Close(-3);
+  EXPECT_FALSE(plan2.Compile().ok());
+}
+
+TEST(FdPlanTest, RejectsScratchRangeFds) {
+  FdPlan plan;
+  plan.Dup2(3, CompiledFdPlan::kScratchBase + 1);
+  EXPECT_FALSE(plan.Compile().ok());
+
+  FdPlan plan2;
+  plan2.Dup2(CompiledFdPlan::kScratchBase, 1);
+  EXPECT_FALSE(plan2.Compile().ok());
+}
+
+TEST(FdPlanSpecTest, Dup2FromClosedParentIsError) {
+  FdPlan plan;
+  plan.Dup2(11, 1);
+  std::map<int, std::string> inh = {{0, "tty"}, {1, "tty"}, {2, "tty"}};
+  EXPECT_FALSE(plan.SpecApply(inh, {}).ok());
+}
+
+TEST(FdPlanSpecTest, CloexecDroppedUnlessInherited) {
+  FdPlan plan;
+  plan.Inherit(5);
+  std::map<int, std::string> inh = {{0, "tty"}};
+  std::map<int, std::string> clo = {{5, "sock"}, {6, "log"}};
+  auto out = plan.SpecApply(inh, clo);
+  ASSERT_TRUE(out.ok());
+  // fd 5 explicitly inherited; fd 6 (cloexec) vanishes; fd 0 flows through.
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(out->at(0), "tty");
+  EXPECT_EQ(out->at(5), "sock");
+  EXPECT_EQ(out->count(6), 0u);
+}
+
+// --- Model execution of a compiled plan -------------------------------------
+//
+// Mirrors exactly what ChildExec does with the ops, over a token table instead
+// of a kernel fd table.
+struct ModelEntry {
+  std::string token;
+  bool cloexec;
+};
+
+std::map<int, ModelEntry> ExecuteCompiled(const CompiledFdPlan& plan,
+                                          std::map<int, ModelEntry> table,
+                                          bool* failed) {
+  *failed = false;
+  for (const auto& op : plan.ops) {
+    switch (op.kind) {
+      case Kind::kDupToScratch: {
+        auto it = table.find(op.src_fd);
+        if (it == table.end()) {
+          *failed = true;
+          return table;
+        }
+        table[op.scratch_fd] = ModelEntry{it->second.token, false};
+        break;
+      }
+      case Kind::kDup2: {
+        auto it = table.find(op.src_fd);
+        if (it == table.end()) {
+          *failed = true;
+          return table;
+        }
+        if (op.src_fd == op.dst_fd) {
+          it->second.cloexec = false;  // the "clear CLOEXEC" idiom
+        } else {
+          table[op.dst_fd] = ModelEntry{it->second.token, false};
+        }
+        break;
+      }
+      case Kind::kOpen: {
+        table[op.dst_fd] = ModelEntry{"open:" + op.path, false};
+        break;
+      }
+      case Kind::kClose: {
+        table.erase(op.dst_fd);
+        break;
+      }
+      case Kind::kCloseScratch: {
+        table.erase(op.scratch_fd);
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+std::map<int, std::string> AfterExec(const std::map<int, ModelEntry>& table) {
+  std::map<int, std::string> out;
+  for (const auto& [fd, e] : table) {
+    if (!e.cloexec) {
+      out[fd] = e.token;
+    }
+  }
+  return out;
+}
+
+// Property: for randomized plans over a randomized parent table, executing the
+// compiled ops yields exactly the specified child table.
+class FdPlanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FdPlanPropertyTest, CompiledMatchesSpec) {
+  Rng rng(GetParam());
+
+  // Random parent table over fds 0..15; ~1/4 of entries cloexec.
+  std::map<int, std::string> inh;
+  std::map<int, std::string> clo;
+  std::map<int, ModelEntry> table;
+  for (int fd = 0; fd < 16; ++fd) {
+    if (rng.Chance(0.7)) {
+      std::string tok = "p" + std::to_string(fd);
+      bool cloexec = rng.Chance(0.25);
+      table[fd] = ModelEntry{tok, cloexec};
+      (cloexec ? clo : inh)[fd] = tok;
+    }
+  }
+
+  // Random plan of 1..10 actions. Dup2 sources drawn from parent-open fds so
+  // the spec is satisfiable (dup2-from-closed is covered by a dedicated test).
+  FdPlan plan;
+  std::vector<int> open_fds;
+  for (const auto& [fd, tok] : table) {
+    (void)tok;
+    open_fds.push_back(fd);
+  }
+  if (open_fds.empty()) {
+    GTEST_SKIP() << "degenerate parent table";
+  }
+  size_t n_actions = 1 + rng.Below(10);
+  for (size_t i = 0; i < n_actions; ++i) {
+    switch (rng.Below(4)) {
+      case 0: {
+        int src = open_fds[rng.Below(open_fds.size())];
+        int dst = static_cast<int>(rng.Below(16));
+        plan.Dup2(src, dst);
+        break;
+      }
+      case 1: {
+        int dst = static_cast<int>(rng.Below(16));
+        plan.Open("/f" + std::to_string(rng.Below(4)), O_RDONLY, 0, dst);
+        break;
+      }
+      case 2: {
+        plan.Close(static_cast<int>(rng.Below(16)));
+        break;
+      }
+      case 3: {
+        int fd = open_fds[rng.Below(open_fds.size())];
+        plan.Inherit(fd);
+        break;
+      }
+    }
+  }
+
+  auto spec = plan.SpecApply(inh, clo);
+  auto compiled = plan.Compile();
+  ASSERT_TRUE(compiled.ok());
+
+  bool exec_failed = false;
+  auto final_table = ExecuteCompiled(*compiled, table, &exec_failed);
+
+  if (!spec.ok()) {
+    // Spec rejects (e.g. Inherit of an fd the plan closed earlier). The
+    // runtime would fail the same way; nothing further to check.
+    return;
+  }
+  ASSERT_FALSE(exec_failed) << "compiled plan failed where spec succeeded";
+  EXPECT_EQ(AfterExec(final_table), *spec) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlans, FdPlanPropertyTest,
+                         ::testing::Range<uint64_t>(0, 200));
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,135 @@
+// End-to-end property test for fd plans: the SpecApply model must agree with
+// what a REAL exec'd child observes. Random plans route pipe write-ends to
+// random child descriptors (with deliberate collisions and chains); the child
+// then writes a distinct marker through every descriptor the spec says it
+// has, and each pipe must receive exactly the markers of the child fds the
+// spec mapped to it.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/pipe.h"
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/common/syscall.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+struct Scenario {
+  SpawnBackendKind backend;
+  uint64_t seed;
+};
+
+class FdPlanExecTest : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(FdPlanExecTest, RealChildMatchesSpec) {
+  Rng rng(GetParam().seed);
+
+  // 1-4 pipes, identified by token "p<i>".
+  size_t n_pipes = 1 + rng.Below(4);
+  std::vector<Pipe> pipes;
+  std::map<int, std::string> parent_cloexec;  // parent fd -> token
+  for (size_t i = 0; i < n_pipes; ++i) {
+    auto p = MakePipe();  // CLOEXEC: only plan grants reach the child
+    ASSERT_TRUE(p.ok());
+    parent_cloexec[p->write_end.get()] = "p" + std::to_string(i);
+    pipes.push_back(std::move(p).value());
+  }
+
+  // Random plan: dup2s of pipe write ends to child fds 3..9 (single digits: dash cannot redirect to >9), with closes
+  // sprinkled in. Collisions (two dup2s to one target, dup2 from a number an
+  // earlier action clobbered) are the point.
+  Spawner spawner("/bin/sh");
+  FdPlan& plan = spawner.fd_plan();
+  size_t n_actions = 1 + rng.Below(8);
+  for (size_t i = 0; i < n_actions; ++i) {
+    if (rng.Chance(0.8)) {
+      const Pipe& p = pipes[rng.Below(pipes.size())];
+      plan.Dup2(p.write_end.get(), 3 + static_cast<int>(rng.Below(7)));
+    } else {
+      plan.Close(3 + static_cast<int>(rng.Below(7)));
+    }
+  }
+
+  // The model's prediction. Parent-inheritable stdio flows through; we only
+  // check fds >= 3 (the plan's range).
+  std::map<int, std::string> parent_inheritable = {{0, "in"}, {1, "out"}, {2, "err"}};
+  auto spec = plan.SpecApply(parent_inheritable, parent_cloexec);
+  ASSERT_TRUE(spec.ok()) << spec.error().ToString();
+
+  // Expected markers per pipe token.
+  std::map<std::string, std::vector<std::string>> expected;
+  std::string script;
+  for (const auto& [fd, token] : *spec) {
+    if (fd < 3) {
+      continue;
+    }
+    std::string marker = "m" + std::to_string(fd);
+    expected[token].push_back(marker);
+    script += "echo " + marker + " 1>&" + std::to_string(fd) + "\n";
+  }
+  if (script.empty()) {
+    script = "true\n";
+  }
+
+  auto child = spawner.Args({"-c", script})
+                   .SetStdout(Stdio::Null())
+                   .SetBackend(GetParam().backend)
+                   .Spawn();
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+
+  // Drop the parent's write ends so EOF arrives, then read each pipe.
+  std::map<std::string, int> read_fd_of_token;
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    read_fd_of_token["p" + std::to_string(i)] = pipes[i].read_end.get();
+    pipes[i].write_end.Reset();
+  }
+  auto st = child->Wait();
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(st->Success()) << "child exited " << st->ToString();
+
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    std::string token = "p" + std::to_string(i);
+    auto data = ReadAll(pipes[i].read_end.get());
+    ASSERT_TRUE(data.ok());
+    std::vector<std::string> got = SplitWhitespace(*data);
+    std::vector<std::string> want = expected.count(token) != 0 ? expected[token]
+                                                               : std::vector<std::string>{};
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "pipe " << token << " seed " << GetParam().seed;
+  }
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> out;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    out.push_back({SpawnBackendKind::kForkExec, seed});
+  }
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    out.push_back({SpawnBackendKind::kVfork, seed + 100});
+    out.push_back({SpawnBackendKind::kPosixSpawn, seed + 200});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlans, FdPlanExecTest, ::testing::ValuesIn(AllScenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& param_info) {
+                           return std::string(SpawnBackendKindName(param_info.param.backend) ==
+                                                      std::string("fork+exec")
+                                                  ? "ForkExec"
+                                              : param_info.param.backend == SpawnBackendKind::kVfork
+                                                  ? "Vfork"
+                                                  : "PosixSpawn") +
+                                  "_seed" + std::to_string(param_info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace forklift

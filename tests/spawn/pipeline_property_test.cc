@@ -1,0 +1,82 @@
+// Property tests for RunPipeline: arbitrary-depth cat chains are identity on
+// arbitrary content (framing/EOF propagation holds at any depth and size),
+// and a sort|uniq pipeline matches a locally computed histogram.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/spawn/command.h"
+
+namespace forklift {
+namespace {
+
+class PipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PipelinePropertyTest, CatChainIsIdentity) {
+  Rng rng(GetParam());
+  // Random body: 0..4000 lines of random length/content (printable).
+  std::string body;
+  size_t lines = rng.Below(4000);
+  for (size_t i = 0; i < lines; ++i) {
+    size_t len = rng.Below(80);
+    for (size_t j = 0; j < len; ++j) {
+      body.push_back(static_cast<char>('!' + rng.Below(94)));
+    }
+    body.push_back('\n');
+  }
+
+  size_t depth = 1 + rng.Below(4);
+  std::vector<PipelineStage> stages;
+  for (size_t i = 0; i < depth; ++i) {
+    stages.push_back({"cat", {}});
+  }
+  auto r = RunPipeline(stages, body);
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r->stdout_data, body) << "depth=" << depth << " bytes=" << body.size();
+  for (const auto& st : r->statuses) {
+    EXPECT_TRUE(st.Success());
+  }
+}
+
+TEST_P(PipelinePropertyTest, SortUniqMatchesLocalHistogram) {
+  Rng rng(GetParam() + 5000);
+  // A few distinct tokens with random multiplicities, shuffled.
+  std::map<std::string, int> histogram;
+  std::vector<std::string> lines;
+  size_t distinct = 1 + rng.Below(6);
+  for (size_t i = 0; i < distinct; ++i) {
+    std::string token = "tok" + std::to_string(rng.Below(1000));
+    int count = 1 + static_cast<int>(rng.Below(20));
+    histogram[token] += count;
+    for (int j = 0; j < count; ++j) {
+      lines.push_back(token);
+    }
+  }
+  // Deterministic shuffle.
+  for (size_t i = lines.size(); i > 1; --i) {
+    std::swap(lines[i - 1], lines[rng.Below(i)]);
+  }
+  std::string body = Join(lines, "\n") + "\n";
+
+  auto r = RunPipeline({{"sort", {}}, {"uniq", {"-c"}}}, body);
+  ASSERT_TRUE(r.ok());
+
+  // Parse "count token" lines back into a histogram.
+  std::map<std::string, int> got;
+  for (const auto& line : Split(r->stdout_data, '\n')) {
+    auto fields = SplitWhitespace(line);
+    if (fields.size() == 2) {
+      got[fields[1]] = std::stoi(fields[0]);
+    }
+  }
+  EXPECT_EQ(got, histogram);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PipelinePropertyTest, ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,144 @@
+// End-to-end tests of the forkliftd daemon binary: real process, real AF_UNIX
+// socket, multiple concurrent clients.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/forkserver/client.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+#ifndef FORKLIFTD_BIN
+#error "FORKLIFTD_BIN must be defined by the build"
+#endif
+
+class ForkliftdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ = ::testing::TempDir() + "forkliftd_test_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(counter_++) + ".sock";
+    auto daemon = Spawner(FORKLIFTD_BIN)
+                      .Args({"--socket", socket_path_})
+                      .SetStderr(Stdio::Null())
+                      .Spawn();
+    ASSERT_TRUE(daemon.ok()) << daemon.error().ToString();
+    daemon_ = std::move(daemon).value();
+    // Wait for the socket to appear.
+    Stopwatch sw;
+    struct stat st;
+    while (::stat(socket_path_.c_str(), &st) < 0) {
+      ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "daemon never bound its socket";
+      ::usleep(2000);
+    }
+  }
+
+  void TearDown() override {
+    if (daemon_.valid()) {
+      auto client = ForkServerClient::ConnectPath(socket_path_);
+      if (client.ok()) {
+        (void)(*client)->Shutdown();
+      }
+      auto st = daemon_.WaitWithTimeout(5.0);
+      if (!st.ok() || !st->has_value()) {
+        (void)daemon_.KillAndWait();
+      }
+    }
+  }
+
+  static int counter_;
+  std::string socket_path_;
+  Child daemon_;
+};
+
+int ForkliftdTest::counter_ = 0;
+
+TEST_F(ForkliftdTest, ConnectAndPing) {
+  auto client = ForkServerClient::ConnectPath(socket_path_);
+  ASSERT_TRUE(client.ok()) << client.error().ToString();
+  EXPECT_TRUE((*client)->Ping().ok());
+}
+
+TEST_F(ForkliftdTest, SpawnThroughDaemon) {
+  auto client = ForkServerClient::ConnectPath(socket_path_);
+  ASSERT_TRUE(client.ok());
+  Spawner s("/bin/sh");
+  s.Args({"-c", "exit 11"});
+  auto child = (*client)->Spawn(s);
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  auto st = child->Wait();
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->exit_code, 11);
+}
+
+TEST_F(ForkliftdTest, MultipleIndependentConnections) {
+  auto a = ForkServerClient::ConnectPath(socket_path_);
+  auto b = ForkServerClient::ConnectPath(socket_path_);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*a)->Ping().ok());
+  EXPECT_TRUE((*b)->Ping().ok());
+
+  Spawner s("/bin/true");
+  auto ca = (*a)->Spawn(s);
+  auto cb = (*b)->Spawn(s);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_TRUE(ca->Wait().value().Success());
+  EXPECT_TRUE(cb->Wait().value().Success());
+}
+
+TEST_F(ForkliftdTest, DisconnectDoesNotKillDaemon) {
+  {
+    auto transient = ForkServerClient::ConnectPath(socket_path_);
+    ASSERT_TRUE(transient.ok());
+    ASSERT_TRUE((*transient)->Ping().ok());
+    // Connection drops at scope exit.
+  }
+  auto again = ForkServerClient::ConnectPath(socket_path_);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE((*again)->Ping().ok());
+}
+
+TEST_F(ForkliftdTest, ShutdownRemovesSocketAndExits) {
+  auto client = ForkServerClient::ConnectPath(socket_path_);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Shutdown().ok());
+  auto st = daemon_.WaitWithTimeout(5.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value());
+  EXPECT_TRUE((*st)->Success());
+  // The socket file is gone: reconnecting fails.
+  EXPECT_FALSE(ForkServerClient::ConnectPath(socket_path_).ok());
+}
+
+TEST(ForkliftdDaemonTest, DaemonModeDetachesAndServes) {
+  std::string socket_path =
+      ::testing::TempDir() + "forkliftd_daemon_" + std::to_string(::getpid()) + ".sock";
+  // The launcher must exit 0 only once the socket is live — no polling needed.
+  auto launcher = Spawner(FORKLIFTD_BIN)
+                      .Args({"--socket", socket_path, "--daemon"})
+                      .Spawn();
+  ASSERT_TRUE(launcher.ok());
+  auto st = launcher->WaitWithTimeout(10.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value()) << "launcher did not return";
+  ASSERT_TRUE((*st)->Success());
+
+  // The daemon (NOT our child) is serving immediately.
+  auto client = ForkServerClient::ConnectPath(socket_path);
+  ASSERT_TRUE(client.ok()) << client.error().ToString();
+  ASSERT_TRUE((*client)->Ping().ok());
+  Spawner s("/bin/true");
+  auto child = (*client)->Spawn(s);
+  ASSERT_TRUE(child.ok());
+  EXPECT_TRUE(child->Wait().value().Success());
+  ASSERT_TRUE((*client)->Shutdown().ok());
+}
+
+}  // namespace
+}  // namespace forklift

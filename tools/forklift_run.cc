@@ -1,0 +1,299 @@
+// forklift-run — a command-line launcher exposing the Spawner API.
+//
+// What `env`, `nice`, `nohup`, and shell redirection do with fork+exec
+// inheritance tricks, done with explicit spawn attributes instead:
+//
+//   forklift-run [options] -- program [args...]
+//
+// Options:
+//   --backend fork|vfork|spawn   creation primitive (default spawn)
+//   --env KEY=VALUE              set a variable (repeatable)
+//   --unset KEY                  remove a variable (repeatable)
+//   --clear-env                  start from an empty environment
+//   --strip-secrets              drop credential-shaped variables (audit)
+//   --cwd DIR                    child working directory
+//   --stdin PATH                 redirect stdin from a file
+//   --stdout PATH / --append PATH  redirect stdout (truncate / append)
+//   --stderr PATH                redirect stderr to a file
+//   --merge-stderr               send stderr wherever stdout goes
+//   --null                       stdout and stderr to /dev/null
+//   --umask OCTAL                child umask (fork/vfork backends)
+//   --rlimit-nofile N            cap open files (fork/vfork backends)
+//   --close-other-fds            close every undeclared descriptor
+//   --new-session                setsid()
+//   --timeout SECONDS            kill the child after a deadline
+//   --audit                      print a fork-hazard report before launching
+//
+// Exit status: the child's (128+signal if signaled), or 125 for launcher
+// errors, 127/126 for exec errors — the conventions xargs/timeout use.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/string_util.h"
+#include "src/hazards/env_audit.h"
+#include "src/hazards/fork_guard.h"
+#include "src/spawn/spawner.h"
+
+using namespace forklift;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options] -- program [args...]\n"
+               "see the header of tools/forklift_run.cc for the option list\n",
+               argv0);
+  return 125;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+
+  SpawnBackendKind backend = SpawnBackendKind::kPosixSpawn;
+  std::vector<std::pair<std::string, std::string>> env_sets;
+  std::vector<std::string> env_unsets;
+  bool clear_env = false;
+  bool strip_secrets = false;
+  bool audit = false;
+  bool merge_stderr = false;
+  bool to_null = false;
+  bool close_other_fds = false;
+  bool new_session = false;
+  std::string cwd, stdin_path, stdout_path, stderr_path;
+  bool stdout_append = false;
+  std::optional<mode_t> umask_value;
+  std::optional<rlim_t> nofile;
+  double timeout_seconds = 0;
+
+  size_t i = 0;
+  auto need_value = [&](const char* flag) -> Result<std::string> {
+    if (i + 1 >= args.size()) {
+      return LogicalError(std::string(flag) + " requires a value");
+    }
+    return args[++i];
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--") {
+      ++i;
+      break;
+    }
+    Result<std::string> v = std::string();
+    if (a == "--backend") {
+      v = need_value("--backend");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      if (*v == "fork") {
+        backend = SpawnBackendKind::kForkExec;
+      } else if (*v == "vfork") {
+        backend = SpawnBackendKind::kVfork;
+      } else if (*v == "spawn") {
+        backend = SpawnBackendKind::kPosixSpawn;
+      } else {
+        std::fprintf(stderr, "forklift-run: unknown backend '%s'\n", v->c_str());
+        return 125;
+      }
+    } else if (a == "--env") {
+      v = need_value("--env");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      size_t eq = v->find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "forklift-run: --env wants KEY=VALUE\n");
+        return 125;
+      }
+      env_sets.emplace_back(v->substr(0, eq), v->substr(eq + 1));
+    } else if (a == "--unset") {
+      v = need_value("--unset");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      env_unsets.push_back(*v);
+    } else if (a == "--clear-env") {
+      clear_env = true;
+    } else if (a == "--strip-secrets") {
+      strip_secrets = true;
+    } else if (a == "--audit") {
+      audit = true;
+    } else if (a == "--cwd") {
+      v = need_value("--cwd");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      cwd = *v;
+    } else if (a == "--stdin") {
+      v = need_value("--stdin");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      stdin_path = *v;
+    } else if (a == "--stdout") {
+      v = need_value("--stdout");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      stdout_path = *v;
+      stdout_append = false;
+    } else if (a == "--append") {
+      v = need_value("--append");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      stdout_path = *v;
+      stdout_append = true;
+    } else if (a == "--stderr") {
+      v = need_value("--stderr");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      stderr_path = *v;
+    } else if (a == "--merge-stderr") {
+      merge_stderr = true;
+    } else if (a == "--null") {
+      to_null = true;
+    } else if (a == "--umask") {
+      v = need_value("--umask");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      umask_value = static_cast<mode_t>(std::strtol(v->c_str(), nullptr, 8));
+    } else if (a == "--rlimit-nofile") {
+      v = need_value("--rlimit-nofile");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      nofile = static_cast<rlim_t>(std::strtoul(v->c_str(), nullptr, 10));
+    } else if (a == "--close-other-fds") {
+      close_other_fds = true;
+    } else if (a == "--new-session") {
+      new_session = true;
+    } else if (a == "--timeout") {
+      v = need_value("--timeout");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      timeout_seconds = std::strtod(v->c_str(), nullptr);
+    } else {
+      std::fprintf(stderr, "forklift-run: unknown option '%s'\n", a.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (i >= args.size()) {
+    return Usage(argv[0]);
+  }
+
+  if (audit) {
+    auto report = ForkGuard::CheckNow();
+    if (report.ok()) {
+      std::fprintf(stderr, "--- fork-hazard audit ---\n%s\n", report->ToString().c_str());
+    }
+    for (const auto& finding : AuditCurrentEnv()) {
+      std::fprintf(stderr, "  [env] %s\n", finding.ToString().c_str());
+    }
+    std::fprintf(stderr, "-------------------------\n");
+  }
+
+  Spawner spawner(args[i]);
+  for (size_t a = i + 1; a < args.size(); ++a) {
+    spawner.Arg(args[a]);
+  }
+  spawner.SetBackend(backend);
+
+  if (clear_env) {
+    spawner.ClearEnv();
+  }
+  if (strip_secrets) {
+    EnvMap env = EnvMap::FromCurrent();
+    for (const auto& key : StripFlagged(&env)) {
+      spawner.UnsetEnv(key);
+    }
+  }
+  for (const auto& [k, value] : env_sets) {
+    spawner.SetEnv(k, value);
+  }
+  for (const auto& k : env_unsets) {
+    spawner.UnsetEnv(k);
+  }
+  if (!cwd.empty()) {
+    spawner.SetCwd(cwd);
+  }
+  if (!stdin_path.empty()) {
+    spawner.SetStdin(Stdio::Path(stdin_path));
+  }
+  if (to_null) {
+    spawner.SetStdout(Stdio::Null()).SetStderr(Stdio::Null());
+  }
+  if (!stdout_path.empty()) {
+    spawner.SetStdout(stdout_append ? Stdio::AppendPath(stdout_path)
+                                    : Stdio::Path(stdout_path));
+  }
+  if (!stderr_path.empty()) {
+    spawner.SetStderr(Stdio::Path(stderr_path));
+  }
+  if (merge_stderr) {
+    spawner.SetStderr(Stdio::MergeStdout());
+  }
+  if (umask_value.has_value()) {
+    spawner.SetUmask(*umask_value);
+  }
+  if (nofile.has_value()) {
+    spawner.AddRlimit(RLIMIT_NOFILE, *nofile, *nofile);
+  }
+  if (close_other_fds) {
+    spawner.CloseOtherFds();
+  }
+  if (new_session) {
+    spawner.NewSession();
+  }
+
+  auto child = spawner.Spawn();
+  if (!child.ok()) {
+    std::fprintf(stderr, "forklift-run: %s\n", child.error().ToString().c_str());
+    return child.error().IsErrno(ENOENT) ? 127 : 126;
+  }
+
+  Result<ExitStatus> status = LogicalError("unset");
+  if (timeout_seconds > 0) {
+    auto maybe = child->WaitWithTimeout(timeout_seconds);
+    if (!maybe.ok()) {
+      std::fprintf(stderr, "forklift-run: %s\n", maybe.error().ToString().c_str());
+      return 125;
+    }
+    if (!maybe->has_value()) {
+      std::fprintf(stderr, "forklift-run: timeout, killing pid %d\n",
+                   static_cast<int>(child->pid()));
+      (void)child->KillAndWait();
+      return 124;  // timeout(1)'s convention
+    }
+    status = **maybe;
+  } else {
+    status = child->Wait();
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "forklift-run: %s\n", status.error().ToString().c_str());
+    return 125;
+  }
+  if (status->signaled) {
+    return 128 + status->term_signal;
+  }
+  return status->exit_code;
+}

@@ -1,0 +1,81 @@
+// forkliftd — a standalone zygote daemon.
+//
+// Start it early (while small), point clients at its socket, and every
+// process they ask for is forked from THIS tiny process instead of from the
+// (potentially huge) clients — §6 of the paper as a service:
+//
+//   forkliftd --socket /run/forklift.sock [--daemon]
+//
+// Clients connect with ForkServerClient::ConnectPath(path). The process exits
+// when a client sends Shutdown. With --daemon it detaches (double-fork,
+// setsid, stdio to /dev/null) and the launching command returns 0 only once
+// the socket is actually accepting — ready-means-ready semantics.
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/log.h"
+#include "src/forkserver/server.h"
+#include "src/spawn/daemonize.h"
+
+using namespace forklift;
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/forkliftd.sock";
+  bool daemonize = false;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+    } else if (args[i] == "--daemon") {
+      daemonize = true;
+    } else if (args[i] == "--help") {
+      std::printf("usage: %s [--socket PATH] [--daemon]\n", argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "forkliftd: unknown option '%s'\n", args[i].c_str());
+      return 2;
+    }
+  }
+
+  // Children that die before being waited on must not accumulate as zombies
+  // if a client never asks; but we DO need their statuses for kWait, so no
+  // SIG_IGN on SIGCHLD — the server waits explicitly. Ignore SIGPIPE so a
+  // vanished client surfaces as EPIPE, not death.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  ReadyNotifier ready;
+  if (daemonize) {
+    auto notifier = Daemonize(DaemonizeOptions{});
+    if (!notifier.ok()) {
+      std::fprintf(stderr, "forkliftd: %s\n", notifier.error().ToString().c_str());
+      return 1;
+    }
+    ready = std::move(notifier).value();
+  }
+
+  auto server = ForkServer::Listen(socket_path);
+  if (!server.ok()) {
+    std::fprintf(stderr, "forkliftd: %s\n", server.error().ToString().c_str());
+    return 1;
+  }
+  if (ready.armed()) {
+    if (!ready.NotifyReady().ok()) {
+      return 1;
+    }
+  }
+  FORKLIFT_LOG("forkliftd listening on %s (pid %d)", socket_path.c_str(),
+               static_cast<int>(::getpid()));
+
+  auto served = server->Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "forkliftd: %s\n", served.error().ToString().c_str());
+    return 1;
+  }
+  FORKLIFT_LOG("forkliftd exiting after %llu spawns",
+               static_cast<unsigned long long>(*served));
+  return 0;
+}
