@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cow_fault_cost.dir/cow_fault_cost.cc.o"
+  "CMakeFiles/cow_fault_cost.dir/cow_fault_cost.cc.o.d"
+  "cow_fault_cost"
+  "cow_fault_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cow_fault_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

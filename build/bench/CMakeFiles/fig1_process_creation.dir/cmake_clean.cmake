@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_process_creation.dir/fig1_process_creation.cc.o"
+  "CMakeFiles/fig1_process_creation.dir/fig1_process_creation.cc.o.d"
+  "fig1_process_creation"
+  "fig1_process_creation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_process_creation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_sim.dir/fig1_sim.cc.o"
+  "CMakeFiles/fig1_sim.dir/fig1_sim.cc.o.d"
+  "fig1_sim"
+  "fig1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_amortization.dir/forkserver_amortization.cc.o"
+  "CMakeFiles/forkserver_amortization.dir/forkserver_amortization.cc.o.d"
+  "forkserver_amortization"
+  "forkserver_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pagetable.dir/sim_pagetable.cc.o"
+  "CMakeFiles/sim_pagetable.dir/sim_pagetable.cc.o.d"
+  "sim_pagetable"
+  "sim_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/snapshot_cow.cc" "bench/CMakeFiles/snapshot_cow.dir/snapshot_cow.cc.o" "gcc" "bench/CMakeFiles/snapshot_cow.dir/snapshot_cow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/benchlib/CMakeFiles/forklift_benchlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/procsim/CMakeFiles/forklift_procsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/forklift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_cow.dir/snapshot_cow.cc.o"
+  "CMakeFiles/snapshot_cow.dir/snapshot_cow.cc.o.d"
+  "snapshot_cow"
+  "snapshot_cow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_cow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

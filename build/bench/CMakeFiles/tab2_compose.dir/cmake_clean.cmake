@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_compose.dir/tab2_compose.cc.o"
+  "CMakeFiles/tab2_compose.dir/tab2_compose.cc.o.d"
+  "tab2_compose"
+  "tab2_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

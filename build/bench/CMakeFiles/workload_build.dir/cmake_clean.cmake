@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_build.dir/workload_build.cc.o"
+  "CMakeFiles/workload_build.dir/workload_build.cc.o.d"
+  "workload_build"
+  "workload_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

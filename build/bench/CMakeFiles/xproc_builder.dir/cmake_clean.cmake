@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xproc_builder.dir/xproc_builder.cc.o"
+  "CMakeFiles/xproc_builder.dir/xproc_builder.cc.o.d"
+  "xproc_builder"
+  "xproc_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xproc_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

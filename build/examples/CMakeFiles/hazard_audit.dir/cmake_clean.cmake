@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazard_audit.dir/hazard_audit.cpp.o"
+  "CMakeFiles/hazard_audit.dir/hazard_audit.cpp.o.d"
+  "hazard_audit"
+  "hazard_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazard_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

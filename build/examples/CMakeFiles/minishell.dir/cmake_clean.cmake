@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minishell.dir/minishell.cpp.o"
+  "CMakeFiles/minishell.dir/minishell.cpp.o.d"
+  "minishell"
+  "minishell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minishell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_fleet.dir/service_fleet.cpp.o"
+  "CMakeFiles/service_fleet.dir/service_fleet.cpp.o.d"
+  "service_fleet"
+  "service_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zygote_service.dir/zygote_service.cpp.o"
+  "CMakeFiles/zygote_service.dir/zygote_service.cpp.o.d"
+  "zygote_service"
+  "zygote_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zygote_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

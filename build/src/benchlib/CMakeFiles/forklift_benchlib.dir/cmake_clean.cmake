@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_benchlib.dir/memtouch.cc.o"
+  "CMakeFiles/forklift_benchlib.dir/memtouch.cc.o.d"
+  "CMakeFiles/forklift_benchlib.dir/table.cc.o"
+  "CMakeFiles/forklift_benchlib.dir/table.cc.o.d"
+  "libforklift_benchlib.a"
+  "libforklift_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

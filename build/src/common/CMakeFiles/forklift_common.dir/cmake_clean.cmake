@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_common.dir/env.cc.o"
+  "CMakeFiles/forklift_common.dir/env.cc.o.d"
+  "CMakeFiles/forklift_common.dir/log.cc.o"
+  "CMakeFiles/forklift_common.dir/log.cc.o.d"
+  "CMakeFiles/forklift_common.dir/pipe.cc.o"
+  "CMakeFiles/forklift_common.dir/pipe.cc.o.d"
+  "CMakeFiles/forklift_common.dir/stats.cc.o"
+  "CMakeFiles/forklift_common.dir/stats.cc.o.d"
+  "CMakeFiles/forklift_common.dir/string_util.cc.o"
+  "CMakeFiles/forklift_common.dir/string_util.cc.o.d"
+  "CMakeFiles/forklift_common.dir/syscall.cc.o"
+  "CMakeFiles/forklift_common.dir/syscall.cc.o.d"
+  "libforklift_common.a"
+  "libforklift_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forkserver/client.cc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/client.cc.o" "gcc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/client.cc.o.d"
+  "/root/repo/src/forkserver/fd_transfer.cc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/fd_transfer.cc.o" "gcc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/fd_transfer.cc.o.d"
+  "/root/repo/src/forkserver/pool.cc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/pool.cc.o" "gcc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/pool.cc.o.d"
+  "/root/repo/src/forkserver/protocol.cc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/protocol.cc.o" "gcc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/protocol.cc.o.d"
+  "/root/repo/src/forkserver/server.cc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/server.cc.o" "gcc" "src/forkserver/CMakeFiles/forklift_forkserver.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spawn/CMakeFiles/forklift_spawn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/forklift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_forkserver.dir/client.cc.o"
+  "CMakeFiles/forklift_forkserver.dir/client.cc.o.d"
+  "CMakeFiles/forklift_forkserver.dir/fd_transfer.cc.o"
+  "CMakeFiles/forklift_forkserver.dir/fd_transfer.cc.o.d"
+  "CMakeFiles/forklift_forkserver.dir/pool.cc.o"
+  "CMakeFiles/forklift_forkserver.dir/pool.cc.o.d"
+  "CMakeFiles/forklift_forkserver.dir/protocol.cc.o"
+  "CMakeFiles/forklift_forkserver.dir/protocol.cc.o.d"
+  "CMakeFiles/forklift_forkserver.dir/server.cc.o"
+  "CMakeFiles/forklift_forkserver.dir/server.cc.o.d"
+  "libforklift_forkserver.a"
+  "libforklift_forkserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_forkserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

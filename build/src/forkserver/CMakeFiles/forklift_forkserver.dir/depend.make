@@ -1,0 +1,2 @@
+# Empty dependencies file for forklift_forkserver.
+# This may be replaced when dependencies are built.

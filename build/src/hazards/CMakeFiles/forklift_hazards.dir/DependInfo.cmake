@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hazards/env_audit.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/env_audit.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/env_audit.cc.o.d"
+  "/root/repo/src/hazards/fd_audit.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/fd_audit.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/fd_audit.cc.o.d"
+  "/root/repo/src/hazards/fork_guard.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/fork_guard.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/fork_guard.cc.o.d"
+  "/root/repo/src/hazards/lock_registry.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/lock_registry.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/lock_registry.cc.o.d"
+  "/root/repo/src/hazards/secret.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/secret.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/secret.cc.o.d"
+  "/root/repo/src/hazards/stdio_audit.cc" "src/hazards/CMakeFiles/forklift_hazards.dir/stdio_audit.cc.o" "gcc" "src/hazards/CMakeFiles/forklift_hazards.dir/stdio_audit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/forklift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_hazards.dir/env_audit.cc.o"
+  "CMakeFiles/forklift_hazards.dir/env_audit.cc.o.d"
+  "CMakeFiles/forklift_hazards.dir/fd_audit.cc.o"
+  "CMakeFiles/forklift_hazards.dir/fd_audit.cc.o.d"
+  "CMakeFiles/forklift_hazards.dir/fork_guard.cc.o"
+  "CMakeFiles/forklift_hazards.dir/fork_guard.cc.o.d"
+  "CMakeFiles/forklift_hazards.dir/lock_registry.cc.o"
+  "CMakeFiles/forklift_hazards.dir/lock_registry.cc.o.d"
+  "CMakeFiles/forklift_hazards.dir/secret.cc.o"
+  "CMakeFiles/forklift_hazards.dir/secret.cc.o.d"
+  "CMakeFiles/forklift_hazards.dir/stdio_audit.cc.o"
+  "CMakeFiles/forklift_hazards.dir/stdio_audit.cc.o.d"
+  "libforklift_hazards.a"
+  "libforklift_hazards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_hazards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

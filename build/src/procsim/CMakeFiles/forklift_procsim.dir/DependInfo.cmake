@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/procsim/address_space.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/address_space.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/address_space.cc.o.d"
+  "/root/repo/src/procsim/cost_model.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/cost_model.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/cost_model.cc.o.d"
+  "/root/repo/src/procsim/cross_process.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/cross_process.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/cross_process.cc.o.d"
+  "/root/repo/src/procsim/kernel.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/kernel.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/kernel.cc.o.d"
+  "/root/repo/src/procsim/page_table.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/page_table.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/page_table.cc.o.d"
+  "/root/repo/src/procsim/phys_mem.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/phys_mem.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/phys_mem.cc.o.d"
+  "/root/repo/src/procsim/tlb.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/tlb.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/tlb.cc.o.d"
+  "/root/repo/src/procsim/trace.cc" "src/procsim/CMakeFiles/forklift_procsim.dir/trace.cc.o" "gcc" "src/procsim/CMakeFiles/forklift_procsim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/forklift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

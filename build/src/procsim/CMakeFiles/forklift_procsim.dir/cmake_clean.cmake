@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_procsim.dir/address_space.cc.o"
+  "CMakeFiles/forklift_procsim.dir/address_space.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/cost_model.cc.o"
+  "CMakeFiles/forklift_procsim.dir/cost_model.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/cross_process.cc.o"
+  "CMakeFiles/forklift_procsim.dir/cross_process.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/kernel.cc.o"
+  "CMakeFiles/forklift_procsim.dir/kernel.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/page_table.cc.o"
+  "CMakeFiles/forklift_procsim.dir/page_table.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/phys_mem.cc.o"
+  "CMakeFiles/forklift_procsim.dir/phys_mem.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/tlb.cc.o"
+  "CMakeFiles/forklift_procsim.dir/tlb.cc.o.d"
+  "CMakeFiles/forklift_procsim.dir/trace.cc.o"
+  "CMakeFiles/forklift_procsim.dir/trace.cc.o.d"
+  "libforklift_procsim.a"
+  "libforklift_procsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_procsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

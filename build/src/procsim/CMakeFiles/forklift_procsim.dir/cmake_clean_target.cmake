@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libforklift_procsim.a"
+)

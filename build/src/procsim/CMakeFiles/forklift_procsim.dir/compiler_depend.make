@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for forklift_procsim.
+# This may be replaced when dependencies are built.

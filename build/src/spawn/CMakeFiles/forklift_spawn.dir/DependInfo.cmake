@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spawn/backend_clone3.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_clone3.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_clone3.cc.o.d"
+  "/root/repo/src/spawn/backend_common.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_common.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_common.cc.o.d"
+  "/root/repo/src/spawn/backend_forkexec.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_forkexec.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_forkexec.cc.o.d"
+  "/root/repo/src/spawn/backend_posix_spawn.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_posix_spawn.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_posix_spawn.cc.o.d"
+  "/root/repo/src/spawn/backend_vfork.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_vfork.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/backend_vfork.cc.o.d"
+  "/root/repo/src/spawn/child.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/child.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/child.cc.o.d"
+  "/root/repo/src/spawn/command.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/command.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/command.cc.o.d"
+  "/root/repo/src/spawn/daemonize.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/daemonize.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/daemonize.cc.o.d"
+  "/root/repo/src/spawn/fd_actions.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/fd_actions.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/fd_actions.cc.o.d"
+  "/root/repo/src/spawn/spawner.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/spawner.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/spawner.cc.o.d"
+  "/root/repo/src/spawn/supervisor.cc" "src/spawn/CMakeFiles/forklift_spawn.dir/supervisor.cc.o" "gcc" "src/spawn/CMakeFiles/forklift_spawn.dir/supervisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/forklift_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift_spawn.dir/backend_clone3.cc.o"
+  "CMakeFiles/forklift_spawn.dir/backend_clone3.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/backend_common.cc.o"
+  "CMakeFiles/forklift_spawn.dir/backend_common.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/backend_forkexec.cc.o"
+  "CMakeFiles/forklift_spawn.dir/backend_forkexec.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/backend_posix_spawn.cc.o"
+  "CMakeFiles/forklift_spawn.dir/backend_posix_spawn.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/backend_vfork.cc.o"
+  "CMakeFiles/forklift_spawn.dir/backend_vfork.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/child.cc.o"
+  "CMakeFiles/forklift_spawn.dir/child.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/command.cc.o"
+  "CMakeFiles/forklift_spawn.dir/command.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/daemonize.cc.o"
+  "CMakeFiles/forklift_spawn.dir/daemonize.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/fd_actions.cc.o"
+  "CMakeFiles/forklift_spawn.dir/fd_actions.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/spawner.cc.o"
+  "CMakeFiles/forklift_spawn.dir/spawner.cc.o.d"
+  "CMakeFiles/forklift_spawn.dir/supervisor.cc.o"
+  "CMakeFiles/forklift_spawn.dir/supervisor.cc.o.d"
+  "libforklift_spawn.a"
+  "libforklift_spawn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift_spawn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

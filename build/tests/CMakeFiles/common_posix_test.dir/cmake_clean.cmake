@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_posix_test.dir/common/pipe_test.cc.o"
+  "CMakeFiles/common_posix_test.dir/common/pipe_test.cc.o.d"
+  "CMakeFiles/common_posix_test.dir/common/syscall_test.cc.o"
+  "CMakeFiles/common_posix_test.dir/common/syscall_test.cc.o.d"
+  "common_posix_test"
+  "common_posix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_shape_test.dir/experiments/shape_test.cc.o"
+  "CMakeFiles/experiments_shape_test.dir/experiments/shape_test.cc.o.d"
+  "experiments_shape_test"
+  "experiments_shape_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_failure_test.dir/forkserver/failure_test.cc.o"
+  "CMakeFiles/forkserver_failure_test.dir/forkserver/failure_test.cc.o.d"
+  "forkserver_failure_test"
+  "forkserver_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

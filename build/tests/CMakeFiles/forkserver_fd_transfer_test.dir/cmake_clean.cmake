@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_fd_transfer_test.dir/forkserver/fd_transfer_test.cc.o"
+  "CMakeFiles/forkserver_fd_transfer_test.dir/forkserver/fd_transfer_test.cc.o.d"
+  "forkserver_fd_transfer_test"
+  "forkserver_fd_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_fd_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_protocol_test.dir/forkserver/protocol_test.cc.o"
+  "CMakeFiles/forkserver_protocol_test.dir/forkserver/protocol_test.cc.o.d"
+  "forkserver_protocol_test"
+  "forkserver_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

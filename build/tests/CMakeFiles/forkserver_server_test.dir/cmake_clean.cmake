@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_server_test.dir/forkserver/server_test.cc.o"
+  "CMakeFiles/forkserver_server_test.dir/forkserver/server_test.cc.o.d"
+  "forkserver_server_test"
+  "forkserver_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkserver_wire_test.dir/forkserver/wire_test.cc.o"
+  "CMakeFiles/forkserver_wire_test.dir/forkserver/wire_test.cc.o.d"
+  "forkserver_wire_test"
+  "forkserver_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkserver_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

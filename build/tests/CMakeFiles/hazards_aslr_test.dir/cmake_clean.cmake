@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazards_aslr_test.dir/hazards/aslr_test.cc.o"
+  "CMakeFiles/hazards_aslr_test.dir/hazards/aslr_test.cc.o.d"
+  "hazards_aslr_test"
+  "hazards_aslr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazards_aslr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

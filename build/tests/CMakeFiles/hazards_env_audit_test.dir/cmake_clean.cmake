@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazards_env_audit_test.dir/hazards/env_audit_test.cc.o"
+  "CMakeFiles/hazards_env_audit_test.dir/hazards/env_audit_test.cc.o.d"
+  "hazards_env_audit_test"
+  "hazards_env_audit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazards_env_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hazards_env_audit_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazards_fork_guard_test.dir/hazards/fork_guard_test.cc.o"
+  "CMakeFiles/hazards_fork_guard_test.dir/hazards/fork_guard_test.cc.o.d"
+  "hazards_fork_guard_test"
+  "hazards_fork_guard_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazards_fork_guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

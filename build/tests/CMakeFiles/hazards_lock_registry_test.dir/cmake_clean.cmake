@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazards_lock_registry_test.dir/hazards/lock_registry_test.cc.o"
+  "CMakeFiles/hazards_lock_registry_test.dir/hazards/lock_registry_test.cc.o.d"
+  "hazards_lock_registry_test"
+  "hazards_lock_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazards_lock_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

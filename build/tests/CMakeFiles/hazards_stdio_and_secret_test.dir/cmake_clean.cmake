@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hazards_stdio_and_secret_test.dir/hazards/stdio_and_secret_test.cc.o"
+  "CMakeFiles/hazards_stdio_and_secret_test.dir/hazards/stdio_and_secret_test.cc.o.d"
+  "hazards_stdio_and_secret_test"
+  "hazards_stdio_and_secret_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hazards_stdio_and_secret_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hazards_stdio_and_secret_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_address_space_test.dir/procsim/address_space_test.cc.o"
+  "CMakeFiles/procsim_address_space_test.dir/procsim/address_space_test.cc.o.d"
+  "procsim_address_space_test"
+  "procsim_address_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_address_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

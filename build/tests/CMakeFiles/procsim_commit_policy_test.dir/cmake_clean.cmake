@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_commit_policy_test.dir/procsim/commit_policy_test.cc.o"
+  "CMakeFiles/procsim_commit_policy_test.dir/procsim/commit_policy_test.cc.o.d"
+  "procsim_commit_policy_test"
+  "procsim_commit_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_commit_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

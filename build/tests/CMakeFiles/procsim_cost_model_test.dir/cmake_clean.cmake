@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_cost_model_test.dir/procsim/cost_model_test.cc.o"
+  "CMakeFiles/procsim_cost_model_test.dir/procsim/cost_model_test.cc.o.d"
+  "procsim_cost_model_test"
+  "procsim_cost_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_cost_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

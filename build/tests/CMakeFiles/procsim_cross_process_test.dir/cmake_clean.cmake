@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_cross_process_test.dir/procsim/cross_process_test.cc.o"
+  "CMakeFiles/procsim_cross_process_test.dir/procsim/cross_process_test.cc.o.d"
+  "procsim_cross_process_test"
+  "procsim_cross_process_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_cross_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_kernel_test.dir/procsim/kernel_test.cc.o"
+  "CMakeFiles/procsim_kernel_test.dir/procsim/kernel_test.cc.o.d"
+  "procsim_kernel_test"
+  "procsim_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_page_table_test.dir/procsim/page_table_test.cc.o"
+  "CMakeFiles/procsim_page_table_test.dir/procsim/page_table_test.cc.o.d"
+  "procsim_page_table_test"
+  "procsim_page_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_page_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

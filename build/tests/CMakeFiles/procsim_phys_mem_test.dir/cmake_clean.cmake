@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_phys_mem_test.dir/procsim/phys_mem_test.cc.o"
+  "CMakeFiles/procsim_phys_mem_test.dir/procsim/phys_mem_test.cc.o.d"
+  "procsim_phys_mem_test"
+  "procsim_phys_mem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_phys_mem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_shared_mapping_test.dir/procsim/shared_mapping_test.cc.o"
+  "CMakeFiles/procsim_shared_mapping_test.dir/procsim/shared_mapping_test.cc.o.d"
+  "procsim_shared_mapping_test"
+  "procsim_shared_mapping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_shared_mapping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

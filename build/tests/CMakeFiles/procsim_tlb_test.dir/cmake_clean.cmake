@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_tlb_test.dir/procsim/tlb_test.cc.o"
+  "CMakeFiles/procsim_tlb_test.dir/procsim/tlb_test.cc.o.d"
+  "procsim_tlb_test"
+  "procsim_tlb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procsim_trace_test.dir/procsim/trace_test.cc.o"
+  "CMakeFiles/procsim_trace_test.dir/procsim/trace_test.cc.o.d"
+  "procsim_trace_test"
+  "procsim_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procsim_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_command_test.dir/spawn/command_test.cc.o"
+  "CMakeFiles/spawn_command_test.dir/spawn/command_test.cc.o.d"
+  "spawn_command_test"
+  "spawn_command_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_command_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_fd_plan_exec_test.dir/spawn/fd_plan_exec_test.cc.o"
+  "CMakeFiles/spawn_fd_plan_exec_test.dir/spawn/fd_plan_exec_test.cc.o.d"
+  "spawn_fd_plan_exec_test"
+  "spawn_fd_plan_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_fd_plan_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_pipeline_property_test.dir/spawn/pipeline_property_test.cc.o"
+  "CMakeFiles/spawn_pipeline_property_test.dir/spawn/pipeline_property_test.cc.o.d"
+  "spawn_pipeline_property_test"
+  "spawn_pipeline_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_pipeline_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_spawner_test.dir/spawn/spawner_test.cc.o"
+  "CMakeFiles/spawn_spawner_test.dir/spawn/spawner_test.cc.o.d"
+  "spawn_spawner_test"
+  "spawn_spawner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_spawner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

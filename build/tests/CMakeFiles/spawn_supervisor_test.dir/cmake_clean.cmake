@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spawn_supervisor_test.dir/spawn/supervisor_test.cc.o"
+  "CMakeFiles/spawn_supervisor_test.dir/spawn/supervisor_test.cc.o.d"
+  "spawn_supervisor_test"
+  "spawn_supervisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spawn_supervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

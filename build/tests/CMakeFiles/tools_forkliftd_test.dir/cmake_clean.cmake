@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_forkliftd_test.dir/tools/forkliftd_test.cc.o"
+  "CMakeFiles/tools_forkliftd_test.dir/tools/forkliftd_test.cc.o.d"
+  "tools_forkliftd_test"
+  "tools_forkliftd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_forkliftd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

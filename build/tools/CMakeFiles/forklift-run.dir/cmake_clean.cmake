@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forklift-run.dir/forklift_run.cc.o"
+  "CMakeFiles/forklift-run.dir/forklift_run.cc.o.d"
+  "forklift-run"
+  "forklift-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forklift-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

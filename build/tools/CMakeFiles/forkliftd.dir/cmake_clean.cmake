@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forkliftd.dir/forkliftd.cc.o"
+  "CMakeFiles/forkliftd.dir/forkliftd.cc.o.d"
+  "forkliftd"
+  "forkliftd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forkliftd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
