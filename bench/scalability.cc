@@ -1,20 +1,41 @@
-// E3 — "fork doesn't scale" (§4): concurrent process creation throughput.
+// E3 — "fork doesn't scale" (§4): concurrent process creation throughput,
+// plus exit-notification latency (sleep-poll loop vs pidfd/epoll reactor).
 //
-// N threads spawn-and-reap /bin/true in a loop for a fixed wall-clock window;
-// we report aggregate spawns/second per thread count and primitive. On a
-// machine with enough cores, fork's curve flattens first (mmap_sem/page-table
-// serialization); with ballast the effect is amplified because every fork
-// write-protects the SAME parent address space under the same locks. (On a
-// single-core host the absolute numbers compress, but fork-with-ballast vs
-// spawn-with-ballast still separates.)
+// Part 1: N threads spawn-and-reap /bin/true in a loop for a fixed wall-clock
+// window; we report aggregate spawns/second per thread count and primitive.
+// On a machine with enough cores, fork's curve flattens first
+// (mmap_sem/page-table serialization); with ballast the effect is amplified
+// because every fork write-protects the SAME parent address space under the
+// same locks. (On a single-core host the absolute numbers compress, but
+// fork-with-ballast vs spawn-with-ballast still separates.)
+//
+// Part 2: how long after a long-lived child dies does the parent find out?
+// The legacy WaitDeadline loop slept in an escalating 50µs→5ms backoff, so a
+// supervised child's exit was observed up to a full cap interval late; the
+// reactor parks on a pidfd and wakes on the exit itself. We park a child
+// (sh blocked on read), let the legacy backoff escalate to its cap, kill the
+// pipe at a staggered phase inside the poll window, and time close→detection
+// for both detectors. p50/p95 per mode; the reactor's p50 should be an order
+// of magnitude lower.
+//
+// `--json <path>` additionally dumps both series as a machine-readable
+// artifact (the BENCH_scalability.json convention).
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "src/benchlib/json_writer.h"
 #include "src/benchlib/memtouch.h"
 #include "src/benchlib/table.h"
 #include "src/common/clock.h"
+#include "src/common/reactor.h"
 #include "src/common/string_util.h"
 #include "src/spawn/spawner.h"
 
@@ -22,6 +43,9 @@ namespace forklift {
 namespace {
 
 constexpr double kWindowSeconds = 1.0;
+constexpr int kLatencySamples = 20;
+constexpr uint64_t kPollFloorNs = 50'000;    // the legacy loop's first sleep
+constexpr uint64_t kPollCapNs = 5'000'000;   // ... and its escalation cap
 
 double ThroughputAt(SpawnBackendKind kind, int threads) {
   std::atomic<bool> stop{false};
@@ -61,14 +85,133 @@ double ThroughputAt(SpawnBackendKind kind, int threads) {
   return static_cast<double>(completed.load()) / sw.ElapsedSeconds();
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: exit-notification latency.
+
+void SleepNs(uint64_t ns) {
+  timespec ts{static_cast<time_t>(ns / 1000000000ull),
+              static_cast<long>(ns % 1000000000ull)};
+  ::nanosleep(&ts, nullptr);
+}
+
+// A child parked on a blocking read: it exits the instant its stdin pipe
+// closes, and it signals readiness (one line on stdout) once the shell is up,
+// so the measurement window never includes interpreter startup.
+Result<Child> SpawnParkedChild() {
+  FORKLIFT_ASSIGN_OR_RETURN(Child child, Spawner("/bin/sh")
+                                             .Arg("-c")
+                                             .Arg("echo r; read line")
+                                             .SetStdin(Stdio::Pipe())
+                                             .SetStdout(Stdio::Pipe())
+                                             .SetStderr(Stdio::Null())
+                                             .Spawn());
+  char buf[2];
+  size_t got = 0;
+  while (got < sizeof(buf)) {
+    ssize_t n = ::read(child.stdout_fd().get(), buf + got, sizeof(buf) - got);
+    if (n <= 0) {
+      (void)child.KillAndWait();
+      return LogicalError("latency bench: parked child died before ready");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return child;
+}
+
+// One sample of the legacy detector: TryWait + escalating nanosleep, exactly
+// the loop WaitDeadline used before the reactor. The child stays parked while
+// the backoff escalates to its cap (the steady state of any supervised
+// child), then the exit lands at a staggered phase inside the cap window.
+Result<uint64_t> LegacyDetectOnce(int sample) {
+  FORKLIFT_ASSIGN_OR_RETURN(Child child, SpawnParkedChild());
+  uint64_t interval = kPollFloorNs;
+  while (interval < kPollCapNs) {
+    FORKLIFT_RETURN_IF_ERROR(child.TryWait());
+    SleepNs(interval);
+    interval = std::min(interval * 2, kPollCapNs);
+  }
+  // Golden-ratio stagger: spread exits uniformly across the poll window so
+  // the series samples the detection-delay distribution, not one phase. The
+  // exit lands `phase` into a cap-length sleep, so the loop's next check
+  // happens `cap - phase` later — model that by finishing the in-flight tick.
+  uint64_t phase = (static_cast<uint64_t>(sample) * 1'618'034) % kPollCapNs;
+  SleepNs(phase);
+  uint64_t t0 = MonotonicNanos();
+  child.stdin_fd().Reset();  // EOF: the parked read returns, the child exits
+  SleepNs(kPollCapNs - phase);
+  for (;;) {
+    FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, child.TryWait());
+    if (st.has_value()) {
+      return MonotonicNanos() - t0;
+    }
+    SleepNs(interval);
+  }
+}
+
+// One sample of the reactor detector: a ChildWatch parked in epoll.
+Result<uint64_t> ReactorDetectOnce() {
+  FORKLIFT_ASSIGN_OR_RETURN(Child child, SpawnParkedChild());
+  FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+  bool exited = false;
+  FORKLIFT_ASSIGN_OR_RETURN(
+      ChildWatch watch,
+      ChildWatch::Arm(reactor, child.pid(), [&exited] { exited = true; }));
+  uint64_t t0 = MonotonicNanos();
+  child.stdin_fd().Reset();
+  while (!exited) {
+    FORKLIFT_RETURN_IF_ERROR(reactor.PollOnce(-1));
+  }
+  uint64_t latency = MonotonicNanos() - t0;
+  FORKLIFT_RETURN_IF_ERROR(child.TryWait());
+  return latency;
+}
+
+struct LatencyStats {
+  double p50_us = 0;
+  double p95_us = 0;
+  double mean_us = 0;
+};
+
+LatencyStats Summarize(std::vector<uint64_t> samples_ns) {
+  std::sort(samples_ns.begin(), samples_ns.end());
+  LatencyStats stats;
+  double total = 0;
+  for (uint64_t s : samples_ns) {
+    total += static_cast<double>(s);
+  }
+  stats.mean_us = total / static_cast<double>(samples_ns.size()) / 1e3;
+  stats.p50_us = static_cast<double>(samples_ns[samples_ns.size() / 2]) / 1e3;
+  stats.p95_us = static_cast<double>(samples_ns[samples_ns.size() * 95 / 100]) / 1e3;
+  return stats;
+}
+
 }  // namespace
 }  // namespace forklift
 
-int main() {
+int main(int argc, char** argv) {
   using namespace forklift;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "scalability: --json requires an output path\n");
+        return 2;
+      }
+      json_path = argv[++i];
+    }
+  }
 
   PrintBanner("E3: concurrent creation throughput (spawns/second, 1s window per cell)");
   std::printf("host has %u hardware threads\n\n", std::thread::hardware_concurrency());
+
+  struct ThroughputRow {
+    int threads;
+    size_t ballast_bytes;
+    double fork_rate;
+    double spawn_rate;
+  };
+  std::vector<ThroughputRow> throughput_rows;
 
   TablePrinter table({"threads", "ballast", "fork+exec/s", "posix_spawn/s", "spawn/fork"});
   HeapBallast ballast;
@@ -85,6 +228,7 @@ int main() {
       table.AddRow({TablePrinter::Cell(static_cast<uint64_t>(threads)), HumanBytes(mib << 20),
                     TablePrinter::Cell(fork_rate, 0), TablePrinter::Cell(spawn_rate, 0),
                     TablePrinter::Cell(spawn_rate / fork_rate, 1)});
+      throughput_rows.push_back({threads, mib << 20, fork_rate, spawn_rate});
       std::fprintf(stderr, "  [%zu MiB x %d threads done]\n", mib, threads);
     }
   }
@@ -94,5 +238,74 @@ int main() {
               "fork throughput with ballast collapses (every spawn re-copies the heap's\n"
               "page tables). CSV follows.\n\n%s",
               table.ToCsv().c_str());
+  (void)ballast.Resize(0);
+
+  PrintBanner("E3b: exit-notification latency — sleep-poll loop vs pidfd/epoll reactor");
+  std::vector<uint64_t> legacy_ns;
+  std::vector<uint64_t> reactor_ns;
+  for (int i = 0; i < kLatencySamples; ++i) {
+    auto legacy = LegacyDetectOnce(i);
+    auto reactor = ReactorDetectOnce();
+    if (!legacy.ok() || !reactor.ok()) {
+      std::fprintf(stderr, "latency sample failed: %s\n",
+                   (!legacy.ok() ? legacy.error() : reactor.error()).ToString().c_str());
+      return 1;
+    }
+    legacy_ns.push_back(*legacy);
+    reactor_ns.push_back(*reactor);
+  }
+  LatencyStats legacy_stats = Summarize(legacy_ns);
+  LatencyStats reactor_stats = Summarize(reactor_ns);
+
+  TablePrinter latency_table({"detector", "p50 (us)", "p95 (us)", "mean (us)"});
+  latency_table.AddRow({"poll-loop", TablePrinter::Cell(legacy_stats.p50_us, 0),
+                        TablePrinter::Cell(legacy_stats.p95_us, 0),
+                        TablePrinter::Cell(legacy_stats.mean_us, 0)});
+  latency_table.AddRow({"reactor", TablePrinter::Cell(reactor_stats.p50_us, 0),
+                        TablePrinter::Cell(reactor_stats.p95_us, 0),
+                        TablePrinter::Cell(reactor_stats.mean_us, 0)});
+  latency_table.Print();
+  std::printf("\nShape check: the poll loop eats up to a full 5ms backoff tick before it\n"
+              "notices the exit; the reactor wakes on the pidfd edge, so its p50 sits at\n"
+              "the cost of the child's own teardown. reactor/poll p50 ratio: %.2f\n",
+              reactor_stats.p50_us / legacy_stats.p50_us);
+
+  if (!json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value("scalability");
+    w.Key("hardware_threads").Value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    w.Key("throughput").BeginArray();
+    for (const auto& row : throughput_rows) {
+      w.BeginObject();
+      w.Key("threads").Value(row.threads);
+      w.Key("ballast_bytes").Value(static_cast<uint64_t>(row.ballast_bytes));
+      w.Key("forkexec_per_s").Value(row.fork_rate);
+      w.Key("posix_spawn_per_s").Value(row.spawn_rate);
+      w.Key("spawn_over_fork").Value(row.spawn_rate / row.fork_rate);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("exit_latency").BeginObject();
+    w.Key("samples_per_mode").Value(kLatencySamples);
+    w.Key("modes").BeginArray();
+    for (const auto* mode : {&legacy_stats, &reactor_stats}) {
+      w.BeginObject();
+      w.Key("mode").Value(mode == &legacy_stats ? "poll-loop" : "reactor");
+      w.Key("p50_us").Value(mode->p50_us);
+      w.Key("p95_us").Value(mode->p95_us);
+      w.Key("mean_us").Value(mode->mean_us);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    w.EndObject();
+    auto wrote = WriteTextFile(json_path, w.str() + "\n");
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "--json: %s\n", wrote.error().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,146 @@
+#include "src/benchlib/json_writer.h"
+
+#include <cstdio>
+
+namespace forklift {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the comma (if any) was emitted by Key()
+  }
+  if (!container_has_items_.empty()) {
+    if (container_has_items_.back()) {
+      out_ += ',';
+    }
+    container_has_items_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  container_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  container_has_items_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  container_has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  container_has_items_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  if (!container_has_items_.empty()) {
+    if (container_has_items_.back()) {
+      out_ += ',';
+    }
+    container_has_items_.back() = true;
+  }
+  out_ += '"';
+  out_ += EscapeJson(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  BeforeValue();
+  out_ += '"';
+  out_ += EscapeJson(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const char* v) { return Value(std::string(v)); }
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return ErrnoError("fopen " + path);
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != content.size() || close_rc != 0) {
+    return ErrnoError("write " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace forklift

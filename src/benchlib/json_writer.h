@@ -1,0 +1,52 @@
+// forklift/benchlib: minimal streaming JSON emitter.
+//
+// Bench binaries accept `--json <path>` and dump their series as a machine-
+// readable BENCH_*.json artifact next to the human-readable table, so result
+// trajectories can be tracked across commits without scraping stdout. The
+// writer is append-only with automatic comma management; no external JSON
+// dependency (the container pins the toolchain).
+#ifndef SRC_BENCHLIB_JSON_WRITER_H_
+#define SRC_BENCHLIB_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace forklift {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key must be followed by exactly one Value/Begin* call.
+  JsonWriter& Key(const std::string& name);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v);
+  JsonWriter& Value(bool v);
+
+  // The document built so far (complete once every Begin* is closed).
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<bool> container_has_items_;
+  bool pending_key_ = false;
+};
+
+// Writes `content` to `path` (truncating), for `--json` output files.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace forklift
+
+#endif  // SRC_BENCHLIB_JSON_WRITER_H_

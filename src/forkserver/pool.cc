@@ -22,6 +22,10 @@ Status ShellWorkerPool::Start(const Options& opts) {
   if (opts.workers == 0) {
     return LogicalError("ShellWorkerPool: need at least one worker");
   }
+  if (!reactor_.has_value()) {
+    FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+    reactor_.emplace(std::move(reactor));
+  }
   for (size_t i = 0; i < opts.workers; ++i) {
     auto child = Spawner("/bin/sh")
                      .Arg("-s")
@@ -37,6 +41,17 @@ Status ShellWorkerPool::Start(const Options& opts) {
     Worker w;
     w.child = std::move(child).value();
     workers_.push_back(std::move(w));
+  }
+  // Arm the watches only once workers_ has its final size: the callbacks
+  // index into the vector, so no reallocation may follow.
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    auto watch = ChildWatch::Arm(*reactor_, workers_[i].child.pid(), [this, i] {
+      workers_[i].healthy = false;
+      (void)workers_[i].child.TryWait();
+    });
+    if (watch.ok()) {
+      workers_[i].watch = std::move(*watch);
+    }
   }
   started_ = true;
   return Status::Ok();
@@ -103,6 +118,11 @@ Result<ShellWorkerPool::TaskResult> ShellWorkerPool::Execute(const std::string& 
   if (!started_) {
     return LogicalError("ShellWorkerPool: not started");
   }
+  // Drain pending exit notifications (pidfd events) so workers that died
+  // since the last call are already unhealthy when the round-robin runs.
+  if (reactor_.has_value()) {
+    (void)reactor_->PollOnce(0);
+  }
   for (size_t attempts = 0; attempts < workers_.size(); ++attempts) {
     Worker& w = workers_[next_];
     next_ = (next_ + 1) % workers_.size();
@@ -120,8 +140,9 @@ Status ShellWorkerPool::Stop() {
     if (!w.child.valid()) {
       continue;
     }
+    w.watch.Disarm();            // we reap explicitly below
     w.child.stdin_fd().Reset();  // EOF: sh -s exits
-    auto st = w.child.WaitWithTimeout(5.0);
+    auto st = w.child.WaitDeadline(5.0);
     if (!st.ok() || !st->has_value()) {
       (void)w.child.KillAndWait();
       if (first_error.ok() && !st.ok()) {

@@ -10,9 +10,11 @@
 #define SRC_FORKSERVER_POOL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/reactor.h"
 #include "src/common/result.h"
 #include "src/spawn/backend.h"
 #include "src/spawn/child.h"
@@ -55,10 +57,16 @@ class ShellWorkerPool {
   struct Worker {
     Child child;
     bool healthy = true;
+    ChildWatch watch;  // marks the worker unhealthy the moment it dies
   };
 
   Result<TaskResult> ExecuteOn(Worker& w, const std::string& command);
 
+  // Declared before workers_ so each worker's watch (which deregisters
+  // against the reactor) is destroyed first. Execute pumps this reactor
+  // non-blockingly, so a worker killed behind the pool's back is usually
+  // marked unhealthy before the round-robin can route a task to the corpse.
+  std::optional<Reactor> reactor_;
   std::vector<Worker> workers_;
   size_t next_ = 0;
   uint64_t tasks_executed_ = 0;

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -14,7 +15,6 @@
 
 #include "src/common/log.h"
 #include "src/common/pipe.h"
-#include "src/common/syscall.h"
 #include "src/forkserver/fd_transfer.h"
 #include "src/forkserver/protocol.h"
 #include "src/forkserver/wire.h"
@@ -57,61 +57,129 @@ Result<ForkServer> ForkServer::Listen(const std::string& path) {
   return server;
 }
 
-Result<uint64_t> ForkServer::Serve() {
-  while (listener_.valid() || !socks_.empty()) {
-    std::vector<pollfd> pfds;
-    pfds.reserve(socks_.size() + 1);
-    for (const auto& sock : socks_) {
-      pfds.push_back(pollfd{sock.get(), POLLIN, 0});
-    }
-    if (listener_.valid()) {
-      pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
-    }
-    int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), -1);
-    if (rc < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      return ErrnoError("forkserver poll");
-    }
+Status ForkServer::RegisterChannel(int fd) {
+  return reactor_->AddFd(fd, EPOLLIN, [this, fd](uint32_t) { OnChannelReadable(fd); });
+}
 
-    if (listener_.valid() && (pfds.back().revents & POLLIN) != 0) {
-      int client = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
-      if (client >= 0) {
-        socks_.emplace_back(client);
-      } else if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
-        return ErrnoError("accept (forkserver)");
-      }
-      continue;  // channel list changed: rebuild the poll set
-    }
-
-    // Walk backwards so channel removal does not disturb earlier indices.
-    for (size_t i = socks_.size(); i-- > 0;) {
-      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
-        continue;
-      }
-      FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(socks_[i].get()));
-      if (rr.eof) {
-        socks_.erase(socks_.begin() + static_cast<long>(i));
-        continue;
-      }
-      FORKLIFT_ASSIGN_OR_RETURN(bool keep_running, HandleFrame(i, std::move(rr.frame)));
-      if (!keep_running) {
-        if (!listen_path_.empty()) {
-          ::unlink(listen_path_.c_str());
-        }
-        return spawns_handled_;
-      }
+void ForkServer::CloseChannel(int fd) {
+  (void)reactor_->RemoveFd(fd);
+  for (auto it = socks_.begin(); it != socks_.end(); ++it) {
+    if (it->get() == fd) {
+      socks_.erase(it);
+      return;
     }
   }
+}
+
+void ForkServer::OnListenerReadable() {
+  int client = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+  if (client < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
+      serve_error_ = ErrnoError("accept (forkserver)");
+    }
+    return;
+  }
+  socks_.emplace_back(client);
+  Status registered = RegisterChannel(client);
+  if (!registered.ok()) {
+    serve_error_ = registered;
+  }
+}
+
+void ForkServer::OnChannelReadable(int fd) {
+  // Level-triggered re-check: a callback earlier in this epoll batch may have
+  // closed a channel whose fd number was immediately reused (a freshly adopted
+  // channel, a spawned child's pipe). Reading here on a stale event would
+  // block the whole server on a socket with nothing pending.
+  pollfd probe{fd, POLLIN, 0};
+  int rc = ::poll(&probe, 1, 0);
+  if (rc <= 0 || (probe.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+    return;
+  }
+  auto rr = RecvFrame(fd);
+  if (!rr.ok()) {
+    serve_error_ = Err(rr.error());
+    return;
+  }
+  if (rr->eof) {
+    CloseChannel(fd);
+    return;
+  }
+  auto keep_running = HandleFrame(fd, std::move(rr->frame));
+  if (!keep_running.ok()) {
+    serve_error_ = Err(keep_running.error());
+    return;
+  }
+  if (!*keep_running) {
+    stop_serving_ = true;
+  }
+}
+
+void ForkServer::ArmChildExitWatch(pid_t pid) {
+  if (!reactor_.has_value()) {
+    return;
+  }
+  // Eagerly reap the instant the pidfd signals so the zombie is short-lived
+  // and the eventual kWait is served from exited_ without blocking. ECHILD
+  // (already reaped by the blocking HandleWait path) leaves no cache entry.
+  auto watch = ChildWatch::Arm(*reactor_, pid, [this, pid] {
+    int raw = 0;
+    pid_t reaped = ::waitpid(pid, &raw, WNOHANG);
+    if (reaped == pid) {
+      exited_.emplace(pid, DecodeWaitStatus(raw));
+    }
+    watches_.erase(pid);
+  });
+  if (watch.ok()) {
+    watches_.emplace(pid, std::move(*watch));
+  }
+}
+
+Result<uint64_t> ForkServer::Serve() {
+  FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+  reactor_.emplace(std::move(reactor));
+  stop_serving_ = false;
+  serve_error_ = Status::Ok();
+
+  Status error;
+  if (listener_.valid()) {
+    error = reactor_->AddFd(listener_.get(), EPOLLIN, [this](uint32_t) { OnListenerReadable(); });
+  }
+  for (const auto& sock : socks_) {
+    if (!error.ok()) {
+      break;
+    }
+    error = RegisterChannel(sock.get());
+  }
+
+  // One epoll set multiplexes channels, the listener, and child pidfds; the
+  // loop parks here until any of them has work.
+  while (error.ok() && !stop_serving_ && (listener_.valid() || !socks_.empty())) {
+    auto dispatched = reactor_->PollOnce(-1);
+    if (!dispatched.ok()) {
+      error = Err(dispatched.error());
+      break;
+    }
+    if (!serve_error_.ok()) {
+      error = serve_error_;
+      break;
+    }
+  }
+
+  // Drop every registration (watches first — they deregister against the
+  // reactor) so no callback capturing `this` outlives Serve.
+  watches_.clear();
+  reactor_.reset();
   if (!listen_path_.empty()) {
     ::unlink(listen_path_.c_str());
+  }
+  if (!error.ok()) {
+    return Err(error.error());
   }
   return spawns_handled_;
 }
 
-Result<bool> ForkServer::HandleFrame(size_t idx, Frame frame) {
-  int sock = socks_[idx].get();
+Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
   WireReader reader(frame.payload);
   auto type = DecodeHeader(reader);
   if (!type.ok()) {
@@ -143,7 +211,9 @@ Result<bool> ForkServer::HandleFrame(size_t idx, Frame frame) {
         FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
         return true;
       }
+      int adopted = frame.fds[0].get();
       socks_.push_back(std::move(frame.fds[0]));
+      FORKLIFT_RETURN_IF_ERROR(RegisterChannel(adopted));
       FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kNewChannelAck)));
       return true;
     }
@@ -195,6 +265,7 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
       reply.ok = true;
       reply.pid = static_cast<int32_t>(*pid);
       live_children_.insert(*pid);
+      ArmChildExitWatch(*pid);
       ++spawns_handled_;
     }
   }
@@ -212,15 +283,28 @@ Status ForkServer::HandleWait(int sock, const std::string& payload) {
     reply.err = ECHILD;
     reply.context = "forkserver: pid " + std::to_string(*pid) + " is not a live child";
   } else {
-    auto st = WaitForExit(static_cast<pid_t>(*pid));
-    if (!st.ok()) {
-      reply.ok = false;
-      reply.err = st.error().code();
-      reply.context = st.error().ToString();
-    } else {
+    pid_t p = static_cast<pid_t>(*pid);
+    auto cached = exited_.find(p);
+    if (cached != exited_.end()) {
+      // The reactor already observed the exit and reaped: answer immediately.
       reply.ok = true;
-      reply.status = *st;
-      live_children_.erase(static_cast<pid_t>(*pid));
+      reply.status = cached->second;
+      exited_.erase(cached);
+      live_children_.erase(p);
+    } else {
+      // Not yet exited: disarm the watch (we are about to steal its reap) and
+      // block. This stalls all channels — the documented single-thread trade.
+      watches_.erase(p);
+      auto st = WaitForExit(p);
+      if (!st.ok()) {
+        reply.ok = false;
+        reply.err = st.error().code();
+        reply.context = st.error().ToString();
+      } else {
+        reply.ok = true;
+        reply.status = *st;
+        live_children_.erase(p);
+      }
     }
   }
   return SendFrame(sock, EncodeWaitReply(reply));

@@ -6,19 +6,28 @@
 // pattern, §6 of the paper), supervises the children, and answers wait
 // requests. Additional channels are adopted at runtime via kNewChannel frames
 // carrying a socket (SCM_RIGHTS), so each client thread can own a private
-// channel. Single-threaded by design: a zygote must stay small and must not
-// hold locks across its forks; a blocking kWait therefore stalls all
-// channels, which is the documented trade for that simplicity.
+// channel. One Reactor multiplexes everything Serve watches: client channels,
+// the daemon listener, and a pidfd per live child — so a child's exit is
+// observed (and its status cached for the eventual kWait) without any
+// polling tick. Single-threaded by design: a zygote must stay small and must
+// not hold locks across its forks; a kWait for a child that has not yet
+// exited therefore still blocks all channels, which is the documented trade
+// for that simplicity (a kWait for an already-exited child is answered from
+// the cache without blocking).
 #ifndef SRC_FORKSERVER_SERVER_H_
 #define SRC_FORKSERVER_SERVER_H_
 
 #include <sys/types.h>
 
+#include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/common/reactor.h"
 #include "src/common/result.h"
+#include "src/common/syscall.h"
 #include "src/common/unique_fd.h"
 
 namespace forklift {
@@ -45,9 +54,20 @@ class ForkServer {
 
  private:
   // Returns true when the server should keep running.
-  Result<bool> HandleFrame(size_t idx, struct Frame frame);
+  Result<bool> HandleFrame(int sock, struct Frame frame);
   Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds);
   Status HandleWait(int sock, const std::string& payload);
+
+  // Reactor plumbing for Serve: channel/listener registration and the
+  // callbacks they dispatch to. Callbacks record failures in serve_error_
+  // (and request shutdown via stop_serving_) for the Serve loop to act on.
+  Status RegisterChannel(int fd);
+  void OnChannelReadable(int fd);
+  void OnListenerReadable();
+  void CloseChannel(int fd);
+  // Watches `pid` on the reactor; when it exits, the status is reaped into
+  // exited_ so a later kWait is served without blocking.
+  void ArmChildExitWatch(pid_t pid);
 
   ForkServer() = default;
 
@@ -56,6 +76,14 @@ class ForkServer {
   std::string listen_path_;
   std::set<pid_t> live_children_;
   uint64_t spawns_handled_ = 0;
+
+  // Serve-scoped state. The reactor is declared before the watches so the
+  // watches (which deregister against it) are destroyed first.
+  std::optional<Reactor> reactor_;
+  std::map<pid_t, ChildWatch> watches_;
+  std::map<pid_t, ExitStatus> exited_;  // reaped ahead of the client's kWait
+  bool stop_serving_ = false;
+  Status serve_error_;
 };
 
 // Launches a dedicated fork-server *process* (forked before the caller grows —

@@ -1,19 +1,15 @@
 #include "src/spawn/child.h"
 
-#include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
 #include <sys/wait.h>
-#include <time.h>
 #include <unistd.h>
-
-#ifdef __linux__
-#include <sys/syscall.h>
-#endif
 
 #include <cerrno>
 
 #include "src/common/clock.h"
 #include "src/common/log.h"
+#include "src/common/reactor.h"
 
 namespace forklift {
 
@@ -27,11 +23,13 @@ Child::~Child() {
 Child::Child(Child&& other) noexcept
     : pid_(other.pid_),
       reaped_(other.reaped_),
+      timeline_(other.timeline_),
       stdin_fd_(std::move(other.stdin_fd_)),
       stdout_fd_(std::move(other.stdout_fd_)),
       stderr_fd_(std::move(other.stderr_fd_)) {
   other.pid_ = -1;
   other.reaped_.reset();
+  other.timeline_ = SpawnTimeline{};
 }
 
 Child& Child::operator=(Child&& other) noexcept {
@@ -42,13 +40,27 @@ Child& Child::operator=(Child&& other) noexcept {
     }
     pid_ = other.pid_;
     reaped_ = other.reaped_;
+    timeline_ = other.timeline_;
     stdin_fd_ = std::move(other.stdin_fd_);
     stdout_fd_ = std::move(other.stdout_fd_);
     stderr_fd_ = std::move(other.stderr_fd_);
     other.pid_ = -1;
     other.reaped_.reset();
+    other.timeline_ = SpawnTimeline{};
   }
   return *this;
+}
+
+void Child::SetReaped(ExitStatus status) {
+  reaped_ = status;
+  if (timeline_.exit_observed_ns == 0) {
+    timeline_.exit_observed_ns = MonotonicNanos();
+    // Children without spawn instrumentation (bare Child(pid) handles, e.g.
+    // the fork-server client's remote pids) stay out of the global counters.
+    if (timeline_.exec_confirmed_ns != 0) {
+      SpawnMetrics::Global().RecordExitObserved(timeline_);
+    }
+  }
 }
 
 Result<ExitStatus> Child::Wait() {
@@ -59,7 +71,7 @@ Result<ExitStatus> Child::Wait() {
     return LogicalError("Wait on invalid Child");
   }
   FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, WaitForExit(pid_));
-  reaped_ = st;
+  SetReaped(st);
   return st;
 }
 
@@ -77,7 +89,7 @@ Result<std::optional<ExitStatus>> Child::TryWait() {
       return std::optional<ExitStatus>();
     }
     if (r == pid_) {
-      reaped_ = DecodeWaitStatus(status);
+      SetReaped(DecodeWaitStatus(status));
       return std::optional<ExitStatus>(*reaped_);
     }
     if (errno != EINTR) {
@@ -86,56 +98,28 @@ Result<std::optional<ExitStatus>> Child::TryWait() {
   }
 }
 
-Result<std::optional<ExitStatus>> Child::WaitWithTimeout(double timeout_seconds) {
+Result<std::optional<ExitStatus>> Child::WaitDeadline(double timeout_seconds) {
   // Fast path: already exited (or reaped).
   FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, TryWait());
   if (st.has_value()) {
     return st;
   }
 
-#ifdef __linux__
-  // pidfd path: block in poll(2) until exit or deadline — no polling loop.
-  int pidfd = static_cast<int>(::syscall(SYS_pidfd_open, pid_, 0));
-  if (pidfd >= 0) {
-    UniqueFd guard(pidfd);
-    Stopwatch sw;
-    for (;;) {
-      double remaining = timeout_seconds - sw.ElapsedSeconds();
-      if (remaining <= 0) {
-        return std::optional<ExitStatus>();
-      }
-      pollfd pfd{pidfd, POLLIN, 0};
-      int rc = ::poll(&pfd, 1, static_cast<int>(remaining * 1000) + 1);
-      if (rc < 0) {
-        if (errno == EINTR) {
-          continue;
-        }
-        return ErrnoError("poll(pidfd)");
-      }
-      if (rc == 0) {
-        return std::optional<ExitStatus>();
-      }
-      return TryWait();
-    }
+  // Park in a reactor until the pidfd (or its poll-fallback) reports the exit
+  // or the deadline timer fires — no sleep loop in either mode.
+  FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+  bool exited = false;
+  bool expired = false;
+  FORKLIFT_ASSIGN_OR_RETURN(ChildWatch watch,
+                            ChildWatch::Arm(reactor, pid_, [&exited] { exited = true; }));
+  reactor.AddTimerAfter(timeout_seconds, [&expired] { expired = true; });
+  while (!exited && !expired) {
+    FORKLIFT_RETURN_IF_ERROR(reactor.PollOnce(-1));
   }
-  // pidfd_open can fail (ESRCH race, old kernel, seccomp): fall through.
-#endif
-
-  // Portable fallback: poll with exponential backoff.
-  Stopwatch sw;
-  uint64_t sleep_ns = 50'000;  // 50us initial poll interval
-  for (;;) {
-    FORKLIFT_ASSIGN_OR_RETURN(st, TryWait());
-    if (st.has_value()) {
-      return st;
-    }
-    if (sw.ElapsedSeconds() >= timeout_seconds) {
-      return std::optional<ExitStatus>();
-    }
-    timespec ts{0, static_cast<long>(sleep_ns)};
-    ::nanosleep(&ts, nullptr);
-    sleep_ns = std::min<uint64_t>(sleep_ns * 2, 5'000'000);
+  if (!exited) {
+    return std::optional<ExitStatus>();
   }
+  return TryWait();
 }
 
 Status Child::Kill(int sig) {
@@ -165,7 +149,8 @@ Status Child::KillAndWait() {
 
 Result<Child::Outcome> Child::Communicate(std::string_view input) {
   // Non-blocking everywhere so a child that stalls on one stream can't wedge
-  // us on another.
+  // us on another; one reactor multiplexes all three streams plus the child's
+  // exit, so output and the exit notification arrive from a single wait.
   struct Stream {
     UniqueFd* fd;
     std::string data;
@@ -193,85 +178,86 @@ Result<Child::Outcome> Child::Communicate(std::string_view input) {
     FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(stdin_fd_.get(), true));
   }
 
-  while (in_open || out.open || err.open) {
-    pollfd fds[3];
-    int n = 0;
-    int in_idx = -1, out_idx = -1, err_idx = -1;
-    if (in_open) {
-      in_idx = n;
-      fds[n++] = {stdin_fd_.get(), POLLOUT, 0};
-    }
-    if (out.open) {
-      out_idx = n;
-      fds[n++] = {out.fd->get(), POLLIN, 0};
-    }
-    if (err.open) {
-      err_idx = n;
-      fds[n++] = {err.fd->get(), POLLIN, 0};
-    }
-    int rc = ::poll(fds, static_cast<nfds_t>(n), -1);
-    if (rc < 0) {
-      if (errno == EINTR) {
+  FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+  Status stream_error;
+
+  auto close_stdin = [&] {
+    (void)reactor.RemoveFd(stdin_fd_.get());
+    stdin_fd_.Reset();
+    in_open = false;
+  };
+
+  if (in_open) {
+    FORKLIFT_RETURN_IF_ERROR(reactor.AddFd(stdin_fd_.get(), EPOLLOUT, [&](uint32_t revents) {
+      if ((revents & (EPOLLERR | EPOLLHUP)) != 0 && (revents & EPOLLOUT) == 0) {
+        // Child closed its stdin (EPIPE side); stop writing.
+        close_stdin();
+        return;
+      }
+      ssize_t w = ::write(stdin_fd_.get(), input.data() + in_off, input.size() - in_off);
+      if (w < 0) {
+        if (errno == EPIPE) {
+          close_stdin();
+        } else if (errno != EINTR && errno != EAGAIN) {
+          stream_error = ErrnoError("write to child stdin");
+        }
+        return;
+      }
+      in_off += static_cast<size_t>(w);
+      if (in_off == input.size()) {
+        close_stdin();  // EOF to the child
+      }
+    }));
+  }
+
+  auto drain = [&](Stream& s) {
+    char buf[16384];
+    for (;;) {
+      ssize_t r = ::read(s.fd->get(), buf, sizeof(buf));
+      if (r > 0) {
+        s.data.append(buf, static_cast<size_t>(r));
+        if (static_cast<size_t>(r) < sizeof(buf)) {
+          return;
+        }
         continue;
       }
-      return ErrnoError("poll");
-    }
-
-    if (in_idx >= 0 && (fds[in_idx].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
-      if ((fds[in_idx].revents & (POLLERR | POLLHUP)) != 0 && (fds[in_idx].revents & POLLOUT) == 0) {
-        // Child closed its stdin (EPIPE side); stop writing.
-        stdin_fd_.Reset();
-        in_open = false;
-      } else {
-        ssize_t w = ::write(stdin_fd_.get(), input.data() + in_off, input.size() - in_off);
-        if (w < 0) {
-          if (errno == EPIPE) {
-            stdin_fd_.Reset();
-            in_open = false;
-          } else if (errno != EINTR && errno != EAGAIN) {
-            return ErrnoError("write to child stdin");
-          }
-        } else {
-          in_off += static_cast<size_t>(w);
-          if (in_off == input.size()) {
-            stdin_fd_.Reset();  // EOF to the child
-            in_open = false;
-          }
-        }
+      if (r == 0) {
+        (void)reactor.RemoveFd(s.fd->get());
+        s.fd->Reset();
+        s.open = false;
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      if (errno != EINTR) {
+        stream_error = ErrnoError("read from child");
+        return;
       }
     }
+  };
+  if (out.open) {
+    FORKLIFT_RETURN_IF_ERROR(
+        reactor.AddFd(out.fd->get(), EPOLLIN, [&](uint32_t) { drain(out); }));
+  }
+  if (err.open) {
+    FORKLIFT_RETURN_IF_ERROR(
+        reactor.AddFd(err.fd->get(), EPOLLIN, [&](uint32_t) { drain(err); }));
+  }
 
-    auto drain = [](Stream& s) -> Status {
-      char buf[16384];
-      for (;;) {
-        ssize_t r = ::read(s.fd->get(), buf, sizeof(buf));
-        if (r > 0) {
-          s.data.append(buf, static_cast<size_t>(r));
-          if (static_cast<size_t>(r) < sizeof(buf)) {
-            return Status::Ok();
-          }
-          continue;
-        }
-        if (r == 0) {
-          s.fd->Reset();
-          s.open = false;
-          return Status::Ok();
-        }
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          return Status::Ok();
-        }
-        if (errno != EINTR) {
-          return ErrnoError("read from child");
-        }
-      }
-    };
-    if (out_idx >= 0 && (fds[out_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      FORKLIFT_RETURN_IF_ERROR(drain(out));
-    }
-    if (err_idx >= 0 && (fds[err_idx].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
-      FORKLIFT_RETURN_IF_ERROR(drain(err));
+  // Exit detection shares the epoll set: the instant the child becomes
+  // waitable it is reaped (stamping exit-observed), even while streams are
+  // still draining.
+  FORKLIFT_ASSIGN_OR_RETURN(ChildWatch watch,
+                            ChildWatch::Arm(reactor, pid_, [this] { (void)TryWait(); }));
+
+  while (in_open || out.open || err.open) {
+    FORKLIFT_RETURN_IF_ERROR(reactor.PollOnce(-1));
+    if (!stream_error.ok()) {
+      return Err(stream_error.error());
     }
   }
+  watch.Disarm();
 
   FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, Wait());
   Outcome oc;

@@ -17,6 +17,7 @@
 #include "src/common/result.h"
 #include "src/common/syscall.h"
 #include "src/common/unique_fd.h"
+#include "src/spawn/metrics.h"
 
 namespace forklift {
 
@@ -41,9 +42,11 @@ class Child {
   // Non-blocking: returns nullopt if still running.
   Result<std::optional<ExitStatus>> TryWait();
 
-  // Polls until exit or deadline. Returns nullopt on timeout (child keeps
-  // running). Poll interval starts at 50us and backs off to 5ms.
-  Result<std::optional<ExitStatus>> WaitWithTimeout(double timeout_seconds);
+  // Blocks until exit or deadline, whichever first; returns nullopt on
+  // timeout (child keeps running). Event-driven: parks in a Reactor on a
+  // pidfd (timer-poll fallback on pre-5.3 kernels) — there is no sleep loop,
+  // so the exit is observed within a scheduler quantum.
+  Result<std::optional<ExitStatus>> WaitDeadline(double timeout_seconds);
 
   // kill(2). `sig` default SIGTERM.
   Status Kill(int sig = 15);
@@ -58,8 +61,10 @@ class Child {
   UniqueFd& stderr_fd() { return stderr_fd_; }
 
   // Writes `input` to the child's stdin (then closes it), drains stdout and
-  // stderr concurrently via poll(2) — deadlock-free even when the child
-  // interleaves output on both streams — and reaps the child.
+  // stderr concurrently, and reaps the child. Stdio draining and exit
+  // detection share one Reactor epoll set, so output and the exit
+  // notification arrive from a single wait — deadlock-free even when the
+  // child interleaves output on both streams.
   struct Outcome {
     ExitStatus status;
     std::string stdout_data;
@@ -67,11 +72,20 @@ class Child {
   };
   Result<Outcome> Communicate(std::string_view input = "");
 
+  // Phase timestamps for this spawn (submit/exec-confirmed filled by the
+  // Spawner; exit-observed stamped at the first reap).
+  const SpawnTimeline& timeline() const { return timeline_; }
+
  private:
   friend class Spawner;
 
+  // Central reap bookkeeping: caches the status, stamps exit-observed, and
+  // feeds SpawnMetrics. Every path that learns the exit status funnels here.
+  void SetReaped(ExitStatus status);
+
   pid_t pid_ = -1;
   std::optional<ExitStatus> reaped_;
+  SpawnTimeline timeline_;
   UniqueFd stdin_fd_;
   UniqueFd stdout_fd_;
   UniqueFd stderr_fd_;

@@ -26,7 +26,7 @@ Result<RunResult> RunAndCapture(const std::string& program, const std::vector<st
     // in a watchdog loop is overkill here; Communicate blocks until EOF, which
     // a runaway child may never deliver, so enforce the deadline first on exit
     // and then drain what the (now dead) child produced.
-    FORKLIFT_ASSIGN_OR_RETURN(auto maybe_status, child.WaitWithTimeout(opts.timeout_seconds));
+    FORKLIFT_ASSIGN_OR_RETURN(auto maybe_status, child.WaitDeadline(opts.timeout_seconds));
     if (!maybe_status.has_value()) {
       (void)child.KillAndWait();
       return LogicalError("RunAndCapture: timeout after " +

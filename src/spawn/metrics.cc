@@ -1,0 +1,42 @@
+#include "src/spawn/metrics.h"
+
+namespace forklift {
+
+SpawnMetrics& SpawnMetrics::Global() {
+  static SpawnMetrics metrics;
+  return metrics;
+}
+
+void SpawnMetrics::RecordSpawn(const SpawnTimeline& timeline) {
+  spawns_.fetch_add(1, std::memory_order_relaxed);
+  if (timeline.exec_confirmed_ns >= timeline.submit_ns) {
+    submit_to_exec_ns_total_.fetch_add(timeline.exec_confirmed_ns - timeline.submit_ns,
+                                       std::memory_order_relaxed);
+  }
+}
+
+void SpawnMetrics::RecordExitObserved(const SpawnTimeline& timeline) {
+  exits_observed_.fetch_add(1, std::memory_order_relaxed);
+  if (timeline.exit_observed_ns >= timeline.exec_confirmed_ns) {
+    exec_to_exit_ns_total_.fetch_add(timeline.exit_observed_ns - timeline.exec_confirmed_ns,
+                                     std::memory_order_relaxed);
+  }
+}
+
+SpawnMetrics::Snapshot SpawnMetrics::snapshot() const {
+  Snapshot snap;
+  snap.spawns = spawns_.load(std::memory_order_relaxed);
+  snap.exits_observed = exits_observed_.load(std::memory_order_relaxed);
+  snap.submit_to_exec_ns_total = submit_to_exec_ns_total_.load(std::memory_order_relaxed);
+  snap.exec_to_exit_ns_total = exec_to_exit_ns_total_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void SpawnMetrics::ResetForTest() {
+  spawns_.store(0, std::memory_order_relaxed);
+  exits_observed_.store(0, std::memory_order_relaxed);
+  submit_to_exec_ns_total_.store(0, std::memory_order_relaxed);
+  exec_to_exit_ns_total_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace forklift

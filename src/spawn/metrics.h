@@ -1,0 +1,66 @@
+// forklift/spawn: per-spawn phase instrumentation.
+//
+// Three timestamps bracket a spawned process's observable life from the
+// parent's side: submit (Spawner::Spawn entered), exec-confirmed (the backend
+// reported the child launched — for the fork-family engines this means the
+// exec really happened; posix_spawn documents weaker confirmation), and
+// exit-observed (the first reap that saw the exit status). The gap between
+// the child's actual death and exit-observed is exactly what the reactor
+// refactor shrinks, so these feed bench/scalability's latency series and the
+// regression tests.
+//
+// SpawnTimeline rides on each Child; SpawnMetrics aggregates process-global
+// counters (thread-safe — Spawner is documented as concurrently callable).
+#ifndef SRC_SPAWN_METRICS_H_
+#define SRC_SPAWN_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace forklift {
+
+struct SpawnTimeline {
+  uint64_t submit_ns = 0;          // MonotonicNanos at Spawner::Spawn entry
+  uint64_t exec_confirmed_ns = 0;  // backend Launch returned a pid
+  uint64_t exit_observed_ns = 0;   // first successful reap of the exit status
+
+  bool complete() const {
+    return submit_ns != 0 && exec_confirmed_ns != 0 && exit_observed_ns != 0;
+  }
+};
+
+class SpawnMetrics {
+ public:
+  static SpawnMetrics& Global();
+
+  // Called by Spawner::Spawn once the backend confirmed the launch.
+  void RecordSpawn(const SpawnTimeline& timeline);
+  // Called by Child when the exit status is first observed.
+  void RecordExitObserved(const SpawnTimeline& timeline);
+
+  struct Snapshot {
+    uint64_t spawns = 0;
+    uint64_t exits_observed = 0;
+    uint64_t submit_to_exec_ns_total = 0;  // sum over recorded spawns
+    uint64_t exec_to_exit_ns_total = 0;    // sum over observed exits
+
+    double MeanSubmitToExecMicros() const {
+      return spawns == 0 ? 0.0
+                         : static_cast<double>(submit_to_exec_ns_total) / 1e3 /
+                               static_cast<double>(spawns);
+    }
+  };
+  Snapshot snapshot() const;
+
+  void ResetForTest();
+
+ private:
+  std::atomic<uint64_t> spawns_{0};
+  std::atomic<uint64_t> exits_observed_{0};
+  std::atomic<uint64_t> submit_to_exec_ns_total_{0};
+  std::atomic<uint64_t> exec_to_exit_ns_total_{0};
+};
+
+}  // namespace forklift
+
+#endif  // SRC_SPAWN_METRICS_H_

@@ -5,8 +5,10 @@
 
 #include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/pipe.h"
 #include "src/common/syscall.h"
+#include "src/spawn/metrics.h"
 
 namespace forklift {
 
@@ -267,6 +269,9 @@ Result<SpawnRequest> Spawner::BuildRequest() const {
 }
 
 Result<Child> Spawner::Spawn() {
+  SpawnTimeline timeline;
+  timeline.submit_ns = MonotonicNanos();
+
   SpawnRequest req;
   req.program = program_;
   req.use_path_search = program_.find('/') == std::string::npos;
@@ -427,8 +432,11 @@ Result<Child> Spawner::Spawn() {
   }
 
   FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, backend->Launch(req));
+  timeline.exec_confirmed_ns = MonotonicNanos();
+  SpawnMetrics::Global().RecordSpawn(timeline);
 
   Child child(pid);
+  child.timeline_ = timeline;
   child.stdin_fd() = std::move(pipe_in_parent);
   child.stdout_fd() = std::move(pipe_out_parent);
   child.stderr_fd() = std::move(pipe_err_parent);

@@ -1,7 +1,6 @@
 #include "src/spawn/supervisor.h"
 
 #include <signal.h>
-#include <time.h>
 
 #include <algorithm>
 #include <cmath>
@@ -21,6 +20,15 @@ void SignalService(const Child& child, int sig, bool group) {
   (void)::kill(target, sig);
 }
 
+// Epoll timeout (ms, rounded up) for the tail of a deadline window.
+int RemainingMillis(const Stopwatch& sw, double deadline_seconds) {
+  double remaining = deadline_seconds - sw.ElapsedSeconds();
+  if (remaining <= 0) {
+    return 0;
+  }
+  return static_cast<int>(remaining * 1000.0) + 1;
+}
+
 }  // namespace
 
 Supervisor::Supervisor() : Supervisor(Options{}) {}
@@ -33,13 +41,41 @@ Supervisor::~Supervisor() {
   }
 }
 
+Status Supervisor::EnsureReactor() {
+  if (reactor_.has_value()) {
+    return Status::Ok();
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
+  reactor_.emplace(std::move(reactor));
+  return Status::Ok();
+}
+
+Status Supervisor::ArmWatch(Service& svc) {
+  // The callback's only job is waking the reactor and reaping promptly (which
+  // stamps exit-observed); event construction stays in ReapAndRestart, which
+  // sees the cached status. `svc` lives in a std::map node — address-stable
+  // across insert/erase of other services — and the watch dies with it.
+  FORKLIFT_ASSIGN_OR_RETURN(
+      ChildWatch watch,
+      ChildWatch::Arm(*reactor_, svc.child.pid(), [&svc] { (void)svc.child.TryWait(); }));
+  svc.watch = std::move(watch);
+  return Status::Ok();
+}
+
+void Supervisor::ScheduleRestartWake(Service& svc) {
+  // A timerfd deadline at the backoff gate: the wake alone suffices, since
+  // ReapAndRestart re-checks restart_not_before_ns against the clock.
+  svc.restart_timer = reactor_->AddTimerAt(svc.restart_not_before_ns, [] {});
+}
+
 Result<Supervisor::ServiceId> Supervisor::Launch(const Spawner& spawner, std::string name,
                                                  RestartPolicy policy) {
   if (spawner.UsesPipeStdio()) {
     return LogicalError("Supervisor: pipe stdio cannot be supervised (restarts would orphan "
                         "the pipe ends); use Stdio::Path or Stdio::Fd");
   }
-  Service service{std::move(name), spawner, policy, Child(), false, false, 0, 0, 0, false};
+  FORKLIFT_RETURN_IF_ERROR(EnsureReactor());
+  Service service{std::move(name), spawner, policy};
   if (options_.kill_process_group) {
     service.spawner.SetProcessGroup(0);  // own group, so group signals work
   }
@@ -51,7 +87,9 @@ Result<Supervisor::ServiceId> Supervisor::Launch(const Spawner& spawner, std::st
   service.running = true;
   service.starts = 1;
   ServiceId id = next_id_++;
-  services_.emplace(id, std::move(service));
+  auto [it, inserted] = services_.emplace(id, std::move(service));
+  (void)inserted;
+  FORKLIFT_RETURN_IF_ERROR(ArmWatch(it->second));
   return id;
 }
 
@@ -69,6 +107,7 @@ Result<std::vector<Supervisor::Event>> Supervisor::ReapAndRestart() {
         continue;  // still alive
       }
       svc.running = false;
+      svc.watch.Disarm();
       Event ev;
       ev.id = id;
       ev.name = svc.name;
@@ -88,6 +127,7 @@ Result<std::vector<Supervisor::Event>> Supervisor::ReapAndRestart() {
         backoff = std::min(backoff, options_.restart_backoff_cap_seconds);
         svc.restart_not_before_ns = now + static_cast<uint64_t>(backoff * 1e9);
         svc.pending_restart = true;
+        ScheduleRestartWake(svc);
         ev.will_restart = true;
       }
       events.push_back(std::move(ev));
@@ -113,28 +153,38 @@ Result<std::vector<Supervisor::Event>> Supervisor::ReapAndRestart() {
               MonotonicNanos() + static_cast<uint64_t>(
                                      std::min(backoff, options_.restart_backoff_cap_seconds) * 1e9);
           svc.pending_restart = true;
+          ScheduleRestartWake(svc);
         }
         continue;
       }
       svc.child = std::move(child).value();
       svc.running = true;
       ++svc.starts;
+      FORKLIFT_RETURN_IF_ERROR(ArmWatch(svc));
     }
   }
   return events;
 }
 
-Result<std::vector<Supervisor::Event>> Supervisor::PollOnce() { return ReapAndRestart(); }
+Result<std::vector<Supervisor::Event>> Supervisor::PollOnce() {
+  if (reactor_.has_value()) {
+    FORKLIFT_RETURN_IF_ERROR(reactor_->PollOnce(0));
+  }
+  return ReapAndRestart();
+}
 
 Result<std::vector<Supervisor::Event>> Supervisor::WaitEvents(double deadline_seconds) {
+  FORKLIFT_RETURN_IF_ERROR(EnsureReactor());
   Stopwatch sw;
   for (;;) {
-    FORKLIFT_ASSIGN_OR_RETURN(std::vector<Event> events, PollOnce());
-    if (!events.empty() || sw.ElapsedSeconds() >= deadline_seconds) {
+    FORKLIFT_ASSIGN_OR_RETURN(std::vector<Event> events, ReapAndRestart());
+    int remaining_ms = RemainingMillis(sw, deadline_seconds);
+    if (!events.empty() || remaining_ms == 0) {
       return events;
     }
-    timespec ts{0, 2'000'000};  // 2ms
-    ::nanosleep(&ts, nullptr);
+    // Parks until a pidfd (service exit) or timerfd (restart gate) fires, or
+    // the caller's deadline lapses — whichever is first.
+    FORKLIFT_RETURN_IF_ERROR(reactor_->PollOnce(remaining_ms));
   }
 }
 
@@ -146,9 +196,12 @@ Status Supervisor::Stop(ServiceId id) {
   Service& svc = it->second;
   svc.policy = RestartPolicy::kNever;
   svc.pending_restart = false;
+  if (svc.restart_timer != 0 && reactor_.has_value()) {
+    reactor_->CancelTimer(svc.restart_timer);
+  }
   if (svc.running) {
     SignalService(svc.child, SIGTERM, options_.kill_process_group);
-    auto st = svc.child.WaitWithTimeout(options_.shutdown_grace_seconds);
+    auto st = svc.child.WaitDeadline(options_.shutdown_grace_seconds);
     if (!st.ok()) {
       return Err(st.error());
     }
@@ -172,13 +225,17 @@ Status Supervisor::ShutdownAll() {
     (void)id;
     svc.policy = RestartPolicy::kNever;
     svc.pending_restart = false;
+    if (svc.restart_timer != 0 && reactor_.has_value()) {
+      reactor_->CancelTimer(svc.restart_timer);
+    }
     if (svc.running) {
       SignalService(svc.child, SIGTERM, options_.kill_process_group);
     }
   }
-  // Phase 2: grace window.
+  // Phase 2: grace window. The per-service watches stay armed, so the reactor
+  // wakes per exit instead of ticking a fixed sleep.
   Stopwatch sw;
-  while (sw.ElapsedSeconds() < options_.shutdown_grace_seconds) {
+  for (;;) {
     bool any_running = false;
     for (auto& [id, svc] : services_) {
       (void)id;
@@ -188,6 +245,7 @@ Status Supervisor::ShutdownAll() {
       auto st = svc.child.TryWait();
       if (st.ok() && st->has_value()) {
         svc.running = false;
+        svc.watch.Disarm();
       } else {
         any_running = true;
       }
@@ -195,8 +253,14 @@ Status Supervisor::ShutdownAll() {
     if (!any_running) {
       break;
     }
-    timespec ts{0, 5'000'000};  // 5ms
-    ::nanosleep(&ts, nullptr);
+    int remaining_ms = RemainingMillis(sw, options_.shutdown_grace_seconds);
+    if (remaining_ms == 0 || !reactor_.has_value()) {
+      break;
+    }
+    auto polled = reactor_->PollOnce(remaining_ms);
+    if (!polled.ok()) {
+      break;  // fall through to SIGKILL rather than leaving stragglers
+    }
   }
   // Phase 3: KILL stragglers.
   Status first_error;

@@ -5,9 +5,12 @@
 // stealing): launch named services from reusable Spawner templates, observe
 // exits, restart per policy with exponential backoff, and shut the fleet down
 // gracefully (SIGTERM, grace period, SIGKILL). No signal handlers are
-// installed — exits are detected by non-blocking reaping of exactly the pids
-// this supervisor owns, so it composes with any other child-management in the
-// process (the composability bar fork-based designs fail, §4).
+// installed — exits are detected by per-service pidfd watches on an internal
+// Reactor (non-blocking reaping of exactly the pids this supervisor owns), so
+// it composes with any other child-management in the process (the
+// composability bar fork-based designs fail, §4). WaitEvents parks in the
+// reactor's epoll set and wakes the instant a service exits or a restart
+// backoff deadline arrives; nothing in this layer sleep-polls.
 #ifndef SRC_SPAWN_SUPERVISOR_H_
 #define SRC_SPAWN_SUPERVISOR_H_
 
@@ -17,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/reactor.h"
 #include "src/common/result.h"
 #include "src/spawn/child.h"
 #include "src/spawn/spawner.h"
@@ -69,13 +73,15 @@ class Supervisor {
   // child would have nowhere to hand the new pipe ends).
   Result<ServiceId> Launch(const Spawner& spawner, std::string name, RestartPolicy policy);
 
-  // One supervision step: reap exits, apply restart policies whose backoff
-  // has elapsed. Returns the events observed this step (possibly empty).
-  // Never blocks.
+  // One supervision step: pump the reactor without blocking, reap exits,
+  // apply restart policies whose backoff has elapsed. Returns the events
+  // observed this step (possibly empty). Never blocks — a non-blocking shim
+  // over the same reactor WaitEvents parks in.
   Result<std::vector<Event>> PollOnce();
 
-  // Runs PollOnce in a sleep loop until `deadline_seconds` elapses or at
-  // least one event is observed (whichever first).
+  // Blocks in the reactor until `deadline_seconds` elapses or at least one
+  // event is observed (whichever first). Wakes the instant a service exits
+  // (pidfd) or a restart backoff deadline (timerfd) arrives; no sleep loop.
   Result<std::vector<Event>> WaitEvents(double deadline_seconds);
 
   // Stops one service (kNever semantics from here on) and reaps it.
@@ -102,11 +108,19 @@ class Supervisor {
     int consecutive_failures = 0;
     uint64_t restart_not_before_ns = 0;  // MonotonicNanos gate
     bool pending_restart = false;
+    ChildWatch watch;                      // exit notification for `child`
+    Reactor::TimerId restart_timer = 0;    // wakes the reactor at the gate
   };
 
+  Status EnsureReactor();
+  Status ArmWatch(Service& svc);
+  void ScheduleRestartWake(Service& svc);
   Result<std::vector<Event>> ReapAndRestart();
 
   Options options_;
+  // Declared before services_ so per-service watches (which reference the
+  // reactor) are destroyed first.
+  std::optional<Reactor> reactor_;
   std::map<ServiceId, Service> services_;
   ServiceId next_id_ = 1;
 };

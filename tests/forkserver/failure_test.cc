@@ -94,21 +94,19 @@ TEST(WorkerPoolFailureTest, KilledWorkerIsDetectedAndRoutedAround) {
   pid_t victim = static_cast<pid_t>(std::stol(r->output));
   ASSERT_EQ(::kill(victim, SIGKILL), 0);
 
-  // The next task routed to the dead worker errors; subsequent tasks succeed
-  // on the survivor (round-robin passes the corpse once, marks it unhealthy).
-  bool saw_error = false;
+  // The pool's reactor usually observes the death (pidfd event) before the
+  // next dispatch and routes around the corpse with no failed task; if a task
+  // races ahead of the notification, at most one errors. Either way the
+  // survivor keeps serving.
   int successes = 0;
   for (int i = 0; i < 6; ++i) {
     auto task = pool.Execute("echo alive");
     if (task.ok()) {
       EXPECT_EQ(task->output, "alive\n");
       ++successes;
-    } else {
-      saw_error = true;
     }
   }
-  EXPECT_TRUE(saw_error);
-  EXPECT_GE(successes, 4);
+  EXPECT_GE(successes, 5);
 }
 
 TEST(WorkerPoolFailureTest, AllWorkersDeadIsTerminalError) {

@@ -1,0 +1,143 @@
+// Child::WaitDeadline / Communicate over both exit-notification paths (pidfd
+// and the forced timer-poll fallback), plus the spawn-phase instrumentation
+// (SpawnTimeline / SpawnMetrics) stamped along the submit → exec-confirmed →
+// exit-observed pipeline.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "src/common/clock.h"
+#include "src/common/reactor.h"
+#include "src/spawn/metrics.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+bool PidfdAvailable() {
+  int fd = PidfdOpen(::getpid());
+  if (fd < 0) {
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+// The contract under test is path-independence: every case below must behave
+// identically whether exits arrive via pidfd or the timer-poll fallback.
+class ChildWaitBothPaths : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (!GetParam() && !PidfdAvailable()) {
+      GTEST_SKIP() << "pidfd_open unavailable on this kernel";
+    }
+    TestOnlyForcePidfdFallback(GetParam());
+  }
+  void TearDown() override { TestOnlyForcePidfdFallback(false); }
+};
+
+TEST_P(ChildWaitBothPaths, WaitDeadlineCatchesExit) {
+  auto child = Spawner("/bin/sh").Arg("-c").Arg("sleep 0.05").Spawn();
+  ASSERT_TRUE(child.ok());
+  auto st = child->WaitDeadline(5.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value());
+  EXPECT_TRUE((*st)->Success());
+}
+
+TEST_P(ChildWaitBothPaths, WaitDeadlineTimesOutAndChildSurvives) {
+  auto child = Spawner("/bin/sleep").Arg("10").Spawn();
+  ASSERT_TRUE(child.ok());
+  Stopwatch sw;
+  auto st = child->WaitDeadline(0.05);
+  double elapsed = sw.ElapsedSeconds();
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(st->has_value());
+  EXPECT_GE(elapsed, 0.04);
+  EXPECT_LT(elapsed, 2.0);
+  // Still running: a non-blocking probe agrees, then clean up.
+  auto probe = child->TryWait();
+  ASSERT_TRUE(probe.ok());
+  EXPECT_FALSE(probe->has_value());
+  ASSERT_TRUE(child->KillAndWait().ok());
+}
+
+TEST_P(ChildWaitBothPaths, WaitDeadlineOnAlreadyReapedChildReturnsCachedStatus) {
+  auto child = Spawner("/bin/true").Spawn();
+  ASSERT_TRUE(child.ok());
+  ASSERT_TRUE(child->Wait().ok());
+  auto st = child->WaitDeadline(1.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value());
+  EXPECT_TRUE((*st)->Success());
+}
+
+TEST_P(ChildWaitBothPaths, CommunicateDrainsBothStreamsAndReaps) {
+  auto child = Spawner("/bin/sh")
+                   .Arg("-c")
+                   .Arg("cat; echo err >&2")
+                   .SetStdin(Stdio::Pipe())
+                   .SetStdout(Stdio::Pipe())
+                   .SetStderr(Stdio::Pipe())
+                   .Spawn();
+  ASSERT_TRUE(child.ok());
+  auto outcome = child->Communicate("hello\n");
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->status.Success());
+  EXPECT_EQ(outcome->stdout_data, "hello\n");
+  EXPECT_EQ(outcome->stderr_data, "err\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(PidfdAndFallback, ChildWaitBothPaths, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "TimerPollFallback" : "Pidfd";
+                         });
+
+TEST(SpawnTimelineTest, PhasesStampedInOrder) {
+  uint64_t before = MonotonicNanos();
+  auto child = Spawner("/bin/true").Spawn();
+  ASSERT_TRUE(child.ok());
+  const SpawnTimeline& after_spawn = child->timeline();
+  EXPECT_GE(after_spawn.submit_ns, before);
+  EXPECT_GE(after_spawn.exec_confirmed_ns, after_spawn.submit_ns);
+  EXPECT_EQ(after_spawn.exit_observed_ns, 0u);
+  EXPECT_FALSE(after_spawn.complete());
+
+  ASSERT_TRUE(child->Wait().ok());
+  const SpawnTimeline& after_wait = child->timeline();
+  EXPECT_GE(after_wait.exit_observed_ns, after_wait.exec_confirmed_ns);
+  EXPECT_TRUE(after_wait.complete());
+}
+
+TEST(SpawnMetricsTest, CountsSpawnsAndExits) {
+  SpawnMetrics::Global().ResetForTest();
+  auto child = Spawner("/bin/true").Spawn();
+  ASSERT_TRUE(child.ok());
+  auto mid = SpawnMetrics::Global().snapshot();
+  EXPECT_EQ(mid.spawns, 1u);
+  EXPECT_EQ(mid.exits_observed, 0u);
+  EXPECT_GT(mid.MeanSubmitToExecMicros(), 0.0);
+
+  ASSERT_TRUE(child->Wait().ok());
+  auto done = SpawnMetrics::Global().snapshot();
+  EXPECT_EQ(done.spawns, 1u);
+  EXPECT_EQ(done.exits_observed, 1u);
+  EXPECT_GT(done.exec_to_exit_ns_total, 0u);
+}
+
+TEST(SpawnMetricsTest, BarePidHandlesStayOutOfMetrics) {
+  SpawnMetrics::Global().ResetForTest();
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::_exit(0);
+  }
+  ASSERT_GT(pid, 0);
+  Child adopted(pid);
+  ASSERT_TRUE(adopted.Wait().ok());
+  // No Spawner ran, so there is no exec-confirmed phase to attribute.
+  auto snap = SpawnMetrics::Global().snapshot();
+  EXPECT_EQ(snap.spawns, 0u);
+  EXPECT_EQ(snap.exits_observed, 0u);
+}
+
+}  // namespace
+}  // namespace forklift

@@ -393,19 +393,19 @@ TEST_P(SpawnerBackendTest, TryWaitNonBlocking) {
   EXPECT_TRUE(st->signaled);
 }
 
-TEST_P(SpawnerBackendTest, WaitWithTimeoutExpires) {
+TEST_P(SpawnerBackendTest, WaitDeadlineExpires) {
   auto child = Spawner("sleep").Arg("10").SetBackend(backend()).Spawn();
   ASSERT_TRUE(child.ok());
-  auto st = child->WaitWithTimeout(0.05);
+  auto st = child->WaitDeadline(0.05);
   ASSERT_TRUE(st.ok());
   EXPECT_FALSE(st->has_value());
   ASSERT_TRUE(child->KillAndWait().ok());
 }
 
-TEST_P(SpawnerBackendTest, WaitWithTimeoutCatchesFastExit) {
+TEST_P(SpawnerBackendTest, WaitDeadlineCatchesFastExit) {
   auto child = Spawner("/bin/true").SetBackend(backend()).Spawn();
   ASSERT_TRUE(child.ok());
-  auto st = child->WaitWithTimeout(5.0);
+  auto st = child->WaitDeadline(5.0);
   ASSERT_TRUE(st.ok());
   ASSERT_TRUE(st->has_value());
   EXPECT_TRUE((*st)->Success());

@@ -236,5 +236,56 @@ TEST(SupervisorTest, RestartedServiceGetsNewPid) {
   ASSERT_TRUE(sup.ShutdownAll().ok());
 }
 
+// Regression for the 2ms-nanosleep supervision tick: the exit of a service
+// must reach WaitEvents as a reactor wakeup, not on the next poll lap. Kill
+// the service from outside and require the exit event within 20ms — an order
+// of magnitude tighter than any sleep-loop tick could guarantee, but lax
+// enough for a loaded CI scheduler.
+TEST(SupervisorTest, ExitToEventLatencyUnder20ms) {
+  Supervisor sup;
+  auto id = sup.Launch(SleepService("30"), "victim", RestartPolicy::kNever);
+  ASSERT_TRUE(id.ok());
+  // Enter steady state (watch armed, nothing pending) before the kill.
+  auto quiet = sup.PollOnce();
+  ASSERT_TRUE(quiet.ok());
+  ASSERT_TRUE(quiet->empty());
+
+  pid_t pid = sup.PidOf(*id).value();
+  Stopwatch sw;
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  auto events = sup.WaitEvents(5.0);
+  double elapsed = sw.ElapsedSeconds();
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_TRUE((*events)[0].status.signaled);
+  EXPECT_LT(elapsed, 0.020) << "exit-to-event latency regressed to polling";
+}
+
+// The supervisor must behave identically when pidfd_open is unavailable and
+// the watches run on the reactor's timer-poll fallback.
+TEST(SupervisorTest, FallbackPathBehavesIdentically) {
+  TestOnlyForcePidfdFallback(true);
+  Supervisor::Options opts;
+  opts.restart_backoff_base_seconds = 0.001;
+  Supervisor sup(opts);
+
+  auto oneshot = sup.Launch(OneShot("exit 0"), "oneshot", RestartPolicy::kNever);
+  ASSERT_TRUE(oneshot.ok());
+  auto events = sup.WaitEvents(5.0);
+  ASSERT_TRUE(events.ok());
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_TRUE((*events)[0].status.Success());
+  EXPECT_FALSE((*events)[0].will_restart);
+
+  auto respawner = sup.Launch(OneShot("exit 1"), "respawner", RestartPolicy::kOnFailure);
+  ASSERT_TRUE(respawner.ok());
+  for (int i = 0; i < 100 && sup.StartCount(*respawner).value() < 2; ++i) {
+    (void)sup.WaitEvents(0.05);
+  }
+  EXPECT_GE(sup.StartCount(*respawner).value(), 2u);
+  ASSERT_TRUE(sup.ShutdownAll().ok());
+  TestOnlyForcePidfdFallback(false);
+}
+
 }  // namespace
 }  // namespace forklift

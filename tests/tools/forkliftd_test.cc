@@ -28,11 +28,18 @@ class ForkliftdTest : public ::testing::Test {
                       .Spawn();
     ASSERT_TRUE(daemon.ok()) << daemon.error().ToString();
     daemon_ = std::move(daemon).value();
-    // Wait for the socket to appear.
+    // Wait until the daemon actually accepts connections. The socket file
+    // appears at bind(2), before listen(2) — on a loaded machine (sanitizer
+    // CI) a stat-based wait can race ahead and see ECONNREFUSED, so probe
+    // with a real connect. Dropping the probe connection is harmless (see
+    // DisconnectDoesNotKillDaemon).
     Stopwatch sw;
-    struct stat st;
-    while (::stat(socket_path_.c_str(), &st) < 0) {
-      ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "daemon never bound its socket";
+    for (;;) {
+      auto probe = ForkServerClient::ConnectPath(socket_path_);
+      if (probe.ok()) {
+        break;
+      }
+      ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "daemon never started listening";
       ::usleep(2000);
     }
   }
@@ -43,7 +50,7 @@ class ForkliftdTest : public ::testing::Test {
       if (client.ok()) {
         (void)(*client)->Shutdown();
       }
-      auto st = daemon_.WaitWithTimeout(5.0);
+      auto st = daemon_.WaitDeadline(5.0);
       if (!st.ok() || !st->has_value()) {
         (void)daemon_.KillAndWait();
       }
@@ -108,7 +115,7 @@ TEST_F(ForkliftdTest, ShutdownRemovesSocketAndExits) {
   auto client = ForkServerClient::ConnectPath(socket_path_);
   ASSERT_TRUE(client.ok());
   ASSERT_TRUE((*client)->Shutdown().ok());
-  auto st = daemon_.WaitWithTimeout(5.0);
+  auto st = daemon_.WaitDeadline(5.0);
   ASSERT_TRUE(st.ok());
   ASSERT_TRUE(st->has_value());
   EXPECT_TRUE((*st)->Success());
@@ -124,7 +131,7 @@ TEST(ForkliftdDaemonTest, DaemonModeDetachesAndServes) {
                       .Args({"--socket", socket_path, "--daemon"})
                       .Spawn();
   ASSERT_TRUE(launcher.ok());
-  auto st = launcher->WaitWithTimeout(10.0);
+  auto st = launcher->WaitDeadline(10.0);
   ASSERT_TRUE(st.ok());
   ASSERT_TRUE(st->has_value()) << "launcher did not return";
   ASSERT_TRUE((*st)->Success());

@@ -273,7 +273,7 @@ int main(int argc, char** argv) {
 
   Result<ExitStatus> status = LogicalError("unset");
   if (timeout_seconds > 0) {
-    auto maybe = child->WaitWithTimeout(timeout_seconds);
+    auto maybe = child->WaitDeadline(timeout_seconds);
     if (!maybe.ok()) {
       std::fprintf(stderr, "forklift-run: %s\n", maybe.error().ToString().c_str());
       return 125;
