@@ -1,0 +1,34 @@
+#!/bin/sh
+# Mechanical whitespace hygiene for the whole tree: no tab indentation in
+# C++ sources, no trailing whitespace, and every text file ends in exactly
+# one newline. CI runs this as a hard gate; run it locally before pushing.
+#
+# Usage: scripts/check_whitespace.sh   (from the repo root)
+set -u
+
+fail=0
+
+files=$(git ls-files '*.cc' '*.cpp' '*.cxx' '*.h' '*.hpp' '*.md' '*.txt' '*.yml' '*.supp' '*.sh')
+
+for f in $files; do
+  if grep -n "$(printf '\t')" "$f" >/dev/null; then
+    echo "TAB: $f"
+    grep -n "$(printf '\t')" "$f" | head -3
+    fail=1
+  fi
+  if grep -n ' $' "$f" >/dev/null; then
+    echo "TRAILING WHITESPACE: $f"
+    grep -n ' $' "$f" | head -3
+    fail=1
+  fi
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | od -An -c | tr -d ' \n')" != '\n' ]; then
+    echo "MISSING FINAL NEWLINE: $f"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "whitespace check FAILED"
+  exit 1
+fi
+echo "whitespace check passed ($(echo "$files" | wc -w) files)"
