@@ -1,0 +1,123 @@
+#include "src/analysis/analyzer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/analysis/rules/rules.h"
+#include "src/common/string_util.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+// One parsed `forklint:ignore` comment: the source line it shields and the
+// rule ids it silences (empty set = all rules).
+struct Suppression {
+  int line;
+  std::set<std::string> rules;
+};
+
+// A suppression comment on a line with code shields that line; a comment on a
+// line of its own shields the line after it (so a note can sit above the
+// flagged statement).
+std::vector<Suppression> ParseSuppressions(const LexedFile& lexed) {
+  std::set<int> token_lines;
+  for (const auto& t : lexed.tokens) {
+    token_lines.insert(t.line);
+  }
+  std::vector<Suppression> out;
+  for (const auto& c : lexed.comments) {
+    size_t at = c.text.find("forklint:ignore");
+    if (at == std::string::npos) {
+      continue;
+    }
+    Suppression s;
+    s.line = token_lines.count(c.line) ? c.line : c.end_line + 1;
+    std::string_view rest = std::string_view(c.text).substr(at + 15);
+    if (!rest.empty() && rest.front() == '(') {
+      size_t close = rest.find(')');
+      std::string_view list = rest.substr(1, close == std::string::npos ? rest.size() - 1 : close - 1);
+      for (const auto& id : Split(std::string(list), ',')) {
+        std::string trimmed(Trim(id));
+        if (!trimmed.empty()) {
+          s.rules.insert(trimmed);
+        }
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool IsSuppressed(const Finding& f, const std::vector<Suppression>& sups) {
+  for (const auto& s : sups) {
+    if (s.line == f.line && (s.rules.empty() || s.rules.count(f.rule))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Analyzer::Analyzer() : rules_(BuildAllRules()) {}
+
+Status Analyzer::EnableOnly(const std::vector<std::string>& rule_ids) {
+  for (const auto& id : rule_ids) {
+    bool known = std::any_of(rules_.begin(), rules_.end(),
+                             [&](const auto& r) { return r->id() == id; });
+    if (!known) {
+      return LogicalError("unknown rule id: " + id);
+    }
+  }
+  enabled_ = rule_ids;
+  return Status::Ok();
+}
+
+FileReport Analyzer::AnalyzeSource(std::string_view source, std::string path) const {
+  LexedFile lexed = Lex(source);
+  auto suppressions = ParseSuppressions(lexed);
+  FileContext ctx(path, std::move(lexed));
+
+  FileReport report;
+  report.path = path;
+  for (const auto& rule : rules_) {
+    if (!enabled_.empty() &&
+        std::find(enabled_.begin(), enabled_.end(), rule->id()) == enabled_.end()) {
+      continue;
+    }
+    std::vector<Finding> raw;
+    rule->Check(ctx, &raw);
+    for (auto& f : raw) {
+      f.rule = rule->id();
+      f.path = path;
+      if (IsSuppressed(f, suppressions)) {
+        ++report.suppressed;
+      } else {
+        report.findings.push_back(std::move(f));
+      }
+    }
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return report;
+}
+
+Result<FileReport> Analyzer::AnalyzeFile(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return ErrnoError("open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return ErrnoError("read " + path);
+  }
+  return AnalyzeSource(buf.str(), path);
+}
+
+}  // namespace analysis
+}  // namespace forklift

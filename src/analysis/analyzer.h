@@ -1,0 +1,51 @@
+// forklift/analysis: the forklint analyzer — lexes a file, builds the
+// FileContext, runs the rule set, and filters `// forklint:ignore` findings.
+#ifndef SRC_ANALYSIS_ANALYZER_H_
+#define SRC_ANALYSIS_ANALYZER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/rule.h"
+#include "src/common/result.h"
+
+namespace forklift {
+namespace analysis {
+
+// All findings for one file, post-suppression, sorted by line.
+struct FileReport {
+  std::string path;
+  std::vector<Finding> findings;
+  size_t suppressed = 0;  // findings dropped by forklint:ignore comments
+};
+
+class Analyzer {
+ public:
+  // Builds the full R1–R8 rule set (see rules/rules.h).
+  Analyzer();
+
+  // Restricts subsequent analysis to the given rule ids (e.g. {"R1","R3"}).
+  // Unknown ids are reported as an error. Empty = all rules.
+  Status EnableOnly(const std::vector<std::string>& rule_ids);
+
+  // `path` is used for reporting and for path-scoped rules (R7); the file is
+  // not read — callers pass the source, so tests can lint snippets under any
+  // display path.
+  FileReport AnalyzeSource(std::string_view source, std::string path) const;
+
+  // Reads `path` and analyzes it.
+  Result<FileReport> AnalyzeFile(const std::string& path) const;
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::string> enabled_;  // empty = all
+};
+
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,318 @@
+// FileContext: recovers the structure forklint's rules key off — matched
+// brackets, function body spans, and fork()/vfork() call sites with their
+// `pid == 0` child branches. All of it is heuristic token matching; the
+// patterns covered are the ones that occur in real fork call sites (and in
+// this repo): direct `if (fork() == 0)`, assignment + later `if (pid == 0)`
+// / `if (0 == pid)` / `if (!pid)`, and the inverted `if (pid != 0) ... else`
+// / `if (pid > 0) ... else` forms where the child is the else branch.
+#include <array>
+
+#include "src/analysis/rule.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+constexpr std::array<std::string_view, 7> kControlKeywords = {
+    "if", "while", "for", "switch", "return", "catch", "sizeof"};
+
+bool IsControlKeyword(const Token& t) {
+  if (t.kind != TokKind::kIdent) {
+    return false;
+  }
+  for (std::string_view k : kControlKeywords) {
+    if (t.text == k) {
+      return true;
+    }
+  }
+  return false;
+}
+
+char OpenFor(char close) { return close == ')' ? '(' : close == '}' ? '{' : '['; }
+
+}  // namespace
+
+FileContext::FileContext(std::string path, LexedFile lexed)
+    : path_(std::move(path)), lexed_(std::move(lexed)) {
+  BuildFunctions();
+  BuildForkSites();
+}
+
+size_t FileContext::MatchForward(size_t open) const {
+  const auto& toks = lexed_.tokens;
+  if (open >= toks.size() || toks[open].kind != TokKind::kPunct) {
+    return toks.size();
+  }
+  const std::string& o = toks[open].text;
+  std::string c = o == "(" ? ")" : o == "{" ? "}" : o == "[" ? "]" : "";
+  if (c.empty()) {
+    return toks.size();
+  }
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (IsPunct(toks[i], o)) {
+      ++depth;
+    } else if (IsPunct(toks[i], c)) {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  return toks.size();
+}
+
+bool FileContext::IsCallTo(size_t ident, std::string_view name) const {
+  const auto& toks = lexed_.tokens;
+  return ident + 1 < toks.size() && toks[ident].kind == TokKind::kIdent &&
+         toks[ident].text == name && IsPunct(toks[ident + 1], "(");
+}
+
+bool FileContext::IsCallArgListOpen(size_t open) const {
+  const auto& toks = lexed_.tokens;
+  if (open == 0 || open >= toks.size() || !IsPunct(toks[open], "(")) {
+    return false;
+  }
+  const Token& prev = toks[open - 1];
+  return prev.kind == TokKind::kIdent && !IsControlKeyword(prev);
+}
+
+const FunctionSpan* FileContext::EnclosingFunction(size_t tok) const {
+  const FunctionSpan* best = nullptr;
+  for (const auto& f : functions_) {
+    if (tok > f.body_begin && tok < f.body_end &&
+        (best == nullptr || f.body_begin > best->body_begin)) {
+      best = &f;
+    }
+  }
+  return best;
+}
+
+// A `{` opens a function body when, walking back over cv/ref/exception-spec
+// noise, we land on the `)` of a parameter list whose head is a plain
+// identifier (not a control keyword). Constructor init-lists make the walk
+// land on the last initializer's `)` instead — the recovered name is then the
+// member's, but the body span (the part rules use) is still right.
+void FileContext::BuildFunctions() {
+  const auto& toks = lexed_.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsPunct(toks[i], "{")) {
+      continue;
+    }
+    size_t j = i;
+    while (j > 0) {
+      const Token& t = toks[j - 1];
+      if (IsIdent(t, "const") || IsIdent(t, "noexcept") || IsIdent(t, "override") ||
+          IsIdent(t, "final") || IsIdent(t, "mutable") || IsPunct(t, "&") || IsPunct(t, "&&")) {
+        --j;
+        continue;
+      }
+      break;
+    }
+    if (j == 0 || !IsPunct(toks[j - 1], ")")) {
+      continue;
+    }
+    // Match the `)` back to its `(`.
+    int depth = 0;
+    size_t open = toks.size();
+    for (size_t k = j - 1; k + 1 > 0; --k) {
+      char c0 = toks[k].kind == TokKind::kPunct && toks[k].text.size() == 1 ? toks[k].text[0] : 0;
+      if (c0 == ')' || c0 == '}' || c0 == ']') {
+        ++depth;
+      } else if (c0 == '(' || c0 == '{' || c0 == '[') {
+        if (--depth == 0 && c0 == OpenFor(')')) {
+          open = k;
+          break;
+        }
+        if (depth == 0) {
+          break;  // mismatched bracket kind; not a parameter list
+        }
+      }
+      if (k == 0) {
+        break;
+      }
+    }
+    if (open == toks.size() || open == 0) {
+      continue;
+    }
+    const Token& head = toks[open - 1];
+    FunctionSpan span;
+    if (head.kind == TokKind::kIdent && !IsControlKeyword(head)) {
+      span.name = head.text;
+    } else if (IsPunct(head, "]")) {
+      span.name = "<lambda>";
+    } else {
+      continue;
+    }
+    span.body_begin = i;
+    span.body_end = MatchForward(i);
+    functions_.push_back(std::move(span));
+  }
+}
+
+void FileContext::BuildForkSites() {
+  const auto& toks = lexed_.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    bool is_vfork = IsCallTo(i, "vfork");
+    if (!is_vfork && !IsCallTo(i, "fork")) {
+      continue;
+    }
+    // Reject member calls (obj.fork()) and foreign qualified names
+    // (procsim::fork()); a bare `::fork` is the real thing.
+    size_t head = i;
+    if (head > 0 && IsPunct(toks[head - 1], "::")) {
+      if (head > 1 && toks[head - 2].kind == TokKind::kIdent) {
+        continue;  // ns::fork — not the libc symbol
+      }
+      head -= 1;
+    }
+    if (head > 0 && (IsPunct(toks[head - 1], ".") || IsPunct(toks[head - 1], "->"))) {
+      continue;
+    }
+
+    ForkSite site;
+    site.call_index = i;
+    site.is_vfork = is_vfork;
+    size_t close = MatchForward(i + 1);
+    if (close >= toks.size()) {
+      fork_sites_.push_back(std::move(site));
+      continue;
+    }
+
+    // Result binding: `var = [::]fork()` (also inside `(pid = fork())`).
+    if (head >= 2 && IsPunct(toks[head - 1], "=") && toks[head - 2].kind == TokKind::kIdent) {
+      site.result_var = toks[head - 2].text;
+      site.checked = true;
+    }
+
+    // Direct comparison: `fork() == 0`, `fork() != 0`, `0 == fork()`.
+    bool direct_eq_zero = false;
+    if (close + 2 < toks.size() &&
+        (IsPunct(toks[close + 1], "==") || IsPunct(toks[close + 1], "!="))) {
+      site.checked = true;
+      direct_eq_zero = IsPunct(toks[close + 1], "==") && toks[close + 2].text == "0";
+    }
+    if (head >= 2 && toks[head - 2].text == "0" &&
+        (IsPunct(toks[head - 1], "==") || IsPunct(toks[head - 1], "!="))) {
+      site.checked = true;
+      direct_eq_zero = IsPunct(toks[head - 1], "==");
+    }
+    if (head >= 1 && IsPunct(toks[head - 1], "!")) {
+      site.checked = true;  // if (!fork()) — child branch follows
+      direct_eq_zero = true;
+    }
+
+    if (direct_eq_zero) {
+      // Find the `)` closing the enclosing if-condition, then the branch.
+      size_t cond_close = close + 1;
+      int depth = 1;  // we are inside the if's `(`
+      while (cond_close < toks.size() && depth > 0) {
+        if (IsPunct(toks[cond_close], "(")) {
+          ++depth;
+        } else if (IsPunct(toks[cond_close], ")")) {
+          --depth;
+        }
+        if (depth == 0) {
+          break;
+        }
+        ++cond_close;
+      }
+      BranchAfter(cond_close, &site);
+    } else if (!site.result_var.empty()) {
+      FindChildBranchByVar(close, site.result_var, &site);
+    }
+    fork_sites_.push_back(std::move(site));
+  }
+}
+
+// Records the branch starting after condition-close token `cond_close` as the
+// child span: a `{...}` block or a single statement up to `;`.
+void FileContext::BranchAfter(size_t cond_close, ForkSite* site) {
+  const auto& toks = lexed_.tokens;
+  size_t b = cond_close + 1;
+  if (b >= toks.size()) {
+    return;
+  }
+  if (IsPunct(toks[b], "{")) {
+    site->child_begin = b + 1;
+    site->child_end = MatchForward(b);
+    return;
+  }
+  size_t e = b;
+  while (e < toks.size() && !IsPunct(toks[e], ";")) {
+    ++e;
+  }
+  site->child_begin = b;
+  site->child_end = e;
+}
+
+// Scans forward from the fork statement for the branch dispatching on `var`.
+// `if (var == 0)` / `if (0 == var)` / `if (!var)` mark the then-branch as the
+// child; `if (var != 0)` / `if (var > 0)` / `if (var)` with an `else` mark the
+// else-branch.
+void FileContext::FindChildBranchByVar(size_t from, const std::string& var, ForkSite* site) {
+  const auto& toks = lexed_.tokens;
+  for (size_t i = from; i + 3 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "if") || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    size_t cond_close = MatchForward(i + 1);
+    if (cond_close >= toks.size()) {
+      return;
+    }
+    size_t n = cond_close - (i + 2);  // tokens inside the condition
+    bool then_is_child = false;
+    bool else_is_child = false;
+    if (n == 3 && IsIdent(toks[i + 2], var) && IsPunct(toks[i + 3], "==") &&
+        toks[i + 4].text == "0") {
+      then_is_child = true;
+    } else if (n == 3 && toks[i + 2].text == "0" && IsPunct(toks[i + 3], "==") &&
+               IsIdent(toks[i + 4], var)) {
+      then_is_child = true;
+    } else if (n == 2 && IsPunct(toks[i + 2], "!") && IsIdent(toks[i + 3], var)) {
+      then_is_child = true;
+    } else if (n == 3 && IsIdent(toks[i + 2], var) &&
+               (IsPunct(toks[i + 3], "!=") || IsPunct(toks[i + 3], ">")) &&
+               toks[i + 4].text == "0") {
+      else_is_child = true;
+    } else if (n == 1 && IsIdent(toks[i + 2], var)) {
+      else_is_child = true;
+    } else {
+      continue;
+    }
+
+    if (then_is_child) {
+      BranchAfter(cond_close, site);
+      return;
+    }
+    if (!else_is_child) {
+      return;
+    }
+    // Skip the then-branch, require `else`.
+    size_t b = cond_close + 1;
+    size_t after_then;
+    if (b < toks.size() && IsPunct(toks[b], "{")) {
+      after_then = MatchForward(b) + 1;
+    } else {
+      after_then = b;
+      while (after_then < toks.size() && !IsPunct(toks[after_then], ";")) {
+        ++after_then;
+      }
+      ++after_then;
+    }
+    if (after_then < toks.size() && IsIdent(toks[after_then], "else")) {
+      BranchAfter(after_then, site);  // treat `else` like a condition-close
+    }
+    return;
+  }
+}
+
+}  // namespace analysis
+}  // namespace forklift

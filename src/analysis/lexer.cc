@@ -1,0 +1,281 @@
+#include "src/analysis/lexer.h"
+
+#include <cctype>
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+// Multi-character punctuators, longest first so greedy matching is correct.
+// Only operators that change token boundaries matter to the rules ("::" must
+// not lex as two ":", "==" must not lex as two "="); the exotic ones are here
+// so surrounding tokens stay clean.
+constexpr std::string_view kPunct3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kPunct2[] = {"::", "->", "==", "!=", "<=", ">=", "&&", "||",
+                                        "+=", "-=", "*=", "/=", "%=", "|=", "&=", "^=",
+                                        "<<", ">>", "++", "--", ".*", "##"};
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+// The splicing pass: physical backslash-newlines are removed (as translation
+// phase 2 does) while every surviving character remembers its original line.
+// This is what makes `// comment \` correctly swallow the next physical line
+// and lets string/identifier continuations lex as one token.
+struct Spliced {
+  std::string text;
+  std::vector<int> line;  // line[i] = 1-based source line of text[i]
+};
+
+Spliced Splice(std::string_view src) {
+  Spliced out;
+  out.text.reserve(src.size());
+  out.line.reserve(src.size() + 1);
+  int line = 1;
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\\' && i + 1 < src.size() &&
+        (src[i + 1] == '\n' || (src[i + 1] == '\r' && i + 2 < src.size() && src[i + 2] == '\n'))) {
+      i += (src[i + 1] == '\r') ? 2 : 1;  // skip the splice entirely
+      ++line;
+      continue;
+    }
+    out.text.push_back(src[i]);
+    out.line.push_back(line);
+    if (src[i] == '\n') {
+      ++line;
+    }
+  }
+  out.line.push_back(line);  // sentinel so line lookup at EOF is safe
+  return out;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : sp_(Splice(source)) {}
+
+  LexedFile Run() {
+    bool line_start = true;  // only whitespace seen so far on this line
+    while (pos_ < sp_.text.size()) {
+      char c = sp_.text[pos_];
+      if (c == '\n') {
+        ++pos_;
+        line_start = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && line_start) {
+        SkipDirective();
+        line_start = true;
+        continue;
+      }
+      line_start = false;
+      if (IsIdentStart(c)) {
+        LexIdentOrRawString();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLit();
+        continue;
+      }
+      LexPunct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char Peek(size_t ahead) const {
+    return pos_ + ahead < sp_.text.size() ? sp_.text[pos_ + ahead] : '\0';
+  }
+  int LineAt(size_t p) const { return sp_.line[p < sp_.line.size() ? p : sp_.line.size() - 1]; }
+
+  void LexLineComment() {
+    size_t start = pos_;
+    pos_ += 2;
+    size_t body = pos_;
+    while (pos_ < sp_.text.size() && sp_.text[pos_] != '\n') {
+      ++pos_;
+    }
+    out_.comments.push_back({std::string(sp_.text, body, pos_ - body), LineAt(start),
+                             LineAt(pos_ == 0 ? 0 : pos_ - 1)});
+  }
+
+  void LexBlockComment() {
+    size_t start = pos_;
+    pos_ += 2;
+    size_t body = pos_;
+    while (pos_ < sp_.text.size() && !(sp_.text[pos_] == '*' && Peek(1) == '/')) {
+      ++pos_;
+    }
+    size_t body_end = pos_;
+    if (pos_ < sp_.text.size()) {
+      pos_ += 2;  // closing */
+    }
+    out_.comments.push_back({std::string(sp_.text, body, body_end - body), LineAt(start),
+                             LineAt(body_end == 0 ? 0 : body_end - 1)});
+  }
+
+  // A directive runs to end of line; splicing already merged continuations.
+  // Block comments inside the directive may hide the newline, so step through
+  // them instead of scanning blindly.
+  void SkipDirective() {
+    while (pos_ < sp_.text.size() && sp_.text[pos_] != '\n') {
+      if (sp_.text[pos_] == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (sp_.text[pos_] == '/' && Peek(1) == '/') {
+        LexLineComment();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void LexIdentOrRawString() {
+    size_t start = pos_;
+    while (pos_ < sp_.text.size() && IsIdentChar(sp_.text[pos_])) {
+      ++pos_;
+    }
+    std::string text(sp_.text, start, pos_ - start);
+    // Encoding prefixes glue onto a following quote: R"(..)", u8"s", L'c'.
+    if (pos_ < sp_.text.size() && sp_.text[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "LR" || text == "UR")) {
+      LexRawString(start);
+      return;
+    }
+    if (pos_ < sp_.text.size() && (sp_.text[pos_] == '"' || sp_.text[pos_] == '\'') &&
+        (text == "u8" || text == "u" || text == "L" || text == "U")) {
+      if (sp_.text[pos_] == '"') {
+        LexString();
+      } else {
+        LexCharLit();
+      }
+      out_.tokens.back().line = LineAt(start);
+      return;
+    }
+    out_.tokens.push_back({TokKind::kIdent, std::move(text), LineAt(start)});
+  }
+
+  void LexRawString(size_t start) {
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < sp_.text.size() && sp_.text[pos_] != '(') {
+      delim.push_back(sp_.text[pos_++]);
+    }
+    if (pos_ < sp_.text.size()) {
+      ++pos_;  // opening paren
+    }
+    std::string closer = ")" + delim + "\"";
+    size_t end = sp_.text.find(closer, pos_);
+    size_t body_end = (end == std::string::npos) ? sp_.text.size() : end;
+    out_.tokens.push_back(
+        {TokKind::kString, std::string(sp_.text, pos_, body_end - pos_), LineAt(start)});
+    pos_ = (end == std::string::npos) ? sp_.text.size() : end + closer.size();
+  }
+
+  void LexString() {
+    size_t start = pos_++;
+    std::string text;
+    while (pos_ < sp_.text.size() && sp_.text[pos_] != '"') {
+      if (sp_.text[pos_] == '\\' && pos_ + 1 < sp_.text.size()) {
+        text.push_back(sp_.text[pos_++]);
+      }
+      text.push_back(sp_.text[pos_++]);
+    }
+    if (pos_ < sp_.text.size()) {
+      ++pos_;  // closing quote
+    }
+    out_.tokens.push_back({TokKind::kString, std::move(text), LineAt(start)});
+  }
+
+  void LexCharLit() {
+    size_t start = pos_++;
+    std::string text;
+    while (pos_ < sp_.text.size() && sp_.text[pos_] != '\'') {
+      if (sp_.text[pos_] == '\\' && pos_ + 1 < sp_.text.size()) {
+        text.push_back(sp_.text[pos_++]);
+      }
+      text.push_back(sp_.text[pos_++]);
+    }
+    if (pos_ < sp_.text.size()) {
+      ++pos_;
+    }
+    out_.tokens.push_back({TokKind::kChar, std::move(text), LineAt(start)});
+  }
+
+  void LexNumber() {
+    size_t start = pos_;
+    // Loose pp-number scan: digits, letters (hex/suffixes/exponents), digit
+    // separators, and a sign directly after an exponent marker.
+    while (pos_ < sp_.text.size()) {
+      char c = sp_.text[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > start) {
+        char prev = sp_.text[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    out_.tokens.push_back({TokKind::kNumber, std::string(sp_.text, start, pos_ - start),
+                           LineAt(start)});
+  }
+
+  void LexPunct() {
+    size_t start = pos_;
+    std::string_view rest(sp_.text.data() + pos_, sp_.text.size() - pos_);
+    for (std::string_view op : kPunct3) {
+      if (rest.substr(0, 3) == op) {
+        pos_ += 3;
+        out_.tokens.push_back({TokKind::kPunct, std::string(op), LineAt(start)});
+        return;
+      }
+    }
+    for (std::string_view op : kPunct2) {
+      if (rest.substr(0, 2) == op) {
+        pos_ += 2;
+        out_.tokens.push_back({TokKind::kPunct, std::string(op), LineAt(start)});
+        return;
+      }
+    }
+    out_.tokens.push_back({TokKind::kPunct, std::string(1, sp_.text[pos_]), LineAt(start)});
+    ++pos_;
+  }
+
+  Spliced sp_;
+  size_t pos_ = 0;
+  LexedFile out_;
+};
+
+}  // namespace
+
+LexedFile Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace analysis
+}  // namespace forklift

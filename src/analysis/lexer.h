@@ -1,0 +1,59 @@
+// forklift/analysis: a dependency-free C++ token-stream lexer for forklint.
+//
+// This is not a compiler front end. forklint's rules (see rules/) pattern-match
+// hazards around fork()/vfork() call sites, and for that a flat token stream
+// with accurate line numbers is enough — no preprocessing, no AST, no types.
+// What the lexer *must* get right is everything that would otherwise produce
+// false positives: comments (so `// call fork() here` is not a call site),
+// string and character literals (so "fork(" in a log message is not a call),
+// raw strings, and backslash-newline line continuations (which can extend a
+// line comment onto the next physical line). Preprocessor directive lines are
+// skipped wholesale: macro bodies are a place hazards can hide, but flagging
+// them without expansion is guesswork.
+//
+// Comments are preserved out-of-band so the analyzer can honor inline
+// `// forklint:ignore(RN)` suppressions and tests can read expectation markers.
+#ifndef SRC_ANALYSIS_LEXER_H_
+#define SRC_ANALYSIS_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace forklift {
+namespace analysis {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (loosely lexed; rules only compare text)
+  kString,  // string literal, text = contents without quotes/prefix
+  kChar,    // character literal, text = contents without quotes
+  kPunct,   // operator / punctuator, multi-char ops kept together ("::", "==")
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based physical line of the token's first character
+};
+
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line;          // first physical line
+  int end_line;      // last physical line (== line for single-line comments)
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+// Tokenizes C++ source. Never fails: unrecognized bytes are skipped, an
+// unterminated literal or comment runs to end of input. Line numbers refer to
+// the original (pre-splice) source.
+LexedFile Lex(std::string_view source);
+
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_LEXER_H_

@@ -1,0 +1,108 @@
+#include "src/analysis/report.h"
+
+#include <cstdio>
+
+#include "src/benchlib/json_writer.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+size_t TotalFindings(const std::vector<FileReport>& reports) {
+  size_t n = 0;
+  for (const auto& r : reports) {
+    n += r.findings.size();
+  }
+  return n;
+}
+
+size_t TotalSuppressed(const std::vector<FileReport>& reports) {
+  size_t n = 0;
+  for (const auto& r : reports) {
+    n += r.suppressed;
+  }
+  return n;
+}
+
+}  // namespace
+
+std::string RenderText(const std::vector<FileReport>& reports) {
+  std::string out;
+  for (const auto& r : reports) {
+    for (const auto& f : r.findings) {
+      out += f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message + "\n";
+    }
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof(summary),
+                "forklint: %zu finding(s), %zu suppressed, %zu file(s) scanned\n",
+                TotalFindings(reports), TotalSuppressed(reports), reports.size());
+  out += summary;
+  return out;
+}
+
+std::string RenderJson(const std::vector<FileReport>& reports) {
+  JsonWriter w;
+  w.BeginObject().Key("findings").BeginArray();
+  for (const auto& r : reports) {
+    for (const auto& f : r.findings) {
+      w.BeginObject()
+          .Key("rule").Value(f.rule)
+          .Key("path").Value(f.path)
+          .Key("line").Value(f.line)
+          .Key("message").Value(f.message)
+          .EndObject();
+    }
+  }
+  w.EndArray()
+      .Key("count").Value(static_cast<uint64_t>(TotalFindings(reports)))
+      .Key("suppressed").Value(static_cast<uint64_t>(TotalSuppressed(reports)))
+      .EndObject();
+  return w.str();
+}
+
+std::string RenderSarif(const Analyzer& analyzer, const std::vector<FileReport>& reports) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("$schema")
+      .Value("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/"
+             "sarif-schema-2.1.0.json")
+      .Key("version").Value("2.1.0")
+      .Key("runs").BeginArray().BeginObject()
+      .Key("tool").BeginObject().Key("driver").BeginObject()
+      .Key("name").Value("forklint")
+      .Key("informationUri").Value("https://dl.acm.org/doi/10.1145/3317550.3321435")
+      .Key("rules").BeginArray();
+  for (const auto& rule : analyzer.rules()) {
+    w.BeginObject()
+        .Key("id").Value(std::string(rule->id()))
+        .Key("shortDescription").BeginObject()
+        .Key("text").Value(std::string(rule->summary()))
+        .EndObject()
+        .EndObject();
+  }
+  w.EndArray().EndObject().EndObject();  // rules, driver, tool
+
+  w.Key("results").BeginArray();
+  for (const auto& r : reports) {
+    for (const auto& f : r.findings) {
+      w.BeginObject()
+          .Key("ruleId").Value(f.rule)
+          .Key("level").Value("warning")
+          .Key("message").BeginObject().Key("text").Value(f.message).EndObject()
+          .Key("locations").BeginArray().BeginObject()
+          .Key("physicalLocation").BeginObject()
+          .Key("artifactLocation").BeginObject().Key("uri").Value(f.path).EndObject()
+          .Key("region").BeginObject().Key("startLine").Value(f.line).EndObject()
+          .EndObject()  // physicalLocation
+          .EndObject().EndArray()  // location, locations
+          .EndObject();  // result
+    }
+  }
+  w.EndArray().EndObject().EndArray().EndObject();  // results, run, runs, root
+  return w.str();
+}
+
+}  // namespace analysis
+}  // namespace forklift

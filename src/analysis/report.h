@@ -1,0 +1,31 @@
+// forklift/analysis: rendering forklint results as text, JSON, or SARIF.
+//
+// SARIF (Static Analysis Results Interchange Format 2.1.0) is the subset
+// GitHub code scanning and most editors consume: tool.driver with rule
+// metadata, plus one result per finding carrying ruleId, message, and a
+// physical location (uri + startLine). Built on benchlib's JsonWriter so the
+// tool stays dependency-free.
+#ifndef SRC_ANALYSIS_REPORT_H_
+#define SRC_ANALYSIS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace forklift {
+namespace analysis {
+
+// `path:line: [RN] message` lines plus a one-line summary.
+std::string RenderText(const std::vector<FileReport>& reports);
+
+// {"findings":[{rule,path,line,message}...],"count":N,"suppressed":M}
+std::string RenderJson(const std::vector<FileReport>& reports);
+
+// SARIF 2.1.0. `analyzer` supplies the rule catalog for tool.driver.rules.
+std::string RenderSarif(const Analyzer& analyzer, const std::vector<FileReport>& reports);
+
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_REPORT_H_

@@ -1,0 +1,110 @@
+// R1: after fork() in a (potentially) multithreaded process, the child may
+// only call async-signal-safe functions until it execs or _exits (HotOS'19 §4:
+// fork is hostile to threads — another thread may hold the malloc arena lock
+// or stdio lock at the instant of the snapshot, and the child inherits the
+// locked lock with no owner). Flags known-unsafe calls, allocation, stdio,
+// std::string construction, and lock acquisition inside the child branch.
+#include <array>
+
+#include "src/analysis/rules/rule_util.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+using rule_util::IsExecOrHardExit;
+using rule_util::IsMemberCall;
+using rule_util::IsPunct;
+
+// Free functions that allocate, take process-wide locks, or touch stdio
+// buffers — the classic post-fork deadlock/corruption set.
+constexpr std::array<std::string_view, 24> kUnsafeFree = {
+    "malloc",  "calloc",   "realloc", "free",    "printf", "fprintf",
+    "sprintf", "snprintf", "vfprintf", "puts",   "fputs",  "fputc",
+    "fwrite",  "fread",    "fopen",   "fclose",  "fflush", "perror",
+    "syslog",  "setenv",   "putenv",  "getenv",  "localtime", "pthread_mutex_lock"};
+
+// Member functions whose very invocation means a lock acquire.
+constexpr std::array<std::string_view, 3> kUnsafeMember = {"lock", "unlock", "try_lock"};
+
+// std::-qualified names that allocate or lock under the hood.
+constexpr std::array<std::string_view, 7> kUnsafeStd = {
+    "string", "cout", "cerr", "clog", "lock_guard", "unique_lock", "scoped_lock"};
+
+class ChildUnsafeCallsRule : public Rule {
+ public:
+  std::string_view id() const override { return "R1"; }
+  std::string_view summary() const override {
+    return "only async-signal-safe calls are legal between fork() and exec/_exit in the child";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.tokens();
+    for (const auto& site : ctx.fork_sites()) {
+      if (site.child_begin == 0 && site.child_end == 0) {
+        continue;
+      }
+      for (size_t i = site.child_begin; i < site.child_end && i < toks.size(); ++i) {
+        if (IsExecOrHardExit(toks, i)) {
+          break;  // past exec/_exit only the (already doomed) error path runs
+        }
+        const Token& t = toks[i];
+        if (t.kind == TokKind::kIdent && (t.text == "new" || t.text == "delete")) {
+          out->push_back({"", "", t.line,
+                          "'" + t.text + "' allocates in the fork child; the heap lock may be "
+                          "held by a thread that no longer exists"});
+          continue;
+        }
+        if (t.kind != TokKind::kIdent || i + 1 >= toks.size()) {
+          continue;
+        }
+        // std::X where X is allocating/locking.
+        if (IsPunct(toks[i + 1], "::") && t.text == "std" && i + 2 < toks.size()) {
+          for (std::string_view bad : kUnsafeStd) {
+            if (toks[i + 2].text == bad) {
+              out->push_back({"", "", t.line,
+                              "std::" + toks[i + 2].text +
+                                  " in the fork child allocates or locks; only "
+                                  "async-signal-safe operations are legal before exec"});
+              break;
+            }
+          }
+          continue;
+        }
+        if (!IsPunct(toks[i + 1], "(")) {
+          continue;
+        }
+        if (IsMemberCall(toks, i)) {
+          for (std::string_view bad : kUnsafeMember) {
+            if (t.text == bad) {
+              out->push_back({"", "", t.line,
+                              "." + t.text + "() in the fork child acquires a lock whose owner "
+                              "thread was not copied by fork"});
+              break;
+            }
+          }
+          continue;
+        }
+        for (std::string_view bad : kUnsafeFree) {
+          if (t.text == bad) {
+            out->push_back({"", "", t.line,
+                            t.text + "() is not async-signal-safe; between fork() and exec the "
+                            "child may hold another thread's lock state (use write/_exit)"});
+            break;
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeChildUnsafeCallsRule() {
+  return std::make_unique<ChildUnsafeCallsRule>();
+}
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,189 @@
+// R2: descriptors created without CLOEXEC leak into every child a later
+// fork/exec produces (HotOS'19 §4: fork doesn't compose — each call site must
+// remember to opt *out* of inheritance, and one miss is a security bug).
+// Flags raw open/creat/pipe/socket/socketpair/accept/dup and this repo's own
+// wrappers (OpenFd without O_CLOEXEC, MakePipe(false), MakeSocketPair(false));
+// the fix is always the atomic flag variant, not a follow-up fcntl.
+//
+// Precision over recall: the rule inspects the *flags argument* of each call.
+// A flags argument that mentions a variable (any identifier with a lowercase
+// letter — macros are ALL_CAPS) is indeterminate and not flagged, so wrappers
+// that forward caller flags don't produce noise; the wrapper's call sites are
+// checked instead. Declarations (`Result<UniqueFd> OpenFd(...)`) are skipped.
+#include "src/analysis/rules/rule_util.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+using rule_util::IsForeignQualified;
+using rule_util::IsMemberCall;
+using rule_util::IsPunct;
+
+struct ArgRange {
+  size_t begin;  // first token of the argument
+  size_t end;    // one past the last token
+};
+
+// Splits tokens strictly inside (open, close) on top-level commas.
+std::vector<ArgRange> SplitArgs(const FileContext& ctx, size_t open, size_t close) {
+  const auto& toks = ctx.tokens();
+  std::vector<ArgRange> args;
+  if (close <= open + 1) {
+    return args;
+  }
+  size_t start = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].kind == TokKind::kPunct ? toks[i].text : "";
+    if (t == "(" || t == "[" || t == "{") {
+      ++depth;
+    } else if (t == ")" || t == "]" || t == "}") {
+      --depth;
+    } else if (t == "," && depth == 0) {
+      args.push_back({start, i});
+      start = i + 1;
+    }
+  }
+  args.push_back({start, close});
+  return args;
+}
+
+enum class FlagState { kHasCloexec, kIndeterminate, kMissing };
+
+FlagState InspectFlagArg(const FileContext& ctx, const std::vector<ArgRange>& args,
+                         size_t position, std::string_view cloexec_name) {
+  if (position >= args.size()) {
+    return FlagState::kMissing;  // flags argument absent entirely
+  }
+  const auto& toks = ctx.tokens();
+  FlagState state = FlagState::kMissing;
+  for (size_t i = args[position].begin; i < args[position].end; ++i) {
+    if (toks[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    if (toks[i].text == cloexec_name) {
+      return FlagState::kHasCloexec;
+    }
+    for (char c : toks[i].text) {
+      if (c >= 'a' && c <= 'z') {
+        state = FlagState::kIndeterminate;  // a variable; caller may pass CLOEXEC
+        break;
+      }
+    }
+  }
+  return state;
+}
+
+// True when the identifier at `i` heads a declaration or definition signature
+// rather than a call: the preceding token is part of a type (`UniqueFd>`,
+// `int`, `*`, `&`).
+bool LooksLikeDeclaration(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) {
+    return false;
+  }
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&")) {
+    return true;
+  }
+  if (prev.kind != TokKind::kIdent) {
+    return false;
+  }
+  // Keywords that legitimately precede a call expression.
+  return prev.text != "return" && prev.text != "throw" && prev.text != "else" &&
+         prev.text != "do" && prev.text != "co_return" && prev.text != "co_await";
+}
+
+class CloexecRule : public Rule {
+ public:
+  std::string_view id() const override { return "R2"; }
+  std::string_view summary() const override {
+    return "descriptor creation must use O_CLOEXEC/SOCK_CLOEXEC (pipe2/accept4/dup3) atomically";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.tokens();
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || !IsPunct(toks[i + 1], "(")) {
+        continue;
+      }
+      if (IsMemberCall(toks, i) || IsForeignQualified(toks, i) ||
+          LooksLikeDeclaration(toks, i)) {
+        continue;  // file.open(...), ns::pipe(...), and signatures are not libc calls
+      }
+      const std::string& name = toks[i].text;
+      size_t close = ctx.MatchForward(i + 1);
+      if (close >= toks.size()) {
+        continue;
+      }
+      auto args = SplitArgs(ctx, i + 1, close);
+      auto flag = [&](const std::string& msg) {
+        out->push_back({"", "", toks[i].line, msg});
+      };
+      auto check = [&](size_t flags_pos, std::string_view cloexec, const std::string& msg) {
+        if (InspectFlagArg(ctx, args, flags_pos, cloexec) == FlagState::kMissing) {
+          flag(msg);
+        }
+      };
+
+      if (name == "open" || name == "OpenFd") {
+        check(1, "O_CLOEXEC",
+              name + "() without O_CLOEXEC: the descriptor leaks into every exec'd child");
+      } else if (name == "openat") {
+        check(2, "O_CLOEXEC",
+              "openat() without O_CLOEXEC: the descriptor leaks into every exec'd child");
+      } else if (name == "creat") {
+        flag("creat() cannot take O_CLOEXEC; use open(..., O_CREAT|O_WRONLY|O_CLOEXEC)");
+      } else if (name == "pipe") {
+        flag("pipe() cannot set CLOEXEC atomically; use pipe2(fds, O_CLOEXEC)");
+      } else if (name == "pipe2") {
+        check(1, "O_CLOEXEC", "pipe2() without O_CLOEXEC: both ends leak into every exec'd child");
+      } else if (name == "socket" || name == "socketpair") {
+        check(1, "SOCK_CLOEXEC",
+              name + "() without SOCK_CLOEXEC: the socket leaks into every exec'd child");
+      } else if (name == "accept") {
+        flag("accept() cannot set CLOEXEC atomically; use accept4(..., SOCK_CLOEXEC)");
+      } else if (name == "accept4") {
+        check(3, "SOCK_CLOEXEC",
+              "accept4() without SOCK_CLOEXEC: the socket leaks into every exec'd child");
+      } else if (name == "dup") {
+        flag("dup() drops CLOEXEC; use fcntl(fd, F_DUPFD_CLOEXEC, 0) or dup3(..., O_CLOEXEC)");
+      } else if (name == "fopen" && !FopenModeHasE(toks, i + 2, close)) {
+        flag("fopen() without 'e' in the mode string: the FILE's fd leaks into exec'd children");
+      } else if (name == "MakePipe" || name == "MakeSocketPair") {
+        // cloexec defaults to true; only an explicit literal `false` is a leak.
+        if (!args.empty() && args[0].begin < args[0].end) {
+          for (size_t j = args[0].begin; j < args[0].end; ++j) {
+            if (toks[j].kind == TokKind::kIdent && toks[j].text == "false") {
+              flag(name + "(/*cloexec=*/false) creates deliberately leaky descriptors; "
+                   "prefer the default and re-enable inheritance via fd actions");
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  // fopen's cloexec spelling is the glibc 'e' mode flag; the mode string is
+  // the last string literal in the argument list.
+  static bool FopenModeHasE(const std::vector<Token>& toks, size_t from, size_t to) {
+    const Token* last_string = nullptr;
+    for (size_t j = from; j < to && j < toks.size(); ++j) {
+      if (toks[j].kind == TokKind::kString) {
+        last_string = &toks[j];
+      }
+    }
+    return last_string != nullptr && last_string->text.find('e') != std::string::npos;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeCloexecRule() { return std::make_unique<CloexecRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,37 @@
+// R3: fork() can and does fail (EAGAIN under pid/rlimit pressure, ENOMEM
+// under overcommit accounting — HotOS'19 §5 on why fork gets slower and less
+// reliable as the parent grows). An unchecked return value means the "child"
+// code runs in the parent on failure, or the pid is simply lost.
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+class UncheckedForkRule : public Rule {
+ public:
+  std::string_view id() const override { return "R3"; }
+  std::string_view summary() const override {
+    return "fork()/vfork() return value must be checked (it fails under memory/pid pressure)";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    for (const auto& site : ctx.fork_sites()) {
+      if (site.checked) {
+        continue;
+      }
+      const Token& t = ctx.tokens()[site.call_index];
+      out->push_back({"", "", t.line,
+                      t.text + "() return value is unchecked: on failure (-1) there is no "
+                      "child, and the error path runs in the parent"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeUncheckedForkRule() { return std::make_unique<UncheckedForkRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,55 @@
+// R4: a fork child that fails must leave via _exit(), not exit(). exit() runs
+// atexit handlers and flushes stdio buffers the child shares (by COW copy)
+// with the parent — the paper's §4 double-flush hazard: buffered bytes written
+// once by the parent appear twice because the child flushed its inherited
+// copy on the way out.
+#include "src/analysis/rules/rule_util.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+using rule_util::IsExecOrHardExit;
+using rule_util::IsMemberCall;
+using rule_util::IsPunct;
+
+class ExitInChildRule : public Rule {
+ public:
+  std::string_view id() const override { return "R4"; }
+  std::string_view summary() const override {
+    return "fork children must terminate with _exit(), not exit() (atexit/stdio double-flush)";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.tokens();
+    for (const auto& site : ctx.fork_sites()) {
+      if (site.child_begin == 0 && site.child_end == 0) {
+        continue;
+      }
+      for (size_t i = site.child_begin; i < site.child_end && i < toks.size(); ++i) {
+        if (IsExecOrHardExit(toks, i)) {
+          break;
+        }
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent || (t.text != "exit" && t.text != "quick_exit")) {
+          continue;
+        }
+        if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(") || IsMemberCall(toks, i)) {
+          continue;
+        }
+        out->push_back({"", "", t.line,
+                        t.text + "() in the fork child runs atexit handlers and flushes the "
+                        "parent's inherited stdio buffers (duplicating output); use _exit()"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeExitInChildRule() { return std::make_unique<ExitInChildRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

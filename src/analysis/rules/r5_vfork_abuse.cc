@@ -1,0 +1,67 @@
+// R5: a vfork child borrows the parent's stack and address space while the
+// parent is suspended (HotOS'19 §5: "vfork is dangerous"). Returning from the
+// enclosing function corrupts the stack frame the parent is about to resume
+// into, and any store — even initializing a local — is a write the parent
+// observes. The child may only exec or _exit; everything it needs must be
+// computed before the vfork.
+#include "src/analysis/rules/rule_util.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+using rule_util::IsExecOrHardExit;
+using rule_util::IsPunct;
+
+constexpr std::string_view kCompoundAssign[] = {"+=", "-=", "*=", "/=", "%=",
+                                                "|=", "&=", "^=", "<<=", ">>="};
+
+class VforkAbuseRule : public Rule {
+ public:
+  std::string_view id() const override { return "R5"; }
+  std::string_view summary() const override {
+    return "a vfork child runs on the parent's stack: no return, no writes, only exec/_exit";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.tokens();
+    for (const auto& site : ctx.fork_sites()) {
+      if (!site.is_vfork || (site.child_begin == 0 && site.child_end == 0)) {
+        continue;
+      }
+      for (size_t i = site.child_begin; i < site.child_end && i < toks.size(); ++i) {
+        if (IsExecOrHardExit(toks, i)) {
+          break;
+        }
+        const Token& t = toks[i];
+        if (t.kind == TokKind::kIdent && t.text == "return") {
+          out->push_back({"", "", t.line,
+                          "return in a vfork child unwinds a stack frame the suspended parent "
+                          "still owns; terminate via exec or _exit only"});
+          continue;
+        }
+        if (t.kind != TokKind::kPunct) {
+          continue;
+        }
+        bool is_assign = t.text == "=" || t.text == "++" || t.text == "--";
+        for (std::string_view op : kCompoundAssign) {
+          is_assign = is_assign || t.text == op;
+        }
+        if (is_assign) {
+          out->push_back({"", "", t.line,
+                          "write ('" + t.text + "') in a vfork child lands in the parent's "
+                          "address space; move the computation before the vfork"});
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeVforkAbuseRule() { return std::make_unique<VforkAbuseRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,40 @@
+// R7 (repo policy, not a portable hazard): raw ::fork()/vfork() is confined
+// to src/spawn/, where the backends pair it with the async-signal-safe child
+// trampoline, exec-error pipe, fd-action plan, and reaping machinery.
+// Anywhere else must go through Spawner so the paper's §4 hazards stay
+// handled in exactly one place. This is the analyzer twin of the runtime
+// ForkGuard: the guard catches a hazardous fork as it happens, R7 stops the
+// call site from existing.
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+class RawForkPolicyRule : public Rule {
+ public:
+  std::string_view id() const override { return "R7"; }
+  std::string_view summary() const override {
+    return "raw fork()/vfork() is reserved for src/spawn/ backends; use Spawner elsewhere";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    if (ctx.path().find("src/spawn/") != std::string::npos) {
+      return;
+    }
+    for (const auto& site : ctx.fork_sites()) {
+      const Token& t = ctx.tokens()[site.call_index];
+      out->push_back({"", "", t.line,
+                      "raw " + t.text + "() outside src/spawn/: route process creation through "
+                      "Spawner so fd hygiene, exec-error reporting, and reaping stay centralized"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeRawForkPolicyRule() { return std::make_unique<RawForkPolicyRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,59 @@
+// R8: installing signal handlers between fork and exec is doubly wrong: exec
+// resets caught signals to SIG_DFL, so the handler evaporates at the very
+// next line, and until then the child runs inherited handler code whose data
+// structures (the parent's) are in an indeterminate mid-operation state
+// (HotOS'19 §4: fork snapshots signal dispositions along with everything
+// else). Blocking signals (sigprocmask) is fine and deliberately not flagged.
+#include "src/analysis/rules/rule_util.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+using rule_util::IsExecOrHardExit;
+using rule_util::IsMemberCall;
+using rule_util::IsPunct;
+
+class SignalInChildRule : public Rule {
+ public:
+  std::string_view id() const override { return "R8"; }
+  std::string_view summary() const override {
+    return "no signal-handler installation between fork and exec (exec resets dispositions)";
+  }
+
+  void Check(const FileContext& ctx, std::vector<Finding>* out) const override {
+    const auto& toks = ctx.tokens();
+    for (const auto& site : ctx.fork_sites()) {
+      if (site.child_begin == 0 && site.child_end == 0) {
+        continue;
+      }
+      for (size_t i = site.child_begin; i < site.child_end && i < toks.size(); ++i) {
+        if (IsExecOrHardExit(toks, i)) {
+          break;
+        }
+        const Token& t = toks[i];
+        if (t.kind != TokKind::kIdent ||
+            (t.text != "signal" && t.text != "sigaction" && t.text != "bsd_signal" &&
+             t.text != "sigset")) {
+          continue;
+        }
+        if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(") || IsMemberCall(toks, i)) {
+          continue;
+        }
+        out->push_back({"", "", t.line,
+                        t.text + "() between fork and exec: exec resets dispositions to "
+                        "SIG_DFL, and the inherited handler state is mid-operation (set "
+                        "handlers after exec, or block with sigprocmask instead)"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeSignalInChildRule() { return std::make_unique<SignalInChildRule>(); }
+
+}  // namespace analysis
+}  // namespace forklift

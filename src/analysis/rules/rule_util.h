@@ -1,0 +1,47 @@
+// Shared token-matching helpers for the concrete rules. Internal to rules/.
+#ifndef SRC_ANALYSIS_RULES_RULE_UTIL_H_
+#define SRC_ANALYSIS_RULES_RULE_UTIL_H_
+
+#include <string_view>
+
+#include "src/analysis/rule.h"
+
+namespace forklift {
+namespace analysis {
+namespace rule_util {
+
+inline bool IsPunct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+inline bool IsIdent(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+// True when tokens[i] names an exec-family entry point or a hard child exit —
+// the boundary past which the "between fork and exec" rules stop looking.
+inline bool IsExecOrHardExit(const std::vector<Token>& toks, size_t i) {
+  if (toks[i].kind != TokKind::kIdent) {
+    return false;
+  }
+  const std::string& t = toks[i].text;
+  return t == "_exit" || t == "_Exit" || t.rfind("exec", 0) == 0 || t == "fexecve" ||
+         t == "ChildExec";  // this repo's child-side trampoline (never returns)
+}
+
+// True when the identifier at `i` is called as a member (`x.f()` / `x->f()`).
+inline bool IsMemberCall(const std::vector<Token>& toks, size_t i) {
+  return i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
+}
+
+// True when the identifier at `i` is qualified by a namespace/class other than
+// the global one (`ns::f`; plain `::f` is NOT foreign-qualified).
+inline bool IsForeignQualified(const std::vector<Token>& toks, size_t i) {
+  return i >= 2 && IsPunct(toks[i - 1], "::") && toks[i - 2].kind == TokKind::kIdent;
+}
+
+}  // namespace rule_util
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_RULES_RULE_UTIL_H_

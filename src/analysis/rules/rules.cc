@@ -1,0 +1,20 @@
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+std::vector<std::unique_ptr<Rule>> BuildAllRules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(MakeChildUnsafeCallsRule());
+  rules.push_back(MakeCloexecRule());
+  rules.push_back(MakeUncheckedForkRule());
+  rules.push_back(MakeExitInChildRule());
+  rules.push_back(MakeVforkAbuseRule());
+  rules.push_back(MakeZombieRiskRule());
+  rules.push_back(MakeRawForkPolicyRule());
+  rules.push_back(MakeSignalInChildRule());
+  return rules;
+}
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,30 @@
+// forklift/analysis: the concrete forklint rule set, R1–R8. Each rule
+// mechanizes one hazard class from "A fork() in the road" (HotOS'19 §4/§5);
+// DESIGN.md §2.8 maps every rule to the paper claim it checks.
+#ifndef SRC_ANALYSIS_RULES_RULES_H_
+#define SRC_ANALYSIS_RULES_RULES_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/analysis/rule.h"
+
+namespace forklift {
+namespace analysis {
+
+std::unique_ptr<Rule> MakeChildUnsafeCallsRule();  // R1
+std::unique_ptr<Rule> MakeCloexecRule();           // R2
+std::unique_ptr<Rule> MakeUncheckedForkRule();     // R3
+std::unique_ptr<Rule> MakeExitInChildRule();       // R4
+std::unique_ptr<Rule> MakeVforkAbuseRule();        // R5
+std::unique_ptr<Rule> MakeZombieRiskRule();        // R6
+std::unique_ptr<Rule> MakeRawForkPolicyRule();     // R7
+std::unique_ptr<Rule> MakeSignalInChildRule();     // R8
+
+// All rules, in id order.
+std::vector<std::unique_ptr<Rule>> BuildAllRules();
+
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_RULES_RULES_H_

@@ -312,7 +312,9 @@ Status ForkServer::HandleWait(int sock, const std::string& payload) {
 
 Result<ForkServerHandle> StartForkServerProcess() {
   FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
-  pid_t pid = ::fork();
+  // The one sanctioned raw fork outside src/spawn/: the zygote *is* the
+  // fork-server substrate, and must clone itself before any threads exist.
+  pid_t pid = ::fork();  // forklint:ignore(R7)
   if (pid < 0) {
     return ErrnoError("fork (starting fork server)");
   }

@@ -24,6 +24,8 @@ Status ReadyNotifier::NotifyReady() {
 Result<ReadyNotifier> Daemonize(const DaemonizeOptions& options) {
   FORKLIFT_ASSIGN_OR_RETURN(Pipe ready, MakePipe());
 
+  // No reap obligation: the original process _exits below and both children
+  // re-parent to init, which collects them. forklint:ignore(R6)
   pid_t first = ::fork();
   if (first < 0) {
     return ErrnoError("fork (daemonize, first)");
@@ -42,7 +44,7 @@ Result<ReadyNotifier> Daemonize(const DaemonizeOptions& options) {
   if (::setsid() < 0) {
     return ErrnoError("setsid (daemonize)");
   }
-  pid_t second = ::fork();
+  pid_t second = ::fork();  // forklint:ignore(R6) — intermediate _exits, init reaps
   if (second < 0) {
     return ErrnoError("fork (daemonize, second)");
   }
@@ -58,7 +60,8 @@ Result<ReadyNotifier> Daemonize(const DaemonizeOptions& options) {
     return ErrnoError("chdir / (daemonize)");
   }
   if (options.null_stdio) {
-    FORKLIFT_ASSIGN_OR_RETURN(UniqueFd devnull, OpenFd("/dev/null", O_RDWR));
+    // CLOEXEC on the source fd: the dup2'd stdio copies stay inheritable.
+    FORKLIFT_ASSIGN_OR_RETURN(UniqueFd devnull, OpenFd("/dev/null", O_RDWR | O_CLOEXEC));
     FORKLIFT_RETURN_IF_ERROR(Dup2(devnull.get(), 0));
     FORKLIFT_RETURN_IF_ERROR(Dup2(devnull.get(), 1));
     FORKLIFT_RETURN_IF_ERROR(Dup2(devnull.get(), 2));

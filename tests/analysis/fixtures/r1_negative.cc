@@ -1,0 +1,18 @@
+// Golden fixture: R1 negative — a disciplined child: only async-signal-safe
+// calls (write, dup2, close, execv, _exit) between fork and exec.
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  (void)argc;
+  pid_t pid = fork();
+  if (pid == 0) {
+    const char msg[] = "child up\n";
+    write(2, msg, sizeof(msg) - 1);
+    dup2(1, 2);
+    close(0);
+    execv("/bin/true", argv);
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

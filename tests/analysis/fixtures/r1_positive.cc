@@ -1,0 +1,25 @@
+// Golden fixture: R1 — async-signal-unsafe work between fork() and exec.
+// Trailing expectation markers name each line the rule must flag.
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unistd.h>
+
+std::mutex mu;
+
+int main() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    std::printf("hello from the child\n");  // forklint-expect: R1
+    std::string banner = "child";           // forklint-expect: R1
+    char* buf = static_cast<char*>(malloc(64));  // forklint-expect: R1
+    mu.lock();                              // forklint-expect: R1
+    (void)buf;
+    execl("/bin/true", "true", (char*)nullptr);
+    perror("execl");  // post-exec error path: out of R1 scope
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Golden fixture: R2 negative — every descriptor is born CLOEXEC (or the
+// flags come from a variable the rule cannot see through, which is
+// deliberately not flagged: precision over recall).
+#include <cstdio>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+int OpenWithCallerFlags(const char* path, int flags) {
+  return open(path, flags);  // indeterminate: caller may pass O_CLOEXEC
+}
+
+int main() {
+  int fd = open("/tmp/forklint_fixture", O_RDONLY | O_CLOEXEC);
+  int p[2];
+  pipe2(p, O_CLOEXEC);
+  int s = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  int c = accept4(s, nullptr, nullptr, SOCK_CLOEXEC);
+  int d = fcntl(fd, F_DUPFD_CLOEXEC, 0);
+  FILE* f = fopen("/tmp/forklint_fixture", "we");
+  (void)c;
+  (void)d;
+  if (f != nullptr) {
+    fclose(f);
+  }
+  return OpenWithCallerFlags("/tmp/x", O_RDONLY);
+}

@@ -1,0 +1,23 @@
+// Golden fixture: R2 — descriptor creation without CLOEXEC.
+#include <cstdio>
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+int main() {
+  int fd = open("/tmp/forklint_fixture", O_RDONLY);  // forklint-expect: R2
+  int p[2];
+  pipe(p);                                           // forklint-expect: R2
+  int s = socket(AF_INET, SOCK_STREAM, 0);           // forklint-expect: R2
+  int c = accept(s, nullptr, nullptr);               // forklint-expect: R2
+  int d = dup(fd);                                   // forklint-expect: R2
+  FILE* f = fopen("/tmp/forklint_fixture", "w");     // forklint-expect: R2
+  int fd2 = openat(AT_FDCWD, "x", O_RDONLY);         // forklint-expect: R2
+  (void)c;
+  (void)d;
+  (void)fd2;
+  if (f != nullptr) {
+    fclose(f);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Golden fixture: R3 negative — every fork result is bound or compared.
+#include <unistd.h>
+
+int main() {
+  pid_t pid = fork();
+  if (pid < 0) {
+    return 1;
+  }
+  if (pid == 0) {
+    _exit(0);
+  }
+  if (fork() == 0) {
+    _exit(0);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Golden fixture: R3 — fork()/vfork() return value ignored.
+#include <unistd.h>
+
+void FireAndForget() {
+  fork();        // forklint-expect: R3
+  (void)fork();  // forklint-expect: R3
+}

@@ -1,0 +1,16 @@
+// Golden fixture: R4 negative — the child leaves via _exit() only.
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  (void)argc;
+  pid_t pid = fork();
+  if (pid == 0) {
+    if (chdir("/nonexistent") < 0) {
+      _exit(1);
+    }
+    execv("/bin/true", argv);
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Golden fixture: R4 — exit() instead of _exit() on the child error path.
+#include <cstdlib>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  (void)argc;
+  pid_t pid = fork();
+  if (pid == 0) {
+    if (chdir("/nonexistent") < 0) {
+      exit(1);  // forklint-expect: R4
+    }
+    execv("/bin/true", argv);
+    exit(127);  // post-exec: out of R4 scope (already doomed error path)
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

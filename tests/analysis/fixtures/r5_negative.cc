@@ -1,0 +1,14 @@
+// Golden fixture: R5 negative — the disciplined vfork child: everything
+// resolved before the vfork, child only execs or _exits.
+#include <unistd.h>
+
+int Spawn(char** argv) {
+  const char* target = "/bin/true";
+  pid_t pid = vfork();
+  if (pid == 0) {
+    execv(target, argv);
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

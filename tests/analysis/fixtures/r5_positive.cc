@@ -1,0 +1,17 @@
+// Golden fixture: R5 — a vfork child writing to (shared) memory and
+// returning through the borrowed stack frame.
+#include <unistd.h>
+
+int g_ready;
+
+int Spawn(char** argv) {
+  pid_t pid = vfork();
+  if (pid == 0) {
+    g_ready = 1;   // forklint-expect: R5
+    g_ready += 1;  // forklint-expect: R5
+    return -1;     // forklint-expect: R5
+  }
+  waitpid(pid, nullptr, 0);
+  (void)argv;
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Golden fixture: R6 negative — reaped in scope, or ownership handed off.
+#include <unistd.h>
+
+void Reaper(pid_t pid);
+
+void WaitsItself() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  waitpid(pid, nullptr, 0);
+}
+
+pid_t ReturnsThePid() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  return pid;  // caller inherits the reap obligation
+}
+
+void PassesThePid() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  Reaper(pid);
+}

@@ -1,0 +1,11 @@
+// Golden fixture: R6 — a forked child nobody ever reaps (zombie risk).
+#include <unistd.h>
+
+void LaunchHelper() {
+  pid_t pid = fork();  // forklint-expect: R6
+  if (pid == 0) {
+    execl("/bin/true", "true", (char*)nullptr);
+    _exit(127);
+  }
+  // Parent walks away: pid is never waited on, returned, stored, or passed.
+}

@@ -1,0 +1,13 @@
+// Golden fixture: R7 negative — the same raw fork is legal when the file
+// lives under src/spawn/ (the test analyzes this source under the display
+// path "src/spawn/backend_fixture.cc").
+#include <unistd.h>
+
+int main() {
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

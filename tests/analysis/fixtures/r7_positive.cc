@@ -1,0 +1,12 @@
+// Golden fixture: R7 — raw fork outside src/spawn/ (this fixture's path is
+// tests/analysis/fixtures/, which is outside the sanctioned directory).
+#include <unistd.h>
+
+int main() {
+  pid_t pid = ::fork();  // forklint-expect: R7
+  if (pid == 0) {
+    _exit(0);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

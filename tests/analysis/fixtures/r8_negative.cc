@@ -1,0 +1,21 @@
+// Golden fixture: R8 negative — blocking signals in the child is fine
+// (sigprocmask is async-signal-safe and survives exec); handler installation
+// in the parent is out of scope.
+#include <csignal>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  (void)argc;
+  signal(SIGPIPE, SIG_IGN);  // parent: R8 does not apply
+  pid_t pid = fork();
+  if (pid == 0) {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigprocmask(SIG_BLOCK, &set, nullptr);
+    execv("/bin/true", argv);
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

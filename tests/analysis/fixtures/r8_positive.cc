@@ -1,0 +1,17 @@
+// Golden fixture: R8 — installing signal handlers between fork and exec.
+#include <csignal>
+#include <unistd.h>
+
+int main(int argc, char** argv) {
+  (void)argc;
+  pid_t pid = fork();
+  if (pid == 0) {
+    signal(SIGPIPE, SIG_IGN);                   // forklint-expect: R8
+    struct sigaction sa {};
+    sigaction(SIGTERM, &sa, nullptr);           // forklint-expect: R8
+    execv("/bin/true", argv);
+    _exit(127);
+  }
+  waitpid(pid, nullptr, 0);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// End-to-end tests driving the BUILT forklint binary through the library's
+// own capture API (the spawn layer dogfoods itself to test the linter that
+// audits it). Binary and fixture locations are injected by CMake.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/spawn/command.h"
+
+namespace forklift {
+namespace {
+
+#ifndef FORKLINT_BIN
+#error "FORKLINT_BIN must be defined by the build"
+#endif
+#ifndef FORKLINT_FIXTURE_DIR
+#error "FORKLINT_FIXTURE_DIR must be defined by the build"
+#endif
+
+constexpr const char* kBin = FORKLINT_BIN;
+const std::string kFixtures = FORKLINT_FIXTURE_DIR;
+
+TEST(ForklintCli, ExitCodeIsFindingCount) {
+  // r3_positive.cc carries exactly two unchecked forks.
+  auto r = RunAndCapture(kBin, {"--rules=R3", kFixtures + "/r3_positive.cc"});
+  ASSERT_TRUE(r.ok()) << r.error().ToString();
+  EXPECT_EQ(r->status.exit_code, 2) << r->stdout_data;
+  EXPECT_NE(r->stdout_data.find("[R3]"), std::string::npos);
+}
+
+TEST(ForklintCli, CleanFileExitsZero) {
+  auto r = RunAndCapture(kBin, {"--rules=R3", kFixtures + "/r3_negative.cc"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.exit_code, 0) << r->stdout_data;
+}
+
+TEST(ForklintCli, SarifOutputIsWellFormed) {
+  auto r = RunAndCapture(kBin, {"--format=sarif", kFixtures + "/r2_positive.cc"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->stdout_data.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(r->stdout_data.find("\"ruleId\":\"R2\""), std::string::npos);
+  EXPECT_NE(r->stdout_data.find("\"startLine\":"), std::string::npos);
+}
+
+TEST(ForklintCli, BaselineAcceptsKnownFindings) {
+  std::string baseline = ::testing::TempDir() + "forklint_test_baseline.txt";
+  {
+    std::FILE* f = std::fopen(baseline.c_str(), "we");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# test baseline\n", f);
+    std::string entry = "R3 " + kFixtures + "/r3_positive.cc\n";
+    std::fputs(entry.c_str(), f);
+    std::fclose(f);
+  }
+  auto r = RunAndCapture(
+      kBin, {"--rules=R3", "--baseline=" + baseline, kFixtures + "/r3_positive.cc"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.exit_code, 0) << r->stdout_data;
+  EXPECT_NE(r->stdout_data.find("2 baselined finding(s) accepted"), std::string::npos);
+}
+
+TEST(ForklintCli, UnknownRuleFails) {
+  auto r = RunAndCapture(kBin, {"--rules=R99", kFixtures + "/r3_negative.cc"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.exit_code, 255);
+}
+
+TEST(ForklintCli, MissingPathFails) {
+  auto r = RunAndCapture(kBin, {"/nonexistent/forklint/input"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.exit_code, 255);
+}
+
+TEST(ForklintCli, ListRules) {
+  auto r = RunAndCapture(kBin, {"--list-rules"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status.exit_code, 0);
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
+    EXPECT_NE(r->stdout_data.find(id), std::string::npos) << id;
+  }
+}
+
+}  // namespace
+}  // namespace forklift

@@ -1,0 +1,133 @@
+// Lexer edge cases — exactly the constructs that would make a naive
+// grep-based fork linter lie: fork() inside comments and strings, raw string
+// literals, line continuations (including continuation of a // comment), and
+// preprocessor directives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/lexer.h"
+
+namespace forklift {
+namespace analysis {
+namespace {
+
+bool HasIdent(const LexedFile& lexed, const std::string& name) {
+  return std::any_of(lexed.tokens.begin(), lexed.tokens.end(), [&](const Token& t) {
+    return t.kind == TokKind::kIdent && t.text == name;
+  });
+}
+
+TEST(Lexer, CommentContainingForkIsNotAToken) {
+  LexedFile lexed = Lex("int a; // please fork() here\nint b; /* vfork() too */\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  EXPECT_FALSE(HasIdent(lexed, "vfork"));
+  ASSERT_EQ(lexed.comments.size(), 2u);
+  EXPECT_NE(lexed.comments[0].text.find("fork()"), std::string::npos);
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[1].line, 2);
+}
+
+TEST(Lexer, StringAndCharLiteralsAreOpaque) {
+  LexedFile lexed = Lex("const char* s = \"fork( \\\" )\"; char c = '\\''; char d = '(';\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  // Unbalanced parens inside literals must not break bracket matching later:
+  // count punct parens — there are none in this source.
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == TokKind::kPunct) {
+      EXPECT_NE(t.text, "(");
+      EXPECT_NE(t.text, ")");
+    }
+  }
+}
+
+TEST(Lexer, RawStringSwallowsEverything) {
+  LexedFile lexed = Lex("auto s = R\"(fork(); \" unbalanced ( )\"; int x;\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  // Delimited form with a quote-paren bomb inside.
+  LexedFile d = Lex("auto t = R\"x(fork(); )\" still inside )x\"; int y = 1;\n");
+  EXPECT_FALSE(HasIdent(d, "fork"));
+  EXPECT_TRUE(HasIdent(d, "y"));
+}
+
+TEST(Lexer, LineContinuationExtendsLineComment) {
+  // The backslash-newline glues the fork() call onto the comment line —
+  // translation phase 2 runs before comment recognition.
+  LexedFile lexed = Lex("// comment \\\nfork();\nint after;\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  EXPECT_TRUE(HasIdent(lexed, "after"));
+  // The surviving identifier keeps its physical line number.
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == "after") {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(Lexer, LineContinuationInsideIdentifier) {
+  LexedFile lexed = Lex("for\\\nk();\n");
+  ASSERT_FALSE(lexed.tokens.empty());
+  EXPECT_EQ(lexed.tokens[0].text, "fork");
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+}
+
+TEST(Lexer, DirectivesAreSkippedIncludingContinuations) {
+  LexedFile lexed = Lex(
+      "#include <signal.h>\n"
+      "#define SPAWN() \\\n  fork()\n"
+      "int live;\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  EXPECT_FALSE(HasIdent(lexed, "include"));
+  EXPECT_TRUE(HasIdent(lexed, "live"));
+  for (const auto& t : lexed.tokens) {
+    if (t.text == "live") {
+      EXPECT_EQ(t.line, 4);
+    }
+  }
+}
+
+TEST(Lexer, MultiCharOperatorsStayWhole) {
+  LexedFile lexed = Lex("a == b; p->q; std::x; n != 0; v <<= 2;\n");
+  std::vector<std::string> ops;
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == TokKind::kPunct && t.text != ";") {
+      ops.push_back(t.text);
+    }
+  }
+  EXPECT_EQ(ops, (std::vector<std::string>{"==", "->", "::", "!=", "<<="}));
+}
+
+TEST(Lexer, NumbersWithSeparatorsAndExponents) {
+  LexedFile lexed = Lex("auto n = 1'000'000; auto f = 1.5e-3;\n");
+  int numbers = 0;
+  for (const auto& t : lexed.tokens) {
+    if (t.kind == TokKind::kNumber) {
+      ++numbers;
+      EXPECT_TRUE(t.text == "1'000'000" || t.text == "1.5e-3") << t.text;
+    }
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(Lexer, EncodingPrefixedLiterals) {
+  LexedFile lexed = Lex("auto a = u8\"fork()\"; auto b = L'('; auto c = LR\"(fork())\";\n");
+  EXPECT_FALSE(HasIdent(lexed, "fork"));
+  int strings = 0;
+  for (const auto& t : lexed.tokens) {
+    strings += (t.kind == TokKind::kString) ? 1 : 0;
+  }
+  EXPECT_EQ(strings, 2);
+}
+
+TEST(Lexer, UnterminatedConstructsDoNotLoop) {
+  // Robustness: these must terminate and not crash.
+  (void)Lex("\"never closed\n");
+  (void)Lex("/* never closed\n");
+  (void)Lex("R\"(never closed\n");
+  (void)Lex("'x\n");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace forklift

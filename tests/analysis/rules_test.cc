@@ -1,0 +1,143 @@
+// Golden-fixture tests for forklint rules R1–R8. Each fixture marks the lines
+// its rule must flag with a trailing `// forklint-expect: RN` comment; the
+// test requires the analyzer's findings to match the marked (rule, line) set
+// exactly — no misses, no extras. Negative fixtures carry no markers and must
+// produce zero findings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/lexer.h"
+
+namespace forklift {
+namespace analysis {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(FORKLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// (rule, line) pairs from `// forklint-expect: R1[,R2]` markers, which sit on
+// the same line as the code they annotate.
+std::vector<std::pair<std::string, int>> ParseExpectations(const std::string& source) {
+  std::vector<std::pair<std::string, int>> out;
+  LexedFile lexed = Lex(source);
+  for (const auto& c : lexed.comments) {
+    size_t at = c.text.find("forklint-expect:");
+    if (at == std::string::npos) {
+      continue;
+    }
+    std::istringstream ids(c.text.substr(at + 16));
+    std::string id;
+    while (std::getline(ids, id, ',')) {
+      size_t b = id.find_first_not_of(" \t");
+      size_t e = id.find_last_not_of(" \t");
+      if (b == std::string::npos) {
+        continue;
+      }
+      std::string trimmed = id.substr(b, e - b + 1);
+      // Only well-formed ids (R + digits) count — prose mentioning the marker
+      // in a header comment must not become a phantom expectation.
+      bool well_formed = trimmed.size() >= 2 && trimmed[0] == 'R' &&
+                         std::all_of(trimmed.begin() + 1, trimmed.end(),
+                                     [](char ch) { return ch >= '0' && ch <= '9'; });
+      if (well_formed) {
+        out.emplace_back(trimmed, c.line);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Runs one rule over a fixture and compares findings against the markers.
+void CheckFixture(const std::string& name, const std::string& rule_id,
+                  const std::string& display_path = "") {
+  std::string source = ReadFixture(name);
+  Analyzer analyzer;
+  ASSERT_TRUE(analyzer.EnableOnly({rule_id}).ok());
+  std::string path = display_path.empty() ? "tests/analysis/fixtures/" + name : display_path;
+  FileReport report = analyzer.AnalyzeSource(source, path);
+
+  std::vector<std::pair<std::string, int>> got;
+  for (const auto& f : report.findings) {
+    got.emplace_back(f.rule, f.line);
+  }
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, ParseExpectations(source)) << "fixture " << name << " rule " << rule_id;
+}
+
+TEST(ForklintGolden, R1ChildUnsafeCalls) {
+  CheckFixture("r1_positive.cc", "R1");
+  CheckFixture("r1_negative.cc", "R1");
+}
+
+TEST(ForklintGolden, R2Cloexec) {
+  CheckFixture("r2_positive.cc", "R2");
+  CheckFixture("r2_negative.cc", "R2");
+}
+
+TEST(ForklintGolden, R3UncheckedFork) {
+  CheckFixture("r3_positive.cc", "R3");
+  CheckFixture("r3_negative.cc", "R3");
+}
+
+TEST(ForklintGolden, R4ExitInChild) {
+  CheckFixture("r4_positive.cc", "R4");
+  CheckFixture("r4_negative.cc", "R4");
+}
+
+TEST(ForklintGolden, R5VforkAbuse) {
+  CheckFixture("r5_positive.cc", "R5");
+  CheckFixture("r5_negative.cc", "R5");
+}
+
+TEST(ForklintGolden, R6ZombieRisk) {
+  CheckFixture("r6_positive.cc", "R6");
+  CheckFixture("r6_negative.cc", "R6");
+}
+
+TEST(ForklintGolden, R7RawForkPolicy) {
+  CheckFixture("r7_positive.cc", "R7");
+  // The same source is clean when it lives under the sanctioned directory.
+  CheckFixture("r7_negative.cc", "R7", "src/spawn/backend_fixture.cc");
+}
+
+TEST(ForklintGolden, R8SignalInChild) {
+  CheckFixture("r8_positive.cc", "R8");
+  CheckFixture("r8_negative.cc", "R8");
+}
+
+// The full rule set runs together: every positive fixture must still produce
+// its rule's findings when all rules are enabled (no rule masks another).
+TEST(ForklintGolden, AllRulesTogether) {
+  Analyzer analyzer;
+  const char* rules[] = {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"};
+  for (const char* rule : rules) {
+    std::string name = std::string(1, 'r') + std::string(1, rule[1]) + "_positive.cc";
+    std::string source = ReadFixture(name);
+    FileReport report = analyzer.AnalyzeSource(source, "tests/analysis/fixtures/" + name);
+    bool found = std::any_of(report.findings.begin(), report.findings.end(),
+                             [&](const Finding& f) { return f.rule == rule; });
+    EXPECT_TRUE(found) << "full rule set missed " << rule << " in " << name;
+  }
+}
+
+TEST(ForklintGolden, UnknownRuleIdRejected) {
+  Analyzer analyzer;
+  EXPECT_FALSE(analyzer.EnableOnly({"R99"}).ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,260 @@
+// Coverage for the `// forklint:ignore` suppression mechanism and the JSON /
+// SARIF output shapes. The SARIF checks parse the output with a minimal
+// recursive-descent JSON validator (no parser dependency in the container) —
+// the acceptance bar is "parses as JSON and carries rule id, path, line, and
+// message for every finding".
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/report.h"
+
+namespace forklift {
+namespace analysis {
+namespace {
+
+// --- minimal JSON validator -------------------------------------------------
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Literal(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) {
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= s_.size()) {
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // {
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != '}') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  bool Array() {
+    ++pos_;  // [
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (pos_ >= s_.size() || s_[pos_] != ']') {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+// --- suppression -------------------------------------------------------------
+
+constexpr char kLeakyPipe[] = "void f() {\n  int p[2];\n  pipe(p);\n}\n";
+
+TEST(Suppression, SameLineCommentSilencesTheFinding) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];\n  pipe(p);  // forklint:ignore(R2)\n}\n", "a.cc");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, PrecedingLineCommentSilencesTheNextLine) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];\n  // forklint:ignore(R2) — deliberate leak\n  pipe(p);\n}\n",
+      "a.cc");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, WrongRuleIdDoesNotSuppress) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];\n  pipe(p);  // forklint:ignore(R5)\n}\n", "a.cc");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R2");
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
+TEST(Suppression, BareIgnoreSilencesAllRules) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  fork();  // forklint:ignore\n}\n", "a.cc");
+  EXPECT_TRUE(r.findings.empty());
+  // fork(); with no check trips R3, R6, and R7 — all silenced at once.
+  EXPECT_EQ(r.suppressed, 3u);
+}
+
+TEST(Suppression, MultiRuleList) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  fork();  // forklint:ignore(R3, R6)\n}\n", "a.cc");
+  ASSERT_EQ(r.findings.size(), 1u);  // R7 survives
+  EXPECT_EQ(r.findings[0].rule, "R7");
+  EXPECT_EQ(r.suppressed, 2u);
+}
+
+TEST(Suppression, UnsuppressedFindingStillReported) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(kLeakyPipe, "a.cc");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R2");
+  EXPECT_EQ(r.findings[0].line, 3);
+}
+
+// --- output shapes -----------------------------------------------------------
+
+std::vector<FileReport> LeakyReports() {
+  Analyzer analyzer;
+  return {analyzer.AnalyzeSource(kLeakyPipe, "src/demo/leak.cc")};
+}
+
+TEST(SarifOutput, ParsesAsJsonAndCarriesTheFinding) {
+  Analyzer analyzer;
+  std::string sarif = RenderSarif(analyzer, LeakyReports());
+  EXPECT_TRUE(JsonValidator(sarif).Valid()) << sarif;
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"forklint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"R2\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/demo/leak.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":3"), std::string::npos);
+  EXPECT_NE(sarif.find("pipe2(fds, O_CLOEXEC)"), std::string::npos);
+}
+
+TEST(SarifOutput, RuleCatalogListsAllEightRules) {
+  Analyzer analyzer;
+  std::string sarif = RenderSarif(analyzer, {});
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(id) + "\""), std::string::npos) << id;
+  }
+}
+
+TEST(JsonOutput, ParsesAndCountsFindings) {
+  std::string json = RenderJson(LeakyReports());
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"rule\":\"R2\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"src/demo/leak.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(TextOutput, OneLinePerFindingPlusSummary) {
+  std::string text = RenderText(LeakyReports());
+  EXPECT_NE(text.find("src/demo/leak.cc:3: [R2]"), std::string::npos);
+  EXPECT_NE(text.find("forklint: 1 finding(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,219 @@
+// forklint — source-level fork-safety analyzer for the hazards of
+// "A fork() in the road" (HotOS'19 §4/§5). Lints C++ files or directory
+// trees for the R1–R8 hazard classes (see src/analysis/rules/) and reports
+// as text, JSON, or SARIF 2.1.0.
+//
+// Usage:
+//   forklint [options] <file-or-dir>...
+//
+// Options:
+//   --rules=R1,R3,...     run only the listed rules (default: all)
+//   --format=text|json|sarif
+//   --baseline=FILE       accept findings listed in FILE ("RULE path" lines);
+//                         only findings NOT in the baseline count as failures
+//   --list-rules          print the rule catalog and exit
+//
+// Inline suppression: `// forklint:ignore(R2)` on (or directly above) the
+// flagged line; `// forklint:ignore` silences all rules for that line.
+//
+// Exit code: the number of non-baselined findings (capped at 255), so CI can
+// gate on `forklint src tools` directly. I/O or usage errors exit 255.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/report.h"
+#include "src/common/string_util.h"
+
+namespace fs = std::filesystem;
+using forklift::analysis::Analyzer;
+using forklift::analysis::FileReport;
+
+namespace {
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".cpp" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+bool IsSkippedDir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == ".git" || forklift::StartsWith(name, "build");
+}
+
+// Expands file/dir args into a sorted list of lintable files. Paths are kept
+// exactly as derived from the arguments so baseline entries match what the
+// invoker wrote (run from the repo root, `src` yields `src/...`).
+std::vector<std::string> CollectFiles(const std::vector<std::string>& args, bool* io_error) {
+  std::set<std::string> files;
+  for (const auto& arg : args) {
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+      fs::recursive_directory_iterator it(arg, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        std::fprintf(stderr, "forklint: cannot walk %s: %s\n", arg.c_str(), ec.message().c_str());
+        *io_error = true;
+        continue;
+      }
+      for (auto end = fs::recursive_directory_iterator(); it != end; it.increment(ec)) {
+        if (ec) {
+          break;
+        }
+        if (it->is_directory() && IsSkippedDir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && HasLintableExtension(it->path())) {
+          files.insert(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(arg, ec)) {
+      files.insert(fs::path(arg).generic_string());
+    } else {
+      std::fprintf(stderr, "forklint: no such file or directory: %s\n", arg.c_str());
+      *io_error = true;
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+// Baseline format: one `RULE path` pair per line, `#` comments. A finding
+// matches on (rule, path) — line numbers are deliberately not part of the
+// baseline so unrelated edits don't invalidate it.
+bool LoadBaseline(const std::string& path, std::set<std::string>* entries) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "forklint: cannot read baseline %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view t = forklift::Trim(line);
+    if (t.empty() || t.front() == '#') {
+      continue;
+    }
+    auto fields = forklift::SplitWhitespace(t);
+    if (fields.size() != 2) {
+      std::fprintf(stderr, "forklint: malformed baseline line: %s\n", line.c_str());
+      return false;
+    }
+    entries->insert(fields[0] + " " + fields[1]);
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: forklint [--rules=R1,...] [--format=text|json|sarif] "
+               "[--baseline=FILE] [--list-rules] <file-or-dir>...\n");
+  return 255;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::vector<std::string> rule_filter;
+  std::string format = "text";
+  std::string baseline_path;
+  bool list_rules = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (forklift::StartsWith(arg, "--rules=")) {
+      for (const auto& r : forklift::Split(arg.substr(8), ',')) {
+        std::string id(forklift::Trim(r));
+        if (!id.empty()) {
+          rule_filter.push_back(id);
+        }
+      }
+    } else if (forklift::StartsWith(arg, "--format=")) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json" && format != "sarif") {
+        return Usage();
+      }
+    } else if (forklift::StartsWith(arg, "--baseline=")) {
+      baseline_path = arg.substr(11);
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (forklift::StartsWith(arg, "-")) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  Analyzer analyzer;
+  if (list_rules) {
+    for (const auto& rule : analyzer.rules()) {
+      std::printf("%s  %s\n", std::string(rule->id()).c_str(),
+                  std::string(rule->summary()).c_str());
+    }
+    return 0;
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+  if (auto st = analyzer.EnableOnly(rule_filter); !st.ok()) {
+    std::fprintf(stderr, "forklint: %s\n", st.ToString().c_str());
+    return 255;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty() && !LoadBaseline(baseline_path, &baseline)) {
+    return 255;
+  }
+
+  bool io_error = false;
+  std::vector<FileReport> reports;
+  size_t baselined = 0;
+  for (const auto& file : CollectFiles(paths, &io_error)) {
+    auto report = analyzer.AnalyzeFile(file);
+    if (!report.ok()) {
+      std::fprintf(stderr, "forklint: %s\n", report.error().ToString().c_str());
+      io_error = true;
+      continue;
+    }
+    if (!baseline.empty()) {
+      auto& fs_ = report->findings;
+      for (auto it = fs_.begin(); it != fs_.end();) {
+        if (baseline.count(it->rule + " " + it->path)) {
+          it = fs_.erase(it);
+          ++baselined;
+        } else {
+          ++it;
+        }
+      }
+    }
+    reports.push_back(std::move(*report));
+  }
+
+  size_t count = 0;
+  for (const auto& r : reports) {
+    count += r.findings.size();
+  }
+  if (format == "json") {
+    std::fputs(forklift::analysis::RenderJson(reports).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else if (format == "sarif") {
+    std::fputs(forklift::analysis::RenderSarif(analyzer, reports).c_str(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::fputs(forklift::analysis::RenderText(reports).c_str(), stdout);
+    if (baselined > 0) {
+      std::printf("forklint: %zu baselined finding(s) accepted\n", baselined);
+    }
+  }
+  if (io_error) {
+    return 255;
+  }
+  return static_cast<int>(count > 255 ? 255 : count);
+}
