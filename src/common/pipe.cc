@@ -1,13 +1,22 @@
 #include "src/common/pipe.h"
 
+#include <cerrno>
+
 #include <fcntl.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "src/faultinject/faultinject.h"
 
 namespace forklift {
 
 Result<Pipe> MakePipe(bool cloexec) {
   int fds[2];
+  auto inj = fault::Check("pipe.pipe2", fault::Op::kCreateFd);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("pipe2");
+  }
   if (::pipe2(fds, cloexec ? O_CLOEXEC : 0) < 0) {
     return ErrnoError("pipe2");
   }
@@ -19,6 +28,11 @@ Result<Pipe> MakePipe(bool cloexec) {
 
 Result<SocketPair> MakeSocketPair(bool cloexec) {
   int fds[2];
+  auto inj = fault::Check("pipe.socketpair", fault::Op::kCreateFd);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("socketpair");
+  }
   int type = SOCK_STREAM | (cloexec ? SOCK_CLOEXEC : 0);
   if (::socketpair(AF_UNIX, type, 0, fds) < 0) {
     return ErrnoError("socketpair");

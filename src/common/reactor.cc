@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/clock.h"
+#include "src/faultinject/faultinject.h"
 
 namespace forklift {
 
@@ -28,6 +29,11 @@ std::atomic<bool> g_force_pidfd_fallback{false};
 int PidfdOpen(pid_t pid) {
   if (g_force_pidfd_fallback.load(std::memory_order_relaxed)) {
     errno = ENOSYS;
+    return -1;
+  }
+  auto inj = fault::Check("reactor.pidfd_open", fault::Op::kPidfdOpen);
+  if (inj.is_errno()) {
+    errno = inj.err;
     return -1;
   }
 #if defined(__linux__) && defined(SYS_pidfd_open)
@@ -46,11 +52,21 @@ void TestOnlyForcePidfdFallback(bool force) {
 
 Result<Reactor> Reactor::Create() {
   Reactor reactor;
+  auto ep_inj = fault::Check("reactor.epoll_create", fault::Op::kCreateFd);
+  if (ep_inj.is_errno()) {
+    errno = ep_inj.err;
+    return ErrnoError("epoll_create1");
+  }
   int ep = ::epoll_create1(EPOLL_CLOEXEC);
   if (ep < 0) {
     return ErrnoError("epoll_create1");
   }
   reactor.epoll_fd_.Reset(ep);
+  auto tfd_inj = fault::Check("reactor.timerfd_create", fault::Op::kCreateFd);
+  if (tfd_inj.is_errno()) {
+    errno = tfd_inj.err;
+    return ErrnoError("timerfd_create");
+  }
   int tfd = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
   if (tfd < 0) {
     return ErrnoError("timerfd_create");
@@ -59,6 +75,11 @@ Result<Reactor> Reactor::Create() {
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = tfd;
+  auto add_inj = fault::Check("reactor.epoll_ctl_add", fault::Op::kEpollCtl);
+  if (add_inj.is_errno()) {
+    errno = add_inj.err;
+    return ErrnoError("epoll_ctl(ADD timerfd)");
+  }
   if (::epoll_ctl(ep, EPOLL_CTL_ADD, tfd, &ev) < 0) {
     return ErrnoError("epoll_ctl(ADD timerfd)");
   }
@@ -75,6 +96,11 @@ Status Reactor::AddFd(int fd, uint32_t events, FdCallback callback) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
+  auto inj = fault::Check("reactor.epoll_ctl_add", fault::Op::kEpollCtl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("epoll_ctl(ADD)");
+  }
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
     return ErrnoError("epoll_ctl(ADD)");
   }
@@ -89,6 +115,11 @@ Status Reactor::ModifyFd(int fd, uint32_t events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
+  auto inj = fault::Check("reactor.epoll_ctl_mod", fault::Op::kEpollCtl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("epoll_ctl(MOD)");
+  }
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
     return ErrnoError("epoll_ctl(MOD)");
   }
@@ -101,6 +132,11 @@ Status Reactor::RemoveFd(int fd) {
     return LogicalError("Reactor::RemoveFd: fd not registered");
   }
   fd_watches_.erase(it);
+  auto inj = fault::Check("reactor.epoll_ctl_del", fault::Op::kEpollCtl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("epoll_ctl(DEL)");
+  }
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
     return ErrnoError("epoll_ctl(DEL)");
   }
@@ -119,6 +155,11 @@ Status Reactor::RearmTimerFd() {
     spec.it_value.tv_sec = static_cast<time_t>(deadline / 1000000000ull);
     spec.it_value.tv_nsec = static_cast<long>(deadline % 1000000000ull);
   }
+  auto inj = fault::Check("reactor.timerfd_settime", fault::Op::kFcntl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("timerfd_settime");
+  }
   if (::timerfd_settime(timer_fd_.get(), TFD_TIMER_ABSTIME, &spec, nullptr) < 0) {
     return ErrnoError("timerfd_settime");
   }
@@ -130,7 +171,13 @@ Reactor::TimerId Reactor::AddTimerAt(uint64_t deadline_ns, TimerCallback callbac
   timers_by_deadline_.emplace(
       deadline_ns, TimerEntry{id, std::make_shared<TimerCallback>(std::move(callback))});
   timer_deadlines_.emplace(id, deadline_ns);
-  (void)RearmTimerFd();
+  // AddTimerAt has no error channel; a failed rearm would leave this timer
+  // armed in the maps but never delivered by the kernel — an unbounded hang
+  // for whoever waits on it. Park the error for the next PollOnce instead.
+  Status rearmed = RearmTimerFd();
+  if (!rearmed.ok() && pending_error_.ok()) {
+    pending_error_ = std::move(rearmed);
+  }
   return id;
 }
 
@@ -153,15 +200,29 @@ void Reactor::CancelTimer(TimerId id) {
     }
   }
   timer_deadlines_.erase(it);
-  (void)RearmTimerFd();
+  Status rearmed = RearmTimerFd();
+  if (!rearmed.ok() && pending_error_.ok()) {
+    pending_error_ = std::move(rearmed);
+  }
 }
 
 Result<int> Reactor::PollOnce(int timeout_ms) {
+  if (!pending_error_.ok()) {
+    Status deferred = std::move(pending_error_);
+    pending_error_ = Status::Ok();
+    return Err(deferred.error());
+  }
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   int ready;
   for (;;) {
-    ready = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timeout_ms);
+    auto inj = fault::Check("reactor.epoll_wait", fault::Op::kEpollWait);
+    if (inj.is_errno()) {
+      ready = -1;
+      errno = inj.err;
+    } else {
+      ready = ::epoll_wait(epoll_fd_.get(), events, kMaxEvents, timeout_ms);
+    }
     if (ready >= 0) {
       break;
     }

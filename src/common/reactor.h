@@ -65,7 +65,10 @@ class Reactor {
 
   // Waits for readiness and dispatches callbacks. `timeout_ms` < 0 blocks
   // until at least one fd or timer fires; 0 is a non-blocking poll. Returns
-  // the number of callbacks dispatched (0 on timeout).
+  // the number of callbacks dispatched (0 on timeout). Also surfaces any
+  // timer-rearm failure deferred from AddTimerAt/CancelTimer (which cannot
+  // return a Status themselves): a lost rearm means a timer that will never
+  // fire, and reporting it here turns a silent hang into a clean error.
   Result<int> PollOnce(int timeout_ms);
 
   size_t fd_watch_count() const { return fd_watches_.size(); }
@@ -87,6 +90,9 @@ class Reactor {
   std::multimap<uint64_t, TimerEntry> timers_by_deadline_;
   std::map<TimerId, uint64_t> timer_deadlines_;  // id -> deadline, for cancel
   TimerId next_timer_id_ = 1;
+  // First RearmTimerFd failure from a void API (AddTimerAt/CancelTimer),
+  // delivered by the next PollOnce.
+  Status pending_error_;
 };
 
 // Arms a one-shot notification for "pid is waitable" through a Reactor. Fires

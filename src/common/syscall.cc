@@ -1,16 +1,52 @@
 #include "src/common/syscall.h"
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <cerrno>
 
+#include "src/faultinject/faultinject.h"
+
 namespace forklift {
+
+Status WaitFdReadable(int fd) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  for (;;) {
+    int r = ::poll(&pfd, 1, -1);
+    if (r >= 0) {
+      return Status::Ok();
+    }
+    if (errno != EINTR) {
+      return ErrnoError("poll(POLLIN)");
+    }
+  }
+}
+
+Status WaitFdWritable(int fd) {
+  struct pollfd pfd = {fd, POLLOUT, 0};
+  for (;;) {
+    int r = ::poll(&pfd, 1, -1);
+    if (r >= 0) {
+      return Status::Ok();
+    }
+    if (errno != EINTR) {
+      return ErrnoError("poll(POLLOUT)");
+    }
+  }
+}
 
 Result<UniqueFd> OpenFd(const std::string& path, int flags, mode_t mode) {
   for (;;) {
-    int fd = ::open(path.c_str(), flags, mode);
+    int fd;
+    auto inj = fault::Check("syscall.open", fault::Op::kOpen);
+    if (inj.is_errno()) {
+      fd = -1;
+      errno = inj.err;
+    } else {
+      fd = ::open(path.c_str(), flags, mode);
+    }
     if (fd >= 0) {
       return UniqueFd(fd);
     }
@@ -24,12 +60,28 @@ Result<size_t> ReadFull(int fd, void* buf, size_t len) {
   size_t done = 0;
   auto* p = static_cast<char*>(buf);
   while (done < len) {
-    ssize_t n = ::read(fd, p + done, len - done);
+    ssize_t n;
+    auto inj = fault::Check("syscall.read_full", fault::Op::kRead);
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else {
+      size_t want = len - done;
+      if (inj.is_short() && want > 1) want = 1;
+      n = ::read(fd, p + done, want);
+    }
     if (n == 0) {
       break;  // EOF
     }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with no data yet. This is not EOF and not an
+        // error: wait for readability, keeping the `done` bytes already
+        // banked, then resume.
+        FORKLIFT_RETURN_IF_ERROR(WaitFdReadable(fd));
         continue;
       }
       return ErrnoError("read");
@@ -43,9 +95,24 @@ Status WriteFull(int fd, const void* buf, size_t len) {
   size_t done = 0;
   const auto* p = static_cast<const char*>(buf);
   while (done < len) {
-    ssize_t n = ::write(fd, p + done, len - done);
+    ssize_t n;
+    auto inj = fault::Check("syscall.write_full", fault::Op::kWrite);
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else {
+      size_t want = len - done;
+      if (inj.is_short() && want > 1) want = 1;
+      n = ::write(fd, p + done, want);
+    }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking fd with a full buffer: wait for space and resume the
+        // partial write instead of reporting a bogus failure.
+        FORKLIFT_RETURN_IF_ERROR(WaitFdWritable(fd));
         continue;
       }
       return ErrnoError("write");
@@ -59,7 +126,16 @@ Result<std::string> ReadAll(int fd, size_t max_bytes) {
   std::string out;
   char buf[16384];
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    ssize_t n;
+    auto inj = fault::Check("syscall.read_all", fault::Op::kRead);
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else {
+      size_t want = sizeof(buf);
+      if (inj.is_short()) want = 1;
+      n = ::read(fd, buf, want);
+    }
     if (n == 0) {
       return out;
     }
@@ -67,10 +143,19 @@ Result<std::string> ReadAll(int fd, size_t max_bytes) {
       if (errno == EINTR) {
         continue;
       }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FORKLIFT_RETURN_IF_ERROR(WaitFdReadable(fd));
+        continue;
+      }
       return ErrnoError("read");
     }
     if (out.size() + static_cast<size_t>(n) > max_bytes) {
-      return LogicalError("ReadAll: output exceeds max_bytes cap");
+      // The error must say how much real data is being thrown away — a bare
+      // "cap exceeded" silently discards everything read so far.
+      return LogicalError("ReadAll: output exceeds max_bytes cap (" +
+                          std::to_string(out.size() + static_cast<size_t>(n)) +
+                          "+ bytes read, cap " + std::to_string(max_bytes) +
+                          "; all read bytes discarded)");
     }
     out.append(buf, static_cast<size_t>(n));
   }
@@ -79,7 +164,14 @@ Result<std::string> ReadAll(int fd, size_t max_bytes) {
 Result<int> WaitPid(pid_t pid, int options) {
   for (;;) {
     int status = 0;
-    pid_t r = ::waitpid(pid, &status, options);
+    pid_t r;
+    auto inj = fault::Check("syscall.waitpid", fault::Op::kWait);
+    if (inj.is_errno()) {
+      r = -1;
+      errno = inj.err;
+    } else {
+      r = ::waitpid(pid, &status, options);
+    }
     if (r >= 0) {
       // r == 0 only with WNOHANG and no state change; report status 0 — callers
       // using WNOHANG should use Child::TryWait which interprets this.
@@ -119,6 +211,11 @@ Result<ExitStatus> WaitForExit(pid_t pid) {
 }
 
 Status SetCloexec(int fd, bool enabled) {
+  auto inj = fault::Check("syscall.set_cloexec", fault::Op::kFcntl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("fcntl(F_GETFD)");
+  }
   int flags = ::fcntl(fd, F_GETFD);
   if (flags < 0) {
     return ErrnoError("fcntl(F_GETFD)");
@@ -139,6 +236,11 @@ Result<bool> GetCloexec(int fd) {
 }
 
 Status SetNonBlocking(int fd, bool enabled) {
+  auto inj = fault::Check("syscall.set_nonblocking", fault::Op::kFcntl);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("fcntl(F_GETFL)");
+  }
   int flags = ::fcntl(fd, F_GETFL);
   if (flags < 0) {
     return ErrnoError("fcntl(F_GETFL)");
@@ -152,7 +254,15 @@ Status SetNonBlocking(int fd, bool enabled) {
 
 Status Dup2(int oldfd, int newfd) {
   for (;;) {
-    if (::dup2(oldfd, newfd) >= 0) {
+    int r;
+    auto inj = fault::Check("syscall.dup2", fault::Op::kDup);
+    if (inj.is_errno()) {
+      r = -1;
+      errno = inj.err;
+    } else {
+      r = ::dup2(oldfd, newfd);
+    }
+    if (r >= 0) {
       return Status::Ok();
     }
     if (errno != EINTR && errno != EBUSY) {

@@ -58,6 +58,14 @@ Status SetNonBlocking(int fd, bool enabled);
 // dup2 with EINTR retry (dup2 can return EINTR on some kernels).
 Status Dup2(int oldfd, int newfd);
 
+// Blocks (EINTR-retrying poll) until `fd` is readable/writable or in an
+// error/hangup state. ReadFull/WriteFull/ReadAll use these to absorb EAGAIN
+// from non-blocking descriptors — the reactor sets O_NONBLOCK on pipe ends it
+// hands out, and an EAGAIN mid-transfer must mean "wait", never "fail" (and
+// certainly never "EOF").
+Status WaitFdReadable(int fd);
+Status WaitFdWritable(int fd);
+
 }  // namespace forklift
 
 #endif  // SRC_COMMON_SYSCALL_H_

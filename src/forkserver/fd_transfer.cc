@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "src/common/syscall.h"
+#include "src/faultinject/faultinject.h"
 
 namespace forklift {
 
@@ -18,10 +19,15 @@ Status SendAll(int sock, const void* data, size_t len, const std::vector<int>& f
   bool fds_pending = !fds.empty();
   size_t sent = 0;
   while (sent < len || fds_pending) {
+    auto inj = fault::Check("fdtransfer.sendmsg", fault::Op::kSendmsg);
+
     msghdr msg{};
     iovec iov{};
     iov.iov_base = const_cast<char*>(p + sent);
     iov.iov_len = len - sent;
+    // A short send must still carry the fds: SCM_RIGHTS rides whatever first
+    // segment succeeds, however small.
+    if (inj.is_short() && iov.iov_len > 1) iov.iov_len = 1;
     msg.msg_iov = &iov;
     msg.msg_iovlen = 1;
 
@@ -36,9 +42,21 @@ Status SendAll(int sock, const void* data, size_t len, const std::vector<int>& f
       std::memcpy(CMSG_DATA(cmsg), fds.data(), sizeof(int) * fds.size());
     }
 
-    ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    ssize_t n;
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else {
+      n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Non-blocking peer socket with a full buffer: wait for space and
+        // resume — a frame must never be abandoned halfway.
+        FORKLIFT_RETURN_IF_ERROR(WaitFdWritable(sock));
         continue;
       }
       return ErrnoError("sendmsg");
@@ -56,19 +74,34 @@ Result<size_t> RecvAll(int sock, void* data, size_t len, std::vector<UniqueFd>* 
   char* p = static_cast<char*>(data);
   size_t got = 0;
   while (got < len) {
+    auto inj = fault::Check("fdtransfer.recvmsg", fault::Op::kRecvmsg);
+
     msghdr msg{};
     iovec iov{};
     iov.iov_base = p + got;
     iov.iov_len = len - got;
+    // A short receive still delivers the ancillary payload attached to the
+    // byte it reads — the fd-collection loop below must cope either way.
+    if (inj.is_short() && iov.iov_len > 1) iov.iov_len = 1;
     msg.msg_iov = &iov;
     msg.msg_iovlen = 1;
     alignas(cmsghdr) char cbuf[CMSG_SPACE(sizeof(int) * kMaxFdsPerFrame)];
     msg.msg_control = cbuf;
     msg.msg_controllen = sizeof(cbuf);
 
-    ssize_t n = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    ssize_t n;
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else {
+      n = ::recvmsg(sock, &msg, MSG_CMSG_CLOEXEC);
+    }
     if (n < 0) {
       if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FORKLIFT_RETURN_IF_ERROR(WaitFdReadable(sock));
         continue;
       }
       return ErrnoError("recvmsg");

@@ -148,10 +148,15 @@ Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<
         break;
     }
   }
-  w.PutU32(static_cast<uint32_t>(fds_out->size()));
+  // Validate BEFORE the count goes into the frame: emitting first would ship
+  // a frame whose declared fd count the transport then refuses, and leaving
+  // fds_out populated on failure would let a caller SCM_RIGHTS a half-built
+  // descriptor list for a request that was never encoded.
   if (fds_out->size() > kMaxFdsPerFrame) {
+    fds_out->clear();
     return LogicalError("EncodeSpawnRequest: plan references too many descriptors");
   }
+  w.PutU32(static_cast<uint32_t>(fds_out->size()));
   return w.Take();
 }
 
@@ -331,6 +336,9 @@ Result<SpawnReply> DecodeSpawnReply(std::string_view payload) {
   FORKLIFT_ASSIGN_OR_RETURN(reply.pid, r.GetI32());
   FORKLIFT_ASSIGN_OR_RETURN(reply.err, r.GetI32());
   FORKLIFT_ASSIGN_OR_RETURN(reply.context, r.GetString());
+  if (!r.AtEnd()) {
+    return LogicalError("DecodeSpawnReply: trailing bytes");
+  }
   return reply;
 }
 
@@ -349,7 +357,11 @@ Result<int32_t> DecodeWait(std::string_view payload) {
   if (type != MsgType::kWait) {
     return LogicalError("DecodeWait: wrong message type");
   }
-  return r.GetI32();
+  FORKLIFT_ASSIGN_OR_RETURN(int32_t pid, r.GetI32());
+  if (!r.AtEnd()) {
+    return LogicalError("DecodeWait: trailing bytes");
+  }
+  return pid;
 }
 
 std::string EncodeWaitReply(const WaitReply& reply) {
@@ -381,6 +393,9 @@ Result<WaitReply> DecodeWaitReply(std::string_view payload) {
   FORKLIFT_ASSIGN_OR_RETURN(reply.status.term_signal, r.GetI32());
   FORKLIFT_ASSIGN_OR_RETURN(reply.err, r.GetI32());
   FORKLIFT_ASSIGN_OR_RETURN(reply.context, r.GetString());
+  if (!r.AtEnd()) {
+    return LogicalError("DecodeWaitReply: trailing bytes");
+  }
   return reply;
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/common/log.h"
 #include "src/common/pipe.h"
+#include "src/faultinject/faultinject.h"
 #include "src/forkserver/fd_transfer.h"
 #include "src/forkserver/protocol.h"
 #include "src/forkserver/wire.h"
@@ -237,7 +238,14 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
   std::vector<UniqueFd> high_fds;
   high_fds.reserve(fds.size());
   for (auto& fd : fds) {
-    int high = ::fcntl(fd.get(), F_DUPFD_CLOEXEC, kTransferFdFloor);
+    int high;
+    auto inj = fault::Check("forkserver.relocate_fd", fault::Op::kDupFd);
+    if (inj.is_errno()) {
+      high = -1;
+      errno = inj.err;
+    } else {
+      high = ::fcntl(fd.get(), F_DUPFD_CLOEXEC, kTransferFdFloor);
+    }
     if (high < 0) {
       SpawnReply reply;
       reply.ok = false;

@@ -207,6 +207,12 @@ Status AwaitExec(int read_fd, pid_t pid) {
   ExecFailure f;
   auto n = ReadFull(read_fd, &f, sizeof(f));
   if (!n.ok()) {
+    // The read failed but the child may be alive (possibly already exec'd).
+    // Returning without reclaiming it would leak a running process AND a
+    // zombie entry — the caller has no pid to clean up with. Kill and reap
+    // before surfacing the error.
+    (void)::kill(pid, SIGKILL);
+    (void)WaitPid(pid);
     return Err(n.error());
   }
   if (*n == 0) {

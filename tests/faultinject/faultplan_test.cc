@@ -1,0 +1,258 @@
+// FaultPlan semantics: spec parsing, glob matching, mode/op applicability,
+// nth/every/limit scheduling, seeded determinism, and the shared-registry
+// counters the sweep driver reads.
+#include "src/faultinject/faultinject.h"
+
+#include <errno.h>
+#include <gtest/gtest.h>
+#include <stdlib.h>
+
+#include <vector>
+
+namespace forklift {
+namespace fault {
+namespace {
+
+class FaultPlanTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ClearPlan(); }
+};
+
+TEST_F(FaultPlanTest, ParseDefaults) {
+  PlanSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParsePlanSpec("", &spec, &error)) << error;
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_EQ(spec.site, "*");
+  EXPECT_EQ(spec.mode, Mode::kNone);
+  EXPECT_EQ(spec.limit, 1u);
+  EXPECT_FALSE(spec.trace);
+}
+
+TEST_F(FaultPlanTest, ParseFullSpec) {
+  PlanSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParsePlanSpec("seed=42,site=fdtransfer.*,mode=eintr,every=3,limit=5",
+                            &spec, &error))
+      << error;
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_EQ(spec.site, "fdtransfer.*");
+  EXPECT_EQ(spec.mode, Mode::kEintr);
+  EXPECT_EQ(spec.every, 3u);
+  EXPECT_EQ(spec.limit, 5u);
+}
+
+TEST_F(FaultPlanTest, ModeWithoutScheduleBecomesFirstHit) {
+  PlanSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParsePlanSpec("mode=eio", &spec, &error)) << error;
+  EXPECT_EQ(spec.nth, 1u);
+  EXPECT_EQ(spec.every, 0u);
+}
+
+TEST_F(FaultPlanTest, ParseRejectsGarbage) {
+  PlanSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParsePlanSpec("mode=sigsegv", &spec, &error));
+  EXPECT_FALSE(ParsePlanSpec("bogus=1", &spec, &error));
+  EXPECT_FALSE(ParsePlanSpec("nth=abc", &spec, &error));
+  EXPECT_FALSE(ParsePlanSpec("seed", &spec, &error));
+  EXPECT_FALSE(ParsePlanSpec("nth=1,every=2,mode=eintr", &spec, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(FaultPlanTest, GlobMatch) {
+  EXPECT_TRUE(SiteGlobMatch("*", "syscall.read_full"));
+  EXPECT_TRUE(SiteGlobMatch("syscall.*", "syscall.read_full"));
+  EXPECT_TRUE(SiteGlobMatch("*.read_full", "syscall.read_full"));
+  EXPECT_TRUE(SiteGlobMatch("syscall.read_full", "syscall.read_full"));
+  EXPECT_TRUE(SiteGlobMatch("*read*", "syscall.read_full"));
+  EXPECT_FALSE(SiteGlobMatch("reactor.*", "syscall.read_full"));
+  EXPECT_FALSE(SiteGlobMatch("syscall.read", "syscall.read_full"));
+  EXPECT_FALSE(SiteGlobMatch("", "syscall.read_full"));
+  EXPECT_TRUE(SiteGlobMatch("", ""));
+  EXPECT_TRUE(SiteGlobMatch("**", "x"));
+}
+
+TEST_F(FaultPlanTest, ApplicabilityGatesImpossibleFaults) {
+  // The kernel cannot return EAGAIN from waitpid or EINTR from fcntl; the
+  // injector must refuse to manufacture them.
+  EXPECT_TRUE(ModeApplies(Mode::kEintr, Op::kWait));
+  EXPECT_FALSE(ModeApplies(Mode::kEagain, Op::kWait));
+  EXPECT_FALSE(ModeApplies(Mode::kEintr, Op::kFcntl));
+  EXPECT_TRUE(ModeApplies(Mode::kShort, Op::kRead));
+  EXPECT_FALSE(ModeApplies(Mode::kShort, Op::kOpen));
+  EXPECT_FALSE(ModeApplies(Mode::kEio, Op::kEpollWait));
+  for (Mode m : ApplicableModes(Op::kRecvmsg)) {
+    EXPECT_TRUE(ModeApplies(m, Op::kRecvmsg));
+  }
+}
+
+TEST_F(FaultPlanTest, ErrnoMapping) {
+  EXPECT_EQ(ErrnoForMode(Mode::kEintr), EINTR);
+  EXPECT_EQ(ErrnoForMode(Mode::kEagain), EAGAIN);
+  EXPECT_EQ(ErrnoForMode(Mode::kEnomem), ENOMEM);
+  EXPECT_EQ(ErrnoForMode(Mode::kEmfile), EMFILE);
+  EXPECT_EQ(ErrnoForMode(Mode::kEio), EIO);
+  EXPECT_EQ(ErrnoForMode(Mode::kShort), 0);
+}
+
+TEST_F(FaultPlanTest, NthInjectsExactlyOnce) {
+  PlanSpec spec;
+  spec.site = "test.nth_site";
+  spec.mode = Mode::kEio;
+  spec.nth = 3;
+  spec.limit = 1;
+  InstallPlan(spec);
+  std::vector<bool> injected;
+  for (int i = 0; i < 6; ++i) {
+    injected.push_back(Check("test.nth_site", Op::kRead).active());
+  }
+  EXPECT_EQ(injected, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(InjectionsFired(), 1u);
+}
+
+TEST_F(FaultPlanTest, InjectionCarriesErrno) {
+  PlanSpec spec;
+  spec.site = "test.errno_site";
+  spec.mode = Mode::kEmfile;
+  InstallPlan(spec);
+  Injection inj = Check("test.errno_site", Op::kOpen);
+  ASSERT_TRUE(inj.active());
+  EXPECT_TRUE(inj.is_errno());
+  EXPECT_FALSE(inj.is_short());
+  EXPECT_EQ(inj.err, EMFILE);
+}
+
+TEST_F(FaultPlanTest, InapplicableModeNeverFires) {
+  PlanSpec spec;
+  spec.site = "test.wait_site";
+  spec.mode = Mode::kEagain;  // not applicable to Op::kWait
+  InstallPlan(spec);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(Check("test.wait_site", Op::kWait).active());
+  }
+  EXPECT_EQ(InjectionsFired(), 0u);
+}
+
+TEST_F(FaultPlanTest, GlobRestrictsSites) {
+  PlanSpec spec;
+  spec.site = "alpha.*";
+  spec.mode = Mode::kEio;
+  spec.nth = 1;
+  InstallPlan(spec);
+  EXPECT_FALSE(Check("beta.site", Op::kRead).active());
+  EXPECT_TRUE(Check("alpha.site", Op::kRead).active());
+}
+
+TEST_F(FaultPlanTest, LimitCapsTotalInjections) {
+  PlanSpec spec;
+  spec.site = "test.limit_site";
+  spec.mode = Mode::kEio;
+  spec.every = 1;  // would otherwise fire on every hit
+  spec.limit = 2;
+  InstallPlan(spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (Check("test.limit_site", Op::kRead).active()) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(InjectionsFired(), 2u);
+}
+
+TEST_F(FaultPlanTest, EverySameSeedSameSchedule) {
+  auto schedule = [](uint64_t seed) {
+    PlanSpec spec;
+    spec.seed = seed;
+    spec.site = "test.every_site";
+    spec.mode = Mode::kEio;
+    spec.every = 4;
+    spec.limit = 0;  // unlimited
+    InstallPlan(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 16; ++i) {
+      fired.push_back(Check("test.every_site", Op::kRead).active());
+    }
+    return fired;
+  };
+  auto a = schedule(99);
+  auto b = schedule(99);
+  EXPECT_EQ(a, b);
+  // One injection per period, whatever the seeded phase is.
+  EXPECT_EQ(static_cast<int>(std::count(a.begin(), a.end(), true)), 4);
+}
+
+TEST_F(FaultPlanTest, TracePlanCountsButNeverInjects) {
+  PlanSpec spec;
+  spec.trace = true;
+  spec.mode = Mode::kEio;  // even with a mode set, trace wins
+  InstallPlan(spec);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(Check("test.trace_site", Op::kWrite).active());
+  }
+  bool found = false;
+  for (const auto& site : Snapshot()) {
+    if (site.site == "test.trace_site") {
+      found = true;
+      EXPECT_EQ(site.hits, 3u);
+      EXPECT_EQ(site.injected, 0u);
+      EXPECT_EQ(site.op, Op::kWrite);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(InjectionsFired(), 0u);
+}
+
+TEST_F(FaultPlanTest, InstallPlanResetsCounters) {
+  PlanSpec spec;
+  spec.trace = true;
+  InstallPlan(spec);
+  (void)Check("test.reset_site", Op::kRead);
+  InstallPlan(spec);
+  for (const auto& site : Snapshot()) {
+    if (site.site == "test.reset_site") {
+      EXPECT_EQ(site.hits, 0u);
+    }
+  }
+}
+
+TEST_F(FaultPlanTest, SnapshotSortedByName) {
+  PlanSpec spec;
+  spec.trace = true;
+  InstallPlan(spec);
+  (void)Check("zz.site", Op::kRead);
+  (void)Check("aa.site", Op::kRead);
+  auto sites = Snapshot();
+  for (size_t i = 1; i < sites.size(); ++i) {
+    EXPECT_LE(sites[i - 1].site, sites[i].site);
+  }
+}
+
+TEST_F(FaultPlanTest, EnabledTracksInstallAndClear) {
+  EXPECT_FALSE(Enabled());
+  PlanSpec spec;
+  spec.trace = true;
+  InstallPlan(spec);
+  EXPECT_TRUE(Enabled());
+  ClearPlan();
+  EXPECT_FALSE(Enabled());
+}
+
+TEST_F(FaultPlanTest, InstallPlanFromEnvHonorsVariable) {
+  ASSERT_EQ(::setenv("FORKLIFT_FAULTS", "site=env.site,mode=eio,nth=1", 1), 0);
+  InstallPlanFromEnv();
+  EXPECT_TRUE(Enabled());
+  EXPECT_TRUE(Check("env.site", Op::kRead).active());
+  ASSERT_EQ(::unsetenv("FORKLIFT_FAULTS"), 0);
+}
+
+TEST_F(FaultPlanTest, InstallPlanFromEnvIgnoresMalformed) {
+  ASSERT_EQ(::setenv("FORKLIFT_FAULTS", "mode=not_a_mode", 1), 0);
+  InstallPlanFromEnv();
+  EXPECT_FALSE(Enabled());
+  ASSERT_EQ(::unsetenv("FORKLIFT_FAULTS"), 0);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace forklift

@@ -1,0 +1,244 @@
+// Fault-injection coverage of the src/common syscall wrappers, plus regression
+// tests for the EAGAIN-handling bugs the sweep surfaced: before the fix,
+// ReadFull/WriteFull on a non-blocking descriptor turned a transient EAGAIN
+// into a hard error (or mistook it for EOF) instead of waiting for readiness.
+#include <errno.h>
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/faultinject/faultinject.h"
+
+namespace forklift {
+namespace {
+
+class SyscallFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::ClearPlan(); }
+};
+
+TEST_F(SyscallFaultTest, ReadFullRetriesInjectedEintr) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  const std::string payload = "hello fault injection";
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+
+  fault::PlanSpec spec;
+  spec.site = "syscall.read_full";
+  spec.mode = fault::Mode::kEintr;
+  spec.nth = 1;
+  fault::InstallPlan(spec);
+
+  std::string buf(payload.size(), '\0');
+  auto n = ReadFull(pipe->read_end.get(), buf.data(), buf.size());
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_EQ(*n, payload.size());
+  EXPECT_EQ(buf, payload);
+  EXPECT_EQ(fault::InjectionsFired(), 1u);
+}
+
+TEST_F(SyscallFaultTest, ReadFullSurfacesInjectedEio) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), "x", 1).ok());
+
+  fault::PlanSpec spec;
+  spec.site = "syscall.read_full";
+  spec.mode = fault::Mode::kEio;
+  fault::InstallPlan(spec);
+
+  char c;
+  auto n = ReadFull(pipe->read_end.get(), &c, 1);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.error().code(), EIO);
+}
+
+TEST_F(SyscallFaultTest, ReadFullShortReadsStillCompleteTransfer) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  const std::string payload = "short-read completeness check";
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+
+  // Clamp every read to one byte: the wrapper must loop until `len`.
+  fault::PlanSpec spec;
+  spec.site = "syscall.read_full";
+  spec.mode = fault::Mode::kShort;
+  spec.every = 1;
+  spec.limit = 0;
+  fault::InstallPlan(spec);
+
+  std::string buf(payload.size(), '\0');
+  auto n = ReadFull(pipe->read_end.get(), buf.data(), buf.size());
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_EQ(*n, payload.size());
+  EXPECT_EQ(buf, payload);
+  EXPECT_GE(fault::InjectionsFired(), payload.size());
+}
+
+TEST_F(SyscallFaultTest, WriteFullRetriesInjectedEintr) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+
+  fault::PlanSpec spec;
+  spec.site = "syscall.write_full";
+  spec.mode = fault::Mode::kEintr;
+  fault::InstallPlan(spec);
+
+  const std::string payload = "interrupted write";
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+  EXPECT_EQ(fault::InjectionsFired(), 1u);
+
+  std::string buf(payload.size(), '\0');
+  auto n = ReadFull(pipe->read_end.get(), buf.data(), buf.size());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(buf, payload);
+}
+
+TEST_F(SyscallFaultTest, OpenFdSurfacesInjectedEmfile) {
+  fault::PlanSpec spec;
+  spec.site = "syscall.open";
+  spec.mode = fault::Mode::kEmfile;
+  fault::InstallPlan(spec);
+
+  auto fd = OpenFd("/dev/null", O_RDONLY);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error().code(), EMFILE);
+}
+
+// Regression (pre-fix failure): ReadFull treated a real EAGAIN from a
+// non-blocking descriptor as a hard error. With the fix it parks in poll()
+// until the writer shows up, then completes the transfer.
+TEST_F(SyscallFaultTest, ReadFullWaitsOutRealEagain) {
+  auto sp = MakeSocketPair(true);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(SetNonBlocking(sp->first.get(), true).ok());
+
+  const std::string payload = "arrives after a delay";
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(WriteFull(sp->second.get(), payload.data(), payload.size()).ok());
+  });
+
+  std::string buf(payload.size(), '\0');
+  auto n = ReadFull(sp->first.get(), buf.data(), buf.size());
+  writer.join();
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_EQ(*n, payload.size());
+  EXPECT_EQ(buf, payload);
+}
+
+// Regression (pre-fix failure): WriteFull on a non-blocking descriptor bailed
+// with EAGAIN once the socket buffer filled, instead of waiting for the reader
+// to drain it.
+TEST_F(SyscallFaultTest, WriteFullWaitsOutRealEagain) {
+  auto sp = MakeSocketPair(true);
+  ASSERT_TRUE(sp.ok());
+  ASSERT_TRUE(SetNonBlocking(sp->second.get(), true).ok());
+
+  // Large enough to overrun any default AF_UNIX buffer.
+  const std::string payload(4u << 20, 'w');
+  std::thread reader([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::string drained;
+    drained.reserve(payload.size());
+    char chunk[65536];
+    while (drained.size() < payload.size()) {
+      auto n = ReadFull(sp->first.get(), chunk, sizeof(chunk));
+      ASSERT_TRUE(n.ok()) << n.error().ToString();
+      if (*n == 0) break;  // EOF: writer closed (possibly after a failure)
+      drained.append(chunk, *n);
+    }
+    EXPECT_EQ(drained.size(), payload.size());
+  });
+
+  auto st = WriteFull(sp->second.get(), payload.data(), payload.size());
+  sp->second.Reset();  // EOF for the reader even if WriteFull bailed early
+  reader.join();
+  ASSERT_TRUE(st.ok()) << st.error().ToString();
+}
+
+// Regression (pre-fix failure): ReadAll treated EAGAIN as end-of-data and
+// returned a silently truncated buffer.
+TEST_F(SyscallFaultTest, ReadAllWaitsOutRealEagain) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  ASSERT_TRUE(SetNonBlocking(pipe->read_end.get(), true).ok());
+
+  const std::string payload = "late but complete";
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+    pipe->write_end.Reset();  // EOF so ReadAll terminates
+  });
+
+  auto data = ReadAll(pipe->read_end.get());
+  writer.join();
+  ASSERT_TRUE(data.ok()) << data.error().ToString();
+  EXPECT_EQ(*data, payload);
+}
+
+// Regression (pre-fix failure): the cap-exceeded error did not say how much
+// data was read or that it was discarded, leaving callers to guess whether a
+// partial buffer survived somewhere.
+TEST_F(SyscallFaultTest, ReadAllCapErrorNamesDiscardedBytes) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  const std::string payload(256, 'z');
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+  pipe->write_end.Reset();
+
+  auto data = ReadAll(pipe->read_end.get(), /*max_bytes=*/16);
+  ASSERT_FALSE(data.ok());
+  const std::string msg = data.error().ToString();
+  EXPECT_NE(msg.find("cap 16"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("discarded"), std::string::npos) << msg;
+}
+
+TEST_F(SyscallFaultTest, ReadAllRetriesInjectedEintr) {
+  auto pipe = MakePipe(true);
+  ASSERT_TRUE(pipe.ok());
+  const std::string payload = "readall eintr";
+  ASSERT_TRUE(WriteFull(pipe->write_end.get(), payload.data(), payload.size()).ok());
+  pipe->write_end.Reset();
+
+  fault::PlanSpec spec;
+  spec.site = "syscall.read_all";
+  spec.mode = fault::Mode::kEintr;
+  fault::InstallPlan(spec);
+
+  auto data = ReadAll(pipe->read_end.get());
+  ASSERT_TRUE(data.ok()) << data.error().ToString();
+  EXPECT_EQ(*data, payload);
+  EXPECT_EQ(fault::InjectionsFired(), 1u);
+}
+
+TEST_F(SyscallFaultTest, WaitPidRetriesInjectedEintr) {
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    _exit(7);
+  }
+
+  fault::PlanSpec spec;
+  spec.site = "syscall.waitpid";
+  spec.mode = fault::Mode::kEintr;
+  fault::InstallPlan(spec);
+
+  auto raw = WaitPid(pid);
+  ASSERT_TRUE(raw.ok()) << raw.error().ToString();
+  ExitStatus st = DecodeWaitStatus(*raw);
+  EXPECT_TRUE(st.exited);
+  EXPECT_EQ(st.exit_code, 7);
+  EXPECT_EQ(fault::InjectionsFired(), 1u);
+}
+
+}  // namespace
+}  // namespace forklift
