@@ -1,6 +1,7 @@
 #include "src/faultinject/faultinject.h"
 
 #include <errno.h>
+#include <pthread.h>
 #include <sched.h>
 #include <stdio.h>
 #include <stdlib.h>
@@ -74,11 +75,22 @@ struct ActivePlan {
 ActivePlan g_plan;
 
 // Serializes registry creation, slot lookup caching, and env resolution.
-// Never held across fork: ChildExec and the zygote's post-fork path only call
-// Check() after exec-side setup, and the disabled fast path skips the lock
-// entirely.
+// Forked children (zygote shards, spawn helpers) call Check() too, and in a
+// multi-threaded parent — the pipelined fork-server client runs a receiver
+// thread that hits Check() on every recvmsg — fork(2) can land while another
+// thread holds this lock, leaving the child a mutex nobody will ever unlock.
+// The atfork hooks below take the lock around every fork so the child always
+// inherits it unlocked (glibc runs them for fork, not vfork; vfork children
+// never reach Check() before exec).
 std::mutex g_mu;
 std::unordered_map<std::string, Slot*>* g_slot_cache = nullptr;
+
+void LockBeforeFork() { g_mu.lock(); }
+void UnlockAfterFork() { g_mu.unlock(); }
+struct AtforkGuard {
+  AtforkGuard() { ::pthread_atfork(&LockBeforeFork, &UnlockAfterFork, &UnlockAfterFork); }
+};
+AtforkGuard g_atfork_guard;
 
 Registry* EnsureRegistryLocked() {
   if (g_registry != nullptr) return g_registry;

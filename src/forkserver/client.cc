@@ -7,17 +7,57 @@
 #include <utility>
 
 #include "src/common/pipe.h"
+#include "src/faultinject/faultinject.h"
 #include "src/forkserver/fd_transfer.h"
-#include "src/forkserver/protocol.h"
-#include "src/forkserver/wire.h"
 
 namespace forklift {
 
+namespace {
+
+// Maps a server-side {ok, err, context} reply triple onto the local error
+// channel.
+Status ReplyToStatus(bool ok, int32_t err, const std::string& context, const char* what) {
+  if (ok) {
+    return Status::Ok();
+  }
+  if (err != 0) {
+    return Err(Error(err, std::string(what) + ": " + context));
+  }
+  return LogicalError(std::string(what) + ": " + context);
+}
+
+Result<UniqueFd> ConnectUnixSocket(const std::string& path, const char* who) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return LogicalError(std::string(who) + ": socket path too long");
+  }
+  int fd;
+  auto inj = fault::Check("client.connect_socket", fault::Op::kCreateFd);
+  if (inj.is_errno()) {
+    fd = -1;
+    errno = inj.err;
+  } else {
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  }
+  if (fd < 0) {
+    return ErrnoError("socket (forkserver client)");
+  }
+  UniqueFd sock(fd);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoError("connect " + path);
+  }
+  return sock;
+}
+
+}  // namespace
+
 Result<ExitStatus> RemoteChild::Wait() {
-  if (!valid() || client_ == nullptr) {
+  if (!valid() || service_ == nullptr) {
     return LogicalError("RemoteChild::Wait on invalid handle");
   }
-  return client_->WaitRemote(pid_);
+  return service_->WaitRemote(pid_);
 }
 
 Status RemoteChild::Kill(int sig) {
@@ -30,28 +70,431 @@ Status RemoteChild::Kill(int sig) {
   return Status::Ok();
 }
 
-ForkServerClient::ForkServerClient(UniqueFd sock) : sock_(std::move(sock)) {}
+// ---------------------------------------------------------------------------
+// ForkServerClient (pipelined, protocol v2)
+
+// A completion slot. Lifetime: acquired (registered in pending_) at submit,
+// filled by the receiver, released back to free_ by the awaiting caller — or
+// by the receiver itself if the caller dropped the handle first. All fields
+// are guarded by mu_.
+struct ForkServerClient::Slot {
+  uint64_t id = 0;
+  bool done = false;
+  bool abandoned = false;      // handle destroyed before the reply arrived
+  Status transport = Status::Ok();
+  MsgType type = MsgType::kSpawn;
+  SpawnReply spawn;
+  WaitReply wait;
+};
+
+ForkServerClient::ForkServerClient(UniqueFd sock) : sock_(std::move(sock)) {
+  receiver_ = std::thread([this] { ReceiverLoop(); });
+}
+
+ForkServerClient::~ForkServerClient() {
+  // Wake the receiver out of recvmsg; it marks the channel dead (failing any
+  // still-pending requests) and exits.
+  if (receiver_.joinable()) {
+    ::shutdown(sock_.get(), SHUT_RDWR);
+    receiver_.join();
+  }
+}
 
 Result<std::unique_ptr<ForkServerClient>> ForkServerClient::ConnectPath(
     const std::string& path) {
-  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-    return LogicalError("ForkServerClient::ConnectPath: socket path too long");
-  }
-  int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    return ErrnoError("socket (forkserver client)");
-  }
-  UniqueFd sock(fd);
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  path.copy(addr.sun_path, sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    return ErrnoError("connect " + path);
-  }
+  FORKLIFT_ASSIGN_OR_RETURN(UniqueFd sock,
+                            ConnectUnixSocket(path, "ForkServerClient::ConnectPath"));
   return std::make_unique<ForkServerClient>(std::move(sock));
 }
 
+ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out) {
+  Slot* slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slots_.push_back(std::make_unique<Slot>());
+    slot = slots_.back().get();
+  }
+  *id_out = next_id_++;
+  slot->id = *id_out;
+  slot->done = false;
+  slot->abandoned = false;
+  slot->transport = Status::Ok();
+  pending_.emplace(*id_out, slot);
+  return slot;
+}
+
+void ForkServerClient::FreeSlotLocked(Slot* slot) {
+  slot->spawn.context.clear();
+  slot->wait.context.clear();
+  free_.push_back(slot);
+}
+
+void ForkServerClient::AbortSubmit(uint64_t id, Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The receiver may have completed (or death-failed) the slot between the
+  // send failure and now; either way nobody holds a handle, so recycle it.
+  pending_.erase(id);
+  FreeSlotLocked(slot);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const SpawnRequest& req) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  uint64_t id;
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Err(death_.error());
+    }
+    slot = AcquireSlotLocked(&id);
+  }
+  scratch_.Clear();
+  scratch_fds_.clear();
+  FrameMeta meta{kForkServerProtocolV2, id};
+  Status st = EncodeSpawnRequestInto(scratch_, req, &scratch_fds_, meta);
+  if (st.ok()) {
+    st = SendFrame(sock_.get(), scratch_.data(), scratch_fds_);
+  }
+  if (!st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
+  return PendingReply(this, slot);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  uint64_t id;
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Err(death_.error());
+    }
+    slot = AcquireSlotLocked(&id);
+  }
+  scratch_.Clear();
+  FrameMeta meta{kForkServerProtocolV2, id};
+  scratch_.Reserve(20 + 4);
+  EncodeHeaderInto(scratch_, MsgType::kWait, meta);
+  scratch_.PutI32(static_cast<int32_t>(pid));
+  Status st = SendFrame(sock_.get(), scratch_.data());
+  if (!st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
+  return PendingReply(this, slot);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
+    MsgType type, const std::vector<int>& fds) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  uint64_t id;
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Err(death_.error());
+    }
+    slot = AcquireSlotLocked(&id);
+  }
+  scratch_.Clear();
+  FrameMeta meta{kForkServerProtocolV2, id};
+  EncodeHeaderInto(scratch_, type, meta);
+  Status st = SendFrame(sock_.get(), scratch_.data(), fds);
+  if (!st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
+  return PendingReply(this, slot);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::LaunchAsync(const SpawnRequest& req) {
+  return SubmitSpawn(req);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::WaitAsync(pid_t pid) {
+  return SubmitWait(pid);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::PingAsync() {
+  return SubmitControl(MsgType::kPing, {});
+}
+
+Result<pid_t> ForkServerClient::AwaitSpawn(Slot* slot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [slot] { return slot->done; });
+  Status transport = slot->transport;
+  MsgType type = slot->type;
+  SpawnReply reply = std::move(slot->spawn);
+  FreeSlotLocked(slot);
+  lock.unlock();
+  FORKLIFT_RETURN_IF_ERROR(transport);
+  if (type != MsgType::kSpawnReply) {
+    return LogicalError("forkserver client: expected spawn reply");
+  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver spawn"));
+  return static_cast<pid_t>(reply.pid);
+}
+
+Result<ExitStatus> ForkServerClient::AwaitWait(Slot* slot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [slot] { return slot->done; });
+  Status transport = slot->transport;
+  MsgType type = slot->type;
+  WaitReply reply = std::move(slot->wait);
+  FreeSlotLocked(slot);
+  lock.unlock();
+  FORKLIFT_RETURN_IF_ERROR(transport);
+  if (type != MsgType::kWaitReply) {
+    return LogicalError("forkserver client: expected wait reply");
+  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver wait"));
+  return reply.status;
+}
+
+Status ForkServerClient::AwaitControlSlot(Slot* slot, MsgType expected) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [slot] { return slot->done; });
+  Status transport = slot->transport;
+  MsgType type = slot->type;
+  SpawnReply reply = std::move(slot->spawn);  // server-side errors ride a SpawnReply
+  FreeSlotLocked(slot);
+  lock.unlock();
+  FORKLIFT_RETURN_IF_ERROR(transport);
+  if (type == MsgType::kSpawnReply) {
+    FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver"));
+  }
+  if (type != expected) {
+    return LogicalError("forkserver client: unexpected reply type");
+  }
+  return Status::Ok();
+}
+
+void ForkServerClient::DiscardSlot(Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot->done) {
+    FreeSlotLocked(slot);
+  } else {
+    // Still in flight: the receiver recycles it when the reply arrives.
+    slot->abandoned = true;
+  }
+}
+
+void ForkServerClient::Die(const Status& cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dead_ = true;
+  death_ = cause;
+  for (auto& [id, slot] : pending_) {
+    slot->done = true;
+    slot->transport = cause;
+    if (slot->abandoned) {
+      FreeSlotLocked(slot);
+    }
+  }
+  pending_.clear();
+  cv_.notify_all();
+}
+
+void ForkServerClient::DispatchFrame(const Frame& frame) {
+  WireReader reader(frame.payload);
+  auto hdr = DecodeHeader(reader);
+  if (!hdr.ok()) {
+    Die(Err(hdr.error()));
+    return;
+  }
+  if (hdr->meta.request_id == 0) {
+    // A v1 reply on a v2 channel: the peer did not echo our request_id, so it
+    // cannot be correlated — the channel's pipelining contract is broken
+    // (v1-only server, or the server's unsolicited error reply to a frame it
+    // could not parse). Fail pending requests rather than hang them.
+    Die(LogicalError("forkserver client: uncorrelated v1 reply on pipelined channel "
+                     "(v1-only server?)"));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(hdr->meta.request_id);
+  if (it == pending_.end()) {
+    return;  // reply to an aborted submit; drop it
+  }
+  Slot* slot = it->second;
+  pending_.erase(it);
+  slot->type = hdr->type;
+  switch (hdr->type) {
+    case MsgType::kSpawnReply: {
+      auto reply = DecodeSpawnReply(frame.payload);
+      if (reply.ok()) {
+        slot->spawn = std::move(*reply);
+      } else {
+        slot->transport = Err(reply.error());
+      }
+      break;
+    }
+    case MsgType::kWaitReply: {
+      auto reply = DecodeWaitReply(frame.payload);
+      if (reply.ok()) {
+        slot->wait = std::move(*reply);
+      } else {
+        slot->transport = Err(reply.error());
+      }
+      break;
+    }
+    default:
+      break;  // control acks carry no body
+  }
+  slot->done = true;
+  if (slot->abandoned) {
+    FreeSlotLocked(slot);
+  }
+  cv_.notify_all();
+}
+
+void ForkServerClient::ReceiverLoop() {
+  // One RecvResult for the life of the channel: payload capacity is the
+  // decode scratch buffer, reused frame after frame.
+  RecvResult rr;
+  for (;;) {
+    Status st = RecvFrameInto(sock_.get(), &rr);
+    if (!st.ok()) {
+      Die(st);
+      return;
+    }
+    if (rr.eof) {
+      Die(LogicalError("forkserver client: server closed the channel"));
+      return;
+    }
+    DispatchFrame(rr.frame);
+  }
+}
+
+size_t ForkServerClient::outstanding() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+bool ForkServerClient::dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_;
+}
+
 Result<pid_t> ForkServerClient::LaunchRequest(const SpawnRequest& req) {
+  FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, LaunchAsync(req));
+  return pending.AwaitPid();
+}
+
+Result<RemoteChild> ForkServerClient::Spawn(const Spawner& spawner) {
+  FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
+  FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, LaunchRequest(req));
+  return RemoteChild(this, pid);
+}
+
+Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
+  FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, WaitAsync(pid));
+  return pending.AwaitExit();
+}
+
+Status ForkServerClient::Ping() {
+  FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, PingAsync());
+  return pending.AwaitControl(MsgType::kPong);
+}
+
+Status ForkServerClient::Shutdown() {
+  auto pending = SubmitControl(MsgType::kShutdown, {});
+  if (!pending.ok()) {
+    if (dead()) {
+      return Status::Ok();  // server already gone: shutdown achieved regardless
+    }
+    return Err(pending.error());
+  }
+  Status st = pending->AwaitControl(MsgType::kShutdownAck);
+  if (!st.ok() && dead()) {
+    return Status::Ok();  // server died at EOF instead of acking: same outcome
+  }
+  return st;
+}
+
+Result<std::unique_ptr<ForkServerClient>> ForkServerClient::NewChannel() {
+  FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
+  FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending,
+                            SubmitControl(MsgType::kNewChannel, {sp.second.get()}));
+  FORKLIFT_RETURN_IF_ERROR(pending.AwaitControl(MsgType::kNewChannelAck));
+  return std::make_unique<ForkServerClient>(std::move(sp.first));
+}
+
+// --- PendingReply ---
+
+ForkServerClient::PendingReply::PendingReply(PendingReply&& other) noexcept
+    : client_(other.client_), slot_(other.slot_) {
+  other.client_ = nullptr;
+  other.slot_ = nullptr;
+}
+
+ForkServerClient::PendingReply& ForkServerClient::PendingReply::operator=(
+    PendingReply&& other) noexcept {
+  if (this != &other) {
+    if (client_ != nullptr) {
+      client_->DiscardSlot(slot_);
+    }
+    client_ = other.client_;
+    slot_ = other.slot_;
+    other.client_ = nullptr;
+    other.slot_ = nullptr;
+  }
+  return *this;
+}
+
+ForkServerClient::PendingReply::~PendingReply() {
+  if (client_ != nullptr) {
+    client_->DiscardSlot(slot_);
+  }
+}
+
+Result<pid_t> ForkServerClient::PendingReply::AwaitPid() {
+  if (!valid()) {
+    return LogicalError("PendingReply::AwaitPid on empty handle");
+  }
+  ForkServerClient* client = client_;
+  Slot* slot = slot_;
+  client_ = nullptr;
+  slot_ = nullptr;
+  return client->AwaitSpawn(slot);
+}
+
+Result<ExitStatus> ForkServerClient::PendingReply::AwaitExit() {
+  if (!valid()) {
+    return LogicalError("PendingReply::AwaitExit on empty handle");
+  }
+  ForkServerClient* client = client_;
+  Slot* slot = slot_;
+  client_ = nullptr;
+  slot_ = nullptr;
+  return client->AwaitWait(slot);
+}
+
+Status ForkServerClient::PendingReply::AwaitControl(MsgType expected) {
+  if (!valid()) {
+    return LogicalError("PendingReply::AwaitControl on empty handle");
+  }
+  ForkServerClient* client = client_;
+  Slot* slot = slot_;
+  client_ = nullptr;
+  slot_ = nullptr;
+  return client->AwaitControlSlot(slot, expected);
+}
+
+// ---------------------------------------------------------------------------
+// LegacyForkServerClient (v1, one frame in flight)
+
+Result<std::unique_ptr<LegacyForkServerClient>> LegacyForkServerClient::ConnectPath(
+    const std::string& path) {
+  FORKLIFT_ASSIGN_OR_RETURN(UniqueFd sock,
+                            ConnectUnixSocket(path, "LegacyForkServerClient::ConnectPath"));
+  return std::make_unique<LegacyForkServerClient>(std::move(sock));
+}
+
+Result<pid_t> LegacyForkServerClient::LaunchRequest(const SpawnRequest& req) {
   std::vector<int> fds;
   FORKLIFT_ASSIGN_OR_RETURN(std::string payload, EncodeSpawnRequest(req, &fds));
 
@@ -62,39 +505,17 @@ Result<pid_t> ForkServerClient::LaunchRequest(const SpawnRequest& req) {
     return LogicalError("forkserver client: server closed the socket");
   }
   FORKLIFT_ASSIGN_OR_RETURN(SpawnReply reply, DecodeSpawnReply(rr.frame.payload));
-  if (!reply.ok) {
-    if (reply.err != 0) {
-      return Err(Error(reply.err, "forkserver spawn: " + reply.context));
-    }
-    return LogicalError("forkserver spawn: " + reply.context);
-  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver spawn"));
   return static_cast<pid_t>(reply.pid);
 }
 
-Result<RemoteChild> ForkServerClient::Spawn(const Spawner& spawner) {
+Result<RemoteChild> LegacyForkServerClient::Spawn(const Spawner& spawner) {
   FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
   FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, LaunchRequest(req));
   return RemoteChild(this, pid);
 }
 
-Result<std::unique_ptr<ForkServerClient>> ForkServerClient::NewChannel() {
-  FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
-  std::lock_guard<std::mutex> lock(mu_);
-  FORKLIFT_RETURN_IF_ERROR(
-      SendFrame(sock_.get(), EncodeControl(MsgType::kNewChannel), {sp.second.get()}));
-  FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
-  if (rr.eof) {
-    return LogicalError("forkserver client: server closed during channel setup");
-  }
-  WireReader reader(rr.frame.payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
-  if (type != MsgType::kNewChannelAck) {
-    return LogicalError("forkserver client: expected channel ack");
-  }
-  return std::make_unique<ForkServerClient>(std::move(sp.first));
-}
-
-Status ForkServerClient::Ping() {
+Status LegacyForkServerClient::Ping() {
   std::lock_guard<std::mutex> lock(mu_);
   FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kPing)));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
@@ -102,14 +523,14 @@ Status ForkServerClient::Ping() {
     return LogicalError("forkserver client: server closed during ping");
   }
   WireReader reader(rr.frame.payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
-  if (type != MsgType::kPong) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(reader));
+  if (hdr.type != MsgType::kPong) {
     return LogicalError("forkserver client: expected pong");
   }
   return Status::Ok();
 }
 
-Status ForkServerClient::Shutdown() {
+Status LegacyForkServerClient::Shutdown() {
   std::lock_guard<std::mutex> lock(mu_);
   FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kShutdown)));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
@@ -117,14 +538,14 @@ Status ForkServerClient::Shutdown() {
     return Status::Ok();  // server died at EOF: shutdown achieved regardless
   }
   WireReader reader(rr.frame.payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(reader));
-  if (type != MsgType::kShutdownAck) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(reader));
+  if (hdr.type != MsgType::kShutdownAck) {
     return LogicalError("forkserver client: expected shutdown ack");
   }
   return Status::Ok();
 }
 
-Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
+Result<ExitStatus> LegacyForkServerClient::WaitRemote(pid_t pid) {
   std::lock_guard<std::mutex> lock(mu_);
   FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeWait(static_cast<int32_t>(pid))));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
@@ -132,20 +553,15 @@ Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
     return LogicalError("forkserver client: server closed during wait");
   }
   FORKLIFT_ASSIGN_OR_RETURN(WaitReply reply, DecodeWaitReply(rr.frame.payload));
-  if (!reply.ok) {
-    if (reply.err != 0) {
-      return Err(Error(reply.err, "forkserver wait: " + reply.context));
-    }
-    return LogicalError("forkserver wait: " + reply.context);
-  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver wait"));
   return reply.status;
 }
 
 Result<pid_t> ForkServerBackend::Launch(const SpawnRequest& req) {
-  if (client_ == nullptr) {
+  if (service_ == nullptr) {
     return LogicalError("ForkServerBackend: no client");
   }
-  return client_->LaunchRequest(req);
+  return service_->LaunchRequest(req);
 }
 
 }  // namespace forklift

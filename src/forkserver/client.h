@@ -2,32 +2,60 @@
 //
 // RemoteChild mirrors spawn::Child for processes that are NOT our children
 // (they belong to the server), so waiting is a protocol round-trip instead of
-// waitpid. ForkServerBackend adapts the client to the SpawnBackend interface
-// for fire-and-forget launches through a plain Spawner.
+// waitpid. ForkServerClient is the pipelined protocol-v2 client: requests are
+// tagged with a request_id and many may be in flight on one channel at once; a
+// dedicated receiver thread matches out-of-order replies back to their
+// issuers, so a slow kWait no longer head-of-line-blocks every other caller
+// sharing the socket. LegacyForkServerClient keeps the v1 one-frame-at-a-time
+// behavior (lock across the round trip) for v1 servers and as the baseline in
+// throughput experiments. ForkServerBackend adapts either — or the sharded
+// pool — to the SpawnBackend interface for fire-and-forget launches through a
+// plain Spawner.
 #ifndef SRC_FORKSERVER_CLIENT_H_
 #define SRC_FORKSERVER_CLIENT_H_
 
 #include <sys/types.h>
 
+#include <condition_variable>
+#include <csignal>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/common/syscall.h"
 #include "src/common/unique_fd.h"
+#include "src/forkserver/protocol.h"
+#include "src/forkserver/wire.h"
 #include "src/spawn/backend.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
 
-class ForkServerClient;
+// The spawn/wait surface a remote child needs from whatever launched it: a
+// single pipelined channel, a legacy v1 channel, or the sharded pool all
+// implement it, so RemoteChild and ForkServerBackend work against any.
+class RemoteSpawnService {
+ public:
+  virtual ~RemoteSpawnService() = default;
+
+  // Ships an already-resolved request; returns the remote pid.
+  virtual Result<pid_t> LaunchRequest(const SpawnRequest& req) = 0;
+
+  // Blocks (via the server) until the child exits.
+  virtual Result<ExitStatus> WaitRemote(pid_t pid) = 0;
+};
 
 // A process created on our behalf by the fork server. Exit status comes from
 // the server, which is the actual parent.
 class RemoteChild {
  public:
   RemoteChild() = default;
-  RemoteChild(ForkServerClient* client, pid_t pid) : client_(client), pid_(pid) {}
+  RemoteChild(RemoteSpawnService* service, pid_t pid) : service_(service), pid_(pid) {}
 
   pid_t pid() const { return pid_; }
   bool valid() const { return pid_ > 0; }
@@ -36,22 +64,65 @@ class RemoteChild {
   Result<ExitStatus> Wait();
 
   // kill(2) directly: pids are in our namespace even though parentage is not.
-  Status Kill(int sig = 15);
+  Status Kill(int sig = SIGTERM);
 
  private:
-  ForkServerClient* client_ = nullptr;
+  RemoteSpawnService* service_ = nullptr;
   pid_t pid_ = -1;
 };
 
-// Thread-safe client: requests are serialized over the single socket.
-class ForkServerClient {
+// Pipelined protocol-v2 client. Thread-safe: any number of threads may issue
+// requests concurrently; each request gets a fresh request_id and a
+// completion slot, the send path serializes only the encode+sendmsg (into a
+// reused scratch buffer), and the receiver thread completes slots as replies
+// arrive — in whatever order the server answers. Completed slots are
+// recycled, so the steady-state hot path allocates nothing.
+class ForkServerClient final : public RemoteSpawnService {
+  struct Slot;
+
  public:
-  // Takes ownership of the client end of the server's socket.
+  // Takes ownership of the client end of the server's socket and starts the
+  // receiver thread.
   explicit ForkServerClient(UniqueFd sock);
+  ~ForkServerClient() override;
+  ForkServerClient(const ForkServerClient&) = delete;
+  ForkServerClient& operator=(const ForkServerClient&) = delete;
 
   // Connects to a daemon listening on an AF_UNIX path (ForkServer::Listen /
   // the forkliftd tool).
   static Result<std::unique_ptr<ForkServerClient>> ConnectPath(const std::string& path);
+
+  // A single in-flight request. Await* blocks until the reply (or channel
+  // death) and consumes the handle; destroying an un-awaited handle is safe —
+  // the reply is discarded when it arrives.
+  class PendingReply {
+   public:
+    PendingReply() = default;
+    PendingReply(PendingReply&& other) noexcept;
+    PendingReply& operator=(PendingReply&& other) noexcept;
+    PendingReply(const PendingReply&) = delete;
+    PendingReply& operator=(const PendingReply&) = delete;
+    ~PendingReply();
+
+    bool valid() const { return client_ != nullptr; }
+    Result<pid_t> AwaitPid();                // expects kSpawnReply
+    Result<ExitStatus> AwaitExit();          // expects kWaitReply
+    Status AwaitControl(MsgType expected);   // kPong / kShutdownAck / kNewChannelAck
+
+   private:
+    friend class ForkServerClient;
+    PendingReply(ForkServerClient* client, Slot* slot) : client_(client), slot_(slot) {}
+
+    ForkServerClient* client_ = nullptr;
+    Slot* slot_ = nullptr;
+  };
+
+  // --- pipelined API: submit without waiting, await later ---
+  Result<PendingReply> LaunchAsync(const SpawnRequest& req);
+  Result<PendingReply> WaitAsync(pid_t pid);
+  Result<PendingReply> PingAsync();
+
+  // --- synchronous API (submit + await) ---
 
   // Ships the spawner's resolved request to the server. Pipe stdio is not
   // supported over the wire (create pipes locally and use Stdio::Fd /
@@ -64,16 +135,82 @@ class ForkServerClient {
   // Asks the server to exit after acknowledging.
   Status Shutdown();
 
-  // Used by RemoteChild.
-  Result<ExitStatus> WaitRemote(pid_t pid);
+  // Used by RemoteChild. The wait parks server-side on the child's pidfd
+  // watch, so it blocks only the calling thread, not the channel.
+  Result<ExitStatus> WaitRemote(pid_t pid) override;
 
   // Low-level: ship an already-resolved request; returns the remote pid.
-  Result<pid_t> LaunchRequest(const SpawnRequest& req);
+  Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
 
   // Opens an additional private channel to the same server (the new socket
-  // travels over this one via SCM_RIGHTS). Each channel serializes its own
-  // requests, so one channel per thread removes all client-side contention.
+  // travels over this one via SCM_RIGHTS). With pipelining one channel rarely
+  // needs company, but private channels still isolate fd-carrying spawns.
   Result<std::unique_ptr<ForkServerClient>> NewChannel();
+
+  // Requests in flight (the sharded router's load metric).
+  size_t outstanding() const;
+
+  // True once the transport failed or the server closed the channel; every
+  // subsequent submit fails fast with the recorded cause.
+  bool dead() const;
+
+ private:
+  Result<PendingReply> SubmitSpawn(const SpawnRequest& req);
+  Result<PendingReply> SubmitWait(pid_t pid);
+  Result<PendingReply> SubmitControl(MsgType type, const std::vector<int>& fds);
+
+  // Registers a slot for a fresh id (mu_). Returns nullptr when dead.
+  Slot* AcquireSlotLocked(uint64_t* id_out);
+  void FreeSlotLocked(Slot* slot);
+  // Unregisters + frees a slot whose frame never hit the wire.
+  void AbortSubmit(uint64_t id, Slot* slot);
+
+  Result<pid_t> AwaitSpawn(Slot* slot);
+  Result<ExitStatus> AwaitWait(Slot* slot);
+  Status AwaitControlSlot(Slot* slot, MsgType expected);
+  void DiscardSlot(Slot* slot);  // un-awaited handle destroyed
+
+  void ReceiverLoop();
+  void DispatchFrame(const struct Frame& frame);
+  // Fails every pending request and marks the channel dead.
+  void Die(const Status& cause);
+
+  UniqueFd sock_;
+
+  // Send side: serializes encode+sendmsg; the writer is the per-channel
+  // encode scratch buffer.
+  std::mutex send_mu_;
+  WireWriter scratch_;
+  std::vector<int> scratch_fds_;
+
+  // Completion state shared with the receiver thread.
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Slot*> pending_;
+  std::vector<std::unique_ptr<Slot>> slots_;  // owns every slot ever created
+  std::vector<Slot*> free_;                   // completed slots ready for reuse
+  bool dead_ = false;
+  Status death_ = Status::Ok();
+
+  std::thread receiver_;  // started last, joined first
+};
+
+// The pre-pipelining client: one v1 frame in flight, a mutex held across the
+// full round trip. Kept for v1-only servers and as the head-of-line-blocking
+// baseline that bench/forkserver_throughput measures the v2 data plane
+// against.
+class LegacyForkServerClient final : public RemoteSpawnService {
+ public:
+  explicit LegacyForkServerClient(UniqueFd sock) : sock_(std::move(sock)) {}
+
+  static Result<std::unique_ptr<LegacyForkServerClient>> ConnectPath(const std::string& path);
+
+  Result<RemoteChild> Spawn(const Spawner& spawner);
+  Status Ping();
+  Status Shutdown();
+  Result<ExitStatus> WaitRemote(pid_t pid) override;
+  Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
 
  private:
   std::mutex mu_;
@@ -81,18 +218,19 @@ class ForkServerClient {
 };
 
 // SpawnBackend adapter: lets `Spawner::SetCustomBackend(&backend)` route a
-// spawn through the zygote. The returned pid is NOT waitable by the caller
-// (the server is the parent) — use ForkServerClient::Spawn for supervised
-// children; the adapter exists for latency experiments and fire-and-forget.
+// spawn through the zygote (single channel or sharded pool). The returned pid
+// is NOT waitable by the caller (the server is the parent) — use
+// ForkServerClient::Spawn for supervised children; the adapter exists for
+// latency experiments and fire-and-forget.
 class ForkServerBackend : public SpawnBackend {
  public:
-  explicit ForkServerBackend(ForkServerClient* client) : client_(client) {}
+  explicit ForkServerBackend(RemoteSpawnService* service) : service_(service) {}
 
   Result<pid_t> Launch(const SpawnRequest& req) override;
   const char* Name() const override { return "forkserver"; }
 
  private:
-  ForkServerClient* client_;
+  RemoteSpawnService* service_;
 };
 
 }  // namespace forklift

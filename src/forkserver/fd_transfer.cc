@@ -146,13 +146,15 @@ Status SendFrame(int sock, std::string_view payload, const std::vector<int>& fds
   return SendAll(sock, payload.data(), payload.size(), fds);
 }
 
-Result<RecvResult> RecvFrame(int sock, size_t max_payload) {
-  RecvResult out;
+Status RecvFrameInto(int sock, RecvResult* out, size_t max_payload) {
+  out->frame.fds.clear();
+  out->frame.payload.clear();  // keeps capacity for the next frame
+  out->eof = false;
   uint32_t len = 0;
-  FORKLIFT_ASSIGN_OR_RETURN(size_t got, RecvAll(sock, &len, sizeof(len), &out.frame.fds));
+  FORKLIFT_ASSIGN_OR_RETURN(size_t got, RecvAll(sock, &len, sizeof(len), &out->frame.fds));
   if (got == 0) {
-    out.eof = true;
-    return out;
+    out->eof = true;
+    return Status::Ok();
   }
   if (got != sizeof(len)) {
     return LogicalError("RecvFrame: truncated length prefix");
@@ -160,14 +162,20 @@ Result<RecvResult> RecvFrame(int sock, size_t max_payload) {
   if (len > max_payload) {
     return LogicalError("RecvFrame: payload length " + std::to_string(len) + " exceeds cap");
   }
-  out.frame.payload.resize(len);
+  out->frame.payload.resize(len);
   if (len > 0) {
     FORKLIFT_ASSIGN_OR_RETURN(size_t body,
-                              RecvAll(sock, out.frame.payload.data(), len, &out.frame.fds));
+                              RecvAll(sock, out->frame.payload.data(), len, &out->frame.fds));
     if (body != len) {
       return LogicalError("RecvFrame: truncated payload");
     }
   }
+  return Status::Ok();
+}
+
+Result<RecvResult> RecvFrame(int sock, size_t max_payload) {
+  RecvResult out;
+  FORKLIFT_RETURN_IF_ERROR(RecvFrameInto(sock, &out, max_payload));
   return out;
 }
 

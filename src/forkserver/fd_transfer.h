@@ -35,6 +35,12 @@ struct RecvResult {
 };
 Result<RecvResult> RecvFrame(int sock, size_t max_payload = 16u << 20);
 
+// Same, but fills a caller-owned RecvResult so a long-lived receive loop can
+// reuse the payload buffer's capacity across frames (zero steady-state
+// allocations once the buffer has grown to the working frame size). `out` is
+// reset (fds cleared, eof = false) before receiving.
+Status RecvFrameInto(int sock, RecvResult* out, size_t max_payload = 16u << 20);
+
 }  // namespace forklift
 
 #endif  // SRC_FORKSERVER_FD_TRANSFER_H_

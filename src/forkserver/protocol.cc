@@ -22,38 +22,86 @@ constexpr uint8_t kOpCloseScratch = 5;
 // Sentinel in the src slot meaning "src is fds[transfer_index]".
 constexpr int32_t kSrcIsTransfer = -2;
 
+// Frame header bytes: {magic, version, type} words plus the v2 request_id.
+constexpr size_t kHeaderSizeV1 = 12;
+constexpr size_t kHeaderSizeV2 = kHeaderSizeV1 + 8;
+
+size_t HeaderSize(const FrameMeta& meta) {
+  return meta.version >= kForkServerProtocolV2 ? kHeaderSizeV2 : kHeaderSizeV1;
+}
+
+// Upper bound on the encoded size of a spawn request, so the writer is sized
+// once and the encode loop below never reallocates. Fixed-width fields are
+// over-counted slightly (optional fields counted as present) — the bound is
+// for reservation, not framing.
+size_t EstimateSpawnRequestSize(const SpawnRequest& request) {
+  size_t n = kHeaderSizeV2;
+  n += 4 + request.program.size() + 1;         // program + use_path_search
+  n += 4;                                      // argc
+  for (size_t i = 0; i < request.argv.size(); ++i) {
+    n += 4 + request.argv[i].size();
+  }
+  n += 4;  // envc
+  for (size_t i = 0; i < request.envp.size(); ++i) {
+    n += 4 + request.envp[i].size();
+  }
+  n += 1 + 4 + (request.cwd.has_value() ? request.cwd->size() : 0);  // cwd
+  n += 1 + 4;                                  // umask
+  n += 4;                                      // the four reset/session bools
+  n += (1 + 4) * 2;                            // process_group, nice_value
+  n += 4 + request.rlimits.size() * (4 + 8 + 8);
+  n += 4;  // nops
+  for (const auto& op : request.fd_plan.ops) {
+    n += 1 + 4 + 4 + 4 + 4 + 4 + op.path.size();  // worst case: kOpOpen
+  }
+  n += 4;  // transferred-fd count
+  return n;
+}
+
 }  // namespace
 
-std::string EncodeHeader(MsgType type) {
-  WireWriter w;
+void EncodeHeaderInto(WireWriter& w, MsgType type, const FrameMeta& meta) {
   w.PutU32(kMagic);
-  w.PutU32(kForkServerProtocolVersion);
+  w.PutU32(meta.version);
   w.PutU32(static_cast<uint32_t>(type));
+  if (meta.version >= kForkServerProtocolV2) {
+    w.PutU64(meta.request_id);
+  }
+}
+
+std::string EncodeHeader(MsgType type, const FrameMeta& meta) {
+  WireWriter w;
+  w.Reserve(HeaderSize(meta));
+  EncodeHeaderInto(w, type, meta);
   return w.Take();
 }
 
-Result<MsgType> DecodeHeader(WireReader& reader) {
+Result<FrameHeader> DecodeHeader(WireReader& reader) {
   FORKLIFT_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
   if (magic != kMagic) {
     return LogicalError("protocol: bad magic");
   }
-  FORKLIFT_ASSIGN_OR_RETURN(uint32_t version, reader.GetU32());
-  if (version != kForkServerProtocolVersion) {
-    return LogicalError("protocol: unsupported version " + std::to_string(version));
+  FrameHeader hdr;
+  FORKLIFT_ASSIGN_OR_RETURN(hdr.meta.version, reader.GetU32());
+  if (hdr.meta.version != kForkServerProtocolV1 && hdr.meta.version != kForkServerProtocolV2) {
+    return LogicalError("protocol: unsupported version " + std::to_string(hdr.meta.version));
   }
   FORKLIFT_ASSIGN_OR_RETURN(uint32_t type, reader.GetU32());
   if (type < static_cast<uint32_t>(MsgType::kSpawn) ||
       type > static_cast<uint32_t>(MsgType::kNewChannelAck)) {
     return LogicalError("protocol: unknown message type " + std::to_string(type));
   }
-  return static_cast<MsgType>(type);
+  hdr.type = static_cast<MsgType>(type);
+  if (hdr.meta.version >= kForkServerProtocolV2) {
+    FORKLIFT_ASSIGN_OR_RETURN(hdr.meta.request_id, reader.GetU64());
+  }
+  return hdr;
 }
 
-Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<int>* fds_out) {
-  WireWriter w;
-  w.PutU32(kMagic);
-  w.PutU32(kForkServerProtocolVersion);
-  w.PutU32(static_cast<uint32_t>(MsgType::kSpawn));
+Status EncodeSpawnRequestInto(WireWriter& w, const SpawnRequest& request,
+                              std::vector<int>* fds_out, const FrameMeta& meta) {
+  w.Reserve(w.data().size() + EstimateSpawnRequestSize(request));
+  EncodeHeaderInto(w, MsgType::kSpawn, meta);
 
   w.PutString(request.program);
   w.PutBool(request.use_path_search);
@@ -157,14 +205,25 @@ Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<
     return LogicalError("EncodeSpawnRequest: plan references too many descriptors");
   }
   w.PutU32(static_cast<uint32_t>(fds_out->size()));
+  return Status::Ok();
+}
+
+Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<int>* fds_out,
+                                       const FrameMeta& meta) {
+  WireWriter w;
+  FORKLIFT_RETURN_IF_ERROR(EncodeSpawnRequestInto(w, request, fds_out, meta));
   return w.Take();
 }
 
 Result<SpawnRequest> DecodeSpawnRequest(std::string_view payload,
-                                        const std::vector<UniqueFd>& received_fds) {
+                                        const std::vector<UniqueFd>& received_fds,
+                                        FrameMeta* meta) {
   WireReader r(payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(r));
-  if (type != MsgType::kSpawn) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kSpawn) {
     return LogicalError("DecodeSpawnRequest: wrong message type");
   }
 
@@ -313,11 +372,10 @@ Result<SpawnRequest> DecodeSpawnRequest(std::string_view payload,
   return req;
 }
 
-std::string EncodeSpawnReply(const SpawnReply& reply) {
+std::string EncodeSpawnReply(const SpawnReply& reply, const FrameMeta& meta) {
   WireWriter w;
-  w.PutU32(kMagic);
-  w.PutU32(kForkServerProtocolVersion);
-  w.PutU32(static_cast<uint32_t>(MsgType::kSpawnReply));
+  w.Reserve(HeaderSize(meta) + 1 + 4 + 4 + 4 + reply.context.size());
+  EncodeHeaderInto(w, MsgType::kSpawnReply, meta);
   w.PutBool(reply.ok);
   w.PutI32(reply.pid);
   w.PutI32(reply.err);
@@ -325,10 +383,13 @@ std::string EncodeSpawnReply(const SpawnReply& reply) {
   return w.Take();
 }
 
-Result<SpawnReply> DecodeSpawnReply(std::string_view payload) {
+Result<SpawnReply> DecodeSpawnReply(std::string_view payload, FrameMeta* meta) {
   WireReader r(payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(r));
-  if (type != MsgType::kSpawnReply) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kSpawnReply) {
     return LogicalError("DecodeSpawnReply: wrong message type");
   }
   SpawnReply reply;
@@ -342,19 +403,21 @@ Result<SpawnReply> DecodeSpawnReply(std::string_view payload) {
   return reply;
 }
 
-std::string EncodeWait(int32_t pid) {
+std::string EncodeWait(int32_t pid, const FrameMeta& meta) {
   WireWriter w;
-  w.PutU32(kMagic);
-  w.PutU32(kForkServerProtocolVersion);
-  w.PutU32(static_cast<uint32_t>(MsgType::kWait));
+  w.Reserve(HeaderSize(meta) + 4);
+  EncodeHeaderInto(w, MsgType::kWait, meta);
   w.PutI32(pid);
   return w.Take();
 }
 
-Result<int32_t> DecodeWait(std::string_view payload) {
+Result<int32_t> DecodeWait(std::string_view payload, FrameMeta* meta) {
   WireReader r(payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(r));
-  if (type != MsgType::kWait) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kWait) {
     return LogicalError("DecodeWait: wrong message type");
   }
   FORKLIFT_ASSIGN_OR_RETURN(int32_t pid, r.GetI32());
@@ -364,11 +427,10 @@ Result<int32_t> DecodeWait(std::string_view payload) {
   return pid;
 }
 
-std::string EncodeWaitReply(const WaitReply& reply) {
+std::string EncodeWaitReply(const WaitReply& reply, const FrameMeta& meta) {
   WireWriter w;
-  w.PutU32(kMagic);
-  w.PutU32(kForkServerProtocolVersion);
-  w.PutU32(static_cast<uint32_t>(MsgType::kWaitReply));
+  w.Reserve(HeaderSize(meta) + 3 + 4 * 3 + 4 + reply.context.size());
+  EncodeHeaderInto(w, MsgType::kWaitReply, meta);
   w.PutBool(reply.ok);
   w.PutBool(reply.status.exited);
   w.PutI32(reply.status.exit_code);
@@ -379,10 +441,13 @@ std::string EncodeWaitReply(const WaitReply& reply) {
   return w.Take();
 }
 
-Result<WaitReply> DecodeWaitReply(std::string_view payload) {
+Result<WaitReply> DecodeWaitReply(std::string_view payload, FrameMeta* meta) {
   WireReader r(payload);
-  FORKLIFT_ASSIGN_OR_RETURN(MsgType type, DecodeHeader(r));
-  if (type != MsgType::kWaitReply) {
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kWaitReply) {
     return LogicalError("DecodeWaitReply: wrong message type");
   }
   WaitReply reply;
@@ -399,6 +464,6 @@ Result<WaitReply> DecodeWaitReply(std::string_view payload) {
   return reply;
 }
 
-std::string EncodeControl(MsgType type) { return EncodeHeader(type); }
+std::string EncodeControl(MsgType type, const FrameMeta& meta) { return EncodeHeader(type, meta); }
 
 }  // namespace forklift

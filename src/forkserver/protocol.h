@@ -21,7 +21,15 @@
 
 namespace forklift {
 
-inline constexpr uint32_t kForkServerProtocolVersion = 1;
+// Protocol versions are per-frame: every frame carries the version it was
+// encoded with, and the server answers in the version of the request, so a v1
+// client and a v2 client can share one server (and one channel can in
+// principle mix versions frame by frame). v2 adds a u64 `request_id` after
+// the {magic, version, type} words; replies echo it, which is what lets a
+// client keep many requests in flight and match out-of-order completions.
+inline constexpr uint32_t kForkServerProtocolV1 = 1;
+inline constexpr uint32_t kForkServerProtocolV2 = 2;
+inline constexpr uint32_t kForkServerProtocolVersion = kForkServerProtocolV2;
 
 enum class MsgType : uint32_t {
   kSpawn = 1,       // client → server: launch this request
@@ -43,21 +51,45 @@ struct WireSpawnRequest {
   std::vector<int> fds;  // borrowed fds to transfer (encode side)
 };
 
-// Encodes header {version, type} + typed payload.
-std::string EncodeHeader(MsgType type);
-// Decodes and validates the header, leaving the reader at the payload.
-Result<MsgType> DecodeHeader(class WireReader& reader);
+// Per-frame framing metadata. Defaults encode a v1 frame (request_id is not
+// on the wire), which keeps every pre-pipelining call site byte-identical;
+// pipelining callers pass {kForkServerProtocolV2, id}.
+struct FrameMeta {
+  uint32_t version = kForkServerProtocolV1;
+  uint64_t request_id = 0;
+};
+
+// A decoded frame header: the message type plus the framing metadata the
+// reply must echo.
+struct FrameHeader {
+  MsgType type = MsgType::kSpawn;
+  FrameMeta meta;
+};
+
+// Encodes header {magic, version, type[, request_id]} + typed payload.
+void EncodeHeaderInto(class WireWriter& w, MsgType type, const FrameMeta& meta);
+std::string EncodeHeader(MsgType type, const FrameMeta& meta = {});
+// Decodes and validates the header, leaving the reader at the payload. Both
+// protocol versions are accepted; v1 frames decode with request_id == 0.
+Result<FrameHeader> DecodeHeader(class WireReader& reader);
 
 // kSpawn. Returns the payload and fills `fds_out` with the descriptors (in
-// transfer order) the frame must carry.
-Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<int>* fds_out);
+// transfer order) the frame must carry. The Into variant appends to a
+// caller-owned (reusable) writer so a hot-path client can encode every spawn
+// into the same scratch buffer; both size the frame up front.
+Status EncodeSpawnRequestInto(WireWriter& w, const SpawnRequest& request,
+                              std::vector<int>* fds_out, const FrameMeta& meta = {});
+Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<int>* fds_out,
+                                       const FrameMeta& meta = {});
 
 // Decodes a kSpawn payload. `received_fds` are the SCM_RIGHTS descriptors in
 // arrival order; the decoded plan's sources point at their (renumbered) fd
 // values. Ownership of the fds stays with the caller; the returned request
-// borrows them and must be launched before they are released.
+// borrows them and must be launched before they are released. When `meta` is
+// non-null it receives the frame's version/request_id.
 Result<SpawnRequest> DecodeSpawnRequest(std::string_view payload,
-                                        const std::vector<UniqueFd>& received_fds);
+                                        const std::vector<UniqueFd>& received_fds,
+                                        FrameMeta* meta = nullptr);
 
 // kSpawnReply.
 struct SpawnReply {
@@ -66,12 +98,12 @@ struct SpawnReply {
   int32_t err = 0;
   std::string context;
 };
-std::string EncodeSpawnReply(const SpawnReply& reply);
-Result<SpawnReply> DecodeSpawnReply(std::string_view payload);
+std::string EncodeSpawnReply(const SpawnReply& reply, const FrameMeta& meta = {});
+Result<SpawnReply> DecodeSpawnReply(std::string_view payload, FrameMeta* meta = nullptr);
 
 // kWait / kWaitReply.
-std::string EncodeWait(int32_t pid);
-Result<int32_t> DecodeWait(std::string_view payload);
+std::string EncodeWait(int32_t pid, const FrameMeta& meta = {});
+Result<int32_t> DecodeWait(std::string_view payload, FrameMeta* meta = nullptr);
 
 struct WaitReply {
   bool ok = false;
@@ -79,11 +111,11 @@ struct WaitReply {
   int32_t err = 0;
   std::string context;
 };
-std::string EncodeWaitReply(const WaitReply& reply);
-Result<WaitReply> DecodeWaitReply(std::string_view payload);
+std::string EncodeWaitReply(const WaitReply& reply, const FrameMeta& meta = {});
+Result<WaitReply> DecodeWaitReply(std::string_view payload, FrameMeta* meta = nullptr);
 
 // Bare control messages (kPing/kPong/kShutdown/kShutdownAck) are header-only.
-std::string EncodeControl(MsgType type);
+std::string EncodeControl(MsgType type, const FrameMeta& meta = {});
 
 }  // namespace forklift
 

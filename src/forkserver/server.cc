@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -42,6 +43,14 @@ Result<ForkServer> ForkServer::Listen(const std::string& path) {
     return ErrnoError("socket (forkserver listener)");
   }
   UniqueFd listener(fd);
+  // Non-blocking: in shard mode several processes accept(2) on this one
+  // listener, and a connection raced away by a sibling must not park a shard
+  // inside a blocking accept. OnListenerReadable already treats EAGAIN as
+  // "someone else got it".
+  int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoError("fcntl O_NONBLOCK (forkserver listener)");
+  }
   ::unlink(path.c_str());  // clear a stale socket from a previous run
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -49,7 +58,7 @@ Result<ForkServer> ForkServer::Listen(const std::string& path) {
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     return ErrnoError("bind " + path);
   }
-  if (::listen(fd, 16) < 0) {
+  if (::listen(fd, 64) < 0) {
     return ErrnoError("listen " + path);
   }
   ForkServer server;
@@ -64,6 +73,13 @@ Status ForkServer::RegisterChannel(int fd) {
 
 void ForkServer::CloseChannel(int fd) {
   (void)reactor_->RemoveFd(fd);
+  // Waits parked by this channel die with it — their fd number may be reused
+  // by the next accept, and a reply there would correlate to a stranger.
+  for (auto& [pid, waiters] : parked_waits_) {
+    (void)pid;
+    std::erase_if(waiters, [fd](const ParkedWait& w) { return w.sock == fd; });
+  }
+  std::erase_if(parked_waits_, [](const auto& entry) { return entry.second.empty(); });
   for (auto it = socks_.begin(); it != socks_.end(); ++it) {
     if (it->get() == fd) {
       socks_.erase(it);
@@ -116,18 +132,44 @@ void ForkServer::OnChannelReadable(int fd) {
   }
 }
 
+void ForkServer::CompleteParkedWaits(pid_t pid, const ExitStatus& status) {
+  auto it = parked_waits_.find(pid);
+  if (it == parked_waits_.end()) {
+    return;
+  }
+  std::vector<ParkedWait> waiters = std::move(it->second);
+  parked_waits_.erase(it);
+  live_children_.erase(pid);
+  exited_.erase(pid);
+  WaitReply reply;
+  reply.ok = true;
+  reply.status = status;
+  for (const auto& w : waiters) {
+    Status sent = SendFrame(w.sock, EncodeWaitReply(reply, w.meta));
+    if (!sent.ok()) {
+      // The waiter's channel broke while its wait was parked: that client is
+      // gone, not the server — drop the channel and keep serving.
+      CloseChannel(w.sock);
+    }
+  }
+}
+
 void ForkServer::ArmChildExitWatch(pid_t pid) {
   if (!reactor_.has_value()) {
     return;
   }
   // Eagerly reap the instant the pidfd signals so the zombie is short-lived
-  // and the eventual kWait is served from exited_ without blocking. ECHILD
-  // (already reaped by the blocking HandleWait path) leaves no cache entry.
+  // and the eventual kWait is served from exited_ without blocking — and any
+  // wait already parked on this child is answered right here, out of order
+  // with whatever else the channels are doing. ECHILD (already reaped by the
+  // blocking v1 HandleWait path) leaves no cache entry.
   auto watch = ChildWatch::Arm(*reactor_, pid, [this, pid] {
     int raw = 0;
     pid_t reaped = ::waitpid(pid, &raw, WNOHANG);
     if (reaped == pid) {
-      exited_.emplace(pid, DecodeWaitStatus(raw));
+      ExitStatus status = DecodeWaitStatus(raw);
+      exited_.emplace(pid, status);
+      CompleteParkedWaits(pid, status);
     }
     watches_.erase(pid);
   });
@@ -168,8 +210,10 @@ Result<uint64_t> ForkServer::Serve() {
   }
 
   // Drop every registration (watches first — they deregister against the
-  // reactor) so no callback capturing `this` outlives Serve.
+  // reactor) so no callback capturing `this` outlives Serve. Waits still
+  // parked die with their channels; their clients see EOF.
   watches_.clear();
+  parked_waits_.clear();
   reactor_.reset();
   if (!listen_path_.empty()) {
     ::unlink(listen_path_.c_str());
@@ -182,26 +226,32 @@ Result<uint64_t> ForkServer::Serve() {
 
 Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
   WireReader reader(frame.payload);
-  auto type = DecodeHeader(reader);
-  if (!type.ok()) {
+  auto hdr = DecodeHeader(reader);
+  if (!hdr.ok()) {
+    // Unparseable header: there is no version or request_id to echo, so the
+    // error reply is a v1 frame — the one shape every peer can decode.
     SpawnReply reply;
     reply.ok = false;
-    reply.context = type.error().ToString();
+    reply.context = hdr.error().ToString();
     FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
     return true;
   }
 
-  switch (*type) {
+  // Replies speak the version of the request and echo its request_id: this
+  // per-frame mirroring IS the version negotiation — v1 peers keep their
+  // lockstep framing, v2 peers get correlated out-of-order completions.
+  const FrameMeta reply_meta = hdr->meta;
+  switch (hdr->type) {
     case MsgType::kSpawn: {
-      FORKLIFT_RETURN_IF_ERROR(HandleSpawn(sock, frame.payload, std::move(frame.fds)));
+      FORKLIFT_RETURN_IF_ERROR(HandleSpawn(sock, frame.payload, std::move(frame.fds), reply_meta));
       return true;
     }
     case MsgType::kWait: {
-      FORKLIFT_RETURN_IF_ERROR(HandleWait(sock, frame.payload));
+      FORKLIFT_RETURN_IF_ERROR(HandleWait(sock, frame.payload, reply_meta));
       return true;
     }
     case MsgType::kPing: {
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kPong)));
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kPong, reply_meta)));
       return true;
     }
     case MsgType::kNewChannel: {
@@ -209,31 +259,31 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
         SpawnReply reply;
         reply.ok = false;
         reply.context = "forkserver: kNewChannel must carry exactly one socket";
-        FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+        FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply, reply_meta)));
         return true;
       }
       int adopted = frame.fds[0].get();
       socks_.push_back(std::move(frame.fds[0]));
       FORKLIFT_RETURN_IF_ERROR(RegisterChannel(adopted));
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kNewChannelAck)));
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kNewChannelAck, reply_meta)));
       return true;
     }
     case MsgType::kShutdown: {
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kShutdownAck)));
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kShutdownAck, reply_meta)));
       return false;
     }
     default: {
       SpawnReply reply;
       reply.ok = false;
       reply.context = "forkserver: unexpected message type";
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply, reply_meta)));
       return true;
     }
   }
 }
 
 Status ForkServer::HandleSpawn(int sock, const std::string& payload,
-                               std::vector<UniqueFd> fds) {
+                               std::vector<UniqueFd> fds, const FrameMeta& reply_meta) {
   // Renumber every received descriptor above the plan's reachable range.
   std::vector<UniqueFd> high_fds;
   high_fds.reserve(fds.size());
@@ -251,7 +301,7 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
       reply.ok = false;
       reply.err = errno;
       reply.context = "forkserver: relocating transferred fd";
-      return SendFrame(sock, EncodeSpawnReply(reply));
+      return SendFrame(sock, EncodeSpawnReply(reply, reply_meta));
     }
     high_fds.emplace_back(high);
     fd.Reset();
@@ -277,10 +327,10 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
       ++spawns_handled_;
     }
   }
-  return SendFrame(sock, EncodeSpawnReply(reply));
+  return SendFrame(sock, EncodeSpawnReply(reply, reply_meta));
 }
 
-Status ForkServer::HandleWait(int sock, const std::string& payload) {
+Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta) {
   auto pid = DecodeWait(payload);
   WaitReply reply;
   if (!pid.ok()) {
@@ -299,9 +349,17 @@ Status ForkServer::HandleWait(int sock, const std::string& payload) {
       reply.status = cached->second;
       exited_.erase(cached);
       live_children_.erase(p);
+    } else if (reply_meta.version >= kForkServerProtocolV2 && watches_.count(p) > 0) {
+      // Not yet exited, and the caller can correlate an out-of-order reply:
+      // park the wait on the child's exit watch and keep the channel moving.
+      // The reply is sent by CompleteParkedWaits when the pidfd fires.
+      parked_waits_[p].push_back(ParkedWait{sock, reply_meta});
+      return Status::Ok();
     } else {
-      // Not yet exited: disarm the watch (we are about to steal its reap) and
-      // block. This stalls all channels — the documented single-thread trade.
+      // v1 peer (lockstep framing — an out-of-order park would desequence its
+      // replies) or a child whose exit watch failed to arm: disarm the watch
+      // (we are about to steal its reap) and block. This stalls all channels —
+      // the documented trade for v1 compatibility.
       watches_.erase(p);
       auto st = WaitForExit(p);
       if (!st.ok()) {
@@ -312,10 +370,14 @@ Status ForkServer::HandleWait(int sock, const std::string& payload) {
         reply.ok = true;
         reply.status = *st;
         live_children_.erase(p);
+        // Any v2 waits parked on the same child complete with the status this
+        // blocking reap just obtained — the exit watch it displaced will
+        // never fire.
+        CompleteParkedWaits(p, *st);
       }
     }
   }
-  return SendFrame(sock, EncodeWaitReply(reply));
+  return SendFrame(sock, EncodeWaitReply(reply, reply_meta));
 }
 
 Result<ForkServerHandle> StartForkServerProcess() {
@@ -344,6 +406,32 @@ Result<ForkServerHandle> StartForkServerProcess() {
   handle.client_sock = std::move(sp.first);
   handle.server_pid = pid;
   return handle;
+}
+
+Result<pid_t> SpawnShardProcess(ForkServer& server) {
+  // The shard is the same zygote clone as StartForkServerProcess — forked
+  // small, before the supervisor grows — it just inherits a shared listener
+  // instead of a private socketpair.
+  pid_t pid = ::fork();  // forklint:ignore(R7)
+  if (pid < 0) {
+    return ErrnoError("fork (forkserver shard)");
+  }
+  if (pid == 0) {
+    // The supervisor's termination handler only sets a flag; inherited by the
+    // shard it would make SIGTERM a no-op and wedge supervised shutdown. The
+    // shard never execs, so R8's reset-on-exec concern does not apply.
+    ::signal(SIGTERM, SIG_DFL);  // forklint:ignore(R8)
+    ::signal(SIGINT, SIG_DFL);   // forklint:ignore(R8)
+    server.DisownListenPath();
+    auto served = server.Serve();
+    if (!served.ok()) {
+      FORKLIFT_ERROR("fork-server shard terminating on transport error: %s",
+                     served.error().ToString().c_str());
+      _exit(1);
+    }
+    _exit(0);
+  }
+  return pid;
 }
 
 }  // namespace forklift

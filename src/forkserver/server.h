@@ -10,10 +10,11 @@
 // the daemon listener, and a pidfd per live child — so a child's exit is
 // observed (and its status cached for the eventual kWait) without any
 // polling tick. Single-threaded by design: a zygote must stay small and must
-// not hold locks across its forks; a kWait for a child that has not yet
-// exited therefore still blocks all channels, which is the documented trade
-// for that simplicity (a kWait for an already-exited child is answered from
-// the cache without blocking).
+// not hold locks across its forks. Replies are answered out of order: a
+// protocol-v2 kWait for a child that has not yet exited parks on that child's
+// pidfd watch and is answered when the exit is observed, so it never blocks
+// the channel; only a v1 kWait still takes the historical blocking path (the
+// documented single-thread trade for v1 peers).
 #ifndef SRC_FORKSERVER_SERVER_H_
 #define SRC_FORKSERVER_SERVER_H_
 
@@ -29,6 +30,7 @@
 #include "src/common/result.h"
 #include "src/common/syscall.h"
 #include "src/common/unique_fd.h"
+#include "src/forkserver/protocol.h"
 
 namespace forklift {
 
@@ -52,11 +54,25 @@ class ForkServer {
   // Children spawned but not yet waited (visible for tests).
   const std::set<pid_t>& live_children() const { return live_children_; }
 
+  // Shard mode (SpawnShardProcess): the forked shard serves the inherited
+  // listener but must not unlink the socket file — the supervising parent
+  // owns it.
+  void DisownListenPath() { listen_path_.clear(); }
+
  private:
+  // A v2 kWait for a live child, parked until its pidfd watch fires.
+  struct ParkedWait {
+    int sock = -1;
+    FrameMeta meta;
+  };
+
   // Returns true when the server should keep running.
   Result<bool> HandleFrame(int sock, struct Frame frame);
-  Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds);
-  Status HandleWait(int sock, const std::string& payload);
+  Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds,
+                     const FrameMeta& reply_meta);
+  Status HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta);
+  // Answers every wait parked on `pid` with `status` and forgets the child.
+  void CompleteParkedWaits(pid_t pid, const ExitStatus& status);
 
   // Reactor plumbing for Serve: channel/listener registration and the
   // callbacks they dispatch to. Callbacks record failures in serve_error_
@@ -82,6 +98,7 @@ class ForkServer {
   std::optional<Reactor> reactor_;
   std::map<pid_t, ChildWatch> watches_;
   std::map<pid_t, ExitStatus> exited_;  // reaped ahead of the client's kWait
+  std::map<pid_t, std::vector<ParkedWait>> parked_waits_;
   bool stop_serving_ = false;
   Status serve_error_;
 };
@@ -94,6 +111,13 @@ struct ForkServerHandle {
   pid_t server_pid = -1;
 };
 Result<ForkServerHandle> StartForkServerProcess();
+
+// Forks a shard process that serves `server`'s (already-listening, shared)
+// socket and _exits when Serve returns: 0 on a clean client-initiated
+// shutdown, 1 on a transport error. The caller keeps its own copy of the
+// listener and supervises the returned pid (forkliftd --shards). The shard
+// never unlinks the socket path; the supervisor owns the file.
+Result<pid_t> SpawnShardProcess(ForkServer& server);
 
 }  // namespace forklift
 

@@ -1,0 +1,326 @@
+#include "src/forkserver/sharded.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "src/common/syscall.h"
+#include "src/faultinject/faultinject.h"
+#include "src/forkserver/server.h"
+
+namespace forklift {
+
+namespace {
+
+size_t OnlineCpuCount() {
+  long n = ::sysconf(_SC_NPROCESSORS_ONLN);
+  return n > 0 ? static_cast<size_t>(n) : 1;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedForkServer>> ShardedForkServer::Start(const Options& options) {
+  Options opts = options;
+  if (opts.shards == 0) {
+    opts.shards = OnlineCpuCount();
+  }
+  std::unique_ptr<ShardedForkServer> pool(new ShardedForkServer(opts));
+  std::lock_guard<std::mutex> lock(pool->mu_);
+  pool->shards_.resize(opts.shards);
+  for (size_t i = 0; i < opts.shards; ++i) {
+    Status started = pool->StartShardLocked(i);
+    if (!started.ok()) {
+      // Roll back the shards already running so a failed Start leaks neither
+      // processes nor sockets.
+      for (size_t j = 0; j < i; ++j) {
+        Shard& shard = pool->shards_[j];
+        if (shard.client != nullptr) {
+          (void)shard.client->Shutdown();
+          shard.client.reset();
+        }
+        pool->ReapShardLocked(j);
+      }
+      pool->shut_down_ = true;
+      return Err(started.error());
+    }
+  }
+  return pool;
+}
+
+ShardedForkServer::~ShardedForkServer() { (void)Shutdown(); }
+
+Status ShardedForkServer::StartShardLocked(size_t idx) {
+  // Models the socketpair/fork resources the shard start is about to claim;
+  // the sweep drives this site to prove a failed shard start (initial or
+  // restart) degrades cleanly instead of wedging the pool.
+  auto inj = fault::Check("sharded.start_shard", fault::Op::kCreateFd);
+  if (inj.is_errno()) {
+    errno = inj.err;
+    return ErrnoError("sharded forkserver: starting shard");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(ForkServerHandle handle, StartForkServerProcess());
+  Shard& shard = shards_[idx];
+  shard.client = std::make_shared<ForkServerClient>(std::move(handle.client_sock));
+  shard.server_pid = handle.server_pid;
+  ++shard.generation;
+  return Status::Ok();
+}
+
+void ShardedForkServer::ReapShardLocked(size_t idx) {
+  Shard& shard = shards_[idx];
+  if (shard.server_pid > 0) {
+    // A shard is retired on the first transport error its channel reports —
+    // which a send-side failure can raise while the server process is still
+    // alive and parked in its Serve loop (and in-flight PendingSpawn holders
+    // may keep the socket open past this point). Kill before reaping so the
+    // blocking wait below can never wedge the pool on a live process.
+    (void)::kill(shard.server_pid, SIGKILL);
+    auto reaped = WaitForExit(shard.server_pid);
+    (void)reaped;  // a reap error leaves nothing further to clean up
+    shard.server_pid = -1;
+  }
+}
+
+void ShardedForkServer::CleanupShardLocked(size_t idx) {
+  Shard& shard = shards_[idx];
+  shard.client.reset();
+  ReapShardLocked(idx);
+  // Children of the dead shard have no parent left to wait on them; forget
+  // them so their waits fail fast with ECHILD instead of routing nowhere.
+  std::erase_if(owner_, [idx, gen = shard.generation](const auto& entry) {
+    return entry.second.first == idx && entry.second.second == gen;
+  });
+}
+
+void ShardedForkServer::NoteShardFailure(size_t idx, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_) {
+    return;
+  }
+  Shard& shard = shards_[idx];
+  if (shard.generation != generation) {
+    return;  // another caller already handled this crash
+  }
+  CleanupShardLocked(idx);
+  if (options_.restart_crashed_shards) {
+    Status restarted = StartShardLocked(idx);
+    if (restarted.ok()) {
+      ++restarts_;
+    }
+    // On failure the shard stays dead; RouteLocked retries on demand.
+  }
+}
+
+Result<size_t> ShardedForkServer::RouteLocked() {
+  size_t best = shards_.size();
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = shards_[i];
+    if (shard.client == nullptr || shard.client->dead()) {
+      continue;
+    }
+    size_t load = shard.client->outstanding();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  if (best < shards_.size()) {
+    return best;
+  }
+  if (options_.restart_crashed_shards) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      CleanupShardLocked(i);
+      FORKLIFT_RETURN_IF_ERROR(StartShardLocked(i));
+      ++restarts_;
+      return i;
+    }
+  }
+  return LogicalError("sharded forkserver: no live shard");
+}
+
+Result<ShardedForkServer::PendingSpawn> ShardedForkServer::LaunchAsync(const SpawnRequest& req) {
+  Status last_error = Status::Ok();
+  // One retry: a submit failure means the frame never fully reached a healthy
+  // channel, so re-routing cannot double-spawn. Failures after the frame is
+  // on the wire surface through AwaitPid and are never retried here.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    size_t idx;
+    uint64_t generation;
+    std::shared_ptr<ForkServerClient> client;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shut_down_) {
+        return LogicalError("sharded forkserver: already shut down");
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(size_t routed, RouteLocked());
+      idx = routed;
+      generation = shards_[idx].generation;
+      client = shards_[idx].client;
+    }
+    auto pending = client->LaunchAsync(req);
+    if (pending.ok()) {
+      PendingSpawn spawn;
+      spawn.pool_ = this;
+      spawn.channel_ = std::move(client);
+      spawn.reply_ = std::move(*pending);
+      spawn.shard_ = idx;
+      spawn.generation_ = generation;
+      return spawn;
+    }
+    last_error = Err(pending.error());
+    NoteShardFailure(idx, generation);
+  }
+  return Err(last_error.error());
+}
+
+Result<pid_t> ShardedForkServer::PendingSpawn::AwaitPid() {
+  if (!valid()) {
+    return LogicalError("PendingSpawn::AwaitPid on empty handle");
+  }
+  ShardedForkServer* pool = pool_;
+  pool_ = nullptr;
+  auto pid = reply_.AwaitPid();
+  bool channel_died = channel_->dead();
+  channel_.reset();
+  if (!pid.ok()) {
+    if (channel_died) {
+      pool->NoteShardFailure(shard_, generation_);
+    }
+    return Err(pid.error());
+  }
+  pool->RegisterChild(*pid, shard_, generation_);
+  return *pid;
+}
+
+void ShardedForkServer::RegisterChild(pid_t pid, size_t idx, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shut_down_ || shards_[idx].generation != generation) {
+    return;  // the shard is already gone; its child is unwaitable
+  }
+  owner_[pid] = {idx, generation};
+}
+
+Result<pid_t> ShardedForkServer::LaunchRequest(const SpawnRequest& req) {
+  FORKLIFT_ASSIGN_OR_RETURN(PendingSpawn pending, LaunchAsync(req));
+  return pending.AwaitPid();
+}
+
+Result<ExitStatus> ShardedForkServer::WaitRemote(pid_t pid) {
+  size_t idx;
+  uint64_t generation;
+  std::shared_ptr<ForkServerClient> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = owner_.find(pid);
+    if (it == owner_.end()) {
+      return Err(Error(ECHILD, "sharded forkserver: pid " + std::to_string(pid) +
+                                   " is not owned by any live shard"));
+    }
+    idx = it->second.first;
+    generation = it->second.second;
+    if (shards_[idx].generation != generation || shards_[idx].client == nullptr) {
+      owner_.erase(it);
+      return Err(Error(ECHILD, "sharded forkserver: owning shard of pid " +
+                                   std::to_string(pid) + " is gone"));
+    }
+    client = shards_[idx].client;
+  }
+  auto status = client->WaitRemote(pid);
+  bool channel_died = client->dead();
+  client.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owner_.erase(pid);
+  }
+  if (!status.ok() && channel_died) {
+    NoteShardFailure(idx, generation);
+  }
+  return status;
+}
+
+Result<RemoteChild> ShardedForkServer::Spawn(const Spawner& spawner) {
+  FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
+  FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, LaunchRequest(req));
+  return RemoteChild(this, pid);
+}
+
+Status ShardedForkServer::Ping() {
+  std::vector<std::shared_ptr<ForkServerClient>> clients;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return LogicalError("sharded forkserver: already shut down");
+    }
+    for (const Shard& shard : shards_) {
+      if (shard.client != nullptr) {
+        clients.push_back(shard.client);
+      }
+    }
+  }
+  if (clients.empty()) {
+    return LogicalError("sharded forkserver: no live shard");
+  }
+  for (auto& client : clients) {
+    FORKLIFT_RETURN_IF_ERROR(client->Ping());
+  }
+  return Status::Ok();
+}
+
+Status ShardedForkServer::Shutdown() {
+  std::vector<std::pair<std::shared_ptr<ForkServerClient>, pid_t>> to_stop;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) {
+      return Status::Ok();
+    }
+    shut_down_ = true;
+    for (Shard& shard : shards_) {
+      to_stop.emplace_back(std::move(shard.client), shard.server_pid);
+      shard.client.reset();
+      shard.server_pid = -1;
+    }
+    owner_.clear();
+  }
+  Status first_error = Status::Ok();
+  for (auto& [client, pid] : to_stop) {
+    if (client != nullptr) {
+      Status st = client->Shutdown();
+      if (!st.ok() && first_error.ok()) {
+        first_error = st;
+      }
+      client.reset();
+    }
+    if (pid > 0) {
+      auto reaped = WaitForExit(pid);
+      if (!reaped.ok() && first_error.ok()) {
+        first_error = Err(reaped.error());
+      }
+    }
+  }
+  return first_error;
+}
+
+size_t ShardedForkServer::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::vector<pid_t> ShardedForkServer::shard_pids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<pid_t> pids;
+  pids.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    pids.push_back(shard.server_pid);
+  }
+  return pids;
+}
+
+uint64_t ShardedForkServer::restarts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return restarts_;
+}
+
+}  // namespace forklift

@@ -1,0 +1,131 @@
+// forklift/forkserver: the sharded zygote pool.
+//
+// One fork server serializes all fork work in a single process; under many
+// spawner threads the zygote itself becomes the bottleneck the paper's §6
+// pattern was meant to remove. ShardedForkServer is the front-end that fixes
+// the fan-in: it launches N fork-server processes (default one per online
+// CPU), routes each spawn to the shard with the fewest requests in flight
+// (every shard channel is a pipelined v2 ForkServerClient), keeps kWait
+// affine to the shard that owns the child (only that shard is the parent),
+// and transparently restarts a shard that crashes. In-flight requests on a
+// crashed shard complete exactly once, with a clean error — never silently
+// lost, never retried after the frame reached the wire (a retry could fork
+// the child twice).
+#ifndef SRC_FORKSERVER_SHARDED_H_
+#define SRC_FORKSERVER_SHARDED_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/forkserver/client.h"
+
+namespace forklift {
+
+class ShardedForkServer final : public RemoteSpawnService {
+ public:
+  struct Options {
+    size_t shards = 0;  // 0 → one shard per online CPU
+    // Restart a crashed shard on the next request that needs it. When false a
+    // dead shard just drops out of the routing set.
+    bool restart_crashed_shards = true;
+  };
+
+  // Forks the shard processes. Like StartForkServerProcess, call it early,
+  // while this process is small — every shard clones the caller's address
+  // space.
+  static Result<std::unique_ptr<ShardedForkServer>> Start(const Options& options);
+  static Result<std::unique_ptr<ShardedForkServer>> Start() { return Start(Options{}); }
+
+  // Shuts every shard down (if not already done via Shutdown()).
+  ~ShardedForkServer() override;
+  ShardedForkServer(const ShardedForkServer&) = delete;
+  ShardedForkServer& operator=(const ShardedForkServer&) = delete;
+
+  // A routed in-flight spawn. AwaitPid() blocks for the reply and registers
+  // the pid→shard ownership needed by WaitRemote.
+  class PendingSpawn {
+   public:
+    PendingSpawn() = default;
+    PendingSpawn(PendingSpawn&&) noexcept = default;
+    PendingSpawn& operator=(PendingSpawn&&) noexcept = default;
+
+    bool valid() const { return pool_ != nullptr; }
+    Result<pid_t> AwaitPid();
+
+   private:
+    friend class ShardedForkServer;
+
+    ShardedForkServer* pool_ = nullptr;
+    // Keeps the channel alive across a concurrent shard restart.
+    std::shared_ptr<ForkServerClient> channel_;
+    ForkServerClient::PendingReply reply_;
+    size_t shard_ = 0;
+    uint64_t generation_ = 0;
+  };
+
+  // Routes to the least-loaded live shard and submits without waiting.
+  Result<PendingSpawn> LaunchAsync(const SpawnRequest& req);
+
+  // RemoteSpawnService: synchronous routed spawn / affine wait.
+  Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
+  Result<ExitStatus> WaitRemote(pid_t pid) override;
+
+  // Ships the spawner's resolved request through the pool.
+  Result<RemoteChild> Spawn(const Spawner& spawner);
+
+  // Probes every shard.
+  Status Ping();
+
+  // Asks every shard to exit and reaps the shard processes.
+  Status Shutdown();
+
+  size_t shard_count() const;
+  // Server-process pids, one per shard (tests and the fault sweep kill
+  // these to exercise crash recovery).
+  std::vector<pid_t> shard_pids() const;
+  // Number of shard restarts performed so far.
+  uint64_t restarts() const;
+
+ private:
+  struct Shard {
+    std::shared_ptr<ForkServerClient> client;  // null when dead and not restarted
+    pid_t server_pid = -1;
+    uint64_t generation = 0;
+  };
+
+  explicit ShardedForkServer(const Options& options) : options_(options) {}
+
+  // Forks a fresh server process into shards_[idx] (mu_ held).
+  Status StartShardLocked(size_t idx);
+  // Reaps shards_[idx]'s dead server (mu_ held).
+  void ReapShardLocked(size_t idx);
+  // Drops the channel, reaps the server, forgets its children (mu_ held).
+  void CleanupShardLocked(size_t idx);
+  // Records pid→shard ownership after a successful routed spawn.
+  void RegisterChild(pid_t pid, size_t idx, uint64_t generation);
+  // Called when a request observed shards_[idx] (at `generation`) dead:
+  // restarts or retires the shard, exactly once per generation.
+  void NoteShardFailure(size_t idx, uint64_t generation);
+  // Picks the live shard with the fewest requests in flight, restarting one
+  // if every shard is dead and restarts are enabled (mu_ held).
+  Result<size_t> RouteLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<Shard> shards_;
+  // child pid → owning {shard, generation}: kWait must go to the parent.
+  std::map<pid_t, std::pair<size_t, uint64_t>> owner_;
+  uint64_t restarts_ = 0;
+  bool shut_down_ = false;
+};
+
+}  // namespace forklift
+
+#endif  // SRC_FORKSERVER_SHARDED_H_

@@ -18,6 +18,13 @@ namespace forklift {
 
 class WireWriter {
  public:
+  // Pre-sizes the buffer for a frame whose encoded size is known (or bounded)
+  // up front, so encoding appends without reallocation. Combined with Clear()
+  // this makes a long-lived writer a zero-steady-state-allocation scratch
+  // buffer: capacity survives Clear and is reused by the next frame.
+  void Reserve(size_t n) { buf_.reserve(n); }
+  void Clear() { buf_.clear(); }
+
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }

@@ -11,6 +11,7 @@
 
 #include <sys/types.h>
 
+#include <csignal>
 #include <optional>
 #include <string>
 
@@ -48,8 +49,8 @@ class Child {
   // so the exit is observed within a scheduler quantum.
   Result<std::optional<ExitStatus>> WaitDeadline(double timeout_seconds);
 
-  // kill(2). `sig` default SIGTERM.
-  Status Kill(int sig = 15);
+  // kill(2).
+  Status Kill(int sig = SIGTERM);
 
   // SIGKILL then reap. Use from tests' cleanup paths.
   Status KillAndWait();

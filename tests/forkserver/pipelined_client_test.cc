@@ -1,0 +1,251 @@
+// Protocol-v2 pipelining, end to end: many requests in flight on one
+// channel, replies arriving out of order, a parked kWait that never blocks
+// the channel, v1 and v2 clients negotiating against the same server, and a
+// multi-threaded stress mix (the TSan target for the pipelined send/receive
+// paths).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/pipe.h"
+#include "src/common/syscall.h"
+#include "src/forkserver/client.h"
+#include "src/forkserver/server.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+// Runs a ForkServer on a background thread over a socketpair; returns the
+// client. The thread joins at destruction (after Shutdown/EOF).
+class InProcessServer {
+ public:
+  InProcessServer() {
+    auto sp = MakeSocketPair();
+    EXPECT_TRUE(sp.ok());
+    client_ = std::make_unique<ForkServerClient>(std::move(sp->first));
+    server_thread_ = std::thread([sock = std::move(sp->second)]() mutable {
+      ForkServer server(std::move(sock));
+      auto served = server.Serve();
+      EXPECT_TRUE(served.ok()) << served.error().ToString();
+    });
+  }
+
+  ~InProcessServer() {
+    (void)client_->Shutdown();
+    if (server_thread_.joinable()) {
+      server_thread_.join();
+    }
+  }
+
+  ForkServerClient& client() { return *client_; }
+
+ private:
+  std::unique_ptr<ForkServerClient> client_;
+  std::thread server_thread_;
+};
+
+SpawnRequest TrueRequest() {
+  auto req = Spawner("/bin/true").BuildRequest();
+  EXPECT_TRUE(req.ok());
+  return std::move(req).value();
+}
+
+TEST(PipelinedClientTest, BurstOfAsyncSpawnsAllComplete) {
+  InProcessServer srv;
+  SpawnRequest req = TrueRequest();
+
+  constexpr int kDepth = 16;
+  std::vector<ForkServerClient::PendingReply> pending;
+  for (int i = 0; i < kDepth; ++i) {
+    auto p = srv.client().LaunchAsync(req);
+    ASSERT_TRUE(p.ok()) << p.error().ToString();
+    pending.push_back(std::move(*p));
+  }
+  EXPECT_EQ(srv.client().outstanding(), static_cast<size_t>(kDepth));
+
+  std::vector<pid_t> pids;
+  for (auto& p : pending) {
+    auto pid = p.AwaitPid();
+    ASSERT_TRUE(pid.ok()) << pid.error().ToString();
+    pids.push_back(*pid);
+  }
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+  for (pid_t pid : pids) {
+    auto st = srv.client().WaitRemote(pid);
+    ASSERT_TRUE(st.ok()) << st.error().ToString();
+    EXPECT_TRUE(st->Success());
+  }
+}
+
+// The head-of-line property the v2 protocol exists for: a kWait on a child
+// that has not exited parks server-side and other traffic keeps flowing.
+TEST(PipelinedClientTest, ParkedWaitDoesNotBlockTheChannel) {
+  InProcessServer srv;
+  auto hold = MakePipe();
+  ASSERT_TRUE(hold.ok());
+
+  Spawner s("/bin/cat");  // runs until its stdin reaches EOF
+  s.SetStdin(Stdio::Fd(hold->read_end.get()));
+  auto req = s.BuildRequest();
+  ASSERT_TRUE(req.ok());
+  auto pending = srv.client().LaunchAsync(*req);
+  ASSERT_TRUE(pending.ok());
+  auto pid = pending->AwaitPid();
+  ASSERT_TRUE(pid.ok()) << pid.error().ToString();
+  hold->read_end.Reset();
+
+  auto wait = srv.client().WaitAsync(*pid);
+  ASSERT_TRUE(wait.ok());
+  // While that wait is parked, the channel still answers pings and spawns.
+  EXPECT_TRUE(srv.client().Ping().ok());
+  auto quick = srv.client().LaunchRequest(TrueRequest());
+  ASSERT_TRUE(quick.ok());
+  auto quick_st = srv.client().WaitRemote(*quick);
+  ASSERT_TRUE(quick_st.ok());
+  EXPECT_TRUE(quick_st->Success());
+  EXPECT_EQ(srv.client().outstanding(), 1u) << "only the parked wait remains";
+
+  // Release the held child; the parked wait completes with its real status.
+  hold->write_end.Reset();
+  auto st = wait->AwaitExit();
+  ASSERT_TRUE(st.ok()) << st.error().ToString();
+  EXPECT_TRUE(st->Success());
+}
+
+TEST(PipelinedClientTest, RepliesCompleteOutOfSubmissionOrder) {
+  InProcessServer srv;
+  auto hold = MakePipe();
+  ASSERT_TRUE(hold.ok());
+
+  Spawner slow("/bin/cat");
+  slow.SetStdin(Stdio::Fd(hold->read_end.get()));
+  auto slow_req = slow.BuildRequest();
+  ASSERT_TRUE(slow_req.ok());
+  auto slow_pid = srv.client().LaunchRequest(*slow_req);
+  ASSERT_TRUE(slow_pid.ok());
+  hold->read_end.Reset();
+
+  // Submitted first, completes last.
+  auto slow_wait = srv.client().WaitAsync(*slow_pid);
+  ASSERT_TRUE(slow_wait.ok());
+
+  auto fast_pid = srv.client().LaunchRequest(TrueRequest());
+  ASSERT_TRUE(fast_pid.ok());
+  auto fast_st = srv.client().WaitRemote(*fast_pid);
+  ASSERT_TRUE(fast_st.ok());
+  EXPECT_TRUE(fast_st->Success());
+
+  hold->write_end.Reset();
+  auto slow_st = slow_wait->AwaitExit();
+  ASSERT_TRUE(slow_st.ok());
+  EXPECT_TRUE(slow_st->Success());
+}
+
+// Per-frame version negotiation: a legacy v1 client and a pipelined v2
+// client work against the SAME server process concurrently.
+TEST(PipelinedClientTest, V1AndV2ClientsShareOneServer) {
+  std::string path = ::testing::TempDir() + "pipelined_nego_" +
+                     std::to_string(::getpid()) + ".sock";
+  auto server = ForkServer::Listen(path);
+  ASSERT_TRUE(server.ok()) << server.error().ToString();
+  std::thread server_thread([srv = std::make_shared<ForkServer>(std::move(*server))]() {
+    auto served = srv->Serve();
+    EXPECT_TRUE(served.ok()) << served.error().ToString();
+  });
+
+  {
+    auto legacy = LegacyForkServerClient::ConnectPath(path);
+    ASSERT_TRUE(legacy.ok()) << legacy.error().ToString();
+    auto v2 = ForkServerClient::ConnectPath(path);
+    ASSERT_TRUE(v2.ok()) << v2.error().ToString();
+
+    EXPECT_TRUE((*legacy)->Ping().ok());
+    EXPECT_TRUE((*v2)->Ping().ok());
+
+    Spawner s("/bin/true");
+    auto legacy_child = (*legacy)->Spawn(s);
+    ASSERT_TRUE(legacy_child.ok()) << legacy_child.error().ToString();
+    auto v2_child = (*v2)->Spawn(s);
+    ASSERT_TRUE(v2_child.ok()) << v2_child.error().ToString();
+    EXPECT_TRUE(legacy_child->Wait().value().Success());
+    EXPECT_TRUE(v2_child->Wait().value().Success());
+
+    ASSERT_TRUE((*v2)->Shutdown().ok());
+  }
+  server_thread.join();
+}
+
+// The TSan target: several threads pipeline spawns, waits, and pings through
+// one shared client at depth > 1, exercising the send-lock/slot-map/receiver
+// interleavings.
+TEST(PipelinedClientTest, MultiThreadedPipelinedStress) {
+  InProcessServer srv;
+  SpawnRequest req = TrueRequest();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  constexpr int kDepth = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&srv, &req, &failures] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<ForkServerClient::PendingReply> window;
+        for (int d = 0; d < kDepth; ++d) {
+          auto p = srv.client().LaunchAsync(req);
+          if (!p.ok()) {
+            ++failures;
+            return;
+          }
+          window.push_back(std::move(*p));
+        }
+        if (!srv.client().Ping().ok()) {
+          ++failures;
+          return;
+        }
+        for (auto& p : window) {
+          auto pid = p.AwaitPid();
+          if (!pid.ok()) {
+            ++failures;
+            return;
+          }
+          auto st = srv.client().WaitRemote(*pid);
+          if (!st.ok() || !st->Success()) {
+            ++failures;
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+// Dropping a PendingReply without awaiting it must not leak its slot or
+// confuse the receiver when the reply later arrives.
+TEST(PipelinedClientTest, AbandonedPendingReplyIsHarmless) {
+  InProcessServer srv;
+  {
+    auto p = srv.client().PingAsync();
+    ASSERT_TRUE(p.ok());
+    // Dropped here, possibly before the pong arrives.
+  }
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(srv.client().Ping().ok());
+  }
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+}  // namespace
+}  // namespace forklift

@@ -169,16 +169,19 @@ TEST(ProtocolRobustnessTest, EveryMessageTypeRoundTrips) {
                     MsgType::kShutdownAck, MsgType::kNewChannel, MsgType::kNewChannelAck}) {
     std::string payload = EncodeControl(t);
     WireReader reader(payload);
-    auto type = DecodeHeader(reader);
-    ASSERT_TRUE(type.ok());
-    EXPECT_EQ(*type, t);
+    auto hdr = DecodeHeader(reader);
+    ASSERT_TRUE(hdr.ok());
+    EXPECT_EQ(hdr->type, t);
+    EXPECT_EQ(hdr->meta.version, kForkServerProtocolV1);
+    EXPECT_EQ(hdr->meta.request_id, 0u);
     EXPECT_TRUE(reader.AtEnd());
   }
 }
 
 // --- truncation at every byte offset, for every message type ---
 
-void ExpectAllTruncationsRejected(const std::string& payload, const char* what) {
+void ExpectAllTruncationsRejected(const std::string& payload, const char* what,
+                                  size_t header_size = 12) {
   std::vector<UniqueFd> no_fds;
   for (size_t len = 0; len < payload.size(); ++len) {
     std::string cut = payload.substr(0, len);
@@ -187,13 +190,13 @@ void ExpectAllTruncationsRejected(const std::string& payload, const char* what) 
     EXPECT_FALSE(DecodeWait(cut).ok()) << what << " cut at " << len;
     EXPECT_FALSE(DecodeWaitReply(cut).ok()) << what << " cut at " << len;
     WireReader reader(cut);
-    auto type = DecodeHeader(reader);
-    if (len >= 12) {
+    auto hdr = DecodeHeader(reader);
+    if (len >= header_size) {
       // Full header survives a payload truncation; the typed decode above
       // already proved the body is rejected.
       continue;
     }
-    EXPECT_FALSE(type.ok()) << what << " header cut at " << len;
+    EXPECT_FALSE(hdr.ok()) << what << " header cut at " << len;
   }
 }
 
@@ -203,6 +206,19 @@ TEST(ProtocolRobustnessTest, TruncationAtEveryOffsetRejected) {
   ExpectAllTruncationsRejected(EncodeWait(777), "wait");
   ExpectAllTruncationsRejected(SampleWaitReply(), "wait reply");
   ExpectAllTruncationsRejected(EncodeControl(MsgType::kPing), "ping");
+}
+
+TEST(ProtocolRobustnessTest, TruncationAtEveryOffsetRejectedV2) {
+  // The v2 header is 20 bytes (12-byte v1 header + u64 request_id); any cut
+  // inside the request_id must reject the header, not read past the end.
+  const FrameMeta meta{kForkServerProtocolV2, 0x0123456789abcdefull};
+  ExpectAllTruncationsRejected(EncodeWait(777, meta), "wait v2", 20);
+  ExpectAllTruncationsRejected(EncodeControl(MsgType::kPing, meta), "ping v2", 20);
+  SpawnReply reply;
+  reply.ok = false;
+  reply.err = ENOENT;
+  reply.context = "child execve";
+  ExpectAllTruncationsRejected(EncodeSpawnReply(reply, meta), "spawn reply v2", 20);
 }
 
 // --- single-bit corruption of the 12-byte header (magic, version, type) ---
@@ -233,15 +249,127 @@ TEST(ProtocolRobustnessTest, HeaderBitFlipsOnControlFramesAreSafe) {
       std::string mutated = base;
       mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
       WireReader reader(mutated);
-      auto type = DecodeHeader(reader);
-      if (type.ok()) {
+      auto hdr = DecodeHeader(reader);
+      if (hdr.ok()) {
         // A type-field flip can legally produce a *different* valid type; the
         // property is that it never yields the original unchanged.
-        EXPECT_NE(*type, t) << "bit " << bit << " flipped to the same type";
+        EXPECT_NE(hdr->type, t) << "bit " << bit << " flipped to the same type";
       } else {
-        EXPECT_EQ(type.error().code(), 0) << "must be LogicalError, bit " << bit;
+        EXPECT_EQ(hdr.error().code(), 0) << "must be LogicalError, bit " << bit;
       }
     }
+  }
+}
+
+// --- protocol v2: request-id correlation and version negotiation ---
+
+TEST(ProtocolRobustnessTest, V2FramesRoundTripRequestId) {
+  const FrameMeta meta{kForkServerProtocolV2, 0xdeadbeef12345678ull};
+  {
+    FrameMeta got;
+    auto pid = DecodeWait(EncodeWait(777, meta), &got);
+    ASSERT_TRUE(pid.ok());
+    EXPECT_EQ(*pid, 777);
+    EXPECT_EQ(got.version, kForkServerProtocolV2);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    SpawnReply in;
+    in.ok = true;
+    in.pid = 4242;
+    FrameMeta got;
+    auto out = DecodeSpawnReply(EncodeSpawnReply(in, meta), &got);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->pid, 4242);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    WaitReply in;
+    in.ok = true;
+    in.status.exited = true;
+    in.status.exit_code = 9;
+    FrameMeta got;
+    auto out = DecodeWaitReply(EncodeWaitReply(in, meta), &got);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out->status.exit_code, 9);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    std::vector<int> fds;
+    auto payload = EncodeSpawnRequest(MakeSampleRequest(), &fds, meta);
+    ASSERT_TRUE(payload.ok());
+    std::vector<UniqueFd> received;
+    for (int fd : fds) {
+      received.emplace_back(::dup(fd));
+    }
+    FrameMeta got;
+    auto decoded = DecodeSpawnRequest(*payload, received, &got);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+    EXPECT_EQ(got.version, kForkServerProtocolV2);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    std::string payload = EncodeControl(MsgType::kPing, meta);
+    WireReader reader(payload);
+    auto hdr = DecodeHeader(reader);
+    ASSERT_TRUE(hdr.ok());
+    EXPECT_EQ(hdr->type, MsgType::kPing);
+    EXPECT_EQ(hdr->meta.request_id, meta.request_id);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(ProtocolRobustnessTest, V1FramesDecodeAsVersion1WithRequestIdZero) {
+  // Negotiation is per-frame: a v1 peer's frames must keep decoding exactly
+  // as before, and the meta out-param must be reset, not left stale.
+  FrameMeta got;
+  got.version = kForkServerProtocolV2;
+  got.request_id = 99;
+  auto pid = DecodeWait(EncodeWait(777), &got);
+  ASSERT_TRUE(pid.ok());
+  EXPECT_EQ(*pid, 777);
+  EXPECT_EQ(got.version, kForkServerProtocolV1);
+  EXPECT_EQ(got.request_id, 0u);
+}
+
+TEST(ProtocolRobustnessTest, UnknownVersionRejected) {
+  // Claim version 3 (bytes 4..7, little-endian) on an otherwise valid frame.
+  std::string payload = EncodeWait(777);
+  payload[4] = 3;
+  EXPECT_FALSE(DecodeWait(payload).ok());
+  WireReader reader(payload);
+  EXPECT_FALSE(DecodeHeader(reader).ok());
+}
+
+TEST(ProtocolRobustnessTest, V2HeaderBitFlipsNeverCrashTypedDecoders) {
+  // Same property as the v1 test, over a v2 frame's magic/version/type bytes.
+  // Version 2 and 1 differ in two bits, so no single flip can downgrade a
+  // frame to the other version; a flip always breaks the typed decode.
+  const FrameMeta meta{kForkServerProtocolV2, 7};
+  const std::string base = EncodeWait(777, meta);
+  ASSERT_GE(base.size(), 20u);
+  for (size_t bit = 0; bit < 12 * 8; ++bit) {
+    std::string mutated = base;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    EXPECT_FALSE(DecodeWait(mutated).ok()) << "bit " << bit;
+  }
+}
+
+TEST(ProtocolRobustnessTest, RequestIdBitFlipsDecodeWithDifferentId) {
+  // Flips inside the request_id (bytes 12..19) leave a well-formed frame; the
+  // body must still decode and the corrupted id must differ from the original
+  // (so the client drops, not mis-correlates, the reply).
+  const FrameMeta meta{kForkServerProtocolV2, 0x0123456789abcdefull};
+  const std::string base = EncodeWait(777, meta);
+  ASSERT_GE(base.size(), 20u);
+  for (size_t bit = 12 * 8; bit < 20 * 8; ++bit) {
+    std::string mutated = base;
+    mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    FrameMeta got;
+    auto pid = DecodeWait(mutated, &got);
+    ASSERT_TRUE(pid.ok()) << "bit " << bit;
+    EXPECT_EQ(*pid, 777);
+    EXPECT_NE(got.request_id, meta.request_id) << "bit " << bit;
   }
 }
 

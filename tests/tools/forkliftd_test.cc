@@ -123,6 +123,79 @@ TEST_F(ForkliftdTest, ShutdownRemovesSocketAndExits) {
   EXPECT_FALSE(ForkServerClient::ConnectPath(socket_path_).ok());
 }
 
+TEST(ForkliftdShardsTest, ShardedDaemonServesAndShutsDown) {
+  std::string socket_path =
+      ::testing::TempDir() + "forkliftd_shards_" + std::to_string(::getpid()) + ".sock";
+  auto daemon = Spawner(FORKLIFTD_BIN)
+                    .Args({"--socket", socket_path, "--shards", "2"})
+                    .SetStderr(Stdio::Null())
+                    .Spawn();
+  ASSERT_TRUE(daemon.ok()) << daemon.error().ToString();
+  Stopwatch sw;
+  for (;;) {
+    auto probe = ForkServerClient::ConnectPath(socket_path);
+    if (probe.ok()) {
+      break;
+    }
+    ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "sharded daemon never started listening";
+    ::usleep(2000);
+  }
+
+  // Concurrent clients land on (potentially) different shard zygotes; each
+  // connection must spawn and wait normally.
+  auto a = ForkServerClient::ConnectPath(socket_path);
+  auto b = ForkServerClient::ConnectPath(socket_path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Spawner s("/bin/sh");
+  s.Args({"-c", "exit 7"});
+  auto child_a = (*a)->Spawn(s);
+  auto child_b = (*b)->Spawn(s);
+  ASSERT_TRUE(child_a.ok()) << child_a.error().ToString();
+  ASSERT_TRUE(child_b.ok()) << child_b.error().ToString();
+  EXPECT_EQ(child_a->Wait().value().exit_code, 7);
+  EXPECT_EQ(child_b->Wait().value().exit_code, 7);
+
+  // Shutting down one shard winds down the whole supervisor, which removes
+  // the socket file on its way out.
+  ASSERT_TRUE((*a)->Shutdown().ok());
+  auto st = daemon->WaitDeadline(10.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value()) << "supervisor did not exit after shutdown";
+  EXPECT_TRUE((*st)->Success());
+  EXPECT_FALSE(ForkServerClient::ConnectPath(socket_path).ok());
+}
+
+TEST(ForkliftdShardsTest, SigtermWindsDownSupervisorAndShards) {
+  std::string socket_path =
+      ::testing::TempDir() + "forkliftd_sigterm_" + std::to_string(::getpid()) + ".sock";
+  auto daemon = Spawner(FORKLIFTD_BIN)
+                    .Args({"--socket", socket_path, "--shards", "2"})
+                    .SetStderr(Stdio::Null())
+                    .Spawn();
+  ASSERT_TRUE(daemon.ok()) << daemon.error().ToString();
+  Stopwatch sw;
+  for (;;) {
+    auto probe = ForkServerClient::ConnectPath(socket_path);
+    if (probe.ok()) {
+      break;
+    }
+    ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "sharded daemon never started listening";
+    ::usleep(2000);
+  }
+
+  // A plain kill of the supervisor — not a client Shutdown — must forward to
+  // the shards (which must NOT have inherited the supervisor's flag-setting
+  // handler), reap them, and still remove the socket file on the way out.
+  ASSERT_TRUE(daemon->Kill(SIGTERM).ok());
+  auto st = daemon->WaitDeadline(10.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value()) << "supervisor did not exit after SIGTERM";
+  EXPECT_FALSE(ForkServerClient::ConnectPath(socket_path).ok());
+  struct stat sb;
+  EXPECT_EQ(::stat(socket_path.c_str(), &sb), -1) << "socket file left behind";
+}
+
 TEST(ForkliftdDaemonTest, DaemonModeDetachesAndServes) {
   std::string socket_path =
       ::testing::TempDir() + "forkliftd_daemon_" + std::to_string(::getpid()) + ".sock";

@@ -1,6 +1,7 @@
 // faultsweep: enumerate every syscall fault-injection site reachable from the
-// library's three canonical workloads — a pipe spawn, a fork-server
-// round-trip, and a supervisor restart loop — then re-run each workload with
+// library's canonical workloads — a pipe spawn, a fork-server round-trip, a
+// supervisor restart loop, a reactor byte-shuffle, and a sharded zygote pool
+// surviving a mid-pipeline shard crash — then re-run each workload with
 // a fault injected at every (site, mode, nth-hit) combination and check the
 // process-hygiene invariants the paper says fork-based systems get wrong:
 //
@@ -44,6 +45,7 @@
 #include "src/faultinject/faultinject.h"
 #include "src/forkserver/client.h"
 #include "src/forkserver/server.h"
+#include "src/forkserver/sharded.h"
 #include "src/spawn/spawner.h"
 #include "src/spawn/supervisor.h"
 
@@ -347,6 +349,84 @@ Status ScenarioReactor() {
   return Status::Ok();
 }
 
+// Sharded pool under fire: routed pipelined spawns across two shards, then
+// every shard SIGKILLed with requests in flight. The contract is exactly-once
+// completion: each in-flight op finishes precisely once (success or a clean
+// error — never a retry that could double-fork, never a hang), the pool
+// restarts a shard transparently, and shutdown leaves no fd or child behind.
+Status ScenarioSharded() {
+  ShardedForkServer::Options options;
+  options.shards = 2;
+  auto pool = ShardedForkServer::Start(options);
+  if (!pool.ok()) return Err(pool.error());
+
+  auto req = Spawner("/bin/true").BuildRequest();
+  if (!req.ok()) return Err(req.error());
+
+  // Healthy pipeline: a window of spawns routed across both shards.
+  {
+    std::vector<ShardedForkServer::PendingSpawn> window;
+    for (int i = 0; i < 4; ++i) {
+      auto p = (*pool)->LaunchAsync(*req);
+      if (!p.ok()) return Err(p.error());
+      window.push_back(std::move(*p));
+    }
+    for (auto& p : window) {
+      auto pid = p.AwaitPid();
+      if (!pid.ok()) return Err(pid.error());
+      auto st = (*pool)->WaitRemote(*pid);
+      if (!st.ok()) return Err(st.error());
+      if (!st->Success()) return LogicalError("sharded: child failed: " + st->ToString());
+    }
+  }
+
+  // Crash mid-pipeline: a live (held) child plus unawaited spawns in flight,
+  // then SIGKILL every shard. The awaits below must all COMPLETE — a success
+  // that raced ahead of the kill or a clean transport error are both fine;
+  // what the invariants (watchdog, fd diff, zombie probe) rule out is a hang,
+  // a loss, or a double-completion.
+  auto hold = MakePipe(/*cloexec=*/true);
+  if (!hold.ok()) return Err(hold.error());
+  Spawner held("/bin/cat");
+  held.SetStdin(Stdio::Fd(hold->read_end.get()));
+  auto held_req = held.BuildRequest();
+  if (!held_req.ok()) return Err(held_req.error());
+  auto held_pid = (*pool)->LaunchRequest(*held_req);
+  if (!held_pid.ok()) return Err(held_pid.error());
+  hold->read_end.Reset();
+
+  std::vector<ShardedForkServer::PendingSpawn> inflight;
+  for (int i = 0; i < 3; ++i) {
+    auto p = (*pool)->LaunchAsync(*req);
+    if (!p.ok()) return Err(p.error());
+    inflight.push_back(std::move(*p));
+  }
+  for (pid_t shard : (*pool)->shard_pids()) {
+    if (shard > 0) (void)::kill(shard, SIGKILL);
+  }
+  for (auto& p : inflight) {
+    auto pid = p.AwaitPid();
+    if (pid.ok()) {
+      (void)(*pool)->WaitRemote(*pid);  // completes: status or clean error
+    }
+  }
+  (void)(*pool)->WaitRemote(*held_pid);  // parked on a dead shard: clean error
+  hold->write_end.Reset();               // release the orphaned cat to init
+
+  // Transparent restart: a spawn submitted before the router observed the
+  // dead channels completes exactly once as an error and is not retried, so
+  // allow a bounded number of attempts for the restart to take.
+  bool recovered = false;
+  for (int attempt = 0; attempt < 10 && !recovered; ++attempt) {
+    auto pid = (*pool)->LaunchRequest(*req);
+    if (!pid.ok()) continue;
+    auto st = (*pool)->WaitRemote(*pid);
+    recovered = st.ok() && st->Success();
+  }
+  if (!recovered) return LogicalError("sharded: pool never recovered after shard kill");
+  return (*pool)->Shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // The sweep.
 // ---------------------------------------------------------------------------
@@ -361,6 +441,7 @@ constexpr Scenario kScenarios[] = {
     {"forkserver", ScenarioForkServer},
     {"supervisor", ScenarioSupervisor},
     {"reactor", ScenarioReactor},
+    {"sharded", ScenarioSharded},
 };
 
 struct SweepOptions {
@@ -526,7 +607,7 @@ int Sweep(const SweepOptions& opt) {
 
 int Usage() {
   ::fprintf(stderr,
-            "usage: faultsweep [--scenarios=spawn,forkserver,supervisor,reactor|all]\n"
+            "usage: faultsweep [--scenarios=spawn,forkserver,supervisor,reactor,sharded|all]\n"
             "                  [--modes=eintr,eagain,enomem,emfile,eio,short]\n"
             "                  [--site=<glob>] [--nth-cap=N] [--seed=N]\n"
             "                  [--list] [--verbose]\n");
@@ -547,7 +628,7 @@ std::vector<std::string> SplitCommas(const std::string& text) {
 
 int Main(int argc, char** argv) {
   SweepOptions opt;
-  opt.scenarios = {"spawn", "forkserver", "supervisor", "reactor"};
+  opt.scenarios = {"spawn", "forkserver", "supervisor", "reactor", "sharded"};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {

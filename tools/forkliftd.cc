@@ -4,16 +4,26 @@
 // process they ask for is forked from THIS tiny process instead of from the
 // (potentially huge) clients — §6 of the paper as a service:
 //
-//   forkliftd --socket /run/forklift.sock [--daemon]
+//   forkliftd --socket /run/forklift.sock [--daemon] [--shards N]
 //
 // Clients connect with ForkServerClient::ConnectPath(path). The process exits
 // when a client sends Shutdown. With --daemon it detaches (double-fork,
 // setsid, stdio to /dev/null) and the launching command returns 0 only once
 // the socket is actually accepting — ready-means-ready semantics.
+//
+// With --shards N (N > 1, or 0 for one per online CPU) the daemon becomes a
+// prefork supervisor: N shard processes accept(2) on the one listening
+// socket, so concurrent clients land on different zygotes and fork in
+// parallel. The supervisor owns the socket file and restarts a shard that
+// crashes; a client-initiated Shutdown of any shard winds down the rest.
 #include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -23,17 +33,124 @@
 
 using namespace forklift;
 
+namespace {
+
+// Set by the supervisor's SIGTERM/SIGINT handler; the waitpid loop notices
+// the EINTR, forwards the signal to every shard, and unwinds normally so the
+// socket file is still unlinked on a plain `kill <supervisor>`.
+volatile sig_atomic_t g_terminate = 0;
+
+void OnTerminate(int) { g_terminate = 1; }
+
+// Runs the prefork supervisor: forks `shards` servers over the shared
+// listener, restarts crashed ones, and winds the rest down when any shard
+// exits cleanly (a client sent Shutdown) or the supervisor itself is told to
+// terminate. Returns the process exit code.
+int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t shards) {
+  struct sigaction sa = {};
+  sa.sa_handler = OnTerminate;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: waitpid must come back with EINTR
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  std::set<pid_t> shard_pids;
+  auto fork_shard = [&]() -> bool {
+    auto pid = SpawnShardProcess(server);
+    if (!pid.ok()) {
+      std::fprintf(stderr, "forkliftd: %s\n", pid.error().ToString().c_str());
+      return false;
+    }
+    shard_pids.insert(*pid);
+    return true;
+  };
+
+  int exit_code = 0;
+  bool shutting_down = false;
+  for (size_t i = 0; i < shards; ++i) {
+    if (!fork_shard()) {
+      exit_code = 1;
+      shutting_down = true;
+      break;
+    }
+  }
+  if (!shutting_down) {
+    FORKLIFT_LOG("forkliftd supervising %zu shards on %s (pid %d)", shards, socket_path.c_str(),
+                 static_cast<int>(::getpid()));
+  } else {
+    for (pid_t p : shard_pids) {
+      ::kill(p, SIGTERM);
+    }
+  }
+
+  while (!shard_pids.empty()) {
+    if (g_terminate && !shutting_down) {
+      shutting_down = true;
+      for (pid_t p : shard_pids) {
+        ::kill(p, SIGTERM);
+      }
+    }
+    int wstatus = 0;
+    pid_t pid = ::waitpid(-1, &wstatus, 0);
+    if (pid < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // ECHILD: everything already reaped
+    }
+    if (shard_pids.erase(pid) == 0) {
+      continue;  // not a shard of ours
+    }
+    if (shutting_down) {
+      continue;
+    }
+    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+      // A client asked that shard to shut down; wind down the siblings too.
+      shutting_down = true;
+      for (pid_t p : shard_pids) {
+        ::kill(p, SIGTERM);
+      }
+    } else {
+      FORKLIFT_LOG("forkliftd: shard %d died (status 0x%x), restarting", static_cast<int>(pid),
+                   wstatus);
+      if (!fork_shard()) {
+        exit_code = 1;
+        shutting_down = true;
+        for (pid_t p : shard_pids) {
+          ::kill(p, SIGTERM);
+        }
+      }
+    }
+  }
+  // The supervisor — not the shards — owns the socket file.
+  ::unlink(socket_path.c_str());
+  return exit_code;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/forkliftd.sock";
   bool daemonize = false;
+  size_t shards = 1;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--socket" && i + 1 < args.size()) {
       socket_path = args[++i];
     } else if (args[i] == "--daemon") {
       daemonize = true;
+    } else if (args[i] == "--shards" && i + 1 < args.size()) {
+      char* end = nullptr;
+      unsigned long n = std::strtoul(args[++i].c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "forkliftd: --shards expects a number, got '%s'\n", args[i].c_str());
+        return 2;
+      }
+      shards = n > 0 ? static_cast<size_t>(n)
+                     : (::sysconf(_SC_NPROCESSORS_ONLN) > 0
+                            ? static_cast<size_t>(::sysconf(_SC_NPROCESSORS_ONLN))
+                            : 1);
     } else if (args[i] == "--help") {
-      std::printf("usage: %s [--socket PATH] [--daemon]\n", argv[0]);
+      std::printf("usage: %s [--socket PATH] [--daemon] [--shards N]\n", argv[0]);
       return 0;
     } else {
       std::fprintf(stderr, "forkliftd: unknown option '%s'\n", args[i].c_str());
@@ -66,6 +183,9 @@ int main(int argc, char** argv) {
     if (!ready.NotifyReady().ok()) {
       return 1;
     }
+  }
+  if (shards > 1) {
+    return SuperviseShards(*server, socket_path, shards);
   }
   FORKLIFT_LOG("forkliftd listening on %s (pid %d)", socket_path.c_str(),
                static_cast<int>(::getpid()));
