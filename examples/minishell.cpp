@@ -15,7 +15,12 @@
 //   cmd < file                     stdin redirection
 //   VAR=value cmd                  per-command environment
 //   'single' "double" back\slash   quoting (literal; no $ expansion)
-//   cd DIR, exit [N], backend [fork|vfork|spawn], help    builtins
+//   cd DIR, exit [N], backend [NAME], help    builtins
+//
+// `backend` picks the SpawnService route every subsequent command launches
+// through: forkexec | vfork | spawn | clone3 run in-process; forkserver and
+// sharded route the spawn to a zygote — the pipeline's fds ride along over
+// SCM_RIGHTS, and the shell holds the same ProcessHandle either way.
 #include <unistd.h>
 
 #include <cstdio>
@@ -26,6 +31,10 @@
 
 #include "src/common/pipe.h"
 #include "src/common/string_util.h"
+#include "src/forkserver/service_adapters.h"
+#include "src/forkserver/sharded.h"
+#include "src/spawn/process_handle.h"
+#include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 
 using namespace forklift;
@@ -168,6 +177,17 @@ bool ParseLine(const std::string& line, ParsedLine* out, std::string* error) {
 
 class MiniShell {
  public:
+  MiniShell() {
+    // Every mechanism the shell can name, registered once; the `backend`
+    // builtin just changes which route commands are pinned to.
+    service_.AddLocalRoute(SpawnBackendKind::kForkExec);
+    service_.AddLocalRoute(SpawnBackendKind::kVfork);
+    service_.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+    service_.AddLocalRoute(SpawnBackendKind::kCloneVm);
+    service_.AddRoute(ForkServerTransport::StartInProcess());  // forks lazily
+    service_.AddRoute(ShardedTransport::StartLazy(ShardedForkServer::Options{}));
+  }
+
   int Run() {
     std::string line;
     while (Prompt(), std::getline(std::cin, line)) {
@@ -182,7 +202,7 @@ class MiniShell {
  private:
   void Prompt() {
     if (isatty(STDIN_FILENO)) {
-      std::printf("forklift[%s]$ ", SpawnBackendKindName(backend_));
+      std::printf("forklift[%s]$ ", route_.c_str());
       std::fflush(stdout);
     }
   }
@@ -219,21 +239,28 @@ class MiniShell {
     }
     if (name == "backend") {
       if (cmd.argv.size() > 1) {
-        if (cmd.argv[1] == "fork") {
-          backend_ = SpawnBackendKind::kForkExec;
-        } else if (cmd.argv[1] == "vfork") {
-          backend_ = SpawnBackendKind::kVfork;
-        } else if (cmd.argv[1] == "spawn") {
-          backend_ = SpawnBackendKind::kPosixSpawn;
+        const std::string& want = cmd.argv[1];
+        if (want == "fork" || want == "forkexec") {
+          route_ = "local:forkexec";
+        } else if (want == "vfork") {
+          route_ = "local:vfork";
+        } else if (want == "spawn" || want == "posix_spawn") {
+          route_ = "local:posix_spawn";
+        } else if (want == "clone3") {
+          route_ = "local:clone3";
+        } else if (want == "forkserver" || want == "sharded") {
+          route_ = want;
         } else {
-          std::fprintf(stderr, "backend: fork | vfork | spawn\n");
+          std::fprintf(stderr, "backend: forkexec | vfork | spawn | clone3 | "
+                               "forkserver | sharded\n");
         }
       }
-      std::printf("backend: %s\n", SpawnBackendKindName(backend_));
+      std::printf("backend: %s\n", route_.c_str());
       return true;
     }
     if (name == "help") {
-      std::printf("builtins: cd DIR, exit [N], backend [fork|vfork|spawn], help\n"
+      std::printf("builtins: cd DIR, exit [N], backend "
+                  "[forkexec|vfork|spawn|clone3|forkserver|sharded], help\n"
                   "syntax:   cmd a | cmd2 b, < file, > file, >> file, VAR=v cmd\n");
       return true;
     }
@@ -251,7 +278,7 @@ class MiniShell {
       pipes.push_back(std::move(p).value());
     }
 
-    std::vector<Child> children;
+    std::vector<ProcessHandle> children;
     for (size_t i = 0; i < line.stages.size(); ++i) {
       const ParsedCommand& cmd = line.stages[i];
       Spawner s(cmd.argv[0]);
@@ -261,7 +288,6 @@ class MiniShell {
       for (const auto& [k, v] : cmd.env) {
         s.SetEnv(k, v);
       }
-      s.SetBackend(backend_);
 
       if (!cmd.stdin_path.empty()) {
         s.SetStdin(Stdio::Path(cmd.stdin_path));
@@ -275,7 +301,7 @@ class MiniShell {
         s.SetStdout(Stdio::Fd(pipes[i].write_end.get()));
       }
 
-      auto child = s.Spawn();
+      auto child = service_.Spawn(s, route_);
       if (!child.ok()) {
         std::fprintf(stderr, "minishell: %s: %s\n", cmd.argv[0].c_str(),
                      child.error().ToString().c_str());
@@ -297,7 +323,8 @@ class MiniShell {
     }
   }
 
-  SpawnBackendKind backend_ = SpawnBackendKind::kPosixSpawn;
+  SpawnService service_;
+  std::string route_ = "local:posix_spawn";
   bool exiting_ = false;
   int exit_code_ = 0;
 };

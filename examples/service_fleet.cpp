@@ -3,19 +3,30 @@
 // graceful TERM→KILL shutdown. This is the layer the paper's §4 complaints
 // make painful to write on raw fork/SIGCHLD, shown on the spawn API instead.
 //
+// Every (re)start routes through one SpawnService, so where the fleet's
+// children actually come from (which local backend, or a zygote) is routing
+// policy, not supervisor code.
+//
 // Run: ./build/examples/service_fleet
 #include <cstdio>
 
+#include "src/spawn/service.h"
 #include "src/spawn/supervisor.h"
 
 using namespace forklift;
 
 int main() {
+  // posix_spawn primary with a fork+exec fallback: if the fast path ever
+  // fails as a transport would, the chain degrades instead of the fleet.
+  SpawnService spawns;
+  spawns.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+  spawns.AddLocalRoute(SpawnBackendKind::kForkExec);
+
   Supervisor::Options opts;
   opts.restart_backoff_base_seconds = 0.05;
   opts.max_consecutive_failures = 3;
   opts.shutdown_grace_seconds = 1.0;
-  Supervisor fleet(opts);
+  Supervisor fleet(opts, &spawns);
 
   // A long-running worker, a periodic one-shot, and a crash-looper.
   Spawner steady("/bin/sh");

@@ -6,6 +6,10 @@
 // before the application grew does the forking, with the client's pipes
 // passed over SCM_RIGHTS so the helpers still talk to us directly.
 //
+// Both paths go through one SpawnService — the caller picks a *route*
+// ("local:forkexec" vs "forkserver") and holds the same ProcessHandle either
+// way; where the child's parent lives is the routing layer's business.
+//
 // Run: ./build/examples/zygote_service [ballast_mib]
 #include <cstdio>
 #include <cstdlib>
@@ -16,50 +20,36 @@
 #include "src/common/pipe.h"
 #include "src/common/string_util.h"
 #include "src/common/syscall.h"
-#include "src/forkserver/client.h"
-#include "src/forkserver/server.h"
+#include "src/forkserver/service_adapters.h"
+#include "src/spawn/process_handle.h"
+#include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 
 using namespace forklift;
 
 namespace {
 
-// Launches `date` through the given spawn path and returns its output plus
-// the wall time of launch+read+reap.
+// Launches `date` through the given route and returns its output plus the
+// wall time of launch+read+reap.
 struct LaunchResult {
   std::string output;
   double millis = -1;
 };
 
-LaunchResult ViaDirectFork() {
+LaunchResult ViaRoute(SpawnService& service, const char* route) {
   LaunchResult r;
   Stopwatch sw;
-  auto child = Spawner("date").Arg("+%T").SetStdout(Stdio::Pipe()).Spawn();
-  if (!child.ok()) {
-    std::fprintf(stderr, "direct spawn failed: %s\n", child.error().ToString().c_str());
-    return r;
-  }
-  auto oc = child->Communicate();
-  if (!oc.ok()) {
-    return r;
-  }
-  r.output = oc->stdout_data;
-  r.millis = sw.ElapsedMillis();
-  return r;
-}
-
-LaunchResult ViaZygote(ForkServerClient& zygote) {
-  LaunchResult r;
-  Stopwatch sw;
+  // An explicit pipe + Stdio::Fd works on every route: locally the fd is
+  // dup2'd into the child, remotely it rides SCM_RIGHTS to the server.
   auto pipe = MakePipe();
   if (!pipe.ok()) {
     return r;
   }
   Spawner s("date");
   s.Arg("+%T").SetStdout(Stdio::Fd(pipe->write_end.get()));
-  auto child = zygote.Spawn(s);
+  auto child = service.Spawn(s, route);
   if (!child.ok()) {
-    std::fprintf(stderr, "zygote spawn failed: %s\n", child.error().ToString().c_str());
+    std::fprintf(stderr, "%s spawn failed: %s\n", route, child.error().ToString().c_str());
     return r;
   }
   pipe->write_end.Reset();
@@ -78,19 +68,19 @@ LaunchResult ViaZygote(ForkServerClient& zygote) {
 int main(int argc, char** argv) {
   size_t ballast_mib = argc > 1 ? static_cast<size_t>(std::atoi(argv[1])) : 512;
 
-  // Step 1: start the zygote while we are still small.
-  auto handle = StartForkServerProcess();
-  if (!handle.ok()) {
-    std::fprintf(stderr, "failed to start zygote: %s\n", handle.error().ToString().c_str());
-    return 1;
-  }
-  ForkServerClient zygote(std::move(handle->client_sock));
-  if (!zygote.Ping().ok()) {
+  // Step 1: start the zygote while we are still small. The transport forks
+  // lazily, so probe it now — before the ballast — to pin the server's
+  // address-space snapshot at "tiny".
+  SpawnService service;
+  auto zygote = ForkServerTransport::StartInProcess();
+  ForkServerTransport* zygote_probe = zygote.get();
+  service.AddRoute(std::move(zygote));
+  service.AddLocalRoute(SpawnBackendKind::kForkExec);
+  if (!zygote_probe->Probe().ok()) {
     std::fprintf(stderr, "zygote not answering\n");
     return 1;
   }
-  std::printf("zygote up (pid %d), application about to bloat to %zu MiB...\n",
-              static_cast<int>(handle->server_pid), ballast_mib);
+  std::printf("zygote up, application about to bloat to %zu MiB...\n", ballast_mib);
 
   // Step 2: become a big application.
   HeapBallast ballast;
@@ -99,14 +89,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Step 3: launch helpers both ways and compare.
+  // Step 3: launch helpers over both routes and compare.
   constexpr int kLaunches = 10;
   double direct_total = 0, zygote_total = 0;
   std::string last_direct, last_zygote;
   for (int i = 0; i < kLaunches; ++i) {
     ballast.TouchAll();  // stay dirty, as a real app's heap would be
-    LaunchResult d = ViaDirectFork();
-    LaunchResult z = ViaZygote(zygote);
+    LaunchResult d = ViaRoute(service, "local:forkexec");
+    LaunchResult z = ViaRoute(service, "forkserver");
     if (d.millis < 0 || z.millis < 0) {
       return 1;
     }
@@ -124,7 +114,9 @@ int main(int argc, char** argv) {
               zygote_total / kLaunches);
   std::printf("speedup: %.1fx\n", direct_total / zygote_total);
 
-  (void)zygote.Shutdown();
-  (void)WaitForExit(handle->server_pid);
-  return 0;
+  RouteMetrics::Snapshot stats = service.RouteStats("forkserver");
+  std::printf("route 'forkserver': %llu attempts, %llu successes\n",
+              static_cast<unsigned long long>(stats.attempts),
+              static_cast<unsigned long long>(stats.successes));
+  return 0;  // the transport shuts its server down on destruction
 }

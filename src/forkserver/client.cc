@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 
+#include <chrono>
 #include <utility>
 
 #include "src/common/pipe.h"
@@ -26,6 +27,32 @@ Status ReplyToStatus(bool ok, int32_t err, const std::string& context, const cha
   return LogicalError(std::string(what) + ": " + context);
 }
 
+// The one scratch-encode path both clients share: clear the reusable writer,
+// encode the frame, hand back views. Serialization is the caller's lock
+// (send_mu_ for the pipelined client, mu_ for the legacy one); the helpers
+// only differ from each other in which frame they emit, never in how the
+// scratch is managed.
+Status EncodeSpawnFrameInto(WireWriter& w, std::vector<int>* fds, const SpawnRequest& req,
+                            const FrameMeta& meta) {
+  w.Clear();
+  fds->clear();
+  return EncodeSpawnRequestInto(w, req, fds, meta);
+}
+
+void EncodeWaitFrameInto(WireWriter& w, pid_t pid, const FrameMeta& meta) {
+  w.Clear();
+  w.Reserve(20 + 4);
+  EncodeHeaderInto(w, MsgType::kWait, meta);
+  w.PutI32(static_cast<int32_t>(pid));
+}
+
+void EncodeControlFrameInto(WireWriter& w, MsgType type, const FrameMeta& meta) {
+  w.Clear();
+  EncodeHeaderInto(w, type, meta);
+}
+
+// The one socket-connect path both clients share (and the fault site the
+// sweep drives to prove a refused/failed connect degrades cleanly).
 Result<UniqueFd> ConnectUnixSocket(const std::string& path, const char* who) {
   if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return LogicalError(std::string(who) + ": socket path too long");
@@ -150,10 +177,7 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const Spawn
     }
     slot = AcquireSlotLocked(&id);
   }
-  scratch_.Clear();
-  scratch_fds_.clear();
-  FrameMeta meta{kForkServerProtocolV2, id};
-  Status st = EncodeSpawnRequestInto(scratch_, req, &scratch_fds_, meta);
+  Status st = EncodeSpawnFrameInto(scratch_, &scratch_fds_, req, FrameMeta{kForkServerProtocolV2, id});
   if (st.ok()) {
     st = SendFrame(sock_.get(), scratch_.data(), scratch_fds_);
   }
@@ -175,11 +199,7 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
     }
     slot = AcquireSlotLocked(&id);
   }
-  scratch_.Clear();
-  FrameMeta meta{kForkServerProtocolV2, id};
-  scratch_.Reserve(20 + 4);
-  EncodeHeaderInto(scratch_, MsgType::kWait, meta);
-  scratch_.PutI32(static_cast<int32_t>(pid));
+  EncodeWaitFrameInto(scratch_, pid, FrameMeta{kForkServerProtocolV2, id});
   Status st = SendFrame(sock_.get(), scratch_.data());
   if (!st.ok()) {
     AbortSubmit(id, slot);
@@ -200,9 +220,7 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
     }
     slot = AcquireSlotLocked(&id);
   }
-  scratch_.Clear();
-  FrameMeta meta{kForkServerProtocolV2, id};
-  EncodeHeaderInto(scratch_, type, meta);
+  EncodeControlFrameInto(scratch_, type, FrameMeta{kForkServerProtocolV2, id});
   Status st = SendFrame(sock_.get(), scratch_.data(), fds);
   if (!st.ok()) {
     AbortSubmit(id, slot);
@@ -253,6 +271,32 @@ Result<ExitStatus> ForkServerClient::AwaitWait(Slot* slot) {
   }
   FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver wait"));
   return reply.status;
+}
+
+Result<std::optional<ExitStatus>> ForkServerClient::AwaitWaitFor(Slot* slot,
+                                                                 double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (timeout_seconds < 0) {
+    timeout_seconds = 0;
+  }
+  bool done = cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                           [slot] { return slot->done; });
+  if (!done) {
+    // Leave the slot registered: the server still owes exactly one reply for
+    // this request_id, and a later Await* collects it.
+    return std::optional<ExitStatus>();
+  }
+  Status transport = slot->transport;
+  MsgType type = slot->type;
+  WaitReply reply = std::move(slot->wait);
+  FreeSlotLocked(slot);
+  lock.unlock();
+  FORKLIFT_RETURN_IF_ERROR(transport);
+  if (type != MsgType::kWaitReply) {
+    return LogicalError("forkserver client: expected wait reply");
+  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver wait"));
+  return std::optional<ExitStatus>(reply.status);
 }
 
 Status ForkServerClient::AwaitControlSlot(Slot* slot, MsgType expected) {
@@ -473,6 +517,22 @@ Result<ExitStatus> ForkServerClient::PendingReply::AwaitExit() {
   return client->AwaitWait(slot);
 }
 
+Result<std::optional<ExitStatus>> ForkServerClient::PendingReply::AwaitExitFor(
+    double timeout_seconds) {
+  if (!valid()) {
+    return LogicalError("PendingReply::AwaitExitFor on empty handle");
+  }
+  auto st = client_->AwaitWaitFor(slot_, timeout_seconds);
+  if (st.ok() && !st.value().has_value()) {
+    return st;  // timed out: handle stays valid, the wait stays parked
+  }
+  // Completed (value or transport/protocol error): AwaitWaitFor freed the
+  // slot either way, so the handle must be consumed on both paths.
+  client_ = nullptr;
+  slot_ = nullptr;
+  return st;
+}
+
 Status ForkServerClient::PendingReply::AwaitControl(MsgType expected) {
   if (!valid()) {
     return LogicalError("PendingReply::AwaitControl on empty handle");
@@ -495,11 +555,9 @@ Result<std::unique_ptr<LegacyForkServerClient>> LegacyForkServerClient::ConnectP
 }
 
 Result<pid_t> LegacyForkServerClient::LaunchRequest(const SpawnRequest& req) {
-  std::vector<int> fds;
-  FORKLIFT_ASSIGN_OR_RETURN(std::string payload, EncodeSpawnRequest(req, &fds));
-
   std::lock_guard<std::mutex> lock(mu_);
-  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), payload, fds));
+  FORKLIFT_RETURN_IF_ERROR(EncodeSpawnFrameInto(scratch_, &scratch_fds_, req, FrameMeta{}));
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), scratch_.data(), scratch_fds_));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
   if (rr.eof) {
     return LogicalError("forkserver client: server closed the socket");
@@ -517,7 +575,8 @@ Result<RemoteChild> LegacyForkServerClient::Spawn(const Spawner& spawner) {
 
 Status LegacyForkServerClient::Ping() {
   std::lock_guard<std::mutex> lock(mu_);
-  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kPing)));
+  EncodeControlFrameInto(scratch_, MsgType::kPing, FrameMeta{});
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), scratch_.data()));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
   if (rr.eof) {
     return LogicalError("forkserver client: server closed during ping");
@@ -532,7 +591,8 @@ Status LegacyForkServerClient::Ping() {
 
 Status LegacyForkServerClient::Shutdown() {
   std::lock_guard<std::mutex> lock(mu_);
-  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeControl(MsgType::kShutdown)));
+  EncodeControlFrameInto(scratch_, MsgType::kShutdown, FrameMeta{});
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), scratch_.data()));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
   if (rr.eof) {
     return Status::Ok();  // server died at EOF: shutdown achieved regardless
@@ -547,7 +607,8 @@ Status LegacyForkServerClient::Shutdown() {
 
 Result<ExitStatus> LegacyForkServerClient::WaitRemote(pid_t pid) {
   std::lock_guard<std::mutex> lock(mu_);
-  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), EncodeWait(static_cast<int32_t>(pid))));
+  EncodeWaitFrameInto(scratch_, pid, FrameMeta{});
+  FORKLIFT_RETURN_IF_ERROR(SendFrame(sock_.get(), scratch_.data()));
   FORKLIFT_ASSIGN_OR_RETURN(RecvResult rr, RecvFrame(sock_.get()));
   if (rr.eof) {
     return LogicalError("forkserver client: server closed during wait");

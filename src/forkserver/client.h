@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -109,6 +110,13 @@ class ForkServerClient final : public RemoteSpawnService {
     Result<ExitStatus> AwaitExit();          // expects kWaitReply
     Status AwaitControl(MsgType expected);   // kPong / kShutdownAck / kNewChannelAck
 
+    // Timed variant of AwaitExit. Timeout returns nullopt and KEEPS the
+    // handle valid: the server answers each parked kWait exactly once, so
+    // abandoning the request on timeout would lose the exit status — the
+    // same in-flight wait stays collectable by a later Await*. Completion
+    // (value or transport death) consumes the handle as usual.
+    Result<std::optional<ExitStatus>> AwaitExitFor(double timeout_seconds);
+
    private:
     friend class ForkServerClient;
     PendingReply(ForkServerClient* client, Slot* slot) : client_(client), slot_(slot) {}
@@ -167,6 +175,7 @@ class ForkServerClient final : public RemoteSpawnService {
 
   Result<pid_t> AwaitSpawn(Slot* slot);
   Result<ExitStatus> AwaitWait(Slot* slot);
+  Result<std::optional<ExitStatus>> AwaitWaitFor(Slot* slot, double timeout_seconds);
   Status AwaitControlSlot(Slot* slot, MsgType expected);
   void DiscardSlot(Slot* slot);  // un-awaited handle destroyed
 
@@ -215,6 +224,11 @@ class LegacyForkServerClient final : public RemoteSpawnService {
  private:
   std::mutex mu_;
   UniqueFd sock_;
+  // Same shared scratch-encode helpers as the pipelined client (the v1 meta
+  // just leaves request_id at 0); mu_ is held across the round trip anyway,
+  // so it also serializes the scratch.
+  WireWriter scratch_;
+  std::vector<int> scratch_fds_;
 };
 
 // SpawnBackend adapter: lets `Spawner::SetCustomBackend(&backend)` route a

@@ -5,6 +5,7 @@
 #include <cerrno>
 
 #include "src/common/syscall.h"
+#include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
@@ -26,20 +27,27 @@ Status ShellWorkerPool::Start(const Options& opts) {
     FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
     reactor_.emplace(std::move(reactor));
   }
+  Spawner worker_template = Spawner("/bin/sh")
+                                .Arg("-s")
+                                .SetStdin(Stdio::Pipe())
+                                .SetStdout(Stdio::Pipe())
+                                .SetStderr(Stdio::Null())
+                                .SetBackend(opts.backend);
+  auto spawn_worker = [&]() -> Result<ProcessHandle> {
+    if (opts.service != nullptr) {
+      return opts.service->Spawn(worker_template);
+    }
+    FORKLIFT_ASSIGN_OR_RETURN(Child child, worker_template.Spawn());
+    return ProcessHandle::FromChild(std::move(child));
+  };
   for (size_t i = 0; i < opts.workers; ++i) {
-    auto child = Spawner("/bin/sh")
-                     .Arg("-s")
-                     .SetStdin(Stdio::Pipe())
-                     .SetStdout(Stdio::Pipe())
-                     .SetStderr(Stdio::Null())
-                     .SetBackend(opts.backend)
-                     .Spawn();
-    if (!child.ok()) {
+    auto handle = spawn_worker();
+    if (!handle.ok()) {
       (void)Stop();
-      return Err(child.error());
+      return Err(handle.error());
     }
     Worker w;
-    w.child = std::move(child).value();
+    w.child = std::move(handle).value();
     workers_.push_back(std::move(w));
   }
   // Arm the watches only once workers_ has its final size: the callbacks

@@ -17,15 +17,22 @@
 #include "src/common/reactor.h"
 #include "src/common/result.h"
 #include "src/spawn/backend.h"
-#include "src/spawn/child.h"
+#include "src/spawn/process_handle.h"
 
 namespace forklift {
+
+class SpawnService;
 
 class ShellWorkerPool {
  public:
   struct Options {
     size_t workers = 4;
     SpawnBackendKind backend = SpawnBackendKind::kForkExec;
+    // When set, workers are launched through this routing layer (not owned,
+    // must outlive the pool) instead of a direct backend spawn. Workers need
+    // pipe stdio, so the service's capability check steers them onto a
+    // pipe-capable (local) route automatically.
+    SpawnService* service = nullptr;
   };
 
   ShellWorkerPool() = default;
@@ -55,7 +62,7 @@ class ShellWorkerPool {
 
  private:
   struct Worker {
-    Child child;
+    ProcessHandle child;
     bool healthy = true;
     ChildWatch watch;  // marks the worker unhealthy the moment it dies
   };

@@ -5,6 +5,7 @@
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -393,7 +394,28 @@ Result<ForkServerHandle> StartForkServerProcess() {
     // inherits the parent's current (ideally small) address space — starting
     // it early is the documented contract.
     sp.first.Reset();
-    ForkServer server(std::move(sp.second));
+    // fork also copied every descriptor the caller had open (the §5.1 leak):
+    // a pipe end created before a lazily-started server would hold a
+    // sibling's stdin open forever, so close everything beyond stdio and the
+    // channel. Descriptors a client wants the server to hold are passed
+    // explicitly via SCM_RIGHTS, never inherited.
+    int sock = sp.second.Release();
+    if (sock != 3) {
+      ::dup2(sock, 3);
+      ::close(sock);
+      sock = 3;
+    }
+    // dup2 strips FD_CLOEXEC: restore it, or every child this server execs
+    // would inherit the channel socket and keep it open past our death —
+    // clients would never see EOF on a dead server. Raw fcntl, like the rest
+    // of this child bootstrap: fault plans inherited from the parent must not
+    // fire here (a silently-skipped restore IS the hang it prevents).
+    int fdflags = ::fcntl(sock, F_GETFD);
+    if (fdflags >= 0) {
+      ::fcntl(sock, F_SETFD, fdflags | FD_CLOEXEC);
+    }
+    ::syscall(SYS_close_range, 4u, ~0u, 0u);
+    ForkServer server{UniqueFd(sock)};
     auto served = server.Serve();
     if (!served.ok()) {
       FORKLIFT_ERROR("fork server terminating on transport error: %s",
@@ -417,9 +439,14 @@ Result<pid_t> SpawnShardProcess(ForkServer& server) {
     return ErrnoError("fork (forkserver shard)");
   }
   if (pid == 0) {
-    // The supervisor's termination handler only sets a flag; inherited by the
-    // shard it would make SIGTERM a no-op and wedge supervised shutdown. The
-    // shard never execs, so R8's reset-on-exec concern does not apply.
+    // The supervisor collects SIGTERM/SIGINT/SIGCHLD with a blocked mask and
+    // sigwait; both the mask and any handlers are inherited across fork and
+    // would make the forwarded SIGTERM a no-op here, wedging supervised
+    // shutdown. The shard never execs, so R8's reset-on-exec concern does
+    // not apply.
+    sigset_t none;
+    ::sigemptyset(&none);
+    ::sigprocmask(SIG_SETMASK, &none, nullptr);
     ::signal(SIGTERM, SIG_DFL);  // forklint:ignore(R8)
     ::signal(SIGINT, SIG_DFL);   // forklint:ignore(R8)
     server.DisownListenPath();

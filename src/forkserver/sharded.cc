@@ -303,6 +303,11 @@ Status ShardedForkServer::Shutdown() {
   return first_error;
 }
 
+void ShardedForkServer::ForgetChild(pid_t pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owner_.erase(pid);
+}
+
 size_t ShardedForkServer::shard_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shards_.size();

@@ -59,6 +59,12 @@ class ShardedForkServer final : public RemoteSpawnService {
     bool valid() const { return pool_ != nullptr; }
     Result<pid_t> AwaitPid();
 
+    // The shard channel this spawn was routed to. Grab it BEFORE AwaitPid
+    // (which releases the reference): a caller who wants per-channel waits
+    // — e.g. a ProcessHandle parking a kWait on the same shard — needs the
+    // channel to outlive the pool's routing bookkeeping.
+    std::shared_ptr<ForkServerClient> channel() const { return channel_; }
+
    private:
     friend class ShardedForkServer;
 
@@ -85,6 +91,11 @@ class ShardedForkServer final : public RemoteSpawnService {
 
   // Asks every shard to exit and reaps the shard processes.
   Status Shutdown();
+
+  // Drops the pid→shard ownership entry without waiting. For callers that
+  // wait on the shard channel directly (via PendingSpawn::channel()) instead
+  // of WaitRemote, so a reaped child does not leak a map entry.
+  void ForgetChild(pid_t pid);
 
   size_t shard_count() const;
   // Server-process pids, one per shard (tests and the fault sweep kill

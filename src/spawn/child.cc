@@ -147,7 +147,9 @@ Status Child::KillAndWait() {
   return Status::Ok();
 }
 
-Result<Child::Outcome> Child::Communicate(std::string_view input) {
+Result<internal::StdioDrainResult> internal::DrainStdioUntilClosed(
+    UniqueFd& stdin_fd, UniqueFd& stdout_fd, UniqueFd& stderr_fd, std::string_view input,
+    pid_t pid, const std::function<void()>& poll_exit) {
   // Non-blocking everywhere so a child that stalls on one stream can't wedge
   // us on another; one reactor multiplexes all three streams plus the child's
   // exit, so output and the exit notification arrive from a single wait.
@@ -156,8 +158,8 @@ Result<Child::Outcome> Child::Communicate(std::string_view input) {
     std::string data;
     bool open;
   };
-  Stream out{&stdout_fd_, {}, stdout_fd_.valid()};
-  Stream err{&stderr_fd_, {}, stderr_fd_.valid()};
+  Stream out{&stdout_fd, {}, stdout_fd.valid()};
+  Stream err{&stderr_fd, {}, stderr_fd.valid()};
   if (out.open) {
     FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(out.fd->get(), true));
   }
@@ -166,35 +168,35 @@ Result<Child::Outcome> Child::Communicate(std::string_view input) {
   }
 
   size_t in_off = 0;
-  bool in_open = stdin_fd_.valid();
+  bool in_open = stdin_fd.valid();
   if (!in_open && !input.empty()) {
     return LogicalError("Communicate: input given but stdin was not piped");
   }
   if (in_open && input.empty()) {
-    stdin_fd_.Reset();  // nothing to write: give the child EOF immediately
+    stdin_fd.Reset();  // nothing to write: give the child EOF immediately
     in_open = false;
   }
   if (in_open) {
-    FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(stdin_fd_.get(), true));
+    FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(stdin_fd.get(), true));
   }
 
   FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
   Status stream_error;
 
   auto close_stdin = [&] {
-    (void)reactor.RemoveFd(stdin_fd_.get());
-    stdin_fd_.Reset();
+    (void)reactor.RemoveFd(stdin_fd.get());
+    stdin_fd.Reset();
     in_open = false;
   };
 
   if (in_open) {
-    FORKLIFT_RETURN_IF_ERROR(reactor.AddFd(stdin_fd_.get(), EPOLLOUT, [&](uint32_t revents) {
+    FORKLIFT_RETURN_IF_ERROR(reactor.AddFd(stdin_fd.get(), EPOLLOUT, [&](uint32_t revents) {
       if ((revents & (EPOLLERR | EPOLLHUP)) != 0 && (revents & EPOLLOUT) == 0) {
         // Child closed its stdin (EPIPE side); stop writing.
         close_stdin();
         return;
       }
-      ssize_t w = ::write(stdin_fd_.get(), input.data() + in_off, input.size() - in_off);
+      ssize_t w = ::write(stdin_fd.get(), input.data() + in_off, input.size() - in_off);
       if (w < 0) {
         if (errno == EPIPE) {
           close_stdin();
@@ -248,8 +250,7 @@ Result<Child::Outcome> Child::Communicate(std::string_view input) {
   // Exit detection shares the epoll set: the instant the child becomes
   // waitable it is reaped (stamping exit-observed), even while streams are
   // still draining.
-  FORKLIFT_ASSIGN_OR_RETURN(ChildWatch watch,
-                            ChildWatch::Arm(reactor, pid_, [this] { (void)TryWait(); }));
+  FORKLIFT_ASSIGN_OR_RETURN(ChildWatch watch, ChildWatch::Arm(reactor, pid, poll_exit));
 
   while (in_open || out.open || err.open) {
     FORKLIFT_RETURN_IF_ERROR(reactor.PollOnce(-1));
@@ -259,11 +260,22 @@ Result<Child::Outcome> Child::Communicate(std::string_view input) {
   }
   watch.Disarm();
 
+  StdioDrainResult result;
+  result.stdout_data = std::move(out.data);
+  result.stderr_data = std::move(err.data);
+  return result;
+}
+
+Result<Child::Outcome> Child::Communicate(std::string_view input) {
+  FORKLIFT_ASSIGN_OR_RETURN(
+      internal::StdioDrainResult drained,
+      internal::DrainStdioUntilClosed(stdin_fd_, stdout_fd_, stderr_fd_, input, pid_,
+                                      [this] { (void)TryWait(); }));
   FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, Wait());
   Outcome oc;
   oc.status = st;
-  oc.stdout_data = std::move(out.data);
-  oc.stderr_data = std::move(err.data);
+  oc.stdout_data = std::move(drained.stdout_data);
+  oc.stderr_data = std::move(drained.stderr_data);
   return oc;
 }
 

@@ -12,8 +12,10 @@
 #include <sys/types.h>
 
 #include <csignal>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "src/common/result.h"
 #include "src/common/syscall.h"
@@ -21,6 +23,25 @@
 #include "src/spawn/metrics.h"
 
 namespace forklift {
+
+namespace internal {
+
+// The reactor-multiplexed stdio pump shared by Child::Communicate and
+// ProcessHandle::Communicate: writes `input` to `stdin_fd` (then closes it),
+// drains `stdout_fd`/`stderr_fd` to EOF, and keeps an exit watch on `pid`
+// armed so `poll_exit` reaps the process the instant it becomes waitable —
+// while streams are still draining, from the same epoll set. The final
+// blocking reap is the caller's (mechanism-specific) job.
+struct StdioDrainResult {
+  std::string stdout_data;
+  std::string stderr_data;
+};
+Result<StdioDrainResult> DrainStdioUntilClosed(UniqueFd& stdin_fd, UniqueFd& stdout_fd,
+                                               UniqueFd& stderr_fd, std::string_view input,
+                                               pid_t pid,
+                                               const std::function<void()>& poll_exit);
+
+}  // namespace internal
 
 class Child {
  public:

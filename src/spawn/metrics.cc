@@ -2,6 +2,18 @@
 
 namespace forklift {
 
+RouteMetrics::Snapshot RouteMetrics::snapshot() const {
+  Snapshot snap;
+  snap.attempts = attempts_.load(std::memory_order_relaxed);
+  snap.successes = successes_.load(std::memory_order_relaxed);
+  snap.retries = retries_.load(std::memory_order_relaxed);
+  snap.transport_failures = transport_failures_.load(std::memory_order_relaxed);
+  snap.fallthroughs = fallthroughs_.load(std::memory_order_relaxed);
+  snap.incapable_skips = incapable_skips_.load(std::memory_order_relaxed);
+  snap.quarantine_skips = quarantine_skips_.load(std::memory_order_relaxed);
+  return snap;
+}
+
 SpawnMetrics& SpawnMetrics::Global() {
   static SpawnMetrics metrics;
   return metrics;

@@ -29,6 +29,46 @@ struct SpawnTimeline {
   }
 };
 
+// Counters for one SpawnService route (a transport in a fallback chain).
+// Atomics, not a lock: routing reads/writes them outside the service's route
+// mutex, and snapshotting must not stall the spawn path.
+class RouteMetrics {
+ public:
+  void RecordAttempt() { attempts_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordSuccess() { successes_.fetch_add(1, std::memory_order_relaxed); }
+  // A retryable transport failure resubmitted on the same route.
+  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  // The transport failed (connect/send/channel death) on this attempt.
+  void RecordTransportFailure() { transport_failures_.fetch_add(1, std::memory_order_relaxed); }
+  // The route was exhausted and the request moved to the next route.
+  void RecordFallthrough() { fallthroughs_.fetch_add(1, std::memory_order_relaxed); }
+  // The route was skipped without an attempt: it cannot carry this request
+  // (e.g. pipe stdio over the wire) ...
+  void RecordIncapableSkip() { incapable_skips_.fetch_add(1, std::memory_order_relaxed); }
+  // ... or it is quarantined after a recent transport failure.
+  void RecordQuarantineSkip() { quarantine_skips_.fetch_add(1, std::memory_order_relaxed); }
+
+  struct Snapshot {
+    uint64_t attempts = 0;
+    uint64_t successes = 0;
+    uint64_t retries = 0;
+    uint64_t transport_failures = 0;
+    uint64_t fallthroughs = 0;
+    uint64_t incapable_skips = 0;
+    uint64_t quarantine_skips = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::atomic<uint64_t> attempts_{0};
+  std::atomic<uint64_t> successes_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> transport_failures_{0};
+  std::atomic<uint64_t> fallthroughs_{0};
+  std::atomic<uint64_t> incapable_skips_{0};
+  std::atomic<uint64_t> quarantine_skips_{0};
+};
+
 class SpawnMetrics {
  public:
   static SpawnMetrics& Global();

@@ -1,0 +1,128 @@
+#include "src/spawn/process_handle.h"
+
+#include <utility>
+
+namespace forklift {
+
+namespace {
+
+// The local mechanism: a Child absorbed whole, so waitpid semantics,
+// timeline stamping, and the reactor/pidfd deadline wait stay exactly what
+// Child implements.
+class LocalProcessImpl final : public ProcessHandle::Impl {
+ public:
+  explicit LocalProcessImpl(Child child) : child_(std::move(child)) {}
+
+  pid_t pid() const override { return child_.pid(); }
+  Result<ExitStatus> Wait() override { return child_.Wait(); }
+  Result<std::optional<ExitStatus>> TryWait() override { return child_.TryWait(); }
+  Result<std::optional<ExitStatus>> WaitDeadline(double timeout_seconds) override {
+    return child_.WaitDeadline(timeout_seconds);
+  }
+  Status Kill(int sig) override { return child_.Kill(sig); }
+
+ private:
+  Child child_;
+};
+
+}  // namespace
+
+ProcessHandle ProcessHandle::FromChild(Child child, std::string route) {
+  ProcessHandle handle;
+  handle.stdin_fd_ = std::move(child.stdin_fd());
+  handle.stdout_fd_ = std::move(child.stdout_fd());
+  handle.stderr_fd_ = std::move(child.stderr_fd());
+  handle.route_ = std::move(route);
+  handle.impl_ = std::make_unique<LocalProcessImpl>(std::move(child));
+  return handle;
+}
+
+ProcessHandle ProcessHandle::FromImpl(std::unique_ptr<Impl> impl, std::string route) {
+  ProcessHandle handle;
+  handle.impl_ = std::move(impl);
+  handle.route_ = std::move(route);
+  return handle;
+}
+
+Result<ExitStatus> ProcessHandle::Wait() {
+  if (cached_.has_value()) {
+    return *cached_;
+  }
+  if (impl_ == nullptr) {
+    return LogicalError("Wait on invalid ProcessHandle");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, impl_->Wait());
+  cached_ = st;
+  return st;
+}
+
+Result<std::optional<ExitStatus>> ProcessHandle::TryWait() {
+  if (cached_.has_value()) {
+    return std::optional<ExitStatus>(*cached_);
+  }
+  if (impl_ == nullptr) {
+    return LogicalError("TryWait on invalid ProcessHandle");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, impl_->TryWait());
+  if (st.has_value()) {
+    cached_ = *st;
+  }
+  return st;
+}
+
+Result<std::optional<ExitStatus>> ProcessHandle::WaitDeadline(double timeout_seconds) {
+  if (cached_.has_value()) {
+    return std::optional<ExitStatus>(*cached_);
+  }
+  if (impl_ == nullptr) {
+    return LogicalError("WaitDeadline on invalid ProcessHandle");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, impl_->WaitDeadline(timeout_seconds));
+  if (st.has_value()) {
+    cached_ = *st;
+  }
+  return st;
+}
+
+Status ProcessHandle::Kill(int sig) {
+  if (impl_ == nullptr) {
+    return LogicalError("Kill on invalid ProcessHandle");
+  }
+  if (cached_.has_value()) {
+    return LogicalError("Kill on already-reaped ProcessHandle");
+  }
+  return impl_->Kill(sig);
+}
+
+Status ProcessHandle::KillAndWait() {
+  if (cached_.has_value()) {
+    return Status::Ok();
+  }
+  FORKLIFT_RETURN_IF_ERROR(Kill(SIGKILL));
+  auto res = Wait();
+  if (!res.ok()) {
+    return Err(res.error());
+  }
+  return Status::Ok();
+}
+
+Result<ProcessHandle::Outcome> ProcessHandle::Communicate(std::string_view input) {
+  if (impl_ == nullptr) {
+    return LogicalError("Communicate on invalid ProcessHandle");
+  }
+  // The shared drain engine is mechanism-independent: the exit watch needs
+  // only the pid (pidfd works for non-children too), and the reap routes
+  // through TryWait/Wait — waitpid locally, the server protocol remotely.
+  FORKLIFT_ASSIGN_OR_RETURN(
+      internal::StdioDrainResult drained,
+      internal::DrainStdioUntilClosed(stdin_fd_, stdout_fd_, stderr_fd_, input, impl_->pid(),
+                                      [this] { (void)TryWait(); }));
+  FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, Wait());
+  Outcome oc;
+  oc.status = st;
+  oc.stdout_data = std::move(drained.stdout_data);
+  oc.stderr_data = std::move(drained.stderr_data);
+  return oc;
+}
+
+}  // namespace forklift

@@ -8,6 +8,7 @@
 
 #include "src/common/clock.h"
 #include "src/common/log.h"
+#include "src/spawn/service.h"
 
 namespace forklift {
 
@@ -15,7 +16,9 @@ namespace {
 
 // Signals a service's process — or its whole process group when the
 // supervisor owns the group (reaching grandchildren a shell may have left).
-void SignalService(const Child& child, int sig, bool group) {
+// Direct kill(2) rather than ProcessHandle::Kill: group targeting needs the
+// negated pid, and remote pids share our namespace anyway.
+void SignalService(const ProcessHandle& child, int sig, bool group) {
   pid_t target = group ? -child.pid() : child.pid();
   (void)::kill(target, sig);
 }
@@ -34,6 +37,9 @@ int RemainingMillis(const Stopwatch& sw, double deadline_seconds) {
 Supervisor::Supervisor() : Supervisor(Options{}) {}
 
 Supervisor::Supervisor(Options options) : options_(options) {}
+
+Supervisor::Supervisor(Options options, SpawnService* service)
+    : options_(options), service_(service) {}
 
 Supervisor::~Supervisor() {
   if (running_count() > 0) {
@@ -68,6 +74,14 @@ void Supervisor::ScheduleRestartWake(Service& svc) {
   svc.restart_timer = reactor_->AddTimerAt(svc.restart_not_before_ns, [] {});
 }
 
+Result<ProcessHandle> Supervisor::SpawnChild(Service& svc) {
+  if (service_ != nullptr) {
+    return service_->Spawn(svc.spawner);
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(Child child, svc.spawner.Spawn());
+  return ProcessHandle::FromChild(std::move(child));
+}
+
 Result<Supervisor::ServiceId> Supervisor::Launch(const Spawner& spawner, std::string name,
                                                  RestartPolicy policy) {
   if (spawner.UsesPipeStdio()) {
@@ -79,7 +93,7 @@ Result<Supervisor::ServiceId> Supervisor::Launch(const Spawner& spawner, std::st
   if (options_.kill_process_group) {
     service.spawner.SetProcessGroup(0);  // own group, so group signals work
   }
-  auto child = service.spawner.Spawn();
+  auto child = SpawnChild(service);
   if (!child.ok()) {
     return Err(child.error());
   }
@@ -135,7 +149,7 @@ Result<std::vector<Supervisor::Event>> Supervisor::ReapAndRestart() {
 
     if (svc.pending_restart && !svc.abandoned && MonotonicNanos() >= svc.restart_not_before_ns) {
       svc.pending_restart = false;
-      auto child = svc.spawner.Spawn();
+      auto child = SpawnChild(svc);
       if (!child.ok()) {
         // Spawn failure counts as an instant failed start.
         ++svc.consecutive_failures;

@@ -22,10 +22,12 @@
 
 #include "src/common/reactor.h"
 #include "src/common/result.h"
-#include "src/spawn/child.h"
+#include "src/spawn/process_handle.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
+
+class SpawnService;
 
 enum class RestartPolicy {
   kNever,      // one-shot: report the exit, forget the service
@@ -61,8 +63,16 @@ class Supervisor {
     bool abandoned = false;  // gave up after max_consecutive_failures
   };
 
-  Supervisor();  // default Options
+  Supervisor();  // default Options, direct local spawning
   explicit Supervisor(Options options);
+  // Routes every (re)start through `service` (not owned, must outlive the
+  // supervisor). nullptr spawns directly via each service's template — the
+  // same as the two-argument constructors. Exit watching is
+  // location-transparent either way: ChildWatch's pidfd path works for
+  // non-children, and its fallback drives the handle's own TryWait, which is
+  // a protocol wait for remote children.
+  explicit Supervisor(SpawnService* service) : Supervisor(Options{}, service) {}
+  Supervisor(Options options, SpawnService* service);
   ~Supervisor();
 
   Supervisor(const Supervisor&) = delete;
@@ -101,7 +111,7 @@ class Supervisor {
     std::string name;
     Spawner spawner;
     RestartPolicy policy;
-    Child child;
+    ProcessHandle child;
     bool running = false;
     bool abandoned = false;
     uint64_t starts = 0;
@@ -116,8 +126,12 @@ class Supervisor {
   Status ArmWatch(Service& svc);
   void ScheduleRestartWake(Service& svc);
   Result<std::vector<Event>> ReapAndRestart();
+  // (Re)starts a service's child: through service_ when set, else the
+  // template's own backend.
+  Result<ProcessHandle> SpawnChild(Service& svc);
 
   Options options_;
+  SpawnService* service_ = nullptr;  // optional routing layer (not owned)
   // Declared before services_ so per-service watches (which reference the
   // reactor) are destroyed first.
   std::optional<Reactor> reactor_;

@@ -1,0 +1,282 @@
+// SpawnService routing policy, pinned with scripted transports: bounded
+// retry and fallback on retryable failures, hard stop on request errors,
+// surface-but-quarantine on indeterminate ones, capability skips for pipe
+// stdio, probe-gated re-admission from quarantine, and explicit pins.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/spawn/service.h"
+#include "src/spawn/spawner.h"
+
+namespace forklift {
+namespace {
+
+// A transport that fails a scripted number of times with a scripted
+// classification, then (optionally) delegates to a real local backend.
+class ScriptedTransport final : public SpawnTransport {
+ public:
+  struct Behavior {
+    std::string name = "scripted";
+    bool supports_pipes = true;
+    // Fail this many launches before succeeding; <0 = fail forever.
+    int failures_before_success = -1;
+    SpawnFailureKind failure_kind = SpawnFailureKind::kTransportRetryable;
+    bool probe_healthy = true;
+  };
+
+  explicit ScriptedTransport(Behavior b)
+      : behavior_(std::move(b)), local_(MakeLocalTransport(SpawnBackendKind::kPosixSpawn)) {
+    failures_remaining_.store(behavior_.failures_before_success);
+    probe_healthy_.store(behavior_.probe_healthy);
+  }
+
+  const char* Name() const override { return behavior_.name.c_str(); }
+  bool SupportsPipeStdio() const override { return behavior_.supports_pipes; }
+
+  Status Probe() override {
+    probes_.fetch_add(1);
+    return probe_healthy_.load() ? Status::Ok() : LogicalError("scripted probe unhealthy");
+  }
+
+  Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) override {
+    launches_.fetch_add(1);
+    int remaining = failures_remaining_.load();
+    if (remaining != 0) {
+      if (remaining > 0) {
+        failures_remaining_.fetch_sub(1);
+      }
+      *failure = behavior_.failure_kind;
+      return LogicalError("scripted failure on " + behavior_.name);
+    }
+    return local_->Launch(spawner, failure);
+  }
+
+  void set_probe_healthy(bool healthy) { probe_healthy_.store(healthy); }
+  void set_failures_remaining(int n) { failures_remaining_.store(n); }
+  int launches() const { return launches_.load(); }
+  int probes() const { return probes_.load(); }
+
+ private:
+  Behavior behavior_;
+  std::unique_ptr<SpawnTransport> local_;
+  std::atomic<int> failures_remaining_{-1};
+  std::atomic<bool> probe_healthy_{true};
+  std::atomic<int> launches_{0};
+  std::atomic<int> probes_{0};
+};
+
+SpawnService::Options FastOptions() {
+  SpawnService::Options opts;
+  opts.attempts_per_route = 2;
+  opts.retry_backoff_base_seconds = 0;  // keep the test fast
+  opts.quarantine_seconds = 30;         // long: re-admission tests override
+  return opts;
+}
+
+TEST(SpawnServiceRoutingTest, NoRoutesIsAnError) {
+  SpawnService service;
+  EXPECT_FALSE(service.Spawn(Spawner("/bin/true")).ok());
+}
+
+TEST(SpawnServiceRoutingTest, RetryableFailureRetriesThenFallsThrough) {
+  SpawnService service(FastOptions());
+  auto flaky = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "flaky", .failures_before_success = -1});
+  ScriptedTransport* flaky_ptr = flaky.get();
+  service.AddRoute(std::move(flaky));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  auto child = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  EXPECT_EQ(child->route(), "local:posix_spawn");
+  EXPECT_TRUE(child->Wait().value().Success());
+
+  // Both bounded attempts were burned on the primary before falling through.
+  EXPECT_EQ(flaky_ptr->launches(), 2);
+  auto flaky_stats = service.RouteStats("flaky");
+  EXPECT_EQ(flaky_stats.attempts, 2u);
+  EXPECT_EQ(flaky_stats.retries, 1u);
+  EXPECT_EQ(flaky_stats.transport_failures, 2u);
+  EXPECT_EQ(flaky_stats.fallthroughs, 1u);
+  EXPECT_EQ(flaky_stats.successes, 0u);
+  auto local_stats = service.RouteStats("local:posix_spawn");
+  EXPECT_EQ(local_stats.attempts, 1u);
+  EXPECT_EQ(local_stats.successes, 1u);
+}
+
+TEST(SpawnServiceRoutingTest, RetryOnSameRouteCanRecoverWithoutFallback) {
+  SpawnService service(FastOptions());
+  auto flaky = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "flaky-once", .failures_before_success = 1});
+  service.AddRoute(std::move(flaky));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  auto child = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  EXPECT_EQ(child->route(), "local:posix_spawn");  // ScriptedTransport delegates locally
+  EXPECT_TRUE(child->Wait().value().Success());
+  auto stats = service.RouteStats("flaky-once");
+  EXPECT_EQ(stats.attempts, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.fallthroughs, 0u);
+  EXPECT_EQ(service.RouteStats("local:posix_spawn").attempts, 0u);
+}
+
+TEST(SpawnServiceRoutingTest, RequestErrorStopsTheChain) {
+  SpawnService service(FastOptions());
+  auto bad = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "bad-request",
+      .failures_before_success = -1,
+      .failure_kind = SpawnFailureKind::kRequest});
+  ScriptedTransport* bad_ptr = bad.get();
+  service.AddRoute(std::move(bad));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  // A request error means no route would fare better: no retry, no fallback.
+  auto child = service.Spawn(Spawner("/bin/true"));
+  EXPECT_FALSE(child.ok());
+  EXPECT_EQ(bad_ptr->launches(), 1);
+  EXPECT_EQ(service.RouteStats("bad-request").retries, 0u);
+  EXPECT_EQ(service.RouteStats("bad-request").fallthroughs, 0u);
+  EXPECT_EQ(service.RouteStats("local:posix_spawn").attempts, 0u);
+}
+
+TEST(SpawnServiceRoutingTest, IndeterminateFailureSurfacesAndQuarantines) {
+  SpawnService service(FastOptions());
+  auto dying = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "dying",
+      .failures_before_success = -1,
+      .failure_kind = SpawnFailureKind::kTransportIndeterminate});
+  ScriptedTransport* dying_ptr = dying.get();
+  service.AddRoute(std::move(dying));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  // The child may exist on the dead transport: THIS request must error out
+  // rather than risk a double launch...
+  auto first = service.Spawn(Spawner("/bin/true"));
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(dying_ptr->launches(), 1);  // and no same-route retry either
+
+  // ...but the NEXT request takes the fallback, because the dying route is
+  // quarantined (skip recorded, no new launch on it).
+  auto second = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(second.ok()) << second.error().ToString();
+  EXPECT_EQ(second->route(), "local:posix_spawn");
+  EXPECT_TRUE(second->Wait().value().Success());
+  EXPECT_EQ(dying_ptr->launches(), 1);
+  EXPECT_GE(service.RouteStats("dying").quarantine_skips, 1u);
+}
+
+TEST(SpawnServiceRoutingTest, PipeStdioSkipsIncapableRoutes) {
+  SpawnService service(FastOptions());
+  auto wire = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "wire", .supports_pipes = false, .failures_before_success = 0});
+  ScriptedTransport* wire_ptr = wire.get();
+  service.AddRoute(std::move(wire));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  Spawner piped("/bin/cat");
+  piped.SetStdin(Stdio::Pipe()).SetStdout(Stdio::Pipe());
+  auto child = service.Spawn(piped);
+  ASSERT_TRUE(child.ok()) << child.error().ToString();
+  EXPECT_EQ(child->route(), "local:posix_spawn");
+  EXPECT_EQ(wire_ptr->launches(), 0);
+  EXPECT_EQ(service.RouteStats("wire").incapable_skips, 1u);
+
+  auto outcome = child->Communicate("pipes stay local\n");
+  ASSERT_TRUE(outcome.ok()) << outcome.error().ToString();
+  EXPECT_EQ(outcome->stdout_data, "pipes stay local\n");
+
+  // Without pipes the same chain prefers the wire route again.
+  auto plain = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(plain.ok()) << plain.error().ToString();
+  EXPECT_EQ(wire_ptr->launches(), 1);
+  EXPECT_TRUE(plain->Wait().value().Success());
+}
+
+TEST(SpawnServiceRoutingTest, QuarantineReadmitsOnlyAfterHealthyProbe) {
+  SpawnService::Options opts = FastOptions();
+  opts.attempts_per_route = 1;
+  opts.quarantine_seconds = 0.02;
+  SpawnService service(opts);
+  auto flaky = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "flaky", .failures_before_success = 1, .probe_healthy = false});
+  ScriptedTransport* flaky_ptr = flaky.get();
+  service.AddRoute(std::move(flaky));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  // Trip the quarantine.
+  auto first = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->route(), "local:posix_spawn");
+  EXPECT_TRUE(first->Wait().value().Success());
+
+  // Past the cool-down but with a failing probe the route stays out.
+  ::usleep(30 * 1000);
+  auto still_out = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(still_out.ok());
+  EXPECT_EQ(still_out->route(), "local:posix_spawn");
+  EXPECT_TRUE(still_out->Wait().value().Success());
+  EXPECT_GE(flaky_ptr->probes(), 1);
+  EXPECT_EQ(flaky_ptr->launches(), 1);  // no real request reached it
+
+  // A healthy probe re-admits it as the primary.
+  flaky_ptr->set_probe_healthy(true);
+  ::usleep(30 * 1000);
+  auto back = service.Spawn(Spawner("/bin/true"));
+  ASSERT_TRUE(back.ok()) << back.error().ToString();
+  EXPECT_EQ(flaky_ptr->launches(), 2);
+  EXPECT_TRUE(back->Wait().value().Success());
+}
+
+TEST(SpawnServiceRoutingTest, PinnedRouteNeverFallsBack) {
+  SpawnService service(FastOptions());
+  auto flaky = std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "flaky", .failures_before_success = -1});
+  service.AddRoute(std::move(flaky));
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  // The caller asked for this mechanism: give them its real error.
+  auto pinned = service.Spawn(Spawner("/bin/true"), "flaky");
+  EXPECT_FALSE(pinned.ok());
+  EXPECT_EQ(service.RouteStats("local:posix_spawn").attempts, 0u);
+
+  auto ok = service.Spawn(Spawner("/bin/true"), "local:posix_spawn");
+  ASSERT_TRUE(ok.ok()) << ok.error().ToString();
+  EXPECT_TRUE(ok->Wait().value().Success());
+
+  EXPECT_FALSE(service.Spawn(Spawner("/bin/true"), "no-such-route").ok());
+}
+
+TEST(SpawnServiceRoutingTest, PinnedRouteStillChecksCapability) {
+  SpawnService service(FastOptions());
+  service.AddRoute(std::make_unique<ScriptedTransport>(ScriptedTransport::Behavior{
+      .name = "wire", .supports_pipes = false, .failures_before_success = 0}));
+
+  Spawner piped("/bin/cat");
+  piped.SetStdin(Stdio::Pipe()).SetStdout(Stdio::Pipe());
+  EXPECT_FALSE(service.Spawn(piped, "wire").ok());
+  EXPECT_EQ(service.RouteStats("wire").incapable_skips, 1u);
+}
+
+TEST(SpawnServiceRoutingTest, RouteIntrospection) {
+  SpawnService service;
+  service.AddLocalRoute(SpawnBackendKind::kForkExec);
+  service.AddLocalRoute(SpawnBackendKind::kVfork);
+  EXPECT_EQ(service.route_count(), 2u);
+  auto names = service.route_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "local:forkexec");
+  EXPECT_EQ(names[1], "local:vfork");
+  // Unknown routes report zeroed counters rather than erroring.
+  EXPECT_EQ(service.RouteStats("nope").attempts, 0u);
+}
+
+}  // namespace
+}  // namespace forklift

@@ -171,7 +171,8 @@ TEST(MinishellTest, ExitCodeBuiltin) {
 
 TEST(MinishellTest, BackendSwitching) {
   auto r = RunShellScript("backend fork\necho one\nbackend vfork\necho two\n");
-  EXPECT_NE(r.stdout_data.find("backend: fork+exec"), std::string::npos);
+  EXPECT_NE(r.stdout_data.find("backend: local:forkexec"), std::string::npos);
+  EXPECT_NE(r.stdout_data.find("backend: local:vfork"), std::string::npos);
   EXPECT_NE(r.stdout_data.find("one\n"), std::string::npos);
   EXPECT_NE(r.stdout_data.find("two\n"), std::string::npos);
 }

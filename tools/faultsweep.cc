@@ -1,7 +1,8 @@
 // faultsweep: enumerate every syscall fault-injection site reachable from the
 // library's canonical workloads — a pipe spawn, a fork-server round-trip, a
-// supervisor restart loop, a reactor byte-shuffle, and a sharded zygote pool
-// surviving a mid-pipeline shard crash — then re-run each workload with
+// supervisor restart loop, a reactor byte-shuffle, a sharded zygote pool
+// surviving a mid-pipeline shard crash, and a policy-routed SpawnService
+// chain degrading from zygote to local — then re-run each workload with
 // a fault injected at every (site, mode, nth-hit) combination and check the
 // process-hygiene invariants the paper says fork-based systems get wrong:
 //
@@ -45,7 +46,9 @@
 #include "src/faultinject/faultinject.h"
 #include "src/forkserver/client.h"
 #include "src/forkserver/server.h"
+#include "src/forkserver/service_adapters.h"
 #include "src/forkserver/sharded.h"
+#include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 #include "src/spawn/supervisor.h"
 
@@ -141,6 +144,19 @@ class ChildGuard {
 
  private:
   Child* child_;
+};
+
+// Same, for a routed ProcessHandle (KillAndWait is a no-op once the status
+// is cached, so guarding the success path too is harmless).
+class HandleGuard {
+ public:
+  explicit HandleGuard(ProcessHandle* handle) : handle_(handle) {}
+  ~HandleGuard() {
+    if (handle_ != nullptr && handle_->valid()) (void)handle_->KillAndWait();
+  }
+
+ private:
+  ProcessHandle* handle_;
 };
 
 // Reclaims the fork-server process: polite wait first (a clean Shutdown or
@@ -427,6 +443,64 @@ Status ScenarioSharded() {
   return (*pool)->Shutdown();
 }
 
+// Policy-routed spawns through the full SpawnService chain: a lazily-forked
+// zygote channel with a local posix_spawn fallback. A fault anywhere along
+// connect/start, the wire protocol, or the local engine must leave every
+// request exactly-once — either a child that launches, exits, and is reaped,
+// or one clean Status — and on the recoverable modes the chain must still
+// deliver (the wrapper absorbs the fault, or the router falls back).
+Status ScenarioRouting() {
+  SpawnService::Options options;
+  options.attempts_per_route = 2;
+  options.retry_backoff_base_seconds = 0;
+  options.quarantine_seconds = 0;  // per-request decisions keep runs independent
+  SpawnService service(options);
+  service.AddRoute(ForkServerTransport::StartInProcess());
+  service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+
+  // A wire-capable request routed by policy (lands on the zygote when it is
+  // healthy, on local when the transport faults out underneath).
+  {
+    auto child = service.Spawn(Spawner("/bin/true"));
+    if (!child.ok()) return Err(child.error());
+    HandleGuard guard(&*child);
+    auto status = child->Wait();
+    if (!status.ok()) return Err(status.error());
+    if (!status->Success()) {
+      return LogicalError("routing: child failed: " + status->ToString());
+    }
+  }
+  // A pipe-stdio request: the capability check must steer it off the wire
+  // route and Communicate must work on the routed handle.
+  {
+    auto child = service.Spawn(
+        Spawner("/bin/echo").Arg("routed-local").SetStdout(Stdio::Pipe()));
+    if (!child.ok()) return Err(child.error());
+    HandleGuard guard(&*child);
+    auto outcome = child->Communicate();
+    if (!outcome.ok()) return Err(outcome.error());
+    if (outcome->stdout_data != "routed-local\n") {
+      return LogicalError("routing: echo output mismatch");
+    }
+  }
+  // Two pinned local spawns reaped with plain blocking Wait: they put the
+  // syscall.waitpid site into this scenario's trace deterministically. The
+  // reaps above race their pidfd exit caches (cf. ServerGuard::Reap), and a
+  // schedule that depends on that race breaks same-seed reproducibility.
+  for (int i = 0; i < 2; ++i) {
+    auto child = service.Spawn(Spawner("/bin/true"), "local:posix_spawn");
+    if (!child.ok()) return Err(child.error());
+    HandleGuard guard(&*child);
+    auto status = child->Wait();
+    if (!status.ok()) return Err(status.error());
+    if (!status->Success()) {
+      return LogicalError("routing: pinned local child failed: " + status->ToString());
+    }
+  }
+  return Status::Ok();
+  // ~SpawnService → ~ForkServerTransport shuts down and reaps the zygote.
+}
+
 // ---------------------------------------------------------------------------
 // The sweep.
 // ---------------------------------------------------------------------------
@@ -442,6 +516,7 @@ constexpr Scenario kScenarios[] = {
     {"supervisor", ScenarioSupervisor},
     {"reactor", ScenarioReactor},
     {"sharded", ScenarioSharded},
+    {"routing", ScenarioRouting},
 };
 
 struct SweepOptions {
@@ -607,7 +682,8 @@ int Sweep(const SweepOptions& opt) {
 
 int Usage() {
   ::fprintf(stderr,
-            "usage: faultsweep [--scenarios=spawn,forkserver,supervisor,reactor,sharded|all]\n"
+            "usage: faultsweep "
+            "[--scenarios=spawn,forkserver,supervisor,reactor,sharded,routing|all]\n"
             "                  [--modes=eintr,eagain,enomem,emfile,eio,short]\n"
             "                  [--site=<glob>] [--nth-cap=N] [--seed=N]\n"
             "                  [--list] [--verbose]\n");
@@ -628,7 +704,7 @@ std::vector<std::string> SplitCommas(const std::string& text) {
 
 int Main(int argc, char** argv) {
   SweepOptions opt;
-  opt.scenarios = {"spawn", "forkserver", "supervisor", "reactor", "sharded"};
+  opt.scenarios = {"spawn", "forkserver", "supervisor", "reactor", "sharded", "routing"};
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&arg](const char* prefix) -> const char* {

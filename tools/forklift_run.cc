@@ -6,7 +6,17 @@
 //   forklift-run [options] -- program [args...]
 //
 // Options:
-//   --backend fork|vfork|spawn   creation primitive (default spawn)
+//   --backend NAME               route: auto|forkexec|vfork|posix_spawn|
+//                                clone3|forkserver|sharded (default auto;
+//                                fork/spawn accepted as aliases for
+//                                forkexec/posix_spawn). forkserver and
+//                                sharded route through a zygote and fall
+//                                back to a local posix_spawn when the
+//                                server is unreachable.
+//   --socket PATH                fork-server socket for --backend forkserver
+//                                (default: fork a private server process)
+//   --shards N                   shard count for --backend sharded (0 = one
+//                                per online CPU)
 //   --env KEY=VALUE              set a variable (repeatable)
 //   --unset KEY                  remove a variable (repeatable)
 //   --clear-env                  start from an empty environment
@@ -33,8 +43,12 @@
 
 #include "src/common/result.h"
 #include "src/common/string_util.h"
+#include "src/forkserver/service_adapters.h"
+#include "src/forkserver/sharded.h"
 #include "src/hazards/env_audit.h"
 #include "src/hazards/fork_guard.h"
+#include "src/spawn/process_handle.h"
+#include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 
 using namespace forklift;
@@ -54,7 +68,9 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
 
-  SpawnBackendKind backend = SpawnBackendKind::kPosixSpawn;
+  std::string backend = "auto";
+  std::string socket_path;
+  size_t shards = 0;
   std::vector<std::pair<std::string, std::string>> env_sets;
   std::vector<std::string> env_unsets;
   bool clear_env = false;
@@ -91,16 +107,32 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
         return 125;
       }
+      // Canonical names, plus the historical fork/spawn aliases.
       if (*v == "fork") {
-        backend = SpawnBackendKind::kForkExec;
-      } else if (*v == "vfork") {
-        backend = SpawnBackendKind::kVfork;
+        backend = "forkexec";
       } else if (*v == "spawn") {
-        backend = SpawnBackendKind::kPosixSpawn;
+        backend = "posix_spawn";
+      } else if (*v == "auto" || *v == "forkexec" || *v == "vfork" || *v == "posix_spawn" ||
+                 *v == "clone3" || *v == "forkserver" || *v == "sharded") {
+        backend = *v;
       } else {
         std::fprintf(stderr, "forklift-run: unknown backend '%s'\n", v->c_str());
         return 125;
       }
+    } else if (a == "--socket") {
+      v = need_value("--socket");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      socket_path = *v;
+    } else if (a == "--shards") {
+      v = need_value("--shards");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      shards = static_cast<size_t>(std::strtoul(v->c_str(), nullptr, 10));
     } else if (a == "--env") {
       v = need_value("--env");
       if (!v.ok()) {
@@ -216,7 +248,6 @@ int main(int argc, char** argv) {
   for (size_t a = i + 1; a < args.size(); ++a) {
     spawner.Arg(args[a]);
   }
-  spawner.SetBackend(backend);
 
   if (clear_env) {
     spawner.ClearEnv();
@@ -265,7 +296,35 @@ int main(int argc, char** argv) {
     spawner.NewSession();
   }
 
-  auto child = spawner.Spawn();
+  // One spawn entry point: every backend name is a route chain on a
+  // SpawnService. The zygote-backed chains end in a local posix_spawn route,
+  // so an unreachable server degrades to a slower local spawn instead of an
+  // error.
+  SpawnService service;
+  if (backend == "forkexec") {
+    service.AddLocalRoute(SpawnBackendKind::kForkExec);
+  } else if (backend == "vfork") {
+    service.AddLocalRoute(SpawnBackendKind::kVfork);
+  } else if (backend == "posix_spawn") {
+    service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+  } else if (backend == "clone3") {
+    service.AddLocalRoute(SpawnBackendKind::kCloneVm);
+  } else if (backend == "forkserver") {
+    service.AddRoute(socket_path.empty() ? ForkServerTransport::StartInProcess()
+                                         : ForkServerTransport::ConnectLazy(socket_path));
+    service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+  } else if (backend == "sharded") {
+    service.AddRoute(ShardedTransport::StartLazy(ShardedForkServer::Options{shards, true}));
+    service.AddRoute(ForkServerTransport::StartInProcess());
+    service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+  } else {  // auto: a given --socket is the preferred route, local otherwise
+    if (!socket_path.empty()) {
+      service.AddRoute(ForkServerTransport::ConnectLazy(socket_path));
+    }
+    service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
+  }
+
+  auto child = service.Spawn(spawner);
   if (!child.ok()) {
     std::fprintf(stderr, "forklift-run: %s\n", child.error().ToString().c_str());
     return child.error().IsErrno(ENOENT) ? 127 : 126;

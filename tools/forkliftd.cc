@@ -35,24 +35,23 @@ using namespace forklift;
 
 namespace {
 
-// Set by the supervisor's SIGTERM/SIGINT handler; the waitpid loop notices
-// the EINTR, forwards the signal to every shard, and unwinds normally so the
-// socket file is still unlinked on a plain `kill <supervisor>`.
-volatile sig_atomic_t g_terminate = 0;
-
-void OnTerminate(int) { g_terminate = 1; }
-
 // Runs the prefork supervisor: forks `shards` servers over the shared
 // listener, restarts crashed ones, and winds the rest down when any shard
 // exits cleanly (a client sent Shutdown) or the supervisor itself is told to
 // terminate. Returns the process exit code.
+//
+// Termination and child-exit signals are BLOCKED and collected synchronously
+// with sigwait. The older flag-setting handler + blocking waitpid had a lost
+// wake-up: a SIGTERM landing between the flag check and the waitpid call only
+// set the flag, waitpid then blocked with the signal never forwarded to any
+// shard — nothing would ever exit, and the supervisor wedged until killed.
 int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t shards) {
-  struct sigaction sa = {};
-  sa.sa_handler = OnTerminate;
-  ::sigemptyset(&sa.sa_mask);
-  sa.sa_flags = 0;  // no SA_RESTART: waitpid must come back with EINTR
-  ::sigaction(SIGTERM, &sa, nullptr);
-  ::sigaction(SIGINT, &sa, nullptr);
+  sigset_t waitset;
+  ::sigemptyset(&waitset);
+  ::sigaddset(&waitset, SIGTERM);
+  ::sigaddset(&waitset, SIGINT);
+  ::sigaddset(&waitset, SIGCHLD);
+  ::sigprocmask(SIG_BLOCK, &waitset, nullptr);
   std::set<pid_t> shard_pids;
   auto fork_shard = [&]() -> bool {
     auto pid = SpawnShardProcess(server);
@@ -83,40 +82,48 @@ int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t s
   }
 
   while (!shard_pids.empty()) {
-    if (g_terminate && !shutting_down) {
-      shutting_down = true;
-      for (pid_t p : shard_pids) {
-        ::kill(p, SIGTERM);
-      }
-    }
-    int wstatus = 0;
-    pid_t pid = ::waitpid(-1, &wstatus, 0);
-    if (pid < 0) {
-      if (errno == EINTR) {
-        continue;
-      }
-      break;  // ECHILD: everything already reaped
-    }
-    if (shard_pids.erase(pid) == 0) {
-      continue;  // not a shard of ours
-    }
-    if (shutting_down) {
+    int sig = 0;
+    if (::sigwait(&waitset, &sig) != 0) {
       continue;
     }
-    if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
-      // A client asked that shard to shut down; wind down the siblings too.
-      shutting_down = true;
-      for (pid_t p : shard_pids) {
-        ::kill(p, SIGTERM);
-      }
-    } else {
-      FORKLIFT_LOG("forkliftd: shard %d died (status 0x%x), restarting", static_cast<int>(pid),
-                   wstatus);
-      if (!fork_shard()) {
-        exit_code = 1;
+    if (sig == SIGTERM || sig == SIGINT) {
+      if (!shutting_down) {
         shutting_down = true;
         for (pid_t p : shard_pids) {
           ::kill(p, SIGTERM);
+        }
+      }
+      continue;
+    }
+    // SIGCHLD coalesces — one delivery may cover several exits — so drain
+    // every reapable child before going back to sleep.
+    for (;;) {
+      int wstatus = 0;
+      pid_t pid = ::waitpid(-1, &wstatus, WNOHANG);
+      if (pid <= 0) {
+        break;
+      }
+      if (shard_pids.erase(pid) == 0) {
+        continue;  // not a shard of ours
+      }
+      if (shutting_down) {
+        continue;
+      }
+      if (WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0) {
+        // A client asked that shard to shut down; wind down the siblings too.
+        shutting_down = true;
+        for (pid_t p : shard_pids) {
+          ::kill(p, SIGTERM);
+        }
+      } else {
+        FORKLIFT_LOG("forkliftd: shard %d died (status 0x%x), restarting", static_cast<int>(pid),
+                     wstatus);
+        if (!fork_shard()) {
+          exit_code = 1;
+          shutting_down = true;
+          for (pid_t p : shard_pids) {
+            ::kill(p, SIGTERM);
+          }
         }
       }
     }
