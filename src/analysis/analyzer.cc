@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <fstream>
-#include <set>
 #include <sstream>
 
 #include "src/analysis/rules/rules.h"
@@ -13,16 +12,29 @@ namespace analysis {
 
 namespace {
 
-// One parsed `forklint:ignore` comment: the source line it shields and the
-// rule ids it silences (empty set = all rules).
-struct Suppression {
-  int line;
+// Extracts the `(R1,R2)` rule list following an ignore marker; an absent or
+// unparenthesized tail means "all rules".
+std::set<std::string> ParseRuleList(std::string_view rest) {
   std::set<std::string> rules;
-};
+  if (!rest.empty() && rest.front() == '(') {
+    size_t close = rest.find(')');
+    std::string_view list = rest.substr(1, close == std::string_view::npos ? rest.size() - 1 : close - 1);
+    for (const auto& id : Split(std::string(list), ',')) {
+      std::string trimmed(Trim(id));
+      if (!trimmed.empty()) {
+        rules.insert(trimmed);
+      }
+    }
+  }
+  return rules;
+}
 
-// A suppression comment on a line with code shields that line; a comment on a
-// line of its own shields the line after it (so a note can sit above the
-// flagged statement).
+}  // namespace
+
+// A plain `forklint:ignore` on a line with code shields that line; on a line
+// of its own it shields the line after it (so a note can sit above the
+// flagged statement). The explicit `forklint:ignore-next` form always shields
+// the next line, even as a trailing comment on a line of code.
 std::vector<Suppression> ParseSuppressions(const LexedFile& lexed) {
   std::set<int> token_lines;
   for (const auto& t : lexed.tokens) {
@@ -35,18 +47,14 @@ std::vector<Suppression> ParseSuppressions(const LexedFile& lexed) {
       continue;
     }
     Suppression s;
-    s.line = token_lines.count(c.line) ? c.line : c.end_line + 1;
     std::string_view rest = std::string_view(c.text).substr(at + 15);
-    if (!rest.empty() && rest.front() == '(') {
-      size_t close = rest.find(')');
-      std::string_view list = rest.substr(1, close == std::string::npos ? rest.size() - 1 : close - 1);
-      for (const auto& id : Split(std::string(list), ',')) {
-        std::string trimmed(Trim(id));
-        if (!trimmed.empty()) {
-          s.rules.insert(trimmed);
-        }
-      }
+    if (StartsWith(rest, "-next")) {
+      s.line = c.end_line + 1;
+      rest.remove_prefix(5);
+    } else {
+      s.line = token_lines.count(c.line) ? c.line : c.end_line + 1;
     }
+    s.rules = ParseRuleList(rest);
     out.push_back(std::move(s));
   }
   return out;
@@ -60,8 +68,6 @@ bool IsSuppressed(const Finding& f, const std::vector<Suppression>& sups) {
   }
   return false;
 }
-
-}  // namespace
 
 Analyzer::Analyzer() : rules_(BuildAllRules()) {}
 
@@ -77,24 +83,25 @@ Status Analyzer::EnableOnly(const std::vector<std::string>& rule_ids) {
   return Status::Ok();
 }
 
-FileReport Analyzer::AnalyzeSource(std::string_view source, std::string path) const {
-  LexedFile lexed = Lex(source);
-  auto suppressions = ParseSuppressions(lexed);
-  FileContext ctx(path, std::move(lexed));
+bool Analyzer::RuleEnabled(std::string_view id) const {
+  return enabled_.empty() ||
+         std::find(enabled_.begin(), enabled_.end(), id) != enabled_.end();
+}
 
+FileReport Analyzer::AnalyzeLexed(const FileContext& ctx,
+                                  const std::vector<Suppression>& sups) const {
   FileReport report;
-  report.path = path;
+  report.path = ctx.path();
   for (const auto& rule : rules_) {
-    if (!enabled_.empty() &&
-        std::find(enabled_.begin(), enabled_.end(), rule->id()) == enabled_.end()) {
+    if (!RuleEnabled(rule->id())) {
       continue;
     }
     std::vector<Finding> raw;
     rule->Check(ctx, &raw);
     for (auto& f : raw) {
       f.rule = rule->id();
-      f.path = path;
-      if (IsSuppressed(f, suppressions)) {
+      f.path = ctx.path();
+      if (IsSuppressed(f, sups)) {
         ++report.suppressed;
       } else {
         report.findings.push_back(std::move(f));
@@ -104,6 +111,13 @@ FileReport Analyzer::AnalyzeSource(std::string_view source, std::string path) co
   std::stable_sort(report.findings.begin(), report.findings.end(),
                    [](const Finding& a, const Finding& b) { return a.line < b.line; });
   return report;
+}
+
+FileReport Analyzer::AnalyzeSource(std::string_view source, std::string path) const {
+  LexedFile lexed = Lex(source);
+  auto suppressions = ParseSuppressions(lexed);
+  FileContext ctx(std::move(path), std::move(lexed));
+  return AnalyzeLexed(ctx, suppressions);
 }
 
 Result<FileReport> Analyzer::AnalyzeFile(const std::string& path) const {

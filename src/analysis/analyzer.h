@@ -4,6 +4,7 @@
 #define SRC_ANALYSIS_ANALYZER_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -21,9 +22,25 @@ struct FileReport {
   size_t suppressed = 0;  // findings dropped by forklint:ignore comments
 };
 
+// One parsed suppression comment: the source line it shields and the rule ids
+// it silences (empty set = all rules). Two spellings:
+//   `// forklint:ignore(RN)`      — shields its own line when it shares the
+//                                   line with code, else the line below
+//   `// forklint:ignore-next(RN)` — always shields the line below, so a
+//                                   trailing comment can shield the NEXT
+//                                   statement without moving it
+struct Suppression {
+  int line = 0;
+  std::set<std::string> rules;
+};
+
+std::vector<Suppression> ParseSuppressions(const LexedFile& lexed);
+bool IsSuppressed(const Finding& f, const std::vector<Suppression>& sups);
+
 class Analyzer {
  public:
-  // Builds the full R1–R8 rule set (see rules/rules.h).
+  // Builds the full rule set (see rules/rules.h): per-file R1–R8 plus the
+  // interprocedural R9–R12, which only fire under ProjectAnalyzer.
   Analyzer();
 
   // Restricts subsequent analysis to the given rule ids (e.g. {"R1","R3"}).
@@ -35,8 +52,15 @@ class Analyzer {
   // display path.
   FileReport AnalyzeSource(std::string_view source, std::string path) const;
 
+  // Runs the per-file rules over an already-built context with pre-parsed
+  // suppressions — the path ProjectAnalyzer uses so each file is lexed once.
+  FileReport AnalyzeLexed(const FileContext& ctx, const std::vector<Suppression>& sups) const;
+
   // Reads `path` and analyzes it.
   Result<FileReport> AnalyzeFile(const std::string& path) const;
+
+  // True when `id` is enabled under the current EnableOnly filter.
+  bool RuleEnabled(std::string_view id) const;
 
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
 

@@ -1,0 +1,123 @@
+#include "src/analysis/callgraph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace forklift {
+namespace analysis {
+
+void CallGraph::Build(std::vector<FunctionSummary>* fns) {
+  fns_ = fns;
+  by_name_.clear();
+  resolved_.assign(fns->size(), {});
+  callers_.assign(fns->size(), {});
+  for (size_t i = 0; i < fns->size(); ++i) {
+    const FunctionSummary& fn = (*fns)[i];
+    if (fn.name != "<lambda>") {
+      by_name_[fn.name].push_back(i);
+    }
+  }
+  for (size_t i = 0; i < fns->size(); ++i) {
+    const FunctionSummary& fn = (*fns)[i];
+    resolved_[i].assign(fn.calls.size(), -1);
+    for (size_t c = 0; c < fn.calls.size(); ++c) {
+      int target = Resolve(fn.calls[c].callee, fn.calls[c].arity, fn.path);
+      resolved_[i][c] = target;
+      if (target >= 0) {
+        auto& callers = callers_[static_cast<size_t>(target)];
+        if (std::find(callers.begin(), callers.end(), i) == callers.end()) {
+          callers.push_back(i);
+        }
+      }
+    }
+  }
+}
+
+int CallGraph::Resolve(const std::string& name, int arity,
+                       const std::string& from_path) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return -1;
+  }
+  const std::vector<size_t>& candidates = it->second;
+  // 1) same-file definition with matching arity (first in declaration order —
+  //    a re-opened namespace can redefine, but one TU rarely overloads itself
+  //    in a way this tricks).
+  for (size_t idx : candidates) {
+    const FunctionSummary& f = (*fns_)[idx];
+    if (f.path == from_path && f.arity == arity) {
+      return static_cast<int>(idx);
+    }
+  }
+  // 2) same-file definition unique by name (default-argument calls).
+  int same_file = -1;
+  for (size_t idx : candidates) {
+    if ((*fns_)[idx].path == from_path) {
+      if (same_file >= 0) {
+        same_file = -1;
+        break;
+      }
+      same_file = static_cast<int>(idx);
+    }
+  }
+  if (same_file >= 0) {
+    return same_file;
+  }
+  // 3) cross-file definition unique by name+arity.
+  int by_arity = -1;
+  for (size_t idx : candidates) {
+    if ((*fns_)[idx].arity == arity) {
+      if (by_arity >= 0) {
+        by_arity = -1;  // ambiguous across files: refuse to guess
+        break;
+      }
+      by_arity = static_cast<int>(idx);
+    }
+  }
+  if (by_arity >= 0) {
+    return by_arity;
+  }
+  // 4) cross-file definition unique by name.
+  return candidates.size() == 1 ? static_cast<int>(candidates[0]) : -1;
+}
+
+std::vector<CallGraph::Hop> CallGraph::ChainTo(
+    size_t from, const std::function<bool(const FunctionSummary&)>& pred) const {
+  if (fns_ == nullptr || from >= fns_->size()) {
+    return {};
+  }
+  // BFS over resolved call edges; parent_[v] remembers the edge that reached v.
+  std::vector<int> parent_fn(fns_->size(), -1);
+  std::vector<size_t> parent_call(fns_->size(), 0);
+  std::vector<char> seen(fns_->size(), 0);
+  seen[from] = 1;
+  std::deque<size_t> queue{from};
+  while (!queue.empty()) {
+    size_t u = queue.front();
+    queue.pop_front();
+    for (size_t c = 0; c < (*fns_)[u].calls.size(); ++c) {
+      int t = resolved_[u][c];
+      if (t < 0 || seen[static_cast<size_t>(t)]) {
+        continue;
+      }
+      size_t v = static_cast<size_t>(t);
+      seen[v] = 1;
+      parent_fn[v] = static_cast<int>(u);
+      parent_call[v] = c;
+      if (pred((*fns_)[v])) {
+        std::vector<Hop> chain;
+        for (size_t cur = v; parent_fn[cur] >= 0;
+             cur = static_cast<size_t>(parent_fn[cur])) {
+          chain.push_back({static_cast<size_t>(parent_fn[cur]), parent_call[cur]});
+        }
+        std::reverse(chain.begin(), chain.end());
+        return chain;
+      }
+      queue.push_back(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace analysis
+}  // namespace forklift

@@ -1,0 +1,78 @@
+// forklift/analysis: the cross-translation-unit call graph.
+//
+// Nodes are the FunctionSummary entries extracted from every file on the
+// command line; edges are call sites resolved by a name+arity heuristic (no
+// real overload resolution — precision over recall, so an ambiguous name
+// simply stays unresolved and produces no edge and no finding). Resolution
+// prefers, in order: a same-file definition with matching arity, a same-file
+// definition unique by name, a cross-file definition unique by name+arity,
+// and finally a cross-file definition unique by name. Lambdas ("<lambda>")
+// are never link targets.
+#ifndef SRC_ANALYSIS_CALLGRAPH_H_
+#define SRC_ANALYSIS_CALLGRAPH_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/analysis/summary.h"
+
+namespace forklift {
+namespace analysis {
+
+class CallGraph {
+ public:
+  // Links call sites across `fns` (kept by pointer; must outlive the graph).
+  void Build(std::vector<FunctionSummary>* fns);
+
+  size_t size() const { return fns_ == nullptr ? 0 : fns_->size(); }
+  const FunctionSummary& fn(size_t i) const { return (*fns_)[i]; }
+
+  // Index of the function `calls[call_idx]` of function `fn_idx` resolves to,
+  // or -1 when unresolved (external, ambiguous, or a lambda).
+  int ResolveCall(size_t fn_idx, size_t call_idx) const {
+    return resolved_[fn_idx][call_idx];
+  }
+
+  // Functions holding at least one call site that resolves to `fn_idx`.
+  const std::vector<size_t>& Callers(size_t fn_idx) const { return callers_[fn_idx]; }
+
+  // The resolution heuristic itself, exposed for tests: definition index for
+  // a call to `name` with `arity` arguments made from `from_path`, or -1.
+  int Resolve(const std::string& name, int arity, const std::string& from_path) const;
+
+  // One edge on a call chain: function `fn` at its call site `call`.
+  struct Hop {
+    size_t fn;
+    size_t call;
+  };
+
+  // Shortest chain of call edges from `from` to any function satisfying
+  // `pred`; the last hop's resolved target is the satisfying function. Empty
+  // when nothing reachable satisfies it (or `from` itself already does —
+  // callers handle the direct case before asking for a chain).
+  std::vector<Hop> ChainTo(size_t from,
+                           const std::function<bool(const FunctionSummary&)>& pred) const;
+
+ private:
+  std::vector<FunctionSummary>* fns_ = nullptr;
+  std::unordered_map<std::string, std::vector<size_t>> by_name_;  // decl order
+  std::vector<std::vector<int>> resolved_;   // [fn][call] -> target or -1
+  std::vector<std::vector<size_t>> callers_;  // [fn] -> caller indices
+};
+
+// Everything an interprocedural rule (R9–R12) may look at once the program is
+// linked: the graph (which owns access to every FunctionSummary) plus
+// program-wide facts computed by the ProjectAnalyzer.
+struct ProjectContext {
+  const CallGraph* graph = nullptr;
+  // Some function anywhere in the program creates a thread (nullptr = the
+  // program is single-threaded as far as the analysis can see). R12's trigger.
+  const FunctionSummary* thread_witness = nullptr;
+};
+
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_CALLGRAPH_H_

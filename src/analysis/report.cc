@@ -32,6 +32,9 @@ std::string RenderText(const std::vector<FileReport>& reports) {
   for (const auto& r : reports) {
     for (const auto& f : r.findings) {
       out += f.path + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message + "\n";
+      for (const auto& rel : f.related) {
+        out += "  note: " + rel.path + ":" + std::to_string(rel.line) + ": " + rel.message + "\n";
+      }
     }
   }
   char summary[160];
@@ -51,8 +54,19 @@ std::string RenderJson(const std::vector<FileReport>& reports) {
           .Key("rule").Value(f.rule)
           .Key("path").Value(f.path)
           .Key("line").Value(f.line)
-          .Key("message").Value(f.message)
-          .EndObject();
+          .Key("message").Value(f.message);
+      if (!f.related.empty()) {
+        w.Key("related").BeginArray();
+        for (const auto& rel : f.related) {
+          w.BeginObject()
+              .Key("path").Value(rel.path)
+              .Key("line").Value(rel.line)
+              .Key("message").Value(rel.message)
+              .EndObject();
+        }
+        w.EndArray();
+      }
+      w.EndObject();
     }
   }
   w.EndArray()
@@ -96,8 +110,23 @@ std::string RenderSarif(const Analyzer& analyzer, const std::vector<FileReport>&
           .Key("artifactLocation").BeginObject().Key("uri").Value(f.path).EndObject()
           .Key("region").BeginObject().Key("startLine").Value(f.line).EndObject()
           .EndObject()  // physicalLocation
-          .EndObject().EndArray()  // location, locations
-          .EndObject();  // result
+          .EndObject().EndArray();  // location, locations
+      // The call chain (lock site, hops, fork/exec site) rides along as SARIF
+      // relatedLocations, so viewers can walk the interprocedural path.
+      if (!f.related.empty()) {
+        w.Key("relatedLocations").BeginArray();
+        for (const auto& rel : f.related) {
+          w.BeginObject()
+              .Key("physicalLocation").BeginObject()
+              .Key("artifactLocation").BeginObject().Key("uri").Value(rel.path).EndObject()
+              .Key("region").BeginObject().Key("startLine").Value(rel.line).EndObject()
+              .EndObject()  // physicalLocation
+              .Key("message").BeginObject().Key("text").Value(rel.message).EndObject()
+              .EndObject();
+        }
+        w.EndArray();
+      }
+      w.EndObject();  // result
     }
   }
   w.EndArray().EndObject().EndArray().EndObject();  // results, run, runs, root

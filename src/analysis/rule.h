@@ -17,13 +17,25 @@
 namespace forklift {
 namespace analysis {
 
-// One hazard at one source location. `rule` and `path` are stamped by the
-// Analyzer after the rule runs; rules only fill line + message.
+// A secondary location attached to a finding — interprocedural rules use a
+// chain of these to show how the hazard is reached (lock site, call hops,
+// fork/exec site). Rendered as SARIF `relatedLocations`.
+struct RelatedLocation {
+  std::string path;
+  int line = 0;
+  std::string message;
+};
+
+// One hazard at one source location. For per-file rules, `rule` and `path`
+// are stamped by the Analyzer after the rule runs; rules only fill line +
+// message. Project rules span files, so they fill `path` themselves (the
+// rule id is still stamped by the driver).
 struct Finding {
   std::string rule;
   std::string path;
   int line = 0;
   std::string message;
+  std::vector<RelatedLocation> related;
 };
 
 // A fork()/vfork() call site with whatever surrounding structure the analyzer
@@ -89,9 +101,22 @@ class Rule {
  public:
   virtual ~Rule() = default;
 
-  virtual std::string_view id() const = 0;       // "R1".."R8"
+  virtual std::string_view id() const = 0;       // "R1".."R12"
   virtual std::string_view summary() const = 0;  // one line, used in --list-rules and SARIF
   virtual void Check(const FileContext& ctx, std::vector<Finding>* out) const = 0;
+};
+
+// Everything an interprocedural rule may look at: the linked call graph over
+// all translation units plus program-wide facts. Defined in callgraph.h.
+struct ProjectContext;
+
+// A rule that needs the whole program. In per-file mode these rules are
+// silent (Check is a no-op); ProjectAnalyzer drives CheckProject once the
+// call graph is linked and summaries are propagated.
+class ProjectRule : public Rule {
+ public:
+  void Check(const FileContext&, std::vector<Finding>*) const override {}
+  virtual void CheckProject(const ProjectContext& ctx, std::vector<Finding>* out) const = 0;
 };
 
 }  // namespace analysis

@@ -1,0 +1,79 @@
+// R10: the fork child calls a function that *transitively* reaches an
+// async-signal-unsafe operation (interprocedural R1 — HotOS'19 §4). R1 flags
+// `printf` written directly between fork() and exec; it is blind to
+// `ReportStatus()` whose implementation three calls down allocates or takes
+// the stdio lock. This rule follows the call graph from every call made in a
+// child branch and reports the full chain to the unsafe site. Direct unsafe
+// uses in the child stay R1's findings — R10 only fires on calls R1 cannot
+// see through, so the two never double-report one line.
+#include "src/analysis/callgraph.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+bool HasDirectUnsafe(const FunctionSummary& f) { return !f.unsafe_calls.empty(); }
+
+class TransitiveUnsafeRule : public ProjectRule {
+ public:
+  std::string_view id() const override { return "R10"; }
+  std::string_view summary() const override {
+    return "fork child calls a function that transitively reaches async-signal-unsafe code";
+  }
+
+  void CheckProject(const ProjectContext& ctx, std::vector<Finding>* out) const override {
+    const CallGraph& graph = *ctx.graph;
+    for (size_t i = 0; i < graph.size(); ++i) {
+      const FunctionSummary& fn = graph.fn(i);
+      for (size_t c = 0; c < fn.calls.size(); ++c) {
+        const CallSiteRef& call = fn.calls[c];
+        if (!call.in_child_branch) {
+          continue;
+        }
+        int target = graph.ResolveCall(i, c);
+        if (target < 0 || !graph.fn(static_cast<size_t>(target)).may_unsafe) {
+          continue;
+        }
+        size_t unsafe_holder = static_cast<size_t>(target);
+        Finding f;
+        f.path = fn.path;
+        f.line = call.line;
+        if (!HasDirectUnsafe(graph.fn(unsafe_holder))) {
+          auto chain = graph.ChainTo(unsafe_holder, HasDirectUnsafe);
+          for (const auto& hop : chain) {
+            const FunctionSummary& via = graph.fn(hop.fn);
+            const CallSiteRef& hop_call = via.calls[hop.call];
+            f.related.push_back({via.path, hop_call.line,
+                                 "via call to " + hop_call.callee + "()"});
+            int next = graph.ResolveCall(hop.fn, hop.call);
+            if (next >= 0) {
+              unsafe_holder = static_cast<size_t>(next);
+            }
+          }
+        }
+        const FunctionSummary& holder = graph.fn(unsafe_holder);
+        std::string unsafe_name =
+            holder.unsafe_calls.empty() ? "?" : holder.unsafe_calls.front().name;
+        f.message = call.callee + "() in the fork child reaches " + unsafe_name +
+                    " (in " + holder.name +
+                    "()); only async-signal-safe operations are legal before exec";
+        if (!holder.unsafe_calls.empty()) {
+          f.related.push_back({holder.path, holder.unsafe_calls.front().line,
+                               unsafe_name + " — the async-signal-unsafe operation"});
+        }
+        out->push_back(std::move(f));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeTransitiveUnsafeRule() {
+  return std::make_unique<TransitiveUnsafeRule>();
+}
+
+}  // namespace analysis
+}  // namespace forklift

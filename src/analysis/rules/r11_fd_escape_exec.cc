@@ -1,0 +1,105 @@
+// R11: a descriptor created without CLOEXEC escapes its creating function in
+// a program where that function's callers can reach exec (interprocedural R2
+// — HotOS'19 §4/§5: fd inheritance is the default, so every leaked fd ends up
+// in every exec'd child). R2 flags each non-CLOEXEC creation locally; R11
+// cuts the noise the other way — it fires only when the fd provably leaves
+// the function that made it (returned or passed on) *and* an exec is
+// reachable from the creating function or one of its transitive callers,
+// i.e. when the leak has an actual route into a foreign process image.
+#include "src/analysis/callgraph.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+bool HasDirectExec(const FunctionSummary& f) { return f.exec_line != 0; }
+
+class FdEscapeExecRule : public ProjectRule {
+ public:
+  std::string_view id() const override { return "R11"; }
+  std::string_view summary() const override {
+    return "non-CLOEXEC descriptor escapes its creating function and an exec is reachable";
+  }
+
+  void CheckProject(const ProjectContext& ctx, std::vector<Finding>* out) const override {
+    const CallGraph& graph = *ctx.graph;
+    for (size_t i = 0; i < graph.size(); ++i) {
+      const FunctionSummary& fn = graph.fn(i);
+      for (const LeakyFdRef& leak : fn.leaky_fds) {
+        if (!leak.escapes) {
+          continue;
+        }
+        // Does any function in the creating function's caller closure (itself
+        // included) reach an exec? Walk Callers() upward, breadth-first.
+        int witness = FindExecWitness(graph, i);
+        if (witness < 0) {
+          continue;
+        }
+        const FunctionSummary& wfn = graph.fn(static_cast<size_t>(witness));
+        Finding f;
+        f.path = fn.path;
+        f.line = leak.line;
+        f.message = leak.call + "() without CLOEXEC: the descriptor is " + leak.escape_how +
+                    " out of " + fn.name + "() and " + wfn.name +
+                    "() can reach exec, so it leaks into the exec'd child";
+        f.related.push_back({fn.path, leak.escape_line, "descriptor " + leak.escape_how + " here"});
+        AppendExecChain(graph, static_cast<size_t>(witness), &f);
+        out->push_back(std::move(f));
+      }
+    }
+  }
+
+ private:
+  // Nearest function, by caller-edges from `creator` (itself first), whose
+  // may_exec bit is set; -1 when exec is unreachable from the whole closure.
+  static int FindExecWitness(const CallGraph& graph, size_t creator) {
+    std::vector<char> seen(graph.size(), 0);
+    std::vector<size_t> queue{creator};
+    seen[creator] = 1;
+    for (size_t q = 0; q < queue.size(); ++q) {
+      size_t u = queue[q];
+      if (graph.fn(u).may_exec) {
+        return static_cast<int>(u);
+      }
+      for (size_t caller : graph.Callers(u)) {
+        if (!seen[caller]) {
+          seen[caller] = 1;
+          queue.push_back(caller);
+        }
+      }
+    }
+    return -1;
+  }
+
+  static void AppendExecChain(const CallGraph& graph, size_t witness, Finding* f) {
+    size_t exec_holder = witness;
+    if (!HasDirectExec(graph.fn(witness))) {
+      auto chain = graph.ChainTo(witness, HasDirectExec);
+      for (const auto& hop : chain) {
+        const FunctionSummary& via = graph.fn(hop.fn);
+        const CallSiteRef& call = via.calls[hop.call];
+        f->related.push_back({via.path, call.line, "via call to " + call.callee + "()"});
+        int next = graph.ResolveCall(hop.fn, hop.call);
+        if (next >= 0) {
+          exec_holder = static_cast<size_t>(next);
+        }
+      }
+    }
+    const FunctionSummary& holder = graph.fn(exec_holder);
+    if (holder.exec_line != 0) {
+      f->related.push_back({holder.path, holder.exec_line,
+                            holder.exec_callee + "() replaces the process image here"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeFdEscapeExecRule() {
+  return std::make_unique<FdEscapeExecRule>();
+}
+
+}  // namespace analysis
+}  // namespace forklift

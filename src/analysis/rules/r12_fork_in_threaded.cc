@@ -1,0 +1,58 @@
+// R12: raw fork() in a program that creates threads (HotOS'19 §4: "fork is
+// hostile to threads" — the child gets a single-threaded snapshot of a
+// multithreaded address space, with every other thread's locks and state
+// frozen mid-flight). Per-file analysis cannot see that *some other* TU
+// spawns threads; this rule fires program-wide once any thread creation
+// exists anywhere, against every fork site outside the sanctioned
+// src/spawn/ wrappers (which are written to the async-signal-safe contract
+// and are the designated fork authority per R7).
+#include "src/analysis/callgraph.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+class ForkInThreadedRule : public ProjectRule {
+ public:
+  std::string_view id() const override { return "R12"; }
+  std::string_view summary() const override {
+    return "fork() outside src/spawn/ in a program that creates threads";
+  }
+
+  void CheckProject(const ProjectContext& ctx, std::vector<Finding>* out) const override {
+    if (ctx.thread_witness == nullptr) {
+      return;  // no thread creation anywhere: plain fork semantics apply
+    }
+    const FunctionSummary& witness = *ctx.thread_witness;
+    const CallGraph& graph = *ctx.graph;
+    for (size_t i = 0; i < graph.size(); ++i) {
+      const FunctionSummary& fn = graph.fn(i);
+      if (fn.path.find("src/spawn/") != std::string::npos) {
+        continue;  // the sanctioned wrappers own their fork sites
+      }
+      for (const ForkSiteRef& fork : fn.forks) {
+        Finding f;
+        f.path = fn.path;
+        f.line = fork.line;
+        f.message = std::string(fork.is_vfork ? "vfork()" : "fork()") +
+                    " in a program that creates threads (" + witness.name + "() in " +
+                    witness.path + "); the child inherits a torn multithreaded snapshot — "
+                    "use the src/spawn/ wrappers";
+        f.related.push_back({witness.path, witness.thread_line,
+                             "thread creation making the program multithreaded"});
+        out->push_back(std::move(f));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeForkInThreadedRule() {
+  return std::make_unique<ForkInThreadedRule>();
+}
+
+}  // namespace analysis
+}  // namespace forklift

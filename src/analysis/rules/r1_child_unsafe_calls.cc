@@ -4,10 +4,9 @@
 // or stdio lock at the instant of the snapshot, and the child inherits the
 // locked lock with no owner). Flags known-unsafe calls, allocation, stdio,
 // std::string construction, and lock acquisition inside the child branch.
-#include <array>
-
 #include "src/analysis/rules/rule_util.h"
 #include "src/analysis/rules/rules.h"
+#include "src/analysis/rules/unsafe_sets.h"
 
 namespace forklift {
 namespace analysis {
@@ -17,21 +16,9 @@ namespace {
 using rule_util::IsExecOrHardExit;
 using rule_util::IsMemberCall;
 using rule_util::IsPunct;
-
-// Free functions that allocate, take process-wide locks, or touch stdio
-// buffers — the classic post-fork deadlock/corruption set.
-constexpr std::array<std::string_view, 24> kUnsafeFree = {
-    "malloc",  "calloc",   "realloc", "free",    "printf", "fprintf",
-    "sprintf", "snprintf", "vfprintf", "puts",   "fputs",  "fputc",
-    "fwrite",  "fread",    "fopen",   "fclose",  "fflush", "perror",
-    "syslog",  "setenv",   "putenv",  "getenv",  "localtime", "pthread_mutex_lock"};
-
-// Member functions whose very invocation means a lock acquire.
-constexpr std::array<std::string_view, 3> kUnsafeMember = {"lock", "unlock", "try_lock"};
-
-// std::-qualified names that allocate or lock under the hood.
-constexpr std::array<std::string_view, 7> kUnsafeStd = {
-    "string", "cout", "cerr", "clog", "lock_guard", "unique_lock", "scoped_lock"};
+using rule_util::kUnsafeFree;
+using rule_util::kUnsafeMember;
+using rule_util::kUnsafeStd;
 
 class ChildUnsafeCallsRule : public Rule {
  public:

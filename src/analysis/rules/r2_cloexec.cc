@@ -18,83 +18,14 @@ namespace analysis {
 
 namespace {
 
+using rule_util::ArgRange;
+using rule_util::FlagState;
+using rule_util::InspectFlagArg;
 using rule_util::IsForeignQualified;
 using rule_util::IsMemberCall;
 using rule_util::IsPunct;
-
-struct ArgRange {
-  size_t begin;  // first token of the argument
-  size_t end;    // one past the last token
-};
-
-// Splits tokens strictly inside (open, close) on top-level commas.
-std::vector<ArgRange> SplitArgs(const FileContext& ctx, size_t open, size_t close) {
-  const auto& toks = ctx.tokens();
-  std::vector<ArgRange> args;
-  if (close <= open + 1) {
-    return args;
-  }
-  size_t start = open + 1;
-  int depth = 0;
-  for (size_t i = open + 1; i < close; ++i) {
-    const std::string& t = toks[i].kind == TokKind::kPunct ? toks[i].text : "";
-    if (t == "(" || t == "[" || t == "{") {
-      ++depth;
-    } else if (t == ")" || t == "]" || t == "}") {
-      --depth;
-    } else if (t == "," && depth == 0) {
-      args.push_back({start, i});
-      start = i + 1;
-    }
-  }
-  args.push_back({start, close});
-  return args;
-}
-
-enum class FlagState { kHasCloexec, kIndeterminate, kMissing };
-
-FlagState InspectFlagArg(const FileContext& ctx, const std::vector<ArgRange>& args,
-                         size_t position, std::string_view cloexec_name) {
-  if (position >= args.size()) {
-    return FlagState::kMissing;  // flags argument absent entirely
-  }
-  const auto& toks = ctx.tokens();
-  FlagState state = FlagState::kMissing;
-  for (size_t i = args[position].begin; i < args[position].end; ++i) {
-    if (toks[i].kind != TokKind::kIdent) {
-      continue;
-    }
-    if (toks[i].text == cloexec_name) {
-      return FlagState::kHasCloexec;
-    }
-    for (char c : toks[i].text) {
-      if (c >= 'a' && c <= 'z') {
-        state = FlagState::kIndeterminate;  // a variable; caller may pass CLOEXEC
-        break;
-      }
-    }
-  }
-  return state;
-}
-
-// True when the identifier at `i` heads a declaration or definition signature
-// rather than a call: the preceding token is part of a type (`UniqueFd>`,
-// `int`, `*`, `&`).
-bool LooksLikeDeclaration(const std::vector<Token>& toks, size_t i) {
-  if (i == 0) {
-    return false;
-  }
-  const Token& prev = toks[i - 1];
-  if (IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&")) {
-    return true;
-  }
-  if (prev.kind != TokKind::kIdent) {
-    return false;
-  }
-  // Keywords that legitimately precede a call expression.
-  return prev.text != "return" && prev.text != "throw" && prev.text != "else" &&
-         prev.text != "do" && prev.text != "co_return" && prev.text != "co_await";
-}
+using rule_util::LooksLikeDeclaration;
+using rule_util::SplitArgs;
 
 class CloexecRule : public Rule {
  public:
@@ -118,12 +49,12 @@ class CloexecRule : public Rule {
       if (close >= toks.size()) {
         continue;
       }
-      auto args = SplitArgs(ctx, i + 1, close);
+      auto args = SplitArgs(toks, i + 1, close);
       auto flag = [&](const std::string& msg) {
-        out->push_back({"", "", toks[i].line, msg});
+        out->push_back({"", "", toks[i].line, msg, {}});
       };
       auto check = [&](size_t flags_pos, std::string_view cloexec, const std::string& msg) {
-        if (InspectFlagArg(ctx, args, flags_pos, cloexec) == FlagState::kMissing) {
+        if (InspectFlagArg(toks, args, flags_pos, cloexec) == FlagState::kMissing) {
           flag(msg);
         }
       };

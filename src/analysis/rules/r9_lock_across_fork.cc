@@ -1,0 +1,96 @@
+// R9: fork() reachable while a lock may be held (HotOS'19 §4: the child
+// snapshots every lock in its acquired state, but the owning threads are gone
+// — any later acquire in the child deadlocks, and even in the parent, forking
+// under a lock stretches the critical section across an entire process copy).
+// The per-file rules can only see a fork adjacent to its guard; this rule
+// follows the call graph, so `lock_guard g(mu); Helper();` is caught when
+// Helper() transitively reaches fork().
+#include "src/analysis/callgraph.h"
+#include "src/analysis/rules/rules.h"
+
+namespace forklift {
+namespace analysis {
+
+namespace {
+
+bool HasDirectFork(const FunctionSummary& f) { return !f.forks.empty(); }
+
+class LockAcrossForkRule : public ProjectRule {
+ public:
+  std::string_view id() const override { return "R9"; }
+  std::string_view summary() const override {
+    return "fork() reachable (directly or through callees) while a lock may be held";
+  }
+
+  void CheckProject(const ProjectContext& ctx, std::vector<Finding>* out) const override {
+    const CallGraph& graph = *ctx.graph;
+    for (size_t i = 0; i < graph.size(); ++i) {
+      const FunctionSummary& fn = graph.fn(i);
+      for (const ForkSiteRef& fork : fn.forks) {
+        if (!fork.lock_held) {
+          continue;
+        }
+        Finding f;
+        f.path = fn.path;
+        f.line = fork.line;
+        f.message = std::string(fork.is_vfork ? "vfork()" : "fork()") + " while " +
+                    fork.lock_desc + " acquired at line " + std::to_string(fork.lock_line) +
+                    " is held; the child inherits the locked state with no owner thread";
+        f.related.push_back({fn.path, fork.lock_line, "lock acquired here (" + fork.lock_desc + ")"});
+        out->push_back(std::move(f));
+      }
+      for (size_t c = 0; c < fn.calls.size(); ++c) {
+        const CallSiteRef& call = fn.calls[c];
+        if (!call.lock_held) {
+          continue;
+        }
+        int target = graph.ResolveCall(i, c);
+        if (target < 0 || !graph.fn(static_cast<size_t>(target)).may_fork) {
+          continue;
+        }
+        Finding f;
+        f.path = fn.path;
+        f.line = call.line;
+        f.message = "call to " + call.callee + "() while " + call.lock_desc +
+                    " acquired at line " + std::to_string(call.lock_line) +
+                    " is held; " + call.callee + "() can reach fork()";
+        f.related.push_back({fn.path, call.lock_line, "lock acquired here (" + call.lock_desc + ")"});
+        AppendForkChain(graph, static_cast<size_t>(target), &f);
+        out->push_back(std::move(f));
+      }
+    }
+  }
+
+ private:
+  // Appends the hop-by-hop path from `start` to a concrete fork site.
+  static void AppendForkChain(const CallGraph& graph, size_t start, Finding* f) {
+    size_t fork_holder = start;
+    if (!HasDirectFork(graph.fn(start))) {
+      auto chain = graph.ChainTo(start, HasDirectFork);
+      for (const auto& hop : chain) {
+        const FunctionSummary& via = graph.fn(hop.fn);
+        const CallSiteRef& call = via.calls[hop.call];
+        f->related.push_back({via.path, call.line, "via call to " + call.callee + "()"});
+        int next = graph.ResolveCall(hop.fn, hop.call);
+        if (next >= 0) {
+          fork_holder = static_cast<size_t>(next);
+        }
+      }
+    }
+    const FunctionSummary& holder = graph.fn(fork_holder);
+    if (!holder.forks.empty()) {
+      f->related.push_back({holder.path, holder.forks.front().line,
+                            std::string(holder.forks.front().is_vfork ? "vfork()" : "fork()") +
+                                " happens here"});
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLockAcrossForkRule() {
+  return std::make_unique<LockAcrossForkRule>();
+}
+
+}  // namespace analysis
+}  // namespace forklift

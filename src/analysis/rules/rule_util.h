@@ -1,8 +1,11 @@
-// Shared token-matching helpers for the concrete rules. Internal to rules/.
+// Shared token-matching helpers for the concrete rules and the summary
+// extractor (src/analysis/summary.cc), which mirrors the rules' call and
+// flag heuristics when building per-function summaries.
 #ifndef SRC_ANALYSIS_RULES_RULE_UTIL_H_
 #define SRC_ANALYSIS_RULES_RULE_UTIL_H_
 
 #include <string_view>
+#include <vector>
 
 #include "src/analysis/rule.h"
 
@@ -29,6 +32,18 @@ inline bool IsExecOrHardExit(const std::vector<Token>& toks, size_t i) {
          t == "ChildExec";  // this repo's child-side trampoline (never returns)
 }
 
+// True when tokens[i] names an exec-family call proper (the process-image
+// replacement, not the _exit escape hatches) — what may_exec propagates.
+inline bool IsExecCall(const std::vector<Token>& toks, size_t i) {
+  if (toks[i].kind != TokKind::kIdent) {
+    return false;
+  }
+  const std::string& t = toks[i].text;
+  return t == "execl" || t == "execlp" || t == "execle" || t == "execv" || t == "execvp" ||
+         t == "execvpe" || t == "execve" || t == "execveat" || t == "fexecve" ||
+         t == "posix_spawn" || t == "posix_spawnp" || t == "ChildExec";
+}
+
 // True when the identifier at `i` is called as a member (`x.f()` / `x->f()`).
 inline bool IsMemberCall(const std::vector<Token>& toks, size_t i) {
   return i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"));
@@ -38,6 +53,83 @@ inline bool IsMemberCall(const std::vector<Token>& toks, size_t i) {
 // the global one (`ns::f`; plain `::f` is NOT foreign-qualified).
 inline bool IsForeignQualified(const std::vector<Token>& toks, size_t i) {
   return i >= 2 && IsPunct(toks[i - 1], "::") && toks[i - 2].kind == TokKind::kIdent;
+}
+
+// True when the identifier at `i` heads a declaration or definition signature
+// rather than a call: the preceding token is part of a type (`UniqueFd>`,
+// `int`, `*`, `&`).
+inline bool LooksLikeDeclaration(const std::vector<Token>& toks, size_t i) {
+  if (i == 0) {
+    return false;
+  }
+  const Token& prev = toks[i - 1];
+  if (IsPunct(prev, ">") || IsPunct(prev, "*") || IsPunct(prev, "&")) {
+    return true;
+  }
+  if (prev.kind != TokKind::kIdent) {
+    return false;
+  }
+  // Keywords that legitimately precede a call expression.
+  return prev.text != "return" && prev.text != "throw" && prev.text != "else" &&
+         prev.text != "do" && prev.text != "co_return" && prev.text != "co_await";
+}
+
+struct ArgRange {
+  size_t begin;  // first token of the argument
+  size_t end;    // one past the last token
+};
+
+// Splits tokens strictly inside (open, close) on top-level commas.
+inline std::vector<ArgRange> SplitArgs(const std::vector<Token>& toks, size_t open,
+                                       size_t close) {
+  std::vector<ArgRange> args;
+  if (close <= open + 1) {
+    return args;
+  }
+  size_t start = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].kind == TokKind::kPunct ? toks[i].text : "";
+    if (t == "(" || t == "[" || t == "{") {
+      ++depth;
+    } else if (t == ")" || t == "]" || t == "}") {
+      --depth;
+    } else if (t == "," && depth == 0) {
+      args.push_back({start, i});
+      start = i + 1;
+    }
+  }
+  args.push_back({start, close});
+  return args;
+}
+
+enum class FlagState { kHasCloexec, kIndeterminate, kMissing };
+
+// Inspects the flags argument at `position` for `cloexec_name`. A flags
+// argument that mentions a variable (any identifier with a lowercase letter —
+// macros are ALL_CAPS) is indeterminate: the caller may pass CLOEXEC through.
+inline FlagState InspectFlagArg(const std::vector<Token>& toks,
+                                const std::vector<ArgRange>& args, size_t position,
+                                std::string_view cloexec_name) {
+  if (position >= args.size()) {
+    return FlagState::kMissing;  // flags argument absent entirely
+  }
+  FlagState state = FlagState::kMissing;
+  for (size_t i = args[position].begin; i < args[position].end; ++i) {
+    if (toks[i].kind != TokKind::kIdent) {
+      continue;
+    }
+    if (toks[i].text == cloexec_name) {
+      return FlagState::kHasCloexec;
+    }
+    for (char c : toks[i].text) {
+      if (c >= 'a' && c <= 'z') {
+        state = FlagState::kIndeterminate;  // a variable; caller may pass CLOEXEC
+        break;
+      }
+    }
+  }
+  return state;
 }
 
 }  // namespace rule_util

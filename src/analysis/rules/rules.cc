@@ -13,6 +13,10 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeZombieRiskRule());
   rules.push_back(MakeRawForkPolicyRule());
   rules.push_back(MakeSignalInChildRule());
+  rules.push_back(MakeLockAcrossForkRule());
+  rules.push_back(MakeTransitiveUnsafeRule());
+  rules.push_back(MakeFdEscapeExecRule());
+  rules.push_back(MakeForkInThreadedRule());
   return rules;
 }
 

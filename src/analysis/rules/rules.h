@@ -1,6 +1,8 @@
-// forklift/analysis: the concrete forklint rule set, R1–R8. Each rule
-// mechanizes one hazard class from "A fork() in the road" (HotOS'19 §4/§5);
-// DESIGN.md §2.8 maps every rule to the paper claim it checks.
+// forklift/analysis: the concrete forklint rule set. R1–R8 are per-file;
+// R9–R12 are interprocedural (ProjectRule, silent outside --project mode).
+// Each rule mechanizes one hazard class from "A fork() in the road"
+// (HotOS'19 §4/§5); DESIGN.md §2.8 maps every rule to the paper claim it
+// checks.
 #ifndef SRC_ANALYSIS_RULES_RULES_H_
 #define SRC_ANALYSIS_RULES_RULES_H_
 
@@ -20,6 +22,10 @@ std::unique_ptr<Rule> MakeVforkAbuseRule();        // R5
 std::unique_ptr<Rule> MakeZombieRiskRule();        // R6
 std::unique_ptr<Rule> MakeRawForkPolicyRule();     // R7
 std::unique_ptr<Rule> MakeSignalInChildRule();     // R8
+std::unique_ptr<Rule> MakeLockAcrossForkRule();    // R9  (interprocedural)
+std::unique_ptr<Rule> MakeTransitiveUnsafeRule();  // R10 (interprocedural)
+std::unique_ptr<Rule> MakeFdEscapeExecRule();      // R11 (interprocedural)
+std::unique_ptr<Rule> MakeForkInThreadedRule();    // R12 (interprocedural)
 
 // All rules, in id order.
 std::vector<std::unique_ptr<Rule>> BuildAllRules();

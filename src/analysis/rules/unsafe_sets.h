@@ -1,0 +1,60 @@
+// The async-signal-unsafe name sets shared by R1 (direct calls in the child
+// branch) and the summary extractor (direct unsafe use anywhere in a function
+// body, which R10 propagates through the call graph).
+#ifndef SRC_ANALYSIS_RULES_UNSAFE_SETS_H_
+#define SRC_ANALYSIS_RULES_UNSAFE_SETS_H_
+
+#include <array>
+#include <string_view>
+
+namespace forklift {
+namespace analysis {
+namespace rule_util {
+
+// Free functions that allocate, take process-wide locks, or touch stdio
+// buffers — the classic post-fork deadlock/corruption set.
+inline constexpr std::array<std::string_view, 24> kUnsafeFree = {
+    "malloc",  "calloc",   "realloc", "free",    "printf", "fprintf",
+    "sprintf", "snprintf", "vfprintf", "puts",   "fputs",  "fputc",
+    "fwrite",  "fread",    "fopen",   "fclose",  "fflush", "perror",
+    "syslog",  "setenv",   "putenv",  "getenv",  "localtime", "pthread_mutex_lock"};
+
+// Member functions whose very invocation means a lock acquire.
+inline constexpr std::array<std::string_view, 3> kUnsafeMember = {"lock", "unlock", "try_lock"};
+
+// std::-qualified names that allocate or lock under the hood.
+inline constexpr std::array<std::string_view, 7> kUnsafeStd = {
+    "string", "cout", "cerr", "clog", "lock_guard", "unique_lock", "scoped_lock"};
+
+inline bool InUnsafeFree(std::string_view name) {
+  for (std::string_view bad : kUnsafeFree) {
+    if (name == bad) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool InUnsafeMember(std::string_view name) {
+  for (std::string_view bad : kUnsafeMember) {
+    if (name == bad) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool InUnsafeStd(std::string_view name) {
+  for (std::string_view bad : kUnsafeStd) {
+    if (name == bad) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rule_util
+}  // namespace analysis
+}  // namespace forklift
+
+#endif  // SRC_ANALYSIS_RULES_UNSAFE_SETS_H_

@@ -384,8 +384,10 @@ Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameM
 Result<ForkServerHandle> StartForkServerProcess() {
   FORKLIFT_ASSIGN_OR_RETURN(SocketPair sp, MakeSocketPair());
   // The one sanctioned raw fork outside src/spawn/: the zygote *is* the
-  // fork-server substrate, and must clone itself before any threads exist.
-  pid_t pid = ::fork();  // forklint:ignore(R7)
+  // fork-server substrate, and must clone itself before any threads exist —
+  // which also answers R12: thread creations elsewhere in the program happen
+  // after (and in processes other than) this early clone.
+  pid_t pid = ::fork();  // forklint:ignore(R7,R12)
   if (pid < 0) {
     return ErrnoError("fork (starting fork server)");
   }
@@ -416,7 +418,10 @@ Result<ForkServerHandle> StartForkServerProcess() {
     }
     ::syscall(SYS_close_range, 4u, ~0u, 0u);
     ForkServer server{UniqueFd(sock)};
-    auto served = server.Serve();
+    // Serve() allocates freely — legal here because the zygote contract
+    // guarantees the parent was single-threaded at fork time, so the child's
+    // heap locks cannot be held by a vanished thread.
+    auto served = server.Serve();  // forklint:ignore(R10)
     if (!served.ok()) {
       FORKLIFT_ERROR("fork server terminating on transport error: %s",
                      served.error().ToString().c_str());
@@ -432,9 +437,9 @@ Result<ForkServerHandle> StartForkServerProcess() {
 
 Result<pid_t> SpawnShardProcess(ForkServer& server) {
   // The shard is the same zygote clone as StartForkServerProcess — forked
-  // small, before the supervisor grows — it just inherits a shared listener
-  // instead of a private socketpair.
-  pid_t pid = ::fork();  // forklint:ignore(R7)
+  // small, before the supervisor grows (or threads: R12) — it just inherits
+  // a shared listener instead of a private socketpair.
+  pid_t pid = ::fork();  // forklint:ignore(R7,R12)
   if (pid < 0) {
     return ErrnoError("fork (forkserver shard)");
   }
@@ -450,7 +455,9 @@ Result<pid_t> SpawnShardProcess(ForkServer& server) {
     ::signal(SIGTERM, SIG_DFL);  // forklint:ignore(R8)
     ::signal(SIGINT, SIG_DFL);   // forklint:ignore(R8)
     server.DisownListenPath();
-    auto served = server.Serve();
+    // Allocation in Serve() is safe for the same reason as the zygote child:
+    // the supervisor is single-threaded when shards are cloned.
+    auto served = server.Serve();  // forklint:ignore(R10)
     if (!served.ok()) {
       FORKLIFT_ERROR("fork-server shard terminating on transport error: %s",
                      served.error().ToString().c_str());

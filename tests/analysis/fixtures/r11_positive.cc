@@ -1,0 +1,16 @@
+// R11 positive fixture: a descriptor opened without O_CLOEXEC is returned out
+// of its creating function, and the caller execs — the fd rides into the new
+// process image.
+#include <fcntl.h>
+#include <unistd.h>
+
+int OpenLog() {
+  int fd = open("/tmp/tool.log", O_WRONLY);  // forklint-expect: R11
+  return fd;
+}
+
+void RunTool() {
+  int fd = OpenLog();
+  dup2(fd, 1);
+  execlp("tool", "tool", (char*)0);
+}

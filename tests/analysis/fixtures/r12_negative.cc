@@ -1,0 +1,10 @@
+// R12 negative fixture: fork() in a program that never creates a thread —
+// plain single-threaded fork semantics apply.
+#include <unistd.h>
+
+void SpawnJob() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+}

@@ -1,0 +1,19 @@
+// R12 positive fixture: raw fork() in a program that creates threads — the
+// thread lives in a different function (a different TU in real programs),
+// so only whole-program analysis connects the two.
+#include <pthread.h>
+#include <unistd.h>
+
+void* Worker(void*) { return nullptr; }
+
+void StartWorkers() {
+  pthread_t tid;
+  pthread_create(&tid, nullptr, Worker, nullptr);
+}
+
+void SpawnJob() {
+  pid_t pid = fork();  // forklint-expect: R12
+  if (pid == 0) {
+    _exit(0);
+  }
+}

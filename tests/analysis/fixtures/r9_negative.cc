@@ -1,0 +1,35 @@
+// R9 negative fixture: every lock is released before the fork-reaching call —
+// scoped guard block, explicit unlock, and a lock held only across a leaf
+// call that cannot reach fork().
+#include <mutex>
+#include <unistd.h>
+
+std::mutex g_mu;
+
+void Leaf() {}
+
+int SpawnWorker() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  return pid;
+}
+
+int ScopedThenLaunch() {
+  {
+    std::lock_guard<std::mutex> guard(g_mu);
+  }
+  return SpawnWorker();
+}
+
+int UnlockThenLaunch() {
+  g_mu.lock();
+  g_mu.unlock();
+  return SpawnWorker();
+}
+
+void LockedLeafCall() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  Leaf();
+}

@@ -1,0 +1,31 @@
+// R9 positive fixture: fork() reachable while a lock is held — once directly,
+// once through a two-deep call chain (LockedLaunch -> LaunchViaHelper ->
+// SpawnWorker -> fork), which only whole-program analysis can see.
+#include <mutex>
+#include <unistd.h>
+
+std::mutex g_mu;
+
+int SpawnWorker() {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(0);
+  }
+  return pid;
+}
+
+int LaunchViaHelper() { return SpawnWorker(); }
+
+void LockedLaunch() {
+  std::lock_guard<std::mutex> guard(g_mu);
+  LaunchViaHelper();  // forklint-expect: R9
+}
+
+void DirectForkUnderLock() {
+  g_mu.lock();
+  pid_t pid = fork();  // forklint-expect: R9
+  if (pid == 0) {
+    _exit(0);
+  }
+  g_mu.unlock();
+}

@@ -205,6 +205,33 @@ TEST(Suppression, MultiRuleList) {
   EXPECT_EQ(r.suppressed, 2u);
 }
 
+TEST(Suppression, IgnoreNextAsTrailingCommentShieldsTheLineBelow) {
+  Analyzer analyzer;
+  // The marker sits on a line WITH code; plain `ignore` would shield that
+  // line, `ignore-next` shields the pipe() below it.
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];  // forklint:ignore-next(R2)\n  pipe(p);\n}\n", "a.cc");
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(Suppression, IgnoreNextDoesNotShieldItsOwnLine) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];\n  pipe(p);  // forklint:ignore-next(R2)\n}\n", "a.cc");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R2");
+}
+
+TEST(Suppression, IgnoreNextWrongRuleDoesNotSuppress) {
+  Analyzer analyzer;
+  FileReport r = analyzer.AnalyzeSource(
+      "void f() {\n  int p[2];  // forklint:ignore-next(R5)\n  pipe(p);\n}\n", "a.cc");
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "R2");
+  EXPECT_EQ(r.suppressed, 0u);
+}
+
 TEST(Suppression, UnsuppressedFindingStillReported) {
   Analyzer analyzer;
   FileReport r = analyzer.AnalyzeSource(kLeakyPipe, "a.cc");
@@ -232,12 +259,66 @@ TEST(SarifOutput, ParsesAsJsonAndCarriesTheFinding) {
   EXPECT_NE(sarif.find("pipe2(fds, O_CLOEXEC)"), std::string::npos);
 }
 
-TEST(SarifOutput, RuleCatalogListsAllEightRules) {
+TEST(SarifOutput, RuleCatalogListsAllTwelveRules) {
   Analyzer analyzer;
   std::string sarif = RenderSarif(analyzer, {});
-  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}) {
+  for (const char* id : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10",
+                         "R11", "R12"}) {
     EXPECT_NE(sarif.find("\"id\":\"" + std::string(id) + "\""), std::string::npos) << id;
   }
+}
+
+// A hand-built finding with related locations, as the interprocedural rules
+// produce — exercises every renderer's chain output without a whole project.
+std::vector<FileReport> ChainedReports() {
+  FileReport r;
+  r.path = "src/demo/chain.cc";
+  Finding f;
+  f.rule = "R9";
+  f.path = r.path;
+  f.line = 12;
+  f.message = "call may reach fork() while a lock is held";
+  f.related.push_back({"src/demo/chain.cc", 10, "lock acquired here"});
+  f.related.push_back({"src/demo/other.cc", 4, "via call to Helper()"});
+  f.related.push_back({"src/demo/other.cc", 7, "fork() happens here"});
+  r.findings.push_back(std::move(f));
+  return {r};
+}
+
+TEST(TextOutput, RelatedLocationsRenderAsNoteLines) {
+  std::string text = RenderText(ChainedReports());
+  EXPECT_NE(text.find("src/demo/chain.cc:12: [R9]"), std::string::npos);
+  EXPECT_NE(text.find("  note: src/demo/chain.cc:10: lock acquired here"), std::string::npos);
+  EXPECT_NE(text.find("  note: src/demo/other.cc:4: via call to Helper()"), std::string::npos);
+  EXPECT_NE(text.find("  note: src/demo/other.cc:7: fork() happens here"), std::string::npos);
+}
+
+TEST(JsonOutput, RelatedLocationsCarriedAndStillValidJson) {
+  std::string json = RenderJson(ChainedReports());
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"related\":["), std::string::npos);
+  EXPECT_NE(json.find("\"message\":\"via call to Helper()\""), std::string::npos);
+  EXPECT_NE(json.find("\"path\":\"src/demo/other.cc\""), std::string::npos);
+}
+
+TEST(SarifOutput, RelatedLocationsCarriedAndStillValidJson) {
+  Analyzer analyzer;
+  std::string sarif = RenderSarif(analyzer, ChainedReports());
+  EXPECT_TRUE(JsonValidator(sarif).Valid()) << sarif;
+  EXPECT_NE(sarif.find("\"relatedLocations\":["), std::string::npos);
+  EXPECT_NE(sarif.find("\"text\":\"fork() happens here\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":7"), std::string::npos);
+}
+
+TEST(JsonOutput, FindingWithoutRelatedOmitsTheArray) {
+  std::string json = RenderJson(LeakyReports());
+  EXPECT_EQ(json.find("\"related\""), std::string::npos);
+  std::string sarif;
+  {
+    Analyzer analyzer;
+    sarif = RenderSarif(analyzer, LeakyReports());
+  }
+  EXPECT_EQ(sarif.find("\"relatedLocations\""), std::string::npos);
 }
 
 TEST(JsonOutput, ParsesAndCountsFindings) {

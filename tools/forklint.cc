@@ -1,6 +1,6 @@
 // forklint — source-level fork-safety analyzer for the hazards of
 // "A fork() in the road" (HotOS'19 §4/§5). Lints C++ files or directory
-// trees for the R1–R8 hazard classes (see src/analysis/rules/) and reports
+// trees for the R1–R12 hazard classes (see src/analysis/rules/) and reports
 // as text, JSON, or SARIF 2.1.0.
 //
 // Usage:
@@ -9,15 +9,25 @@
 // Options:
 //   --rules=R1,R3,...     run only the listed rules (default: all)
 //   --format=text|json|sarif
+//   --project             whole-program mode: link all inputs into one call
+//                         graph and run the interprocedural rules (R9–R12)
+//                         on top of the per-file ones
+//   --cache-dir=DIR       (with --project) cache per-file summaries keyed by
+//                         file content hash; unchanged files are not re-lexed
 //   --baseline=FILE       accept findings listed in FILE ("RULE path" lines);
 //                         only findings NOT in the baseline count as failures
+//   --update-baseline     rewrite the --baseline file from the current
+//                         findings (post-suppression) and exit 0
 //   --list-rules          print the rule catalog and exit
 //
 // Inline suppression: `// forklint:ignore(R2)` on (or directly above) the
-// flagged line; `// forklint:ignore` silences all rules for that line.
+// flagged line; `// forklint:ignore-next(R2)` as a trailing comment shields
+// the line below it; bare `forklint:ignore` silences all rules.
 //
-// Exit code: the number of non-baselined findings (capped at 255), so CI can
-// gate on `forklint src tools` directly. I/O or usage errors exit 255.
+// Exit code: the number of non-baselined findings, capped at 120 so a large
+// finding count can never wrap around or collide with the error codes; I/O
+// or usage errors exit 255.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -27,14 +37,19 @@
 #include <vector>
 
 #include "src/analysis/analyzer.h"
+#include "src/analysis/project.h"
 #include "src/analysis/report.h"
 #include "src/common/string_util.h"
 
 namespace fs = std::filesystem;
 using forklift::analysis::Analyzer;
 using forklift::analysis::FileReport;
+using forklift::analysis::ProjectAnalyzer;
 
 namespace {
+
+// Findings beyond this cap all exit alike; 255 is reserved for hard errors.
+constexpr size_t kMaxFindingsExit = 120;
 
 bool HasLintableExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -107,10 +122,34 @@ bool LoadBaseline(const std::string& path, std::set<std::string>* entries) {
   return true;
 }
 
+// Rewrites `path` from the current findings: one sorted, de-duplicated
+// `RULE path` pair per finding, under a regeneration header.
+bool WriteBaseline(const std::string& path, const std::vector<FileReport>& reports) {
+  std::set<std::string> entries;
+  for (const auto& r : reports) {
+    for (const auto& f : r.findings) {
+      entries.insert(f.rule + " " + f.path);
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "forklint: cannot write baseline %s\n", path.c_str());
+    return false;
+  }
+  out << "# forklint baseline — accepted findings, one `RULE path` pair per line.\n";
+  out << "# Regenerate with: forklint --update-baseline --baseline=" << path
+      << " [--project] <paths>\n";
+  for (const auto& e : entries) {
+    out << e << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: forklint [--rules=R1,...] [--format=text|json|sarif] "
-               "[--baseline=FILE] [--list-rules] <file-or-dir>...\n");
+               "usage: forklint [--rules=R1,...] [--format=text|json|sarif] [--project] "
+               "[--cache-dir=DIR] [--baseline=FILE] [--update-baseline] [--list-rules] "
+               "<file-or-dir>...\n");
   return 255;
 }
 
@@ -121,7 +160,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> rule_filter;
   std::string format = "text";
   std::string baseline_path;
+  std::string cache_dir;
   bool list_rules = false;
+  bool project_mode = false;
+  bool update_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -139,6 +181,12 @@ int main(int argc, char** argv) {
       }
     } else if (forklift::StartsWith(arg, "--baseline=")) {
       baseline_path = arg.substr(11);
+    } else if (forklift::StartsWith(arg, "--cache-dir=")) {
+      cache_dir = arg.substr(12);
+    } else if (arg == "--project") {
+      project_mode = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
     } else if (arg == "--list-rules") {
       list_rules = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -151,7 +199,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  Analyzer analyzer;
+  ProjectAnalyzer project;
+  const Analyzer& analyzer = project.analyzer();
   if (list_rules) {
     for (const auto& rule : analyzer.rules()) {
       std::printf("%s  %s\n", std::string(rule->id()).c_str(),
@@ -162,28 +211,59 @@ int main(int argc, char** argv) {
   if (paths.empty()) {
     return Usage();
   }
-  if (auto st = analyzer.EnableOnly(rule_filter); !st.ok()) {
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "forklint: --update-baseline requires --baseline=FILE\n");
+    return Usage();
+  }
+  if (auto st = project.EnableOnly(rule_filter); !st.ok()) {
     std::fprintf(stderr, "forklint: %s\n", st.ToString().c_str());
     return 255;
+  }
+  project.set_cache_dir(cache_dir);
+
+  bool io_error = false;
+  const std::vector<std::string> files = CollectFiles(paths, &io_error);
+  std::vector<FileReport> reports;
+  if (project_mode) {
+    auto result = project.AnalyzeFiles(files);
+    if (!result.ok()) {
+      std::fprintf(stderr, "forklint: %s\n", result.error().ToString().c_str());
+      return 255;
+    }
+    reports = std::move(result->files);
+  } else {
+    for (const auto& file : files) {
+      auto report = analyzer.AnalyzeFile(file);
+      if (!report.ok()) {
+        std::fprintf(stderr, "forklint: %s\n", report.error().ToString().c_str());
+        io_error = true;
+        continue;
+      }
+      reports.push_back(std::move(*report));
+    }
+  }
+
+  if (update_baseline) {
+    if (!WriteBaseline(baseline_path, reports)) {
+      return 255;
+    }
+    size_t entries = 0;
+    for (const auto& r : reports) {
+      entries += r.findings.size();
+    }
+    std::printf("forklint: baseline %s regenerated from %zu finding(s)\n",
+                baseline_path.c_str(), entries);
+    return io_error ? 255 : 0;
   }
 
   std::set<std::string> baseline;
   if (!baseline_path.empty() && !LoadBaseline(baseline_path, &baseline)) {
     return 255;
   }
-
-  bool io_error = false;
-  std::vector<FileReport> reports;
   size_t baselined = 0;
-  for (const auto& file : CollectFiles(paths, &io_error)) {
-    auto report = analyzer.AnalyzeFile(file);
-    if (!report.ok()) {
-      std::fprintf(stderr, "forklint: %s\n", report.error().ToString().c_str());
-      io_error = true;
-      continue;
-    }
-    if (!baseline.empty()) {
-      auto& fs_ = report->findings;
+  if (!baseline.empty()) {
+    for (auto& r : reports) {
+      auto& fs_ = r.findings;
       for (auto it = fs_.begin(); it != fs_.end();) {
         if (baseline.count(it->rule + " " + it->path)) {
           it = fs_.erase(it);
@@ -193,7 +273,6 @@ int main(int argc, char** argv) {
         }
       }
     }
-    reports.push_back(std::move(*report));
   }
 
   size_t count = 0;
@@ -215,5 +294,5 @@ int main(int argc, char** argv) {
   if (io_error) {
     return 255;
   }
-  return static_cast<int>(count > 255 ? 255 : count);
+  return static_cast<int>(std::min(count, kMaxFindingsExit));
 }
