@@ -31,6 +31,9 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void Logf(LogLevel level, const char* fmt, ...) {
+  // One level load, one buffer, one write(2): the whole emission is a single
+  // atomic step per message, so concurrent threads can neither shear a line
+  // nor observe a level change between the check and the write.
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }
@@ -38,17 +41,24 @@ void Logf(LogLevel level, const char* fmt, ...) {
   int off = std::snprintf(buf, sizeof(buf), "[forklift %s] ", LevelTag(level));
   va_list ap;
   va_start(ap, fmt);
-  int n = std::vsnprintf(buf + off, sizeof(buf) - static_cast<size_t>(off) - 1, fmt, ap);
+  const size_t avail = sizeof(buf) - static_cast<size_t>(off);
+  int n = std::vsnprintf(buf + off, avail, fmt, ap);
   va_end(ap);
   if (n < 0) {
     return;
   }
-  size_t len = static_cast<size_t>(off) + static_cast<size_t>(n);
-  if (len >= sizeof(buf) - 1) {
-    len = sizeof(buf) - 2;
+  size_t len;
+  if (static_cast<size_t>(n) < avail) {
+    // Fully rendered (n < avail means off + n <= sizeof(buf) - 1, so the
+    // newline always fits without dropping a message byte).
+    len = static_cast<size_t>(off) + static_cast<size_t>(n);
+    buf[len++] = '\n';
+  } else {
+    // The message overflowed the buffer: overwrite the tail with an explicit
+    // truncation marker instead of silently dropping the end of the line.
+    std::memcpy(buf + sizeof(buf) - 4, "...\n", 4);
+    len = sizeof(buf);
   }
-  buf[len++] = '\n';
-  // Single write so concurrent messages do not interleave mid-line.
   ssize_t ignored = ::write(STDERR_FILENO, buf, len);
   (void)ignored;
 }

@@ -13,12 +13,13 @@
 #define SRC_COMMON_RESULT_H_
 
 #include <cerrno>
-#include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <variant>
+
+#include "src/common/strerror.h"
 
 namespace forklift {
 
@@ -52,7 +53,9 @@ class Error {
     }
     std::string out = context_;
     out += ": ";
-    out += std::strerror(code_);
+    // strerror_r-backed: the pipelined client's receiver thread renders
+    // transport errors concurrently with spawn threads.
+    out += SafeStrerror(code_);
     return out;
   }
 

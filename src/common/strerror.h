@@ -1,0 +1,49 @@
+// forklift/common: thread-safe errno rendering.
+//
+// std::strerror may return a pointer into a static buffer; the pipelined
+// fork-server client's receiver thread renders transport errors concurrently
+// with spawn threads rendering theirs, so every errno-to-text conversion in
+// the library goes through SafeStrerror, which is strerror_r-backed and
+// writes into a caller-local buffer.
+//
+// glibc with _GNU_SOURCE gives the GNU strerror_r (returns char*, may ignore
+// the buffer); POSIX gives the XSI variant (returns int, fills the buffer).
+// Which one we got is a property of the toolchain, not the code — the
+// overload pair below dispatches on the return type so both build unchanged.
+#ifndef SRC_COMMON_STRERROR_H_
+#define SRC_COMMON_STRERROR_H_
+
+#include <string.h>
+
+#include <cstdio>
+#include <string>
+
+namespace forklift {
+
+namespace internal {
+
+// XSI strerror_r: int return, 0 on success with the buffer filled.
+inline const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : nullptr;
+}
+
+// GNU strerror_r: returns the message (which may or may not be the buffer).
+inline const char* StrerrorResult(const char* ret, const char* /*buf*/) { return ret; }
+
+}  // namespace internal
+
+inline std::string SafeStrerror(int err) {
+  char buf[256];
+  buf[0] = '\0';
+  const char* msg = internal::StrerrorResult(::strerror_r(err, buf, sizeof(buf)), buf);
+  if (msg != nullptr && msg[0] != '\0') {
+    return std::string(msg);
+  }
+  char fallback[32];
+  std::snprintf(fallback, sizeof(fallback), "errno %d", err);
+  return std::string(fallback);
+}
+
+}  // namespace forklift
+
+#endif  // SRC_COMMON_STRERROR_H_

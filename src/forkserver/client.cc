@@ -7,9 +7,12 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/pipe.h"
 #include "src/faultinject/faultinject.h"
 #include "src/forkserver/fd_transfer.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace forklift {
 
@@ -112,6 +115,7 @@ struct ForkServerClient::Slot {
   MsgType type = MsgType::kSpawn;
   SpawnReply spawn;
   WaitReply wait;
+  StatsReply stats;
 };
 
 ForkServerClient::ForkServerClient(UniqueFd sock) : sock_(std::move(sock)) {
@@ -134,7 +138,8 @@ Result<std::unique_ptr<ForkServerClient>> ForkServerClient::ConnectPath(
   return std::make_unique<ForkServerClient>(std::move(sock));
 }
 
-ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out) {
+ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out,
+                                                            uint64_t explicit_id) {
   Slot* slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -143,7 +148,7 @@ ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out) {
     slots_.push_back(std::make_unique<Slot>());
     slot = slots_.back().get();
   }
-  *id_out = next_id_++;
+  *id_out = explicit_id != 0 ? explicit_id : obs::NextRequestId();
   slot->id = *id_out;
   slot->done = false;
   slot->abandoned = false;
@@ -155,6 +160,8 @@ ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out) {
 void ForkServerClient::FreeSlotLocked(Slot* slot) {
   slot->spawn.context.clear();
   slot->wait.context.clear();
+  slot->stats.context.clear();
+  slot->stats.body.clear();
   free_.push_back(slot);
 }
 
@@ -166,7 +173,8 @@ void ForkServerClient::AbortSubmit(uint64_t id, Slot* slot) {
   FreeSlotLocked(slot);
 }
 
-Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const SpawnRequest& req) {
+Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const SpawnRequest& req,
+                                                                     uint64_t request_id) {
   std::lock_guard<std::mutex> send_lock(send_mu_);
   uint64_t id;
   Slot* slot;
@@ -175,8 +183,9 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const Spawn
     if (dead_) {
       return Err(death_.error());
     }
-    slot = AcquireSlotLocked(&id);
+    slot = AcquireSlotLocked(&id, request_id);
   }
+  const uint64_t send_start = MonotonicNanos();
   Status st = EncodeSpawnFrameInto(scratch_, &scratch_fds_, req, FrameMeta{kForkServerProtocolV2, id});
   if (st.ok()) {
     st = SendFrame(sock_.get(), scratch_.data(), scratch_fds_);
@@ -185,6 +194,9 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const Spawn
     AbortSubmit(id, slot);
     return Err(st.error());
   }
+  // The id on the wire IS the trace id, so the encode+send span correlates
+  // with the service's submit/route spans without any plumbing.
+  obs::Tracer::Global().Record(id, "wire.send", send_start, MonotonicNanos());
   return PendingReply(this, slot);
 }
 
@@ -197,7 +209,7 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
     if (dead_) {
       return Err(death_.error());
     }
-    slot = AcquireSlotLocked(&id);
+    slot = AcquireSlotLocked(&id, 0);
   }
   EncodeWaitFrameInto(scratch_, pid, FrameMeta{kForkServerProtocolV2, id});
   Status st = SendFrame(sock_.get(), scratch_.data());
@@ -218,7 +230,7 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
     if (dead_) {
       return Err(death_.error());
     }
-    slot = AcquireSlotLocked(&id);
+    slot = AcquireSlotLocked(&id, 0);
   }
   EncodeControlFrameInto(scratch_, type, FrameMeta{kForkServerProtocolV2, id});
   Status st = SendFrame(sock_.get(), scratch_.data(), fds);
@@ -229,8 +241,32 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
   return PendingReply(this, slot);
 }
 
-Result<ForkServerClient::PendingReply> ForkServerClient::LaunchAsync(const SpawnRequest& req) {
-  return SubmitSpawn(req);
+Result<ForkServerClient::PendingReply> ForkServerClient::SubmitStats(obs::StatsFormat format) {
+  std::lock_guard<std::mutex> send_lock(send_mu_);
+  uint64_t id;
+  Slot* slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Err(death_.error());
+    }
+    slot = AcquireSlotLocked(&id, 0);
+  }
+  scratch_.Clear();
+  scratch_.Reserve(20 + 1);
+  EncodeHeaderInto(scratch_, MsgType::kStats, FrameMeta{kForkServerProtocolV2, id});
+  scratch_.PutU8(static_cast<uint8_t>(format));
+  Status st = SendFrame(sock_.get(), scratch_.data());
+  if (!st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
+  return PendingReply(this, slot);
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::LaunchAsync(const SpawnRequest& req,
+                                                                     uint64_t request_id) {
+  return SubmitSpawn(req, request_id);
 }
 
 Result<ForkServerClient::PendingReply> ForkServerClient::WaitAsync(pid_t pid) {
@@ -239,6 +275,10 @@ Result<ForkServerClient::PendingReply> ForkServerClient::WaitAsync(pid_t pid) {
 
 Result<ForkServerClient::PendingReply> ForkServerClient::PingAsync() {
   return SubmitControl(MsgType::kPing, {});
+}
+
+Result<ForkServerClient::PendingReply> ForkServerClient::StatsAsync(obs::StatsFormat format) {
+  return SubmitStats(format);
 }
 
 Result<pid_t> ForkServerClient::AwaitSpawn(Slot* slot) {
@@ -297,6 +337,22 @@ Result<std::optional<ExitStatus>> ForkServerClient::AwaitWaitFor(Slot* slot,
   }
   FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver wait"));
   return std::optional<ExitStatus>(reply.status);
+}
+
+Result<std::string> ForkServerClient::AwaitStatsSlot(Slot* slot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [slot] { return slot->done; });
+  Status transport = slot->transport;
+  MsgType type = slot->type;
+  StatsReply reply = std::move(slot->stats);
+  FreeSlotLocked(slot);
+  lock.unlock();
+  FORKLIFT_RETURN_IF_ERROR(transport);
+  if (type != MsgType::kStatsReply) {
+    return LogicalError("forkserver client: expected stats reply");
+  }
+  FORKLIFT_RETURN_IF_ERROR(ReplyToStatus(reply.ok, reply.err, reply.context, "forkserver stats"));
+  return std::move(reply.body);
 }
 
 Status ForkServerClient::AwaitControlSlot(Slot* slot, MsgType expected) {
@@ -385,6 +441,15 @@ void ForkServerClient::DispatchFrame(const Frame& frame) {
       }
       break;
     }
+    case MsgType::kStatsReply: {
+      auto reply = DecodeStatsReply(frame.payload);
+      if (reply.ok()) {
+        slot->stats = std::move(*reply);
+      } else {
+        slot->transport = Err(reply.error());
+      }
+      break;
+    }
     default:
       break;  // control acks carry no body
   }
@@ -442,6 +507,11 @@ Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
 Status ForkServerClient::Ping() {
   FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, PingAsync());
   return pending.AwaitControl(MsgType::kPong);
+}
+
+Result<std::string> ForkServerClient::Stats(obs::StatsFormat format) {
+  FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, StatsAsync(format));
+  return pending.AwaitStats();
 }
 
 Status ForkServerClient::Shutdown() {
@@ -531,6 +601,17 @@ Result<std::optional<ExitStatus>> ForkServerClient::PendingReply::AwaitExitFor(
   client_ = nullptr;
   slot_ = nullptr;
   return st;
+}
+
+Result<std::string> ForkServerClient::PendingReply::AwaitStats() {
+  if (!valid()) {
+    return LogicalError("PendingReply::AwaitStats on empty handle");
+  }
+  ForkServerClient* client = client_;
+  Slot* slot = slot_;
+  client_ = nullptr;
+  slot_ = nullptr;
+  return client->AwaitStatsSlot(slot);
 }
 
 Status ForkServerClient::PendingReply::AwaitControl(MsgType expected) {

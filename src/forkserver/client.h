@@ -32,6 +32,7 @@
 #include "src/common/unique_fd.h"
 #include "src/forkserver/protocol.h"
 #include "src/forkserver/wire.h"
+#include "src/obs/export.h"
 #include "src/spawn/backend.h"
 #include "src/spawn/spawner.h"
 
@@ -108,6 +109,7 @@ class ForkServerClient final : public RemoteSpawnService {
     bool valid() const { return client_ != nullptr; }
     Result<pid_t> AwaitPid();                // expects kSpawnReply
     Result<ExitStatus> AwaitExit();          // expects kWaitReply
+    Result<std::string> AwaitStats();        // expects kStatsReply; returns the body
     Status AwaitControl(MsgType expected);   // kPong / kShutdownAck / kNewChannelAck
 
     // Timed variant of AwaitExit. Timeout returns nullopt and KEEPS the
@@ -126,9 +128,12 @@ class ForkServerClient final : public RemoteSpawnService {
   };
 
   // --- pipelined API: submit without waiting, await later ---
-  Result<PendingReply> LaunchAsync(const SpawnRequest& req);
+  // `request_id` 0 allocates a fresh process-wide id (obs::NextRequestId);
+  // a routed caller passes its trace id so the frame on the wire carries it.
+  Result<PendingReply> LaunchAsync(const SpawnRequest& req, uint64_t request_id = 0);
   Result<PendingReply> WaitAsync(pid_t pid);
   Result<PendingReply> PingAsync();
+  Result<PendingReply> StatsAsync(obs::StatsFormat format);
 
   // --- synchronous API (submit + await) ---
 
@@ -139,6 +144,9 @@ class ForkServerClient final : public RemoteSpawnService {
 
   // Round-trip liveness probe.
   Status Ping();
+
+  // Fetches the server's rendered metrics export (kStats round trip).
+  Result<std::string> Stats(obs::StatsFormat format);
 
   // Asks the server to exit after acknowledging.
   Status Shutdown();
@@ -163,18 +171,20 @@ class ForkServerClient final : public RemoteSpawnService {
   bool dead() const;
 
  private:
-  Result<PendingReply> SubmitSpawn(const SpawnRequest& req);
+  Result<PendingReply> SubmitSpawn(const SpawnRequest& req, uint64_t request_id);
   Result<PendingReply> SubmitWait(pid_t pid);
   Result<PendingReply> SubmitControl(MsgType type, const std::vector<int>& fds);
+  Result<PendingReply> SubmitStats(obs::StatsFormat format);
 
-  // Registers a slot for a fresh id (mu_). Returns nullptr when dead.
-  Slot* AcquireSlotLocked(uint64_t* id_out);
+  // Registers a slot for the given id — 0 allocates a fresh one (mu_).
+  Slot* AcquireSlotLocked(uint64_t* id_out, uint64_t explicit_id);
   void FreeSlotLocked(Slot* slot);
   // Unregisters + frees a slot whose frame never hit the wire.
   void AbortSubmit(uint64_t id, Slot* slot);
 
   Result<pid_t> AwaitSpawn(Slot* slot);
   Result<ExitStatus> AwaitWait(Slot* slot);
+  Result<std::string> AwaitStatsSlot(Slot* slot);
   Result<std::optional<ExitStatus>> AwaitWaitFor(Slot* slot, double timeout_seconds);
   Status AwaitControlSlot(Slot* slot, MsgType expected);
   void DiscardSlot(Slot* slot);  // un-awaited handle destroyed
@@ -192,10 +202,11 @@ class ForkServerClient final : public RemoteSpawnService {
   WireWriter scratch_;
   std::vector<int> scratch_fds_;
 
-  // Completion state shared with the receiver thread.
+  // Completion state shared with the receiver thread. Request ids come from
+  // the process-wide obs::NextRequestId counter (they double as trace ids),
+  // so there is no per-channel id state.
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, Slot*> pending_;
   std::vector<std::unique_ptr<Slot>> slots_;  // owns every slot ever created
   std::vector<Slot*> free_;                   // completed slots ready for reuse

@@ -88,7 +88,7 @@ Result<FrameHeader> DecodeHeader(WireReader& reader) {
   }
   FORKLIFT_ASSIGN_OR_RETURN(uint32_t type, reader.GetU32());
   if (type < static_cast<uint32_t>(MsgType::kSpawn) ||
-      type > static_cast<uint32_t>(MsgType::kNewChannelAck)) {
+      type > static_cast<uint32_t>(MsgType::kStatsReply)) {
     return LogicalError("protocol: unknown message type " + std::to_string(type));
   }
   hdr.type = static_cast<MsgType>(type);
@@ -460,6 +460,61 @@ Result<WaitReply> DecodeWaitReply(std::string_view payload, FrameMeta* meta) {
   FORKLIFT_ASSIGN_OR_RETURN(reply.context, r.GetString());
   if (!r.AtEnd()) {
     return LogicalError("DecodeWaitReply: trailing bytes");
+  }
+  return reply;
+}
+
+std::string EncodeStatsRequest(uint8_t format, const FrameMeta& meta) {
+  WireWriter w;
+  w.Reserve(HeaderSize(meta) + 1);
+  EncodeHeaderInto(w, MsgType::kStats, meta);
+  w.PutU8(format);
+  return w.Take();
+}
+
+Result<uint8_t> DecodeStatsRequest(std::string_view payload, FrameMeta* meta) {
+  WireReader r(payload);
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kStats) {
+    return LogicalError("DecodeStatsRequest: wrong message type");
+  }
+  FORKLIFT_ASSIGN_OR_RETURN(uint8_t format, r.GetU8());
+  if (!r.AtEnd()) {
+    return LogicalError("DecodeStatsRequest: trailing bytes");
+  }
+  return format;
+}
+
+std::string EncodeStatsReply(const StatsReply& reply, const FrameMeta& meta) {
+  WireWriter w;
+  w.Reserve(HeaderSize(meta) + 1 + 4 + 4 + reply.context.size() + 4 + reply.body.size());
+  EncodeHeaderInto(w, MsgType::kStatsReply, meta);
+  w.PutBool(reply.ok);
+  w.PutI32(reply.err);
+  w.PutString(reply.context);
+  w.PutString(reply.body);
+  return w.Take();
+}
+
+Result<StatsReply> DecodeStatsReply(std::string_view payload, FrameMeta* meta) {
+  WireReader r(payload);
+  FORKLIFT_ASSIGN_OR_RETURN(FrameHeader hdr, DecodeHeader(r));
+  if (meta != nullptr) {
+    *meta = hdr.meta;
+  }
+  if (hdr.type != MsgType::kStatsReply) {
+    return LogicalError("DecodeStatsReply: wrong message type");
+  }
+  StatsReply reply;
+  FORKLIFT_ASSIGN_OR_RETURN(reply.ok, r.GetBool());
+  FORKLIFT_ASSIGN_OR_RETURN(reply.err, r.GetI32());
+  FORKLIFT_ASSIGN_OR_RETURN(reply.context, r.GetString());
+  FORKLIFT_ASSIGN_OR_RETURN(reply.body, r.GetString());
+  if (!r.AtEnd()) {
+    return LogicalError("DecodeStatsReply: trailing bytes");
   }
   return reply;
 }

@@ -42,6 +42,8 @@ enum class MsgType : uint32_t {
   kShutdownAck = 8, // server → client
   kNewChannel = 9,      // client → server: adopt the attached socket as a new client
   kNewChannelAck = 10,  // server → client
+  kStats = 11,          // client → server: render the metrics registry
+  kStatsReply = 12,     // server → client: rendered export (or error)
 };
 
 // A SpawnRequest plus the descriptor list its plan references. Local fd
@@ -113,6 +115,22 @@ struct WaitReply {
 };
 std::string EncodeWaitReply(const WaitReply& reply, const FrameMeta& meta = {});
 Result<WaitReply> DecodeWaitReply(std::string_view payload, FrameMeta* meta = nullptr);
+
+// kStats / kStatsReply. The request carries one format byte (the
+// obs::StatsFormat wire value: 0 = Prometheus text, 1 = JSON); the reply
+// carries the rendered export body, or an {err, context} pair when rendering
+// failed server-side.
+std::string EncodeStatsRequest(uint8_t format, const FrameMeta& meta = {});
+Result<uint8_t> DecodeStatsRequest(std::string_view payload, FrameMeta* meta = nullptr);
+
+struct StatsReply {
+  bool ok = false;
+  int32_t err = 0;
+  std::string context;
+  std::string body;  // the rendered export when ok
+};
+std::string EncodeStatsReply(const StatsReply& reply, const FrameMeta& meta = {});
+Result<StatsReply> DecodeStatsReply(std::string_view payload, FrameMeta* meta = nullptr);
 
 // Bare control messages (kPing/kPong/kShutdown/kShutdownAck) are header-only.
 std::string EncodeControl(MsgType type, const FrameMeta& meta = {});

@@ -4,6 +4,7 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/epoll.h>
+#include <sys/signalfd.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
 #include <sys/un.h>
@@ -21,6 +22,8 @@
 #include "src/forkserver/fd_transfer.h"
 #include "src/forkserver/protocol.h"
 #include "src/forkserver/wire.h"
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
 #include "src/spawn/backend.h"
 
 namespace forklift {
@@ -31,23 +34,21 @@ namespace {
 // request's plan targets (< CompiledFdPlan::kScratchBase) or its scratch range.
 constexpr int kTransferFdFloor = 600;
 
-}  // namespace
-
-ForkServer::ForkServer(UniqueFd sock) { socks_.push_back(std::move(sock)); }
-
-Result<ForkServer> ForkServer::Listen(const std::string& path) {
+// Bind + listen a non-blocking AF_UNIX stream socket at `path`, unlinking any
+// stale file first. Shared by the spawn and metrics listeners.
+Result<UniqueFd> BindUnixListener(const std::string& path) {
   if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-    return LogicalError("ForkServer::Listen: socket path too long");
+    return LogicalError("ForkServer: socket path too long");
   }
   int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return ErrnoError("socket (forkserver listener)");
   }
   UniqueFd listener(fd);
-  // Non-blocking: in shard mode several processes accept(2) on this one
-  // listener, and a connection raced away by a sibling must not park a shard
-  // inside a blocking accept. OnListenerReadable already treats EAGAIN as
-  // "someone else got it".
+  // Non-blocking: in shard mode several processes accept(2) on one listener,
+  // and a connection raced away by a sibling must not park a shard inside a
+  // blocking accept. OnListenerReadable already treats EAGAIN as "someone
+  // else got it".
   int flags = ::fcntl(fd, F_GETFL);
   if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
     return ErrnoError("fcntl O_NONBLOCK (forkserver listener)");
@@ -62,10 +63,25 @@ Result<ForkServer> ForkServer::Listen(const std::string& path) {
   if (::listen(fd, 64) < 0) {
     return ErrnoError("listen " + path);
   }
+  return listener;
+}
+
+}  // namespace
+
+ForkServer::ForkServer(UniqueFd sock) { socks_.push_back(std::move(sock)); }
+
+Result<ForkServer> ForkServer::Listen(const std::string& path) {
+  FORKLIFT_ASSIGN_OR_RETURN(UniqueFd listener, BindUnixListener(path));
   ForkServer server;
   server.listener_ = std::move(listener);
   server.listen_path_ = path;
   return server;
+}
+
+Status ForkServer::ListenMetrics(const std::string& path) {
+  FORKLIFT_ASSIGN_OR_RETURN(metrics_listener_, BindUnixListener(path));
+  metrics_listen_path_ = path;
+  return Status::Ok();
 }
 
 Status ForkServer::RegisterChannel(int fd) {
@@ -89,8 +105,8 @@ void ForkServer::CloseChannel(int fd) {
   }
 }
 
-void ForkServer::OnListenerReadable() {
-  int client = ::accept4(listener_.get(), nullptr, nullptr, SOCK_CLOEXEC);
+void ForkServer::OnListenerReadable(int listener_fd) {
+  int client = ::accept4(listener_fd, nullptr, nullptr, SOCK_CLOEXEC);
   if (client < 0) {
     if (errno != EINTR && errno != EAGAIN && errno != ECONNABORTED) {
       serve_error_ = ErrnoError("accept (forkserver)");
@@ -187,7 +203,34 @@ Result<uint64_t> ForkServer::Serve() {
 
   Status error;
   if (listener_.valid()) {
-    error = reactor_->AddFd(listener_.get(), EPOLLIN, [this](uint32_t) { OnListenerReadable(); });
+    int fd = listener_.get();
+    error = reactor_->AddFd(fd, EPOLLIN, [this, fd](uint32_t) { OnListenerReadable(fd); });
+  }
+  if (error.ok() && metrics_listener_.valid()) {
+    // Metrics scrapers are ordinary channels on a dedicated socket: they can
+    // only usefully send kStats, but the framing and dispatch are identical.
+    int fd = metrics_listener_.get();
+    error = reactor_->AddFd(fd, EPOLLIN, [this, fd](uint32_t) { OnListenerReadable(fd); });
+  }
+  if (error.ok() && sigusr1_dump_) {
+    // Dump-on-signal: block SIGUSR1 and route it through the reactor so the
+    // dump happens on the serve thread, not in async-signal context.
+    sigset_t mask;
+    ::sigemptyset(&mask);
+    ::sigaddset(&mask, SIGUSR1);
+    ::sigprocmask(SIG_BLOCK, &mask, nullptr);
+    int sfd = ::signalfd(-1, &mask, SFD_CLOEXEC | SFD_NONBLOCK);
+    if (sfd < 0) {
+      error = ErrnoError("signalfd (forkserver stats dump)");
+    } else {
+      sigusr1_fd_ = UniqueFd(sfd);
+      error = reactor_->AddFd(sfd, EPOLLIN, [this, sfd](uint32_t) {
+        signalfd_siginfo info;
+        while (::read(sfd, &info, sizeof(info)) == static_cast<ssize_t>(sizeof(info))) {
+        }
+        (void)obs::WriteExportToFd(STDERR_FILENO, obs::RenderPrometheus());
+      });
+    }
   }
   for (const auto& sock : socks_) {
     if (!error.ok()) {
@@ -198,7 +241,8 @@ Result<uint64_t> ForkServer::Serve() {
 
   // One epoll set multiplexes channels, the listener, and child pidfds; the
   // loop parks here until any of them has work.
-  while (error.ok() && !stop_serving_ && (listener_.valid() || !socks_.empty())) {
+  while (error.ok() && !stop_serving_ &&
+         (listener_.valid() || metrics_listener_.valid() || !socks_.empty())) {
     auto dispatched = reactor_->PollOnce(-1);
     if (!dispatched.ok()) {
       error = Err(dispatched.error());
@@ -216,8 +260,18 @@ Result<uint64_t> ForkServer::Serve() {
   watches_.clear();
   parked_waits_.clear();
   reactor_.reset();
+  if (sigusr1_fd_.valid()) {
+    sigusr1_fd_.Reset();
+    sigset_t mask;
+    ::sigemptyset(&mask);
+    ::sigaddset(&mask, SIGUSR1);
+    ::sigprocmask(SIG_UNBLOCK, &mask, nullptr);
+  }
   if (!listen_path_.empty()) {
     ::unlink(listen_path_.c_str());
+  }
+  if (!metrics_listen_path_.empty()) {
+    ::unlink(metrics_listen_path_.c_str());
   }
   if (!error.ok()) {
     return Err(error.error());
@@ -249,6 +303,10 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
     }
     case MsgType::kWait: {
       FORKLIFT_RETURN_IF_ERROR(HandleWait(sock, frame.payload, reply_meta));
+      return true;
+    }
+    case MsgType::kStats: {
+      FORKLIFT_RETURN_IF_ERROR(HandleStats(sock, frame.payload, reply_meta));
       return true;
     }
     case MsgType::kPing: {
@@ -326,9 +384,40 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
       live_children_.insert(*pid);
       ArmChildExitWatch(*pid);
       ++spawns_handled_;
+      // Server-side view in the shared arena: with shards forked after the
+      // registry arena exists, every shard's spawns land in one counter.
+      obs::MetricsRegistry::Global().GetCounter("forklift_forkserver_spawns_total").Increment();
     }
   }
   return SendFrame(sock, EncodeSpawnReply(reply, reply_meta));
+}
+
+Status ForkServer::HandleStats(int sock, const std::string& payload,
+                               const FrameMeta& reply_meta) {
+  obs::MetricsRegistry::Global().GetCounter("forklift_forkserver_stats_requests_total")
+      .Increment();
+  StatsReply reply;
+  auto format = DecodeStatsRequest(payload);
+  if (!format.ok()) {
+    reply.ok = false;
+    reply.context = format.error().ToString();
+  } else if (*format > static_cast<uint8_t>(obs::StatsFormat::kJson)) {
+    reply.ok = false;
+    reply.context = "forkserver: unknown stats format " + std::to_string(*format);
+  } else {
+    // The export gate sits in front of the render so an injected export
+    // fault degrades to a clean error reply instead of a torn body.
+    Status gate = obs::ExportGate();
+    if (!gate.ok()) {
+      reply.ok = false;
+      reply.err = gate.error().code();
+      reply.context = gate.error().ToString();
+    } else {
+      reply.ok = true;
+      reply.body = obs::Render(static_cast<obs::StatsFormat>(*format));
+    }
+  }
+  return SendFrame(sock, EncodeStatsReply(reply, reply_meta));
 }
 
 Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta) {

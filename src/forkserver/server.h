@@ -45,6 +45,17 @@ class ForkServer {
   // listening server). The socket file is unlinked when Serve returns.
   static Result<ForkServer> Listen(const std::string& path);
 
+  // Binds a second listener dedicated to metrics scrapes. Accepted
+  // connections are ordinary protocol channels (scrapers send kStats frames);
+  // the separate path just keeps observability traffic off the spawn socket.
+  // Call before Serve. The file is unlinked when Serve returns unless the
+  // path was disowned.
+  Status ListenMetrics(const std::string& path);
+
+  // Makes Serve watch SIGUSR1 (via signalfd) and dump the Prometheus export
+  // to stderr when it arrives. Call before Serve.
+  void EnableSigusr1StatsDump() { sigusr1_dump_ = true; }
+
   // Serves until a client sends kShutdown or the last channel closes.
   // Returns the number of spawn requests handled, or the transport error that
   // ended the loop. Protocol errors on a single request are reported to that
@@ -55,9 +66,12 @@ class ForkServer {
   const std::set<pid_t>& live_children() const { return live_children_; }
 
   // Shard mode (SpawnShardProcess): the forked shard serves the inherited
-  // listener but must not unlink the socket file — the supervising parent
-  // owns it.
-  void DisownListenPath() { listen_path_.clear(); }
+  // listeners but must not unlink the socket files — the supervising parent
+  // owns them.
+  void DisownListenPath() {
+    listen_path_.clear();
+    metrics_listen_path_.clear();
+  }
 
  private:
   // A v2 kWait for a live child, parked until its pidfd watch fires.
@@ -71,6 +85,7 @@ class ForkServer {
   Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds,
                      const FrameMeta& reply_meta);
   Status HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta);
+  Status HandleStats(int sock, const std::string& payload, const FrameMeta& reply_meta);
   // Answers every wait parked on `pid` with `status` and forgets the child.
   void CompleteParkedWaits(pid_t pid, const ExitStatus& status);
 
@@ -79,7 +94,7 @@ class ForkServer {
   // (and request shutdown via stop_serving_) for the Serve loop to act on.
   Status RegisterChannel(int fd);
   void OnChannelReadable(int fd);
-  void OnListenerReadable();
+  void OnListenerReadable(int listener_fd);
   void CloseChannel(int fd);
   // Watches `pid` on the reactor; when it exits, the status is reaped into
   // exited_ so a later kWait is served without blocking.
@@ -90,12 +105,16 @@ class ForkServer {
   std::vector<UniqueFd> socks_;
   UniqueFd listener_;
   std::string listen_path_;
+  UniqueFd metrics_listener_;
+  std::string metrics_listen_path_;
+  bool sigusr1_dump_ = false;
   std::set<pid_t> live_children_;
   uint64_t spawns_handled_ = 0;
 
   // Serve-scoped state. The reactor is declared before the watches so the
   // watches (which deregister against it) are destroyed first.
   std::optional<Reactor> reactor_;
+  UniqueFd sigusr1_fd_;  // signalfd for the stats dump, when enabled
   std::map<pid_t, ChildWatch> watches_;
   std::map<pid_t, ExitStatus> exited_;  // reaped ahead of the client's kWait
   std::map<pid_t, std::vector<ParkedWait>> parked_waits_;

@@ -173,7 +173,7 @@ Status ForkServerTransport::Probe() {
   return st;
 }
 
-Result<ProcessHandle> ForkServerTransport::Launch(const Spawner& spawner,
+Result<ProcessHandle> ForkServerTransport::Launch(const Spawner& spawner, uint64_t trace_id,
                                                   SpawnFailureKind* failure) {
   // Connect/start failure: nothing was ever sent.
   *failure = SpawnFailureKind::kTransportRetryable;
@@ -182,7 +182,7 @@ Result<ProcessHandle> ForkServerTransport::Launch(const Spawner& spawner,
   *failure = SpawnFailureKind::kRequest;
   FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
 
-  auto pending = channel->LaunchAsync(req);
+  auto pending = channel->LaunchAsync(req, trace_id);
   if (!pending.ok()) {
     // Submit failed: the frame never fully hit the wire (a partial frame is
     // unparseable to the length-prefixed reader), so no child was created.
@@ -240,7 +240,7 @@ Status ShardedTransport::Probe() {
   return pool->Ping();
 }
 
-Result<ProcessHandle> ShardedTransport::Launch(const Spawner& spawner,
+Result<ProcessHandle> ShardedTransport::Launch(const Spawner& spawner, uint64_t trace_id,
                                                SpawnFailureKind* failure) {
   *failure = SpawnFailureKind::kTransportRetryable;
   FORKLIFT_ASSIGN_OR_RETURN(std::shared_ptr<ShardedForkServer> pool, EnsurePool());
@@ -248,7 +248,7 @@ Result<ProcessHandle> ShardedTransport::Launch(const Spawner& spawner,
   *failure = SpawnFailureKind::kRequest;
   FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
 
-  auto pending = pool->LaunchAsync(req);
+  auto pending = pool->LaunchAsync(req, trace_id);
   if (!pending.ok()) {
     // The pool already applied its own exactly-once resubmit policy; what
     // escapes is "no shard could take the frame" — nothing launched.

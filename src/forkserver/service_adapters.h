@@ -65,7 +65,8 @@ class ForkServerTransport final : public SpawnTransport {
   const char* Name() const override { return "forkserver"; }
   bool SupportsPipeStdio() const override { return false; }
   Status Probe() override;
-  Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) override;
+  Result<ProcessHandle> Launch(const Spawner& spawner, uint64_t trace_id,
+                               SpawnFailureKind* failure) override;
 
  private:
   enum class Mode { kConnectPath, kStartProcess, kAdopted };
@@ -102,7 +103,8 @@ class ShardedTransport final : public SpawnTransport {
   const char* Name() const override { return "sharded"; }
   bool SupportsPipeStdio() const override { return false; }
   Status Probe() override;
-  Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) override;
+  Result<ProcessHandle> Launch(const Spawner& spawner, uint64_t trace_id,
+                               SpawnFailureKind* failure) override;
 
  private:
   ShardedTransport(std::shared_ptr<ShardedForkServer> pool, bool lazy_start)

@@ -9,6 +9,8 @@
 #include "src/common/syscall.h"
 #include "src/faultinject/faultinject.h"
 #include "src/forkserver/server.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace forklift {
 
@@ -17,6 +19,14 @@ namespace {
 size_t OnlineCpuCount() {
   long n = ::sysconf(_SC_NPROCESSORS_ONLN);
   return n > 0 ? static_cast<size_t>(n) : 1;
+}
+
+obs::Counter RestartCounter() {
+  return obs::MetricsRegistry::Global().GetCounter("forklift_shard_restarts_total");
+}
+
+obs::Gauge LiveShardsGauge() {
+  return obs::MetricsRegistry::Global().GetGauge("forklift_shards_live");
 }
 
 }  // namespace
@@ -42,6 +52,7 @@ Result<std::unique_ptr<ShardedForkServer>> ShardedForkServer::Start(const Option
         if (shard.client != nullptr) {
           (void)shard.client->Shutdown();
           shard.client.reset();
+          LiveShardsGauge().Add(-1);
         }
         pool->ReapShardLocked(j);
       }
@@ -68,6 +79,7 @@ Status ShardedForkServer::StartShardLocked(size_t idx) {
   shard.client = std::make_shared<ForkServerClient>(std::move(handle.client_sock));
   shard.server_pid = handle.server_pid;
   ++shard.generation;
+  LiveShardsGauge().Add(1);
   return Status::Ok();
 }
 
@@ -88,6 +100,9 @@ void ShardedForkServer::ReapShardLocked(size_t idx) {
 
 void ShardedForkServer::CleanupShardLocked(size_t idx) {
   Shard& shard = shards_[idx];
+  if (shard.client != nullptr) {
+    LiveShardsGauge().Add(-1);
+  }
   shard.client.reset();
   ReapShardLocked(idx);
   // Children of the dead shard have no parent left to wait on them; forget
@@ -111,6 +126,7 @@ void ShardedForkServer::NoteShardFailure(size_t idx, uint64_t generation) {
     Status restarted = StartShardLocked(idx);
     if (restarted.ok()) {
       ++restarts_;
+      RestartCounter().Increment();
     }
     // On failure the shard stays dead; RouteLocked retries on demand.
   }
@@ -138,13 +154,20 @@ Result<size_t> ShardedForkServer::RouteLocked() {
       CleanupShardLocked(i);
       FORKLIFT_RETURN_IF_ERROR(StartShardLocked(i));
       ++restarts_;
+      RestartCounter().Increment();
       return i;
     }
   }
   return LogicalError("sharded forkserver: no live shard");
 }
 
-Result<ShardedForkServer::PendingSpawn> ShardedForkServer::LaunchAsync(const SpawnRequest& req) {
+Result<ShardedForkServer::PendingSpawn> ShardedForkServer::LaunchAsync(const SpawnRequest& req,
+                                                                       uint64_t trace_id) {
+  // Allocate once, up front: the retry below re-routes the SAME request, so
+  // both attempts (and the trace spans) share one id.
+  if (trace_id == 0) {
+    trace_id = obs::NextRequestId();
+  }
   Status last_error = Status::Ok();
   // One retry: a submit failure means the frame never fully reached a healthy
   // channel, so re-routing cannot double-spawn. Failures after the frame is
@@ -163,8 +186,10 @@ Result<ShardedForkServer::PendingSpawn> ShardedForkServer::LaunchAsync(const Spa
       generation = shards_[idx].generation;
       client = shards_[idx].client;
     }
-    auto pending = client->LaunchAsync(req);
+    auto pending = client->LaunchAsync(req, trace_id);
     if (pending.ok()) {
+      obs::Tracer::Global().Event(trace_id, "shard.dispatch",
+                                  "shard=" + std::to_string(idx));
       PendingSpawn spawn;
       spawn.pool_ = this;
       spawn.channel_ = std::move(client);
@@ -281,6 +306,9 @@ Status ShardedForkServer::Shutdown() {
     }
     shut_down_ = true;
     for (Shard& shard : shards_) {
+      if (shard.client != nullptr) {
+        LiveShardsGauge().Add(-1);
+      }
       to_stop.emplace_back(std::move(shard.client), shard.server_pid);
       shard.client.reset();
       shard.server_pid = -1;

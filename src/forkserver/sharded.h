@@ -77,7 +77,9 @@ class ShardedForkServer final : public RemoteSpawnService {
   };
 
   // Routes to the least-loaded live shard and submits without waiting.
-  Result<PendingSpawn> LaunchAsync(const SpawnRequest& req);
+  // `trace_id` 0 allocates a fresh request id; a routed caller passes its
+  // trace id so the wire frame and the shard.dispatch span carry it.
+  Result<PendingSpawn> LaunchAsync(const SpawnRequest& req, uint64_t trace_id = 0);
 
   // RemoteSpawnService: synchronous routed spawn / affine wait.
   Result<pid_t> LaunchRequest(const SpawnRequest& req) override;

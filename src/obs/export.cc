@@ -1,0 +1,174 @@
+#include "src/obs/export.h"
+
+#include <cerrno>
+#include <cstdio>
+
+#include "src/common/syscall.h"
+#include "src/faultinject/faultinject.h"
+
+namespace forklift {
+namespace obs {
+
+namespace {
+
+// "base{labels}" → "base"; names without labels pass through.
+std::string_view BaseName(std::string_view name) {
+  size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", static_cast<unsigned char>(c));
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  out += buf;
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& metrics) {
+  std::string out;
+  std::string last_base;  // one # TYPE line per basename (labeled families share it)
+  for (const MetricSnapshot& m : metrics) {
+    std::string base(BaseName(m.name));
+    if (base != last_base) {
+      out += "# TYPE " + base + " " + TypeName(m.type) + "\n";
+      last_base = base;
+    }
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += m.name + " " + std::to_string(m.value) + "\n";
+        break;
+      case MetricType::kGauge:
+        out += m.name + " " + std::to_string(m.gauge) + "\n";
+        break;
+      case MetricType::kHistogram: {
+        uint64_t cum = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          cum += m.hist.buckets[i];
+          std::string le = i == kHistogramOverflowBucket
+                               ? std::string("+Inf")
+                               : std::to_string(HistogramBucketBound(i));
+          out += m.name + "_bucket{le=\"" + le + "\"} " + std::to_string(cum) + "\n";
+        }
+        out += m.name + "_sum " + std::to_string(m.hist.sum) + "\n";
+        out += m.name + "_count " + std::to_string(m.hist.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics) {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(out, m.name);
+    out += ",\"type\":\"";
+    out += TypeName(m.type);
+    out += '"';
+    switch (m.type) {
+      case MetricType::kCounter:
+        out += ",\"value\":" + std::to_string(m.value);
+        break;
+      case MetricType::kGauge:
+        out += ",\"value\":" + std::to_string(m.gauge);
+        break;
+      case MetricType::kHistogram: {
+        out += ",\"count\":" + std::to_string(m.hist.count);
+        out += ",\"sum\":" + std::to_string(m.hist.sum);
+        out += ",\"mean\":";
+        AppendDouble(out, m.hist.Mean());
+        out += ",\"p50\":";
+        AppendDouble(out, m.hist.Percentile(50));
+        out += ",\"p95\":";
+        AppendDouble(out, m.hist.Percentile(95));
+        out += ",\"p99\":";
+        AppendDouble(out, m.hist.Percentile(99));
+        out += ",\"buckets\":[";
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          if (i != 0) out += ',';
+          out += "{\"le\":" + std::to_string(HistogramBucketBound(i)) +
+                 ",\"count\":" + std::to_string(m.hist.buckets[i]) + "}";
+        }
+        out += ']';
+        break;
+      }
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string RenderPrometheus() {
+  return RenderPrometheus(MetricsRegistry::Global().SnapshotAll());
+}
+
+std::string RenderJson() { return RenderJson(MetricsRegistry::Global().SnapshotAll()); }
+
+std::string Render(StatsFormat format) {
+  return format == StatsFormat::kJson ? RenderJson() : RenderPrometheus();
+}
+
+Status ExportGate() {
+  for (;;) {
+    auto inj = fault::Check("obs.export_write", fault::Op::kWrite);
+    if (!inj.active()) {
+      return Status::Ok();
+    }
+    if (inj.is_errno()) {
+      if (inj.err == EINTR || inj.err == EAGAIN) {
+        // Recoverable: the write path retries these, so the gate absorbs
+        // them and asks the plan again (a bounded plan stops injecting).
+        continue;
+      }
+      errno = inj.err;
+      return ErrnoError("obs.export_write");
+    }
+    // kShort: a clamped transfer is recoverable by WriteFull's loop; proceed.
+    return Status::Ok();
+  }
+}
+
+Status WriteExportToFd(int fd, std::string_view body) {
+  FORKLIFT_RETURN_IF_ERROR(ExportGate());
+  return WriteFull(fd, body.data(), body.size());
+}
+
+}  // namespace obs
+}  // namespace forklift

@@ -1,0 +1,55 @@
+// forklift/obs: registry exporters — Prometheus text exposition and JSON.
+//
+// Both renderers read one SnapshotAll() pass, so the two formats always
+// describe the same instant. Counter and gauge names may carry a
+// label-in-name suffix (`forklift_route_attempts_total{route="sharded"}`);
+// the Prometheus renderer groups the shared basename under one # TYPE line
+// and emits the sample verbatim. Histograms render as the standard
+// cumulative _bucket{le=...}/_sum/_count triplet (values are microseconds;
+// the _us suffix in the metric name says so).
+//
+// Every export write funnels through WriteExportToFd, which consults the
+// "obs.export_write" fault site first — the sweep drives EINTR/EAGAIN/short
+// (absorbed, export must still succeed) and EIO (must degrade to a clean
+// Status, never a torn half-write treated as success).
+#ifndef SRC_OBS_EXPORT_H_
+#define SRC_OBS_EXPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/obs/registry.h"
+
+namespace forklift {
+namespace obs {
+
+// Wire values of the kStats request's format byte.
+enum class StatsFormat : uint8_t {
+  kPrometheus = 0,
+  kJson = 1,
+};
+
+std::string RenderPrometheus(const std::vector<MetricSnapshot>& metrics);
+std::string RenderJson(const std::vector<MetricSnapshot>& metrics);
+
+// Render the global registry.
+std::string RenderPrometheus();
+std::string RenderJson();
+std::string Render(StatsFormat format);
+
+// The injectable gate in front of every export write. Recoverable injected
+// faults (EINTR/EAGAIN/short) are absorbed here — the sweep's
+// recoverable-must-succeed invariant — and hard faults come back as a clean
+// errno Status.
+Status ExportGate();
+
+// Fault-gated full write of an export body.
+Status WriteExportToFd(int fd, std::string_view body);
+
+}  // namespace obs
+}  // namespace forklift
+
+#endif  // SRC_OBS_EXPORT_H_

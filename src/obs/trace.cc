@@ -1,0 +1,161 @@
+#include "src/obs/trace.h"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "src/common/clock.h"
+#include "src/common/unique_fd.h"
+#include "src/obs/export.h"
+
+namespace forklift {
+namespace obs {
+
+namespace {
+
+// Bounded retention: old spans age out instead of growing the process. 4096
+// spans is ~600 full spawn lifecycles — plenty for a trace dump, bounded for
+// a long-lived service.
+constexpr size_t kMaxSpans = 4096;
+
+// The span store. Guarded by g_mu; the atfork hooks keep a forked child's
+// copy of the lock released (a spawn backend forks while other threads may be
+// mid-Record), mirroring the registry and faultinject mutexes.
+std::mutex g_mu;
+std::deque<TraceSpan>* g_spans = nullptr;
+std::atomic<bool> g_enabled{true};
+
+void LockBeforeFork() { g_mu.lock(); }
+void UnlockAfterFork() { g_mu.unlock(); }
+struct AtforkGuard {
+  AtforkGuard() { ::pthread_atfork(&LockBeforeFork, &UnlockAfterFork, &UnlockAfterFork); }
+};
+AtforkGuard g_atfork_guard;
+
+std::deque<TraceSpan>& SpansLocked() {
+  if (g_spans == nullptr) {
+    g_spans = new std::deque<TraceSpan>();
+  }
+  return *g_spans;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", static_cast<unsigned char>(c));
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Record(uint64_t trace_id, std::string_view name, uint64_t start_ns, uint64_t end_ns,
+                    std::string_view detail) {
+  if (trace_id == 0 || !g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  TraceSpan span;
+  span.trace_id = trace_id;
+  span.start_ns = start_ns;
+  span.end_ns = end_ns;
+  span.name.assign(name);
+  span.detail.assign(detail);
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto& spans = SpansLocked();
+  if (spans.size() >= kMaxSpans) {
+    spans.pop_front();
+  }
+  spans.push_back(std::move(span));
+}
+
+void Tracer::Event(uint64_t trace_id, std::string_view name, std::string_view detail) {
+  uint64_t now = MonotonicNanos();
+  Record(trace_id, name, now, now, detail);
+}
+
+std::vector<TraceSpan> Tracer::SpansForTrace(uint64_t trace_id) const {
+  std::vector<TraceSpan> out;
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_spans == nullptr) return out;
+  for (const TraceSpan& span : *g_spans) {
+    if (span.trace_id == trace_id) out.push_back(span);
+  }
+  return out;
+}
+
+std::vector<TraceSpan> Tracer::AllSpans() const {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_spans == nullptr) return {};
+  return std::vector<TraceSpan>(g_spans->begin(), g_spans->end());
+}
+
+std::string Tracer::RenderJson() const {
+  std::vector<TraceSpan> spans = AllSpans();
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const TraceSpan& span : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"trace_id\":" + std::to_string(span.trace_id);
+    out += ",\"name\":";
+    AppendJsonString(out, span.name);
+    out += ",\"start_ns\":" + std::to_string(span.start_ns);
+    out += ",\"end_ns\":" + std::to_string(span.end_ns);
+    if (!span.detail.empty()) {
+      out += ",\"detail\":";
+      AppendJsonString(out, span.detail);
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+Status Tracer::WriteJsonFile(const std::string& path) const {
+  std::string body = RenderJson();
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return ErrnoError("open " + path + " (trace dump)");
+  }
+  UniqueFd guard(fd);
+  return WriteExportToFd(fd, body);
+}
+
+void Tracer::set_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::enabled() const { return g_enabled.load(std::memory_order_relaxed); }
+
+void Tracer::ResetForTest() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_spans != nullptr) g_spans->clear();
+}
+
+}  // namespace obs
+}  // namespace forklift

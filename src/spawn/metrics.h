@@ -9,13 +9,19 @@
 // refactor shrinks, so these feed bench/scalability's latency series and the
 // regression tests.
 //
-// SpawnTimeline rides on each Child; SpawnMetrics aggregates process-global
-// counters (thread-safe — Spawner is documented as concurrently callable).
+// SpawnTimeline rides on each Child. SpawnMetrics and RouteMetrics are thin
+// views over the process-wide obs registry: counts are named registry
+// counters and the phase latencies are fixed-bucket microsecond histograms
+// (p50/p95/p99 instead of a straggler-poisoned mean), so everything here is
+// visible to the Prometheus/JSON exporters and shared with zygote shards
+// forked after the registry arena exists.
 #ifndef SRC_SPAWN_METRICS_H_
 #define SRC_SPAWN_METRICS_H_
 
 #include <atomic>
 #include <cstdint>
+
+#include "src/obs/registry.h"
 
 namespace forklift {
 
@@ -32,21 +38,52 @@ struct SpawnTimeline {
 // Counters for one SpawnService route (a transport in a fallback chain).
 // Atomics, not a lock: routing reads/writes them outside the service's route
 // mutex, and snapshotting must not stall the spawn path.
+//
+// The local atomics are per-service state (RouteStats reports exact counts
+// for one SpawnService instance); BindRegistry additionally mirrors every
+// record into global registry counters labeled by route name, which is what
+// the exporters scrape — per-service views and the process-wide aggregate
+// stay separate by design.
 class RouteMetrics {
  public:
-  void RecordAttempt() { attempts_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordSuccess() { successes_.fetch_add(1, std::memory_order_relaxed); }
+  // Binds the global registry counters for `route_name`. Call once, at route
+  // registration; recording works (locally) even when never bound.
+  void BindRegistry(const char* route_name);
+
+  void RecordAttempt() {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    reg_attempts_.Increment();
+  }
+  void RecordSuccess() {
+    successes_.fetch_add(1, std::memory_order_relaxed);
+    reg_successes_.Increment();
+  }
   // A retryable transport failure resubmitted on the same route.
-  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRetry() {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    reg_retries_.Increment();
+  }
   // The transport failed (connect/send/channel death) on this attempt.
-  void RecordTransportFailure() { transport_failures_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordTransportFailure() {
+    transport_failures_.fetch_add(1, std::memory_order_relaxed);
+    reg_transport_failures_.Increment();
+  }
   // The route was exhausted and the request moved to the next route.
-  void RecordFallthrough() { fallthroughs_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordFallthrough() {
+    fallthroughs_.fetch_add(1, std::memory_order_relaxed);
+    reg_fallthroughs_.Increment();
+  }
   // The route was skipped without an attempt: it cannot carry this request
   // (e.g. pipe stdio over the wire) ...
-  void RecordIncapableSkip() { incapable_skips_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordIncapableSkip() {
+    incapable_skips_.fetch_add(1, std::memory_order_relaxed);
+    reg_incapable_skips_.Increment();
+  }
   // ... or it is quarantined after a recent transport failure.
-  void RecordQuarantineSkip() { quarantine_skips_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordQuarantineSkip() {
+    quarantine_skips_.fetch_add(1, std::memory_order_relaxed);
+    reg_quarantine_skips_.Increment();
+  }
 
   struct Snapshot {
     uint64_t attempts = 0;
@@ -67,6 +104,14 @@ class RouteMetrics {
   std::atomic<uint64_t> fallthroughs_{0};
   std::atomic<uint64_t> incapable_skips_{0};
   std::atomic<uint64_t> quarantine_skips_{0};
+
+  obs::Counter reg_attempts_;
+  obs::Counter reg_successes_;
+  obs::Counter reg_retries_;
+  obs::Counter reg_transport_failures_;
+  obs::Counter reg_fallthroughs_;
+  obs::Counter reg_incapable_skips_;
+  obs::Counter reg_quarantine_skips_;
 };
 
 class SpawnMetrics {
@@ -81,24 +126,30 @@ class SpawnMetrics {
   struct Snapshot {
     uint64_t spawns = 0;
     uint64_t exits_observed = 0;
-    uint64_t submit_to_exec_ns_total = 0;  // sum over recorded spawns
-    uint64_t exec_to_exit_ns_total = 0;    // sum over observed exits
+    obs::HistogramSnapshot submit_to_exec_us;
+    obs::HistogramSnapshot exec_to_exit_us;
+    // Sum views derived from the microsecond histograms, kept for callers
+    // that predate the histogram migration.
+    uint64_t submit_to_exec_ns_total = 0;
+    uint64_t exec_to_exit_ns_total = 0;
 
-    double MeanSubmitToExecMicros() const {
-      return spawns == 0 ? 0.0
-                         : static_cast<double>(submit_to_exec_ns_total) / 1e3 /
-                               static_cast<double>(spawns);
+    double MeanSubmitToExecMicros() const { return submit_to_exec_us.Mean(); }
+    double SubmitToExecPercentileMicros(double p) const {
+      return submit_to_exec_us.Percentile(p);
     }
+    double ExecToExitPercentileMicros(double p) const { return exec_to_exit_us.Percentile(p); }
   };
   Snapshot snapshot() const;
 
   void ResetForTest();
 
  private:
-  std::atomic<uint64_t> spawns_{0};
-  std::atomic<uint64_t> exits_observed_{0};
-  std::atomic<uint64_t> submit_to_exec_ns_total_{0};
-  std::atomic<uint64_t> exec_to_exit_ns_total_{0};
+  SpawnMetrics();
+
+  obs::Counter spawns_;
+  obs::Counter exits_observed_;
+  obs::Histogram submit_to_exec_us_;
+  obs::Histogram exec_to_exit_us_;
 };
 
 }  // namespace forklift

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/trace.h"
+
 namespace forklift {
 
 namespace {
@@ -44,6 +46,12 @@ ProcessHandle ProcessHandle::FromImpl(std::unique_ptr<Impl> impl, std::string ro
   return handle;
 }
 
+void ProcessHandle::FillCache(ExitStatus st) {
+  cached_ = st;
+  // Tracer drops trace_id 0, so unrouted handles cost one branch here.
+  obs::Tracer::Global().Event(trace_id_, "exit_observed", route_);
+}
+
 Result<ExitStatus> ProcessHandle::Wait() {
   if (cached_.has_value()) {
     return *cached_;
@@ -52,7 +60,7 @@ Result<ExitStatus> ProcessHandle::Wait() {
     return LogicalError("Wait on invalid ProcessHandle");
   }
   FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, impl_->Wait());
-  cached_ = st;
+  FillCache(st);
   return st;
 }
 
@@ -65,7 +73,7 @@ Result<std::optional<ExitStatus>> ProcessHandle::TryWait() {
   }
   FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, impl_->TryWait());
   if (st.has_value()) {
-    cached_ = *st;
+    FillCache(*st);
   }
   return st;
 }
@@ -79,7 +87,7 @@ Result<std::optional<ExitStatus>> ProcessHandle::WaitDeadline(double timeout_sec
   }
   FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, impl_->WaitDeadline(timeout_seconds));
   if (st.has_value()) {
-    cached_ = *st;
+    FillCache(*st);
   }
   return st;
 }

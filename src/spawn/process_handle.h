@@ -71,6 +71,12 @@ class ProcessHandle {
   // handle).
   const std::string& route() const { return route_; }
 
+  // The request/trace id the spawn ran under (0 when not routed through
+  // SpawnService). Keys this process's spans in obs::Tracer; on the wire
+  // routes it equals the protocol-v2 request_id.
+  uint64_t trace_id() const { return trace_id_; }
+  void set_trace_id(uint64_t id) { trace_id_ = id; }
+
   // Blocks until the child exits. Idempotent: later calls return the cached
   // status.
   Result<ExitStatus> Wait();
@@ -108,8 +114,13 @@ class ProcessHandle {
   Result<Outcome> Communicate(std::string_view input = "");
 
  private:
+  // First fill of the idempotent-wait cache: records the exit_observed trace
+  // event exactly once, however the reap arrived.
+  void FillCache(ExitStatus st);
+
   std::unique_ptr<Impl> impl_;
   std::string route_;
+  uint64_t trace_id_ = 0;
   // The idempotent-wait cache: set by the first successful reap on any path.
   std::optional<ExitStatus> cached_;
   UniqueFd stdin_fd_;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "src/common/clock.h"
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace forklift {
 
@@ -35,7 +37,8 @@ class LocalTransport final : public SpawnTransport {
   const char* Name() const override { return LocalRouteName(kind_); }
   bool SupportsPipeStdio() const override { return true; }
 
-  Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) override {
+  Result<ProcessHandle> Launch(const Spawner& spawner, uint64_t /*trace_id*/,
+                               SpawnFailureKind* failure) override {
     *failure = SpawnFailureKind::kRequest;
     Spawner pinned = spawner;
     pinned.SetBackend(kind_);
@@ -57,6 +60,9 @@ void SpawnService::AddRoute(std::unique_ptr<SpawnTransport> transport) {
   std::lock_guard<std::mutex> lock(mu_);
   auto route = std::make_unique<Route>();
   route->transport = std::move(transport);
+  // Mirror this route's counters into the global registry under its name;
+  // the per-service atomics behind RouteStats stay exact and separate.
+  route->metrics.BindRegistry(route->transport->Name());
   routes_.push_back(std::move(route));
 }
 
@@ -120,6 +126,7 @@ void SpawnService::QuarantineRoute(Route& route) {
 }
 
 Result<ProcessHandle> SpawnService::SpawnOnRoute(Route& route, const Spawner& spawner,
+                                                 uint64_t trace_id,
                                                  SpawnFailureKind* failure) {
   int attempts = options_.attempts_per_route < 1 ? 1 : options_.attempts_per_route;
   double backoff = options_.retry_backoff_base_seconds;
@@ -134,7 +141,7 @@ Result<ProcessHandle> SpawnService::SpawnOnRoute(Route& route, const Spawner& sp
     }
     route.metrics.RecordAttempt();
     *failure = SpawnFailureKind::kRequest;
-    auto handle = route.transport->Launch(spawner, failure);
+    auto handle = route.transport->Launch(spawner, trace_id, failure);
     if (handle.ok()) {
       route.metrics.RecordSuccess();
       return handle;
@@ -153,6 +160,14 @@ Result<ProcessHandle> SpawnService::SpawnOnRoute(Route& route, const Spawner& sp
 }
 
 Result<ProcessHandle> SpawnService::Spawn(const Spawner& spawner) {
+  const uint64_t trace_id = obs::NextRequestId();
+  const uint64_t submit_start = MonotonicNanos();
+  auto& tracer = obs::Tracer::Global();
+  // The submit span covers the whole routing decision, whatever exit path
+  // this function takes.
+  auto finish = [&](const char* outcome) {
+    tracer.Record(trace_id, "submit", submit_start, MonotonicNanos(), outcome);
+  };
   std::vector<Route*> chain;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -162,6 +177,7 @@ Result<ProcessHandle> SpawnService::Spawn(const Spawner& spawner) {
     }
   }
   if (chain.empty()) {
+    finish("no_routes");
     return LogicalError("SpawnService: no routes registered");
   }
   const bool needs_pipes = spawner.UsesPipeStdio();
@@ -177,11 +193,19 @@ Result<ProcessHandle> SpawnService::Spawn(const Spawner& spawner) {
     }
     attempted = true;
     SpawnFailureKind failure = SpawnFailureKind::kRequest;
-    auto handle = SpawnOnRoute(*route, spawner, &failure);
+    const std::string route_span = std::string("route:") + route->transport->Name();
+    const uint64_t route_start = MonotonicNanos();
+    auto handle = SpawnOnRoute(*route, spawner, trace_id, &failure);
     if (handle.ok()) {
+      tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "ok");
+      tracer.Event(trace_id, "exec_confirmed", route->transport->Name());
+      handle->set_trace_id(trace_id);
+      finish("ok");
       return handle;
     }
     if (failure == SpawnFailureKind::kRequest) {
+      tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "request_error");
+      finish("request_error");
       return handle;  // no route would fare better
     }
     QuarantineRoute(*route);
@@ -189,16 +213,21 @@ Result<ProcessHandle> SpawnService::Spawn(const Spawner& spawner) {
       // The child may exist on the dead transport; surface the error instead
       // of risking a double launch. The quarantine above makes the NEXT
       // request take the fallback route.
+      tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "indeterminate");
+      finish("indeterminate");
       return handle;
     }
+    tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "fallthrough");
     route->metrics.RecordFallthrough();
     last = Err(handle.error());
   }
   if (!attempted) {
+    finish("no_admissible_route");
     return LogicalError(needs_pipes
                             ? "SpawnService: no admissible route supports pipe stdio"
                             : "SpawnService: every route is quarantined");
   }
+  finish("exhausted");
   return Err(last.error());
 }
 
@@ -223,9 +252,23 @@ Result<ProcessHandle> SpawnService::Spawn(const Spawner& spawner, std::string_vi
   }
   // A pin is explicit: no fallback, and no quarantine gate either — the
   // caller asked for this mechanism, so give them its real error.
+  const uint64_t trace_id = obs::NextRequestId();
+  const uint64_t submit_start = MonotonicNanos();
+  auto& tracer = obs::Tracer::Global();
   SpawnFailureKind failure = SpawnFailureKind::kRequest;
-  auto handle = SpawnOnRoute(*pinned, spawner, &failure);
-  if (!handle.ok() && failure != SpawnFailureKind::kRequest) {
+  const std::string route_span = std::string("route:") + pinned->transport->Name();
+  const uint64_t route_start = MonotonicNanos();
+  auto handle = SpawnOnRoute(*pinned, spawner, trace_id, &failure);
+  if (handle.ok()) {
+    tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "ok");
+    tracer.Event(trace_id, "exec_confirmed", pinned->transport->Name());
+    handle->set_trace_id(trace_id);
+    tracer.Record(trace_id, "submit", submit_start, MonotonicNanos(), "ok");
+    return handle;
+  }
+  tracer.Record(trace_id, route_span, route_start, MonotonicNanos(), "error");
+  tracer.Record(trace_id, "submit", submit_start, MonotonicNanos(), "error");
+  if (failure != SpawnFailureKind::kRequest) {
     QuarantineRoute(*pinned);
   }
   return handle;

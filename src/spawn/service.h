@@ -74,9 +74,14 @@ class SpawnTransport {
   // always healthy.
   virtual Status Probe() { return Status::Ok(); }
 
-  // Launches. On failure, *failure classifies the error for the router
-  // (implementations must always set it on the error path).
-  virtual Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) = 0;
+  // Launches. `trace_id` is the request's trace id (the service allocates it
+  // via obs::NextRequestId); wire transports MUST use it as the protocol-v2
+  // request_id so the frame on the wire and the trace spans correlate, and
+  // may record transport-level spans under it. On failure, *failure
+  // classifies the error for the router (implementations must always set it
+  // on the error path).
+  virtual Result<ProcessHandle> Launch(const Spawner& spawner, uint64_t trace_id,
+                                       SpawnFailureKind* failure) = 0;
 };
 
 // A transport over one in-process backend engine (fork+exec, vfork,
@@ -108,7 +113,10 @@ class SpawnService {
   // Convenience: appends MakeLocalTransport(kind).
   void AddLocalRoute(SpawnBackendKind kind = SpawnBackendKind::kForkExec);
 
-  // Routes by policy across the whole chain.
+  // Routes by policy across the whole chain. Every call allocates one
+  // request/trace id and records the submit and per-route spans under it
+  // (obs::Tracer), so the returned handle's trace_id() keys the request's
+  // whole lifecycle.
   Result<ProcessHandle> Spawn(const Spawner& spawner);
 
   // Pins the request to the named route: no fallback, but same-route retry
@@ -136,7 +144,7 @@ class SpawnService {
 
   // One route's bounded attempt loop. On failure *failure holds the LAST
   // attempt's classification.
-  Result<ProcessHandle> SpawnOnRoute(Route& route, const Spawner& spawner,
+  Result<ProcessHandle> SpawnOnRoute(Route& route, const Spawner& spawner, uint64_t trace_id,
                                      SpawnFailureKind* failure);
 
   Options options_;

@@ -1,0 +1,120 @@
+// Logf emission contract (single write, explicit truncation marker) and the
+// thread-safe errno rendering that replaced std::strerror.
+#include "src/common/log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/strerror.h"
+
+namespace forklift {
+namespace {
+
+// Swaps a pipe onto stderr around `fn` and returns everything written.
+std::string CaptureStderr(const std::function<void()>& fn) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  int saved = ::dup(STDERR_FILENO);
+  EXPECT_GE(saved, 0);
+  EXPECT_GE(::dup2(fds[1], STDERR_FILENO), 0);
+  ::close(fds[1]);
+
+  fn();
+
+  EXPECT_GE(::dup2(saved, STDERR_FILENO), 0);
+  ::close(saved);
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fds[0]);
+  return out;
+}
+
+TEST(LogTest, EmitsPrefixedSingleLine) {
+  std::string out = CaptureStderr([] { Logf(LogLevel::kError, "answer %d", 42); });
+  EXPECT_EQ(out, "[forklift E] answer 42\n");
+}
+
+TEST(LogTest, BelowLevelIsSuppressed) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  std::string out = CaptureStderr([] { Logf(LogLevel::kInfo, "quiet"); });
+  SetLogLevel(saved);
+  EXPECT_EQ(out, "");
+}
+
+// An overlong message must not be silently cut: the emission is capped at
+// the buffer size and the tail is an explicit "...\n" marker.
+TEST(LogTest, TruncationLeavesExplicitMarker) {
+  std::string big(5000, 'x');
+  std::string out =
+      CaptureStderr([&] { Logf(LogLevel::kError, "%s", big.c_str()); });
+  EXPECT_EQ(out.size(), 2048u);  // Logf's internal buffer, exactly
+  EXPECT_EQ(out.substr(0, 13), "[forklift E] ");
+  EXPECT_EQ(out.substr(out.size() - 4), "...\n");
+  // Everything between prefix and marker is message payload, not garbage.
+  EXPECT_EQ(out.substr(13, 10), "xxxxxxxxxx");
+}
+
+TEST(LogTest, ExactFitStillGetsNewline) {
+  // A message that fills the buffer to one byte short of capacity renders
+  // fully; anything at/over flips to the marker. Probe both sides.
+  std::string fits(2048 - 13 - 1, 'y');  // prefix 13, newline 1
+  std::string out = CaptureStderr([&] { Logf(LogLevel::kError, "%s", fits.c_str()); });
+  EXPECT_EQ(out.size(), 2048u);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.substr(out.size() - 4), "...\n");
+
+  std::string over(2048 - 13, 'z');
+  out = CaptureStderr([&] { Logf(LogLevel::kError, "%s", over.c_str()); });
+  EXPECT_EQ(out.size(), 2048u);
+  EXPECT_EQ(out.substr(out.size() - 4), "...\n");
+}
+
+TEST(StrerrorTest, KnownErrnoMatchesLibc) {
+  EXPECT_EQ(SafeStrerror(ENOENT), std::string(::strerror(ENOENT)));
+  EXPECT_EQ(SafeStrerror(EAGAIN), std::string(::strerror(EAGAIN)));
+}
+
+TEST(StrerrorTest, UnknownErrnoIsNonEmpty) {
+  std::string msg = SafeStrerror(123456);
+  EXPECT_FALSE(msg.empty());
+}
+
+// The reason SafeStrerror exists: concurrent renderings must not shear each
+// other through a shared static buffer. Run under TSan in the sanitizer CI.
+TEST(StrerrorTest, ConcurrentRenderingsStayIntact) {
+  const std::string want_noent = SafeStrerror(ENOENT);
+  const std::string want_perm = SafeStrerror(EPERM);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 2000; ++i) {
+        if (t % 2 == 0) {
+          ASSERT_EQ(SafeStrerror(ENOENT), want_noent);
+        } else {
+          ASSERT_EQ(SafeStrerror(EPERM), want_perm);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+}
+
+}  // namespace
+}  // namespace forklift

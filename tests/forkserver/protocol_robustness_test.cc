@@ -373,5 +373,93 @@ TEST(ProtocolRobustnessTest, RequestIdBitFlipsDecodeWithDifferentId) {
   }
 }
 
+// --- kStats / kStatsReply: same corpus treatment as the spawn frames ---
+
+TEST(ProtocolRobustnessTest, StatsMessagesRoundTrip) {
+  const FrameMeta meta{kForkServerProtocolV2, 0xfeedface12345678ull};
+  {
+    FrameMeta got;
+    auto format = DecodeStatsRequest(EncodeStatsRequest(1, meta), &got);
+    ASSERT_TRUE(format.ok()) << format.error().ToString();
+    EXPECT_EQ(*format, 1u);
+    EXPECT_EQ(got.version, kForkServerProtocolV2);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    StatsReply in;
+    in.ok = true;
+    in.body = "# TYPE forklift_spawns_total counter\nforklift_spawns_total 3\n";
+    FrameMeta got;
+    auto out = DecodeStatsReply(EncodeStatsReply(in, meta), &got);
+    ASSERT_TRUE(out.ok()) << out.error().ToString();
+    EXPECT_TRUE(out->ok);
+    EXPECT_EQ(out->body, in.body);
+    EXPECT_EQ(got.request_id, meta.request_id);
+  }
+  {
+    StatsReply in;
+    in.ok = false;
+    in.err = EIO;
+    in.context = "obs.export_write";
+    auto out = DecodeStatsReply(EncodeStatsReply(in, meta));
+    ASSERT_TRUE(out.ok());
+    EXPECT_FALSE(out->ok);
+    EXPECT_EQ(out->err, EIO);
+    EXPECT_EQ(out->context, "obs.export_write");
+  }
+}
+
+TEST(ProtocolRobustnessTest, StatsRejectsTrailingBytes) {
+  std::string req = EncodeStatsRequest(0);
+  ASSERT_TRUE(DecodeStatsRequest(req).ok());
+  req.push_back('\x00');
+  auto decoded = DecodeStatsRequest(req);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code(), 0) << "must be a LogicalError, not errno";
+
+  StatsReply sample;
+  sample.ok = true;
+  sample.body = "x 1\n";
+  std::string reply = EncodeStatsReply(sample);
+  ASSERT_TRUE(DecodeStatsReply(reply).ok());
+  reply.push_back('\x7f');
+  EXPECT_FALSE(DecodeStatsReply(reply).ok());
+}
+
+TEST(ProtocolRobustnessTest, StatsTruncationAtEveryOffsetRejected) {
+  const FrameMeta meta{kForkServerProtocolV2, 42};
+  ExpectAllTruncationsRejected(EncodeStatsRequest(1), "stats request");
+  ExpectAllTruncationsRejected(EncodeStatsRequest(1, meta), "stats request v2", 20);
+  StatsReply sample;
+  sample.ok = true;
+  sample.body = "forklift_spawns_total 3\n";
+  ExpectAllTruncationsRejected(EncodeStatsReply(sample), "stats reply");
+  ExpectAllTruncationsRejected(EncodeStatsReply(sample, meta), "stats reply v2", 20);
+  // The typed stats decoders must also reject every cut of their own frames.
+  for (const std::string& base : {EncodeStatsRequest(1, meta), EncodeStatsReply(sample, meta)}) {
+    for (size_t len = 0; len < base.size(); ++len) {
+      std::string cut = base.substr(0, len);
+      EXPECT_FALSE(DecodeStatsRequest(cut).ok()) << "stats cut at " << len;
+      EXPECT_FALSE(DecodeStatsReply(cut).ok()) << "stats cut at " << len;
+    }
+  }
+}
+
+TEST(ProtocolRobustnessTest, StatsHeaderBitFlipsNeverCrashTypedDecoders) {
+  const FrameMeta meta{kForkServerProtocolV2, 7};
+  StatsReply sample;
+  sample.ok = true;
+  sample.body = "x 1\n";
+  for (const std::string& base : {EncodeStatsRequest(0, meta), EncodeStatsReply(sample, meta)}) {
+    ASSERT_GE(base.size(), 20u);
+    for (size_t bit = 0; bit < 12 * 8; ++bit) {
+      std::string mutated = base;
+      mutated[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+      EXPECT_FALSE(DecodeStatsRequest(mutated).ok()) << "bit " << bit;
+      EXPECT_FALSE(DecodeStatsReply(mutated).ok()) << "bit " << bit;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace forklift

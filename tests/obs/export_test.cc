@@ -1,0 +1,121 @@
+// Exporter goldens: exact Prometheus text exposition and JSON for a fixed
+// snapshot, label-family # TYPE grouping, and JSON escaping. Both renderers
+// take an explicit snapshot vector so the goldens are hermetic — no global
+// registry state leaks in.
+#include "src/obs/export.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/registry.h"
+
+namespace forklift {
+namespace obs {
+namespace {
+
+std::vector<MetricSnapshot> FixedSnapshot() {
+  std::vector<MetricSnapshot> metrics;
+
+  MetricSnapshot attempts_local;
+  attempts_local.name = "forklift_route_attempts_total{route=\"local\"}";
+  attempts_local.type = MetricType::kCounter;
+  attempts_local.value = 3;
+  metrics.push_back(attempts_local);
+
+  MetricSnapshot attempts_sharded;
+  attempts_sharded.name = "forklift_route_attempts_total{route=\"sharded\"}";
+  attempts_sharded.type = MetricType::kCounter;
+  attempts_sharded.value = 7;
+  metrics.push_back(attempts_sharded);
+
+  MetricSnapshot live;
+  live.name = "forklift_shards_live";
+  live.type = MetricType::kGauge;
+  live.gauge = -2;  // negative to pin signed rendering
+  metrics.push_back(live);
+
+  MetricSnapshot lat;
+  lat.name = "forklift_spawn_latency_us";
+  lat.type = MetricType::kHistogram;
+  lat.hist.buckets[0] = 1;  // one observation <= 1µs
+  lat.hist.buckets[2] = 2;  // two in (2, 4]
+  lat.hist.count = 3;
+  lat.hist.sum = 8;  // 1 + 3 + 4
+  metrics.push_back(lat);
+
+  return metrics;
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  std::string text = RenderPrometheus(FixedSnapshot());
+
+  // The labeled counter family gets ONE # TYPE line for both samples.
+  std::string expected_head =
+      "# TYPE forklift_route_attempts_total counter\n"
+      "forklift_route_attempts_total{route=\"local\"} 3\n"
+      "forklift_route_attempts_total{route=\"sharded\"} 7\n"
+      "# TYPE forklift_shards_live gauge\n"
+      "forklift_shards_live -2\n"
+      "# TYPE forklift_spawn_latency_us histogram\n"
+      "forklift_spawn_latency_us_bucket{le=\"1\"} 1\n"
+      "forklift_spawn_latency_us_bucket{le=\"2\"} 1\n"
+      "forklift_spawn_latency_us_bucket{le=\"4\"} 3\n";
+  ASSERT_EQ(text.substr(0, expected_head.size()), expected_head);
+
+  // Cumulative buckets stay at 3 through +Inf, then _sum/_count close out.
+  std::string expected_tail =
+      "forklift_spawn_latency_us_bucket{le=\"+Inf\"} 3\n"
+      "forklift_spawn_latency_us_sum 8\n"
+      "forklift_spawn_latency_us_count 3\n";
+  ASSERT_GE(text.size(), expected_tail.size());
+  EXPECT_EQ(text.substr(text.size() - expected_tail.size()), expected_tail);
+
+  // One bucket line per histogram bucket, all cumulative.
+  size_t bucket_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+    ++bucket_lines;
+    ++pos;
+  }
+  EXPECT_EQ(bucket_lines, kHistogramBuckets);
+}
+
+TEST(ExportTest, JsonGolden) {
+  std::string json = RenderJson(FixedSnapshot());
+
+  std::string expected_head =
+      "{\"metrics\":["
+      "{\"name\":\"forklift_route_attempts_total{route=\\\"local\\\"}\","
+      "\"type\":\"counter\",\"value\":3},"
+      "{\"name\":\"forklift_route_attempts_total{route=\\\"sharded\\\"}\","
+      "\"type\":\"counter\",\"value\":7},"
+      "{\"name\":\"forklift_shards_live\",\"type\":\"gauge\",\"value\":-2},"
+      "{\"name\":\"forklift_spawn_latency_us\",\"type\":\"histogram\","
+      "\"count\":3,\"sum\":8,\"mean\":2.66667,\"p50\":1,\"p95\":4,\"p99\":4,"
+      "\"buckets\":[{\"le\":1,\"count\":1},{\"le\":2,\"count\":0},{\"le\":4,\"count\":2}";
+  ASSERT_EQ(json.substr(0, expected_head.size()), expected_head) << json;
+  EXPECT_EQ(json.substr(json.size() - 5), "]}]}\n");
+}
+
+TEST(ExportTest, EmptySnapshotRenders) {
+  EXPECT_EQ(RenderPrometheus(std::vector<MetricSnapshot>{}), "");
+  EXPECT_EQ(RenderJson(std::vector<MetricSnapshot>{}), "{\"metrics\":[]}\n");
+}
+
+// The two formats read the same snapshot: values must agree.
+TEST(ExportTest, FormatsAgreeOnGlobalRegistry) {
+  MetricsRegistry::Global().ResetAllForTest();
+  MetricsRegistry::Global().GetCounter("export_agree_total").Increment(5);
+
+  std::string prom = Render(StatsFormat::kPrometheus);
+  std::string json = Render(StatsFormat::kJson);
+  EXPECT_NE(prom.find("export_agree_total 5\n"), std::string::npos);
+  EXPECT_NE(json.find("{\"name\":\"export_agree_total\",\"type\":\"counter\",\"value\":5}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace forklift

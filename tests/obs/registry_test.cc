@@ -1,0 +1,259 @@
+// Registry invariants: slot typing, bucket boundaries, snapshot consistency,
+// request-id allocation, and the lock-free hot path under thread contention
+// (run in CI under TSan via the sanitizer build).
+#include "src/obs/registry.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace forklift {
+namespace obs {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { MetricsRegistry::Global().ResetAllForTest(); }
+};
+
+TEST_F(RegistryTest, CounterIncrementAndValue) {
+  Counter c = MetricsRegistry::Global().GetCounter("test_counter_basic");
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  // Resolving the same name again lands on the same slot.
+  Counter again = MetricsRegistry::Global().GetCounter("test_counter_basic");
+  EXPECT_EQ(again.Value(), 42u);
+}
+
+TEST_F(RegistryTest, GaugeSetAddValue) {
+  Gauge g = MetricsRegistry::Global().GetGauge("test_gauge_basic");
+  ASSERT_TRUE(g.valid());
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);  // gauges go negative; counters never do
+}
+
+TEST_F(RegistryTest, TypeMismatchYieldsInvalidNoOpHandle) {
+  Counter c = MetricsRegistry::Global().GetCounter("test_typed_once");
+  ASSERT_TRUE(c.valid());
+  Gauge g = MetricsRegistry::Global().GetGauge("test_typed_once");
+  Histogram h = MetricsRegistry::Global().GetHistogram("test_typed_once");
+  EXPECT_FALSE(g.valid());
+  EXPECT_FALSE(h.valid());
+  // Writes through the mismatched handles must be inert, not UB or a crash.
+  g.Set(99);
+  h.Observe(99);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST_F(RegistryTest, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.valid());
+  c.Increment();
+  g.Add(5);
+  h.Observe(5);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+// Bucket i holds values <= 2^i: the boundary value lands in i, one past it
+// in i+1.
+TEST_F(RegistryTest, HistogramBucketBoundaries) {
+  EXPECT_EQ(HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(HistogramBucketIndex(1), 0u);
+  EXPECT_EQ(HistogramBucketIndex(2), 1u);
+  EXPECT_EQ(HistogramBucketIndex(3), 2u);
+  EXPECT_EQ(HistogramBucketIndex(4), 2u);
+  EXPECT_EQ(HistogramBucketIndex(5), 3u);
+  EXPECT_EQ(HistogramBucketIndex(1ull << 26), 26u);
+  EXPECT_EQ(HistogramBucketIndex((1ull << 26) + 1), kHistogramOverflowBucket);
+  EXPECT_EQ(HistogramBucketIndex(UINT64_MAX), kHistogramOverflowBucket);
+
+  EXPECT_EQ(HistogramBucketBound(0), 1u);
+  EXPECT_EQ(HistogramBucketBound(26), 1ull << 26);
+  EXPECT_EQ(HistogramBucketBound(kHistogramOverflowBucket), 1ull << 27);
+}
+
+TEST_F(RegistryTest, HistogramObserveSnapshotPercentiles) {
+  Histogram h = MetricsRegistry::Global().GetHistogram("test_hist_pct");
+  ASSERT_TRUE(h.valid());
+  // 100 observations of 1µs, then one far outlier.
+  for (int i = 0; i < 100; ++i) {
+    h.Observe(1);
+  }
+  h.Observe(1000000);
+  HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 101u);
+  EXPECT_EQ(snap.sum, 100u + 1000000u);
+  EXPECT_EQ(snap.buckets[0], 100u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50), 1.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(95), 1.0);
+  // The outlier is the 101st observation: the max percentile reaches its
+  // bucket (1000000 lands in (2^19, 2^20], bound 1048576).
+  EXPECT_DOUBLE_EQ(snap.Percentile(100), 1048576.0);
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Mean(), 0.0);
+}
+
+// The snapshot's count is derived from the bucket reads, so even while
+// writers race, count == Σ buckets holds in every snapshot taken.
+TEST_F(RegistryTest, SnapshotConsistentUnderConcurrentWriters) {
+  Histogram h = MetricsRegistry::Global().GetHistogram("test_hist_race");
+  Counter c = MetricsRegistry::Global().GetCounter("test_counter_race");
+  ASSERT_TRUE(h.valid());
+  ASSERT_TRUE(c.valid());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<uint64_t>((t * kPerThread + i) % 5000));
+        c.Increment();
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      HistogramSnapshot snap = h.snapshot();
+      uint64_t total = 0;
+      for (uint64_t b : snap.buckets) {
+        total += b;
+      }
+      ASSERT_EQ(snap.count, total);
+    }
+  });
+  for (auto& w : writers) {
+    w.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  HistogramSnapshot final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(RegistryTest, ConcurrentNameResolutionLandsOnOneSlot) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter> handles(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      handles[t] = MetricsRegistry::Global().GetCounter("test_counter_claim_race");
+      handles[t].Increment();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  // All resolutions agreed on one slot: the increments accumulated.
+  EXPECT_EQ(handles[0].Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST_F(RegistryTest, SnapshotAllSortedAndTyped) {
+  MetricsRegistry::Global().GetCounter("test_snap_b").Increment(2);
+  MetricsRegistry::Global().GetGauge("test_snap_a").Set(-7);
+  MetricsRegistry::Global().GetHistogram("test_snap_c").Observe(3);
+  std::vector<MetricSnapshot> all = MetricsRegistry::Global().SnapshotAll();
+  ASSERT_GE(all.size(), 3u);
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].name, all[i].name);
+  }
+  bool saw_a = false, saw_b = false, saw_c = false;
+  for (const MetricSnapshot& m : all) {
+    if (m.name == "test_snap_a") {
+      saw_a = true;
+      EXPECT_EQ(m.type, MetricType::kGauge);
+      EXPECT_EQ(m.gauge, -7);
+    } else if (m.name == "test_snap_b") {
+      saw_b = true;
+      EXPECT_EQ(m.type, MetricType::kCounter);
+      EXPECT_EQ(m.value, 2u);
+    } else if (m.name == "test_snap_c") {
+      saw_c = true;
+      EXPECT_EQ(m.type, MetricType::kHistogram);
+      EXPECT_EQ(m.hist.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_a && saw_b && saw_c);
+}
+
+TEST_F(RegistryTest, ResetZeroesValuesKeepsBindings) {
+  Counter c = MetricsRegistry::Global().GetCounter("test_reset_counter");
+  c.Increment(5);
+  MetricsRegistry::Global().ResetAllForTest();
+  EXPECT_EQ(c.Value(), 0u);  // same handle still bound
+  c.Increment();
+  EXPECT_EQ(c.Value(), 1u);
+}
+
+TEST_F(RegistryTest, NextRequestIdNeverZeroAndUnique) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[t].push_back(NextRequestId());
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  std::set<uint64_t> unique;
+  for (const auto& batch : ids) {
+    for (uint64_t id : batch) {
+      EXPECT_NE(id, 0u);
+      unique.insert(id);
+    }
+  }
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kThreads) * kPerThread);
+}
+
+// The arena is MAP_SHARED: a child forked after Global() exists increments
+// the same slots the parent reads — the zygote-shard sharing contract.
+TEST_F(RegistryTest, CountersSharedAcrossFork) {
+  Counter c = MetricsRegistry::Global().GetCounter("test_fork_shared");
+  ASSERT_TRUE(c.valid());
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    MetricsRegistry::Global().GetCounter("test_fork_shared").Increment(17);
+    _exit(0);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+  EXPECT_EQ(c.Value(), 17u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace forklift

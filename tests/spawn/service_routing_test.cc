@@ -43,7 +43,8 @@ class ScriptedTransport final : public SpawnTransport {
     return probe_healthy_.load() ? Status::Ok() : LogicalError("scripted probe unhealthy");
   }
 
-  Result<ProcessHandle> Launch(const Spawner& spawner, SpawnFailureKind* failure) override {
+  Result<ProcessHandle> Launch(const Spawner& spawner, uint64_t trace_id,
+                               SpawnFailureKind* failure) override {
     launches_.fetch_add(1);
     int remaining = failures_remaining_.load();
     if (remaining != 0) {
@@ -53,7 +54,7 @@ class ScriptedTransport final : public SpawnTransport {
       *failure = behavior_.failure_kind;
       return LogicalError("scripted failure on " + behavior_.name);
     }
-    return local_->Launch(spawner, failure);
+    return local_->Launch(spawner, trace_id, failure);
   }
 
   void set_probe_healthy(bool healthy) { probe_healthy_.store(healthy); }

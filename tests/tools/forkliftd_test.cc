@@ -4,10 +4,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "src/common/clock.h"
 #include "src/forkserver/client.h"
+#include "src/obs/export.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
@@ -194,6 +196,78 @@ TEST(ForkliftdShardsTest, SigtermWindsDownSupervisorAndShards) {
   EXPECT_FALSE(ForkServerClient::ConnectPath(socket_path).ok());
   struct stat sb;
   EXPECT_EQ(::stat(socket_path.c_str(), &sb), -1) << "socket file left behind";
+}
+
+TEST(ForkliftdMetricsTest, MetricsSocketServesBothFormatsAndCountsSpawns) {
+  std::string socket_path =
+      ::testing::TempDir() + "forkliftd_metrics_" + std::to_string(::getpid()) + ".sock";
+  std::string metrics_path =
+      ::testing::TempDir() + "forkliftd_metrics_" + std::to_string(::getpid()) + ".stats.sock";
+  auto daemon = Spawner(FORKLIFTD_BIN)
+                    .Args({"--socket", socket_path, "--metrics-socket=" + metrics_path,
+                           "--shards", "2"})
+                    .SetStderr(Stdio::Null())
+                    .Spawn();
+  ASSERT_TRUE(daemon.ok()) << daemon.error().ToString();
+  Stopwatch sw;
+  for (;;) {
+    auto probe = ForkServerClient::ConnectPath(socket_path);
+    if (probe.ok()) {
+      break;
+    }
+    ASSERT_LT(sw.ElapsedSeconds(), 5.0) << "daemon never started listening";
+    ::usleep(2000);
+  }
+
+  // A burst of spawns over two connections, so both shards can see traffic —
+  // the shared metrics arena must still produce one coherent total.
+  constexpr int kSpawns = 6;
+  auto a = ForkServerClient::ConnectPath(socket_path);
+  auto b = ForkServerClient::ConnectPath(socket_path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  Spawner s("/bin/true");
+  for (int i = 0; i < kSpawns; ++i) {
+    auto child = (i % 2 == 0 ? *a : *b)->Spawn(s);
+    ASSERT_TRUE(child.ok()) << child.error().ToString();
+    EXPECT_TRUE(child->Wait().value().Success());
+  }
+
+  // Scrape over the dedicated metrics socket, both formats.
+  auto scraper = ForkServerClient::ConnectPath(metrics_path);
+  ASSERT_TRUE(scraper.ok()) << scraper.error().ToString();
+  auto prom = (*scraper)->Stats(obs::StatsFormat::kPrometheus);
+  ASSERT_TRUE(prom.ok()) << prom.error().ToString();
+  auto json = (*scraper)->Stats(obs::StatsFormat::kJson);
+  ASSERT_TRUE(json.ok()) << json.error().ToString();
+
+  // Prometheus: "forklift_forkserver_spawns_total <N>" with N == the burst.
+  // Anchor to the start of a line — the bare needle also matches the metric's
+  // "# TYPE" comment.
+  const std::string prom_needle = "\nforklift_forkserver_spawns_total ";
+  size_t pos = prom->find(prom_needle);
+  ASSERT_NE(pos, std::string::npos) << *prom;
+  long prom_total = std::strtol(prom->c_str() + pos + prom_needle.size(), nullptr, 10);
+  EXPECT_EQ(prom_total, kSpawns);
+
+  // JSON agrees with the text exposition about the same counter.
+  const std::string json_needle =
+      "{\"name\":\"forklift_forkserver_spawns_total\",\"type\":\"counter\",\"value\":";
+  pos = json->find(json_needle);
+  ASSERT_NE(pos, std::string::npos) << *json;
+  long json_total = std::strtol(json->c_str() + pos + json_needle.size(), nullptr, 10);
+  EXPECT_EQ(json_total, prom_total);
+
+  // An out-of-range format byte comes back as a clean error, not a hang.
+  auto bogus = (*scraper)->Stats(static_cast<obs::StatsFormat>(7));
+  EXPECT_FALSE(bogus.ok());
+
+  ASSERT_TRUE((*a)->Shutdown().ok());
+  auto st = daemon->WaitDeadline(10.0);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(st->has_value()) << "supervisor did not exit after shutdown";
+  struct stat sb;
+  EXPECT_EQ(::stat(metrics_path.c_str(), &sb), -1) << "metrics socket file left behind";
 }
 
 TEST(ForkliftdDaemonTest, DaemonModeDetachesAndServes) {

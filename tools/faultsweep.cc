@@ -272,6 +272,13 @@ Status ScenarioForkServer() {
     if (!status->Success()) {
       return LogicalError("forkserver: remote child failed: " + status->ToString());
     }
+    // Stats round-trip: exercises the kStats frames and the server-side
+    // export path (the obs.export_write gate) under the sweep.
+    auto stats = client.Stats(obs::StatsFormat::kPrometheus);
+    if (!stats.ok()) return Err(stats.error());
+    if (stats->find("forklift_forkserver_spawns_total") == std::string::npos) {
+      return LogicalError("forkserver: stats scrape missing spawn counter");
+    }
     FORKLIFT_RETURN_IF_ERROR(client.Shutdown());
   }
   // Shutdown acked: the server is exiting, reap it through the wrapper (on

@@ -33,6 +33,7 @@
 //   --new-session                setsid()
 //   --timeout SECONDS            kill the child after a deadline
 //   --audit                      print a fork-hazard report before launching
+//   --trace-out FILE             write the spawn's span trace (JSON) to FILE
 //
 // Exit status: the child's (128+signal if signaled), or 125 for launcher
 // errors, 127/126 for exec errors — the conventions xargs/timeout use.
@@ -47,6 +48,7 @@
 #include "src/forkserver/sharded.h"
 #include "src/hazards/env_audit.h"
 #include "src/hazards/fork_guard.h"
+#include "src/obs/trace.h"
 #include "src/spawn/process_handle.h"
 #include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
@@ -80,7 +82,7 @@ int main(int argc, char** argv) {
   bool to_null = false;
   bool close_other_fds = false;
   bool new_session = false;
-  std::string cwd, stdin_path, stdout_path, stderr_path;
+  std::string cwd, stdin_path, stdout_path, stderr_path, trace_out;
   bool stdout_append = false;
   std::optional<mode_t> umask_value;
   std::optional<rlim_t> nofile;
@@ -217,6 +219,13 @@ int main(int argc, char** argv) {
       close_other_fds = true;
     } else if (a == "--new-session") {
       new_session = true;
+    } else if (a == "--trace-out") {
+      v = need_value("--trace-out");
+      if (!v.ok()) {
+        std::fprintf(stderr, "forklift-run: %s\n", v.error().ToString().c_str());
+        return 125;
+      }
+      trace_out = *v;
     } else if (a == "--timeout") {
       v = need_value("--timeout");
       if (!v.ok()) {
@@ -324,9 +333,22 @@ int main(int argc, char** argv) {
     service.AddLocalRoute(SpawnBackendKind::kPosixSpawn);
   }
 
+  // Dumped on every exit path past the spawn — a failed or timed-out launch
+  // leaves a partial trace that is exactly what you want to look at.
+  auto dump_trace = [&] {
+    if (trace_out.empty()) {
+      return;
+    }
+    Status st = obs::Tracer::Global().WriteJsonFile(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "forklift-run: --trace-out: %s\n", st.error().ToString().c_str());
+    }
+  };
+
   auto child = service.Spawn(spawner);
   if (!child.ok()) {
     std::fprintf(stderr, "forklift-run: %s\n", child.error().ToString().c_str());
+    dump_trace();
     return child.error().IsErrno(ENOENT) ? 127 : 126;
   }
 
@@ -335,18 +357,21 @@ int main(int argc, char** argv) {
     auto maybe = child->WaitDeadline(timeout_seconds);
     if (!maybe.ok()) {
       std::fprintf(stderr, "forklift-run: %s\n", maybe.error().ToString().c_str());
+      dump_trace();
       return 125;
     }
     if (!maybe->has_value()) {
       std::fprintf(stderr, "forklift-run: timeout, killing pid %d\n",
                    static_cast<int>(child->pid()));
       (void)child->KillAndWait();
+      dump_trace();
       return 124;  // timeout(1)'s convention
     }
     status = **maybe;
   } else {
     status = child->Wait();
   }
+  dump_trace();
   if (!status.ok()) {
     std::fprintf(stderr, "forklift-run: %s\n", status.error().ToString().c_str());
     return 125;

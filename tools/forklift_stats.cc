@@ -1,0 +1,72 @@
+// forklift-stats — scrape a running forkliftd's metrics.
+//
+//   forklift-stats --socket PATH [--format prometheus|json]
+//
+// Connects to the daemon's socket (use the --metrics-socket listener when the
+// daemon was started with one, though the spawn socket answers too), sends a
+// kStats frame, and prints the export body to stdout. Exit status: 0 on a
+// successful scrape, 1 on any connection or protocol error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/forkserver/client.h"
+#include "src/obs/export.h"
+
+using namespace forklift;
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  obs::StatsFormat format = obs::StatsFormat::kPrometheus;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string value;
+    bool has_value = false;
+    if (a == "--socket" && i + 1 < args.size()) {
+      socket_path = args[++i];
+      continue;
+    }
+    if (a.rfind("--format=", 0) == 0) {
+      value = a.substr(std::string("--format=").size());
+      has_value = true;
+    } else if (a == "--format" && i + 1 < args.size()) {
+      value = args[++i];
+      has_value = true;
+    }
+    if (has_value) {
+      if (value == "prometheus") {
+        format = obs::StatsFormat::kPrometheus;
+      } else if (value == "json") {
+        format = obs::StatsFormat::kJson;
+      } else {
+        std::fprintf(stderr, "forklift-stats: unknown format '%s'\n", value.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (a == "--help") {
+      std::printf("usage: %s --socket PATH [--format prometheus|json]\n", argv[0]);
+      return 0;
+    }
+    std::fprintf(stderr, "forklift-stats: unknown option '%s'\n", a.c_str());
+    return 2;
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "forklift-stats: --socket PATH is required\n");
+    return 2;
+  }
+
+  auto client = ForkServerClient::ConnectPath(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "forklift-stats: %s\n", client.error().ToString().c_str());
+    return 1;
+  }
+  auto body = (*client)->Stats(format);
+  if (!body.ok()) {
+    std::fprintf(stderr, "forklift-stats: %s\n", body.error().ToString().c_str());
+    return 1;
+  }
+  std::fwrite(body->data(), 1, body->size(), stdout);
+  return 0;
+}

@@ -29,6 +29,8 @@
 
 #include "src/common/log.h"
 #include "src/forkserver/server.h"
+#include "src/obs/export.h"
+#include "src/obs/registry.h"
 #include "src/spawn/daemonize.h"
 
 using namespace forklift;
@@ -45,12 +47,14 @@ namespace {
 // wake-up: a SIGTERM landing between the flag check and the waitpid call only
 // set the flag, waitpid then blocked with the signal never forwarded to any
 // shard — nothing would ever exit, and the supervisor wedged until killed.
-int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t shards) {
+int SuperviseShards(ForkServer& server, const std::string& socket_path,
+                    const std::string& metrics_path, size_t shards) {
   sigset_t waitset;
   ::sigemptyset(&waitset);
   ::sigaddset(&waitset, SIGTERM);
   ::sigaddset(&waitset, SIGINT);
   ::sigaddset(&waitset, SIGCHLD);
+  ::sigaddset(&waitset, SIGUSR1);
   ::sigprocmask(SIG_BLOCK, &waitset, nullptr);
   std::set<pid_t> shard_pids;
   auto fork_shard = [&]() -> bool {
@@ -84,6 +88,12 @@ int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t s
   while (!shard_pids.empty()) {
     int sig = 0;
     if (::sigwait(&waitset, &sig) != 0) {
+      continue;
+    }
+    if (sig == SIGUSR1) {
+      // The shards share the supervisor's metrics arena (mapped before the
+      // forks), so the supervisor's own export covers the whole pool.
+      (void)obs::WriteExportToFd(STDERR_FILENO, obs::RenderPrometheus());
       continue;
     }
     if (sig == SIGTERM || sig == SIGINT) {
@@ -128,8 +138,11 @@ int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t s
       }
     }
   }
-  // The supervisor — not the shards — owns the socket file.
+  // The supervisor — not the shards — owns the socket files.
   ::unlink(socket_path.c_str());
+  if (!metrics_path.empty()) {
+    ::unlink(metrics_path.c_str());
+  }
   return exit_code;
 }
 
@@ -137,12 +150,17 @@ int SuperviseShards(ForkServer& server, const std::string& socket_path, size_t s
 
 int main(int argc, char** argv) {
   std::string socket_path = "/tmp/forkliftd.sock";
+  std::string metrics_path;
   bool daemonize = false;
   size_t shards = 1;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--socket" && i + 1 < args.size()) {
       socket_path = args[++i];
+    } else if (args[i] == "--metrics-socket" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (args[i].rfind("--metrics-socket=", 0) == 0) {
+      metrics_path = args[i].substr(std::string("--metrics-socket=").size());
     } else if (args[i] == "--daemon") {
       daemonize = true;
     } else if (args[i] == "--shards" && i + 1 < args.size()) {
@@ -157,7 +175,8 @@ int main(int argc, char** argv) {
                             ? static_cast<size_t>(::sysconf(_SC_NPROCESSORS_ONLN))
                             : 1);
     } else if (args[i] == "--help") {
-      std::printf("usage: %s [--socket PATH] [--daemon] [--shards N]\n", argv[0]);
+      std::printf("usage: %s [--socket PATH] [--metrics-socket PATH] [--daemon] [--shards N]\n",
+                  argv[0]);
       return 0;
     } else {
       std::fprintf(stderr, "forkliftd: unknown option '%s'\n", args[i].c_str());
@@ -181,18 +200,31 @@ int main(int argc, char** argv) {
     ready = std::move(notifier).value();
   }
 
+  // Map the metrics arena before any shard forks so every shard (and its
+  // zygote children's counters) lands in the one shared page the supervisor
+  // and scrapers read.
+  obs::MetricsRegistry::Global();
+
   auto server = ForkServer::Listen(socket_path);
   if (!server.ok()) {
     std::fprintf(stderr, "forkliftd: %s\n", server.error().ToString().c_str());
     return 1;
   }
+  if (!metrics_path.empty()) {
+    Status st = server->ListenMetrics(metrics_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "forkliftd: %s\n", st.error().ToString().c_str());
+      return 1;
+    }
+  }
+  server->EnableSigusr1StatsDump();
   if (ready.armed()) {
     if (!ready.NotifyReady().ok()) {
       return 1;
     }
   }
   if (shards > 1) {
-    return SuperviseShards(*server, socket_path, shards);
+    return SuperviseShards(*server, socket_path, metrics_path, shards);
   }
   FORKLIFT_LOG("forkliftd listening on %s (pid %d)", socket_path.c_str(),
                static_cast<int>(::getpid()));
