@@ -21,12 +21,23 @@
 //                      work overlaps child lifetimes on one channel.
 //   sharded-pipelined  a ShardedForkServer pool (S zygotes, least-outstanding
 //                      routing) in front of the same pipelined client path.
+//   pipelined-trivial  the pipelined channel on the pure data-plane workload:
+//                      /bin/true children, submit→pid only (the server reaps
+//                      exits on its pidfd watches). Isolates wire cost from
+//                      child lifetime; the baseline for the batched cell.
+//   batched-trivial    same workload, but every depth-D window rides ONE
+//                      kSpawnBatch frame, and the flat-combining submit queue
+//                      plus the server's reply coalescing collapse the wire
+//                      to ~one writev per burst in each direction.
 //
 // Each cell launches a fixed number of spawns and reports aggregate
 // spawns/second plus per-op (submit→wait-complete) latency percentiles; the
-// op latency at depth D honestly includes pipeline queueing. `--json <path>`
-// dumps the series as BENCH_forkserver_throughput.json; `--quick` shrinks
-// the per-cell spawn count for CI smoke runs.
+// op latency at depth D honestly includes pipeline queueing. Every cell also
+// reports write-side wire syscalls per spawn (writev+sendmsg deltas from
+// forklift_wire_syscalls_total — client AND zygote side, since the metrics
+// arena is shared across the fork). `--json <path>` dumps the series as
+// BENCH_forkserver_throughput.json; `--quick` shrinks the per-cell spawn
+// count for CI smoke runs.
 #include <unistd.h>
 
 #include <cstdio>
@@ -43,6 +54,7 @@
 #include "src/forkserver/client.h"
 #include "src/forkserver/server.h"
 #include "src/forkserver/sharded.h"
+#include "src/obs/registry.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
@@ -60,6 +72,7 @@ struct CellResult {
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
+  double wire_write_syscalls_per_spawn = 0;
 };
 
 SpawnRequest WorkloadRequest() {
@@ -69,6 +82,28 @@ SpawnRequest WorkloadRequest() {
     std::exit(1);
   }
   return std::move(req).value();
+}
+
+// The pure data-plane workload: a child that dies immediately, so the cell
+// measures the wire, not the child. The *-trivial cells use submit→pid as
+// the op (no per-child kWait); the server still reaps every exit promptly on
+// its pidfd watches, so nothing accumulates.
+SpawnRequest TrivialRequest() {
+  auto req = Spawner("/bin/true").BuildRequest();
+  if (!req.ok()) {
+    std::fprintf(stderr, "BuildRequest: %s\n", req.error().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(req).value();
+}
+
+// Sum of write-side wire syscalls (writev + sendmsg) from the shared metrics
+// arena. Both halves of the channel count: the bench forks the zygote after
+// the arena exists, so server-side flushes land in the same counters.
+uint64_t WireWriteSyscalls() {
+  auto& reg = obs::MetricsRegistry::Global();
+  return reg.GetCounter("forklift_wire_syscalls_total{op=\"writev\"}").Value() +
+         reg.GetCounter("forklift_wire_syscalls_total{op=\"sendmsg\"}").Value();
 }
 
 // One thread's share of the cell, v1 style: strictly serial round trips
@@ -161,6 +196,51 @@ void PipelinedWorker(RemoteSpawnService* service, ForkServerClient* channel,
   }
 }
 
+// One thread's share of a *-trivial cell: windows of `depth` submit→pid ops
+// against /bin/true children. `batched` picks between D individual LaunchAsync
+// frames per window and one kSpawnBatch frame carrying the whole window — the
+// only variable between the two trivial cells, so their ratio is the price of
+// per-request framing.
+void TrivialWorker(ForkServerClient* channel, const SpawnRequest& req, int ops, int depth,
+                   bool batched, SampleStats* lat_ms, uint64_t* failures) {
+  int submitted = 0;
+  while (submitted < ops) {
+    int window = std::min(depth, ops - submitted);
+    submitted += window;
+    Stopwatch start;
+    std::vector<ForkServerClient::PendingReply> pending;
+    if (batched) {
+      std::vector<SpawnRequest> burst(static_cast<size_t>(window), req);
+      auto p = channel->LaunchBatchAsync(burst);
+      if (!p.ok()) {
+        *failures += static_cast<uint64_t>(window);
+        continue;
+      }
+      pending = std::move(*p);
+    } else {
+      pending.reserve(static_cast<size_t>(window));
+      for (int i = 0; i < window; ++i) {
+        auto p = channel->LaunchAsync(req);
+        if (!p.ok()) {
+          ++*failures;
+          continue;
+        }
+        pending.push_back(std::move(*p));
+      }
+    }
+    for (auto& p : pending) {
+      auto pid = p.AwaitPid();
+      if (!pid.ok()) {
+        ++*failures;
+        continue;
+      }
+      // Whole-window latency attributed to each op: both cells are charged
+      // identically, so the per-op numbers stay comparable across the pair.
+      lat_ms->Add(start.ElapsedSeconds() * 1e3);
+    }
+  }
+}
+
 CellResult RunCell(const std::string& mode, int threads, int shards, int depth, int total_ops) {
   CellResult cell;
   cell.mode = mode;
@@ -168,10 +248,12 @@ CellResult RunCell(const std::string& mode, int threads, int shards, int depth, 
   cell.shards = shards;
   cell.depth = depth;
 
-  SpawnRequest req = WorkloadRequest();
+  bool trivial = mode == "pipelined-trivial" || mode == "batched-trivial";
+  SpawnRequest req = trivial ? TrivialRequest() : WorkloadRequest();
   std::vector<SampleStats> lat(threads);
   std::vector<uint64_t> failures(threads, 0);
   int per_thread = total_ops / threads;
+  uint64_t wire_before = WireWriteSyscalls();
 
   auto run_threads = [&](auto&& body) {
     Stopwatch sw;
@@ -196,16 +278,23 @@ CellResult RunCell(const std::string& mode, int threads, int shards, int depth, 
     run_threads([&](int t) { V1Worker(&client, req, per_thread, &lat[t], &failures[t]); });
     (void)client.Shutdown();
     (void)WaitForExit(handle->server_pid);
-  } else if (mode == "pipelined") {
+  } else if (mode == "pipelined" || trivial) {
     auto handle = StartForkServerProcess();
     if (!handle.ok()) {
       std::fprintf(stderr, "server start: %s\n", handle.error().ToString().c_str());
       std::exit(1);
     }
     ForkServerClient client(std::move(handle->client_sock));
-    run_threads([&](int t) {
-      PipelinedWorker(&client, &client, nullptr, req, per_thread, depth, &lat[t], &failures[t]);
-    });
+    if (trivial) {
+      bool batched = mode == "batched-trivial";
+      run_threads([&](int t) {
+        TrivialWorker(&client, req, per_thread, depth, batched, &lat[t], &failures[t]);
+      });
+    } else {
+      run_threads([&](int t) {
+        PipelinedWorker(&client, &client, nullptr, req, per_thread, depth, &lat[t], &failures[t]);
+      });
+    }
     (void)client.Shutdown();
     (void)WaitForExit(handle->server_pid);
   } else {
@@ -234,6 +323,9 @@ CellResult RunCell(const std::string& mode, int threads, int shards, int depth, 
   }
   cell.spawns = all.Count();
   cell.spawns_per_sec = cell.seconds > 0 ? static_cast<double>(cell.spawns) / cell.seconds : 0;
+  uint64_t wire_delta = WireWriteSyscalls() - wire_before;
+  cell.wire_write_syscalls_per_spawn =
+      cell.spawns > 0 ? static_cast<double>(wire_delta) / static_cast<double>(cell.spawns) : 0;
   if (!all.Empty()) {
     cell.p50_ms = all.Percentile(50);
     cell.p95_ms = all.Percentile(95);
@@ -283,11 +375,12 @@ int main(int argc, char** argv) {
       {"v1-blocking", 1, 1, 1},           {"v1-blocking", 4, 1, 1},
       {"pipelined", 1, 1, 8},             {"pipelined", 4, 1, 8},
       {"sharded-pipelined", 4, 2, 8},     {"sharded-pipelined", 4, 4, 8},
+      {"pipelined-trivial", 4, 1, 16},    {"batched-trivial", 4, 1, 16},
   };
 
   std::vector<CellResult> cells;
   TablePrinter table({"mode", "threads", "shards", "depth", "spawns/s", "p50 ms", "p95 ms",
-                      "p99 ms", "failures"});
+                      "p99 ms", "wr-sys/op", "failures"});
   for (const CellSpec& spec : specs) {
     CellResult cell = RunCell(spec.mode, spec.threads, spec.shards, spec.depth, ops);
     table.AddRow({cell.mode, TablePrinter::Cell(static_cast<uint64_t>(cell.threads)),
@@ -295,6 +388,7 @@ int main(int argc, char** argv) {
                   TablePrinter::Cell(static_cast<uint64_t>(cell.depth)),
                   TablePrinter::Cell(cell.spawns_per_sec, 0), TablePrinter::Cell(cell.p50_ms, 2),
                   TablePrinter::Cell(cell.p95_ms, 2), TablePrinter::Cell(cell.p99_ms, 2),
+                  TablePrinter::Cell(cell.wire_write_syscalls_per_spawn, 2),
                   TablePrinter::Cell(cell.failures)});
     std::fprintf(stderr, "  [%s t=%d s=%d done: %.0f spawns/s]\n", cell.mode.c_str(),
                  cell.threads, cell.shards, cell.spawns_per_sec);
@@ -304,6 +398,9 @@ int main(int argc, char** argv) {
 
   double v1_at_4 = 0;
   double best_sharded = 0;
+  double pipelined_trivial = 0;
+  double batched_trivial = 0;
+  double batched_wire_per_spawn = 0;
   for (const CellResult& cell : cells) {
     if (cell.mode == "v1-blocking" && cell.threads == 4) {
       v1_at_4 = cell.spawns_per_sec;
@@ -311,9 +408,20 @@ int main(int argc, char** argv) {
     if (cell.mode == "sharded-pipelined" && cell.spawns_per_sec > best_sharded) {
       best_sharded = cell.spawns_per_sec;
     }
+    if (cell.mode == "pipelined-trivial") {
+      pipelined_trivial = cell.spawns_per_sec;
+    }
+    if (cell.mode == "batched-trivial") {
+      batched_trivial = cell.spawns_per_sec;
+      batched_wire_per_spawn = cell.wire_write_syscalls_per_spawn;
+    }
   }
   double speedup = v1_at_4 > 0 ? best_sharded / v1_at_4 : 0;
+  double batched_speedup = pipelined_trivial > 0 ? batched_trivial / pipelined_trivial : 0;
   std::printf("\nsharded+pipelined over v1 single socket (4 threads): %.1fx\n", speedup);
+  std::printf("batched over pipelined, trivial children (4 threads): %.2fx "
+              "(%.2f write-side wire syscalls per spawn batched)\n",
+              batched_speedup, batched_wire_per_spawn);
 
   if (!json_path.empty()) {
     JsonWriter json;
@@ -336,10 +444,12 @@ int main(int argc, char** argv) {
       json.Key("p50_ms").Value(cell.p50_ms);
       json.Key("p95_ms").Value(cell.p95_ms);
       json.Key("p99_ms").Value(cell.p99_ms);
+      json.Key("wire_write_syscalls_per_spawn").Value(cell.wire_write_syscalls_per_spawn);
       json.EndObject();
     }
     json.EndArray();
     json.Key("speedup_sharded_pipelined_over_v1").Value(speedup);
+    json.Key("speedup_batched_over_pipelined_trivial").Value(batched_speedup);
     json.EndObject();
     auto written = WriteTextFile(json_path, json.str() + "\n");
     if (!written.ok()) {

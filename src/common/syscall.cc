@@ -1,11 +1,17 @@
 #include "src/common/syscall.h"
 
 #include <fcntl.h>
+#include <limits.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include <cerrno>
+#include <cstring>
 
 #include "src/faultinject/faultinject.h"
 
@@ -159,6 +165,78 @@ Result<std::string> ReadAll(int fd, size_t max_bytes) {
     }
     out.append(buf, static_cast<size_t>(n));
   }
+}
+
+Result<uint64_t> WritevFull(int fd, struct iovec* iov, size_t iovcnt) {
+  uint64_t syscalls = 0;
+  size_t idx = 0;
+  // Gathered writes to a socket must go through sendmsg(MSG_NOSIGNAL): a peer
+  // that died mid-flush turns plain writev into fatal SIGPIPE, not EPIPE.
+  // ENOTSOCK on the first attempt downgrades to writev for pipes and files.
+  bool plain_writev = false;
+  while (idx < iovcnt) {
+    // Skip exhausted (or empty) entries so the active window always starts at
+    // a non-empty iovec — a short write must resume at the interrupted byte.
+    if (iov[idx].iov_len == 0) {
+      ++idx;
+      continue;
+    }
+    size_t window = std::min(iovcnt - idx, static_cast<size_t>(IOV_MAX));
+    ssize_t n;
+    auto inj = fault::Check("syscall.writev_full", fault::Op::kWrite);
+    if (inj.is_errno()) {
+      n = -1;
+      errno = inj.err;
+    } else if (inj.is_short()) {
+      // A short kernel write delivers a prefix; emulate the worst case — one
+      // byte of the first pending iovec — and let the resume logic take over.
+      n = plain_writev ? ::write(fd, iov[idx].iov_base, 1)
+                       : ::send(fd, iov[idx].iov_base, 1, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        plain_writev = true;
+        n = ::write(fd, iov[idx].iov_base, 1);
+      }
+      if (n > 0) ++syscalls;
+    } else {
+      if (!plain_writev) {
+        struct msghdr msg;
+        std::memset(&msg, 0, sizeof(msg));
+        msg.msg_iov = iov + idx;
+        msg.msg_iovlen = window;
+        n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) {
+          plain_writev = true;
+        }
+      }
+      if (plain_writev) {
+        n = ::writev(fd, iov + idx, static_cast<int>(window));
+      }
+      if (n > 0) ++syscalls;
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FORKLIFT_RETURN_IF_ERROR(WaitFdWritable(fd));
+        continue;
+      }
+      return ErrnoError("writev");
+    }
+    size_t done = static_cast<size_t>(n);
+    while (done > 0 && idx < iovcnt) {
+      if (done >= iov[idx].iov_len) {
+        done -= iov[idx].iov_len;
+        iov[idx].iov_len = 0;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + done;
+        iov[idx].iov_len -= done;
+        done = 0;
+      }
+    }
+  }
+  return syscalls;
 }
 
 Result<int> WaitPid(pid_t pid, int options) {

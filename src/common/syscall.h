@@ -5,8 +5,10 @@
 #define SRC_COMMON_SYSCALL_H_
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -28,6 +30,17 @@ Status WriteFull(int fd, const void* buf, size_t len);
 // Reads until EOF into a string (for draining pipes). `max_bytes` caps runaway
 // children; exceeding it is an error, not a truncation.
 Result<std::string> ReadAll(int fd, size_t max_bytes = 64u << 20);
+
+// Writes every byte described by `iov[0..iovcnt)` as one gathered stream,
+// retrying EINTR, absorbing EAGAIN (wait-for-writable, then resume), and
+// resuming short writes at the correct offset *within* the interrupted iovec.
+// Chunks at IOV_MAX for oversized arrays. Sockets are written with
+// sendmsg(MSG_NOSIGNAL) so a dead peer yields EPIPE instead of fatal SIGPIPE;
+// ENOTSOCK downgrades to writev(2) for pipes and files. Mutates the caller's
+// iovec array in place to track progress (callers rebuild it per flush
+// anyway). Returns the number of write syscalls that moved bytes, so
+// transports can account syscalls/frame.
+Result<uint64_t> WritevFull(int fd, struct iovec* iov, size_t iovcnt);
 
 // waitpid(2) with EINTR retry. Returns the raw wait status.
 Result<int> WaitPid(pid_t pid, int options = 0);

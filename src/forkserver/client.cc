@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 #include <sys/un.h>
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -30,11 +31,10 @@ Status ReplyToStatus(bool ok, int32_t err, const std::string& context, const cha
   return LogicalError(std::string(what) + ": " + context);
 }
 
-// The one scratch-encode path both clients share: clear the reusable writer,
-// encode the frame, hand back views. Serialization is the caller's lock
-// (send_mu_ for the pipelined client, mu_ for the legacy one); the helpers
-// only differ from each other in which frame they emit, never in how the
-// scratch is managed.
+// The legacy client's scratch-encode path: clear the reusable writer, encode
+// the frame, hand back views; mu_ (held across the round trip) serializes the
+// scratch. The pipelined client instead encodes *framed* bytes — length
+// prefix inline — into recycled buffers for the submission queue.
 Status EncodeSpawnFrameInto(WireWriter& w, std::vector<int>* fds, const SpawnRequest& req,
                             const FrameMeta& meta) {
   w.Clear();
@@ -52,6 +52,22 @@ void EncodeWaitFrameInto(WireWriter& w, pid_t pid, const FrameMeta& meta) {
 void EncodeControlFrameInto(WireWriter& w, MsgType type, const FrameMeta& meta) {
   w.Clear();
   EncodeHeaderInto(w, type, meta);
+}
+
+// Submission-queue flush caps: one run never exceeds this many frames or
+// bytes, so a burst can't grow a single writev without bound while
+// submitters keep appending (fairness: later frames ride the next run).
+constexpr size_t kMaxFlushFrames = 64;
+constexpr size_t kMaxFlushBytes = 256u << 10;
+constexpr size_t kMaxSpareBufs = 64;
+// Client-side chunking for LaunchBatch: comfortably under kMaxSpawnBatch,
+// large enough that per-frame overhead is noise.
+constexpr size_t kSpawnBatchChunk = 256;
+
+obs::Histogram& FramesPerFlush() {
+  static obs::Histogram h =
+      obs::MetricsRegistry::Global().GetHistogram("forklift_wire_frames_per_flush");
+  return h;
 }
 
 // The one socket-connect path both clients share (and the fault site the
@@ -82,6 +98,16 @@ Result<UniqueFd> ConnectUnixSocket(const std::string& path, const char* who) {
 }
 
 }  // namespace
+
+std::vector<Result<pid_t>> RemoteSpawnService::LaunchBatch(
+    const std::vector<SpawnRequest>& reqs) {
+  std::vector<Result<pid_t>> out;
+  out.reserve(reqs.size());
+  for (const SpawnRequest& req : reqs) {
+    out.push_back(LaunchRequest(req));
+  }
+  return out;
+}
 
 Result<ExitStatus> RemoteChild::Wait() {
   if (!valid() || service_ == nullptr) {
@@ -154,6 +180,7 @@ ForkServerClient::Slot* ForkServerClient::AcquireSlotLocked(uint64_t* id_out,
   slot->abandoned = false;
   slot->transport = Status::Ok();
   pending_.emplace(*id_out, slot);
+  outstanding_.store(pending_.size(), std::memory_order_relaxed);
   return slot;
 }
 
@@ -167,15 +194,119 @@ void ForkServerClient::FreeSlotLocked(Slot* slot) {
 
 void ForkServerClient::AbortSubmit(uint64_t id, Slot* slot) {
   std::lock_guard<std::mutex> lock(mu_);
-  // The receiver may have completed (or death-failed) the slot between the
-  // send failure and now; either way nobody holds a handle, so recycle it.
+  // Abort happens only on encode failures now — nothing hit the wire, no
+  // reply can exist — but a concurrent Die may have completed the slot;
+  // either way nobody holds a handle, so recycle it.
   pending_.erase(id);
+  outstanding_.store(pending_.size(), std::memory_order_relaxed);
   FreeSlotLocked(slot);
 }
 
+// --- submission queue ---
+
+std::string ForkServerClient::TakeBuf() {
+  std::lock_guard<std::mutex> lock(q_mu_);
+  if (spare_bufs_.empty()) {
+    return std::string();
+  }
+  std::string buf = std::move(spare_bufs_.back());
+  spare_bufs_.pop_back();
+  return buf;
+}
+
+void ForkServerClient::RecycleBuf(std::string buf) {
+  buf.clear();
+  std::lock_guard<std::mutex> lock(q_mu_);
+  if (spare_bufs_.size() < kMaxSpareBufs) {
+    spare_bufs_.push_back(std::move(buf));
+  }
+}
+
+void ForkServerClient::SubmitFramed(std::string frame) {
+  std::unique_lock<std::mutex> lock(q_mu_);
+  q_.push_back(std::move(frame));
+  if (flushing_) {
+    // An active flusher picks this frame up in its next run — that is the
+    // coalescing: our frame rides someone else's writev and we return now.
+    return;
+  }
+  // No flusher and we just made the queue non-empty: flush it ourselves. A
+  // lone request is therefore never delayed waiting for company.
+  flushing_ = true;
+  DrainQueue(lock);
+  flushing_ = false;
+  lock.unlock();
+  q_cv_.notify_all();
+}
+
+void ForkServerClient::DrainQueue(std::unique_lock<std::mutex>& lock) {
+  std::vector<std::string> run;
+  std::vector<struct iovec> iov;
+  while (!q_.empty()) {
+    size_t take = 0;
+    size_t bytes = 0;
+    while (take < q_.size() && take < kMaxFlushFrames && bytes < kMaxFlushBytes) {
+      bytes += q_[take].size();
+      ++take;
+    }
+    run.assign(std::make_move_iterator(q_.begin()),
+               std::make_move_iterator(q_.begin() + take));
+    q_.erase(q_.begin(), q_.begin() + take);
+    // Release the lock around the write: submitters appending during the
+    // syscall form the next run.
+    lock.unlock();
+    iov.resize(run.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      iov[i].iov_base = run[i].data();
+      iov[i].iov_len = run[i].size();
+    }
+    auto sent = SendGathered(sock_.get(), iov.data(), iov.size(), {});
+    FramesPerFlush().Observe(run.size());
+    if (!sent.ok()) {
+      Die(Err(sent.error()));
+      lock.lock();
+      // Die already failed every queued frame's slot; the bytes are dead.
+      q_.clear();
+      return;
+    }
+    lock.lock();
+    for (auto& buf : run) {
+      buf.clear();
+      if (spare_bufs_.size() < kMaxSpareBufs) {
+        spare_bufs_.push_back(std::move(buf));
+      }
+    }
+    run.clear();
+  }
+}
+
+Status ForkServerClient::SubmitFdFrame(std::string_view frame, const std::vector<int>& fds) {
+  std::unique_lock<std::mutex> lock(q_mu_);
+  q_cv_.wait(lock, [this] { return !flushing_; });
+  flushing_ = true;
+  // Ordering: everything queued before us must hit the wire first.
+  DrainQueue(lock);
+  lock.unlock();
+  // `frame` carries its length prefix, which SendFrame re-derives — strip it
+  // and let SendFrame's combined sendmsg (and its zero-progress fallback)
+  // attach the fds to the prefix bytes.
+  Status st = SendFrame(sock_.get(), frame.substr(4), fds);
+  if (!st.ok()) {
+    Die(st);
+  }
+  lock.lock();
+  flushing_ = false;
+  lock.unlock();
+  q_cv_.notify_all();
+  return st;
+}
+
+// Submit contract: a returned error means the frame never hit the wire (the
+// slot was recycled, the request is safely retryable elsewhere — the sharded
+// router relies on this). Once the frame is queued, transport failures are
+// not reported here: they kill the channel and surface through Await*.
 Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const SpawnRequest& req,
                                                                      uint64_t request_id) {
-  std::lock_guard<std::mutex> send_lock(send_mu_);
   uint64_t id;
   Slot* slot;
   {
@@ -186,13 +317,26 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const Spawn
     slot = AcquireSlotLocked(&id, request_id);
   }
   const uint64_t send_start = MonotonicNanos();
-  Status st = EncodeSpawnFrameInto(scratch_, &scratch_fds_, req, FrameMeta{kForkServerProtocolV2, id});
+  WireWriter w;
+  w.AdoptBuffer(TakeBuf());
+  w.PutU32(0);  // length prefix, backfilled once the size is known
+  std::vector<int> fds;
+  Status st = EncodeSpawnRequestInto(w, req, &fds, FrameMeta{kForkServerProtocolV2, id});
   if (st.ok()) {
-    st = SendFrame(sock_.get(), scratch_.data(), scratch_fds_);
+    w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+    st = w.status();
   }
   if (!st.ok()) {
     AbortSubmit(id, slot);
     return Err(st.error());
+  }
+  if (fds.empty()) {
+    SubmitFramed(w.Take());
+  } else {
+    // The fds are borrowed from the caller, so the frame cannot sit in the
+    // queue past this call's return: send synchronously.
+    SubmitFdFrame(w.data(), fds);
+    RecycleBuf(w.Take());
   }
   // The id on the wire IS the trace id, so the encode+send span correlates
   // with the service's submit/route spans without any plumbing.
@@ -201,7 +345,6 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitSpawn(const Spawn
 }
 
 Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
-  std::lock_guard<std::mutex> send_lock(send_mu_);
   uint64_t id;
   Slot* slot;
   {
@@ -211,18 +354,19 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
     }
     slot = AcquireSlotLocked(&id, 0);
   }
-  EncodeWaitFrameInto(scratch_, pid, FrameMeta{kForkServerProtocolV2, id});
-  Status st = SendFrame(sock_.get(), scratch_.data());
-  if (!st.ok()) {
-    AbortSubmit(id, slot);
-    return Err(st.error());
-  }
+  WireWriter w;
+  w.AdoptBuffer(TakeBuf());
+  w.Reserve(4 + 20 + 4);
+  w.PutU32(0);
+  EncodeHeaderInto(w, MsgType::kWait, FrameMeta{kForkServerProtocolV2, id});
+  w.PutI32(static_cast<int32_t>(pid));
+  w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  SubmitFramed(w.Take());
   return PendingReply(this, slot);
 }
 
 Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
     MsgType type, const std::vector<int>& fds) {
-  std::lock_guard<std::mutex> send_lock(send_mu_);
   uint64_t id;
   Slot* slot;
   {
@@ -232,17 +376,21 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
     }
     slot = AcquireSlotLocked(&id, 0);
   }
-  EncodeControlFrameInto(scratch_, type, FrameMeta{kForkServerProtocolV2, id});
-  Status st = SendFrame(sock_.get(), scratch_.data(), fds);
-  if (!st.ok()) {
-    AbortSubmit(id, slot);
-    return Err(st.error());
+  WireWriter w;
+  w.AdoptBuffer(TakeBuf());
+  w.PutU32(0);
+  EncodeHeaderInto(w, type, FrameMeta{kForkServerProtocolV2, id});
+  w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  if (fds.empty()) {
+    SubmitFramed(w.Take());
+  } else {
+    SubmitFdFrame(w.data(), fds);  // kNewChannel ships its socket inline
+    RecycleBuf(w.Take());
   }
   return PendingReply(this, slot);
 }
 
 Result<ForkServerClient::PendingReply> ForkServerClient::SubmitStats(obs::StatsFormat format) {
-  std::lock_guard<std::mutex> send_lock(send_mu_);
   uint64_t id;
   Slot* slot;
   {
@@ -252,15 +400,14 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitStats(obs::StatsF
     }
     slot = AcquireSlotLocked(&id, 0);
   }
-  scratch_.Clear();
-  scratch_.Reserve(20 + 1);
-  EncodeHeaderInto(scratch_, MsgType::kStats, FrameMeta{kForkServerProtocolV2, id});
-  scratch_.PutU8(static_cast<uint8_t>(format));
-  Status st = SendFrame(sock_.get(), scratch_.data());
-  if (!st.ok()) {
-    AbortSubmit(id, slot);
-    return Err(st.error());
-  }
+  WireWriter w;
+  w.AdoptBuffer(TakeBuf());
+  w.Reserve(4 + 20 + 1);
+  w.PutU32(0);
+  EncodeHeaderInto(w, MsgType::kStats, FrameMeta{kForkServerProtocolV2, id});
+  w.PutU8(static_cast<uint8_t>(format));
+  w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  SubmitFramed(w.Take());
   return PendingReply(this, slot);
 }
 
@@ -279,6 +426,94 @@ Result<ForkServerClient::PendingReply> ForkServerClient::PingAsync() {
 
 Result<ForkServerClient::PendingReply> ForkServerClient::StatsAsync(obs::StatsFormat format) {
   return SubmitStats(format);
+}
+
+Result<std::vector<ForkServerClient::PendingReply>> ForkServerClient::LaunchBatchAsync(
+    const std::vector<SpawnRequest>& reqs, uint64_t first_id) {
+  std::vector<PendingReply> out;
+  if (reqs.empty()) {
+    return out;
+  }
+  if (reqs.size() > kMaxSpawnBatch) {
+    return LogicalError("forkserver client: batch exceeds kMaxSpawnBatch");
+  }
+  const uint64_t base = first_id != 0 ? first_id : obs::NextRequestIdRange(reqs.size());
+  std::vector<Slot*> slots(reqs.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (dead_) {
+      return Err(death_.error());
+    }
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      uint64_t id;
+      slots[i] = AcquireSlotLocked(&id, base + i);
+    }
+  }
+  const uint64_t send_start = MonotonicNanos();
+  WireWriter w;
+  w.AdoptBuffer(TakeBuf());
+  w.PutU32(0);
+  std::vector<int> fds;
+  Status st = EncodeSpawnBatchInto(w, reqs, &fds, FrameMeta{kForkServerProtocolV2, base});
+  if (st.ok()) {
+    w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+    st = w.status();
+  }
+  if (!st.ok()) {
+    // Pre-wire failure: unregister the whole id range so the burst is
+    // retryable (singly, or on another shard).
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < reqs.size(); ++i) {
+      pending_.erase(base + i);
+      FreeSlotLocked(slots[i]);
+    }
+    outstanding_.store(pending_.size(), std::memory_order_relaxed);
+    return Err(st.error());
+  }
+  if (fds.empty()) {
+    SubmitFramed(w.Take());
+  } else {
+    SubmitFdFrame(w.data(), fds);
+    RecycleBuf(w.Take());
+  }
+  obs::Tracer::Global().Record(base, "wire.send", send_start, MonotonicNanos());
+  out.reserve(reqs.size());
+  for (Slot* slot : slots) {
+    out.push_back(PendingReply(this, slot));
+  }
+  return out;
+}
+
+std::vector<Result<pid_t>> ForkServerClient::LaunchBatch(const std::vector<SpawnRequest>& reqs) {
+  std::vector<Result<pid_t>> out;
+  out.reserve(reqs.size());
+  size_t i = 0;
+  while (i < reqs.size()) {
+    const size_t n = std::min(reqs.size() - i, kSpawnBatchChunk);
+    // The common case (burst fits one chunk) avoids copying the requests.
+    std::vector<SpawnRequest> copy;
+    const std::vector<SpawnRequest>* chunk = &reqs;
+    if (n != reqs.size()) {
+      copy.assign(reqs.begin() + static_cast<ptrdiff_t>(i),
+                  reqs.begin() + static_cast<ptrdiff_t>(i + n));
+      chunk = &copy;
+    }
+    auto batch = LaunchBatchAsync(*chunk);
+    if (batch.ok()) {
+      for (PendingReply& pending : *batch) {
+        out.push_back(pending.AwaitPid());
+      }
+    } else {
+      // Encode-stage failure — e.g. the chunk's combined fd transfers exceed
+      // the per-frame cap. Fall back to singles so one heavy entry degrades
+      // the burst to the old path instead of failing it.
+      for (size_t j = 0; j < n; ++j) {
+        out.push_back(LaunchRequest((*chunk)[j]));
+      }
+    }
+    i += n;
+  }
+  return out;
 }
 
 Result<pid_t> ForkServerClient::AwaitSpawn(Slot* slot) {
@@ -395,6 +630,7 @@ void ForkServerClient::Die(const Status& cause) {
     }
   }
   pending_.clear();
+  outstanding_.store(0, std::memory_order_relaxed);
   cv_.notify_all();
 }
 
@@ -421,6 +657,7 @@ void ForkServerClient::DispatchFrame(const Frame& frame) {
   }
   Slot* slot = it->second;
   pending_.erase(it);
+  outstanding_.store(pending_.size(), std::memory_order_relaxed);
   slot->type = hdr->type;
   switch (hdr->type) {
     case MsgType::kSpawnReply: {
@@ -461,26 +698,43 @@ void ForkServerClient::DispatchFrame(const Frame& frame) {
 }
 
 void ForkServerClient::ReceiverLoop() {
-  // One RecvResult for the life of the channel: payload capacity is the
-  // decode scratch buffer, reused frame after frame.
-  RecvResult rr;
+  // Drain-everything receive: one recvmsg gulp pulls in however many replies
+  // the server coalesced into its writev, and every complete frame is
+  // dispatched before the next syscall. The Frame lives for the life of the
+  // channel so its payload capacity is reused.
+  FrameBuffer fb;
+  Frame frame;
   for (;;) {
-    Status st = RecvFrameInto(sock_.get(), &rr);
-    if (!st.ok()) {
-      Die(st);
+    auto has = fb.Next(&frame);
+    if (!has.ok()) {
+      Die(Err(has.error()));
       return;
     }
-    if (rr.eof) {
-      Die(LogicalError("forkserver client: server closed the channel"));
+    if (*has) {
+      DispatchFrame(frame);
+      continue;
+    }
+    auto drained = DrainSocketInto(sock_.get(), &fb);
+    if (!drained.ok()) {
+      Die(Err(drained.error()));
       return;
     }
-    DispatchFrame(rr.frame);
+    if (drained->eof) {
+      Die(LogicalError(fb.buffered() != 0
+                           ? "forkserver client: server closed mid-frame"
+                           : "forkserver client: server closed the channel"));
+      return;
+    }
+    if (drained->would_block) {
+      // Only possible if the socket is O_NONBLOCK (it is not today); park
+      // until readable rather than spinning.
+      Status st = WaitFdReadable(sock_.get());
+      if (!st.ok()) {
+        Die(st);
+        return;
+      }
+    }
   }
-}
-
-size_t ForkServerClient::outstanding() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pending_.size();
 }
 
 bool ForkServerClient::dead() const {

@@ -16,6 +16,7 @@
 
 #include <sys/types.h>
 
+#include <atomic>
 #include <condition_variable>
 #include <csignal>
 #include <cstdint>
@@ -48,6 +49,11 @@ class RemoteSpawnService {
   // Ships an already-resolved request; returns the remote pid.
   virtual Result<pid_t> LaunchRequest(const SpawnRequest& req) = 0;
 
+  // Ships a burst of requests, returning one result per entry in order. The
+  // default loops LaunchRequest; batch-capable transports override it to put
+  // the whole burst in one kSpawnBatch frame (one writev, one route).
+  virtual std::vector<Result<pid_t>> LaunchBatch(const std::vector<SpawnRequest>& reqs);
+
   // Blocks (via the server) until the child exits.
   virtual Result<ExitStatus> WaitRemote(pid_t pid) = 0;
 };
@@ -75,10 +81,19 @@ class RemoteChild {
 
 // Pipelined protocol-v2 client. Thread-safe: any number of threads may issue
 // requests concurrently; each request gets a fresh request_id and a
-// completion slot, the send path serializes only the encode+sendmsg (into a
-// reused scratch buffer), and the receiver thread completes slots as replies
+// completion slot, and the receiver thread completes slots as replies
 // arrive — in whatever order the server answers. Completed slots are
 // recycled, so the steady-state hot path allocates nothing.
+//
+// The send path is a flat-combining submission queue: each submitter encodes
+// its frame (length prefix inline) into a recycled buffer and enqueues it.
+// The first submitter to find no active flusher becomes the flusher and
+// drains the queue — everything queued by then, including frames other
+// threads appended while it was encoding — in one writev per run. A lone
+// request is never delayed: with an empty queue the submitter flushes its own
+// frame immediately. Frames carrying fds are sent synchronously (the fds are
+// borrowed): the pending run is flushed first for ordering, then the frame
+// goes out as a single sendmsg with the fds attached to its own first bytes.
 class ForkServerClient final : public RemoteSpawnService {
   struct Slot;
 
@@ -135,6 +150,16 @@ class ForkServerClient final : public RemoteSpawnService {
   Result<PendingReply> PingAsync();
   Result<PendingReply> StatsAsync(obs::StatsFormat format);
 
+  // Ships a burst of spawns as one kSpawnBatch frame (one encode, one wire
+  // submission, one route through a sharded pool). Returns one PendingReply
+  // per request, in order; entry i completes under request_id first_id + i.
+  // `first_id` 0 allocates a contiguous range via obs::NextRequestIdRange.
+  // Fails whole (no slots registered) on encode errors; the burst must fit
+  // one frame (≤ kMaxSpawnBatch entries, ≤ kMaxFdsPerFrame total fds) — the
+  // synchronous LaunchBatch chunks arbitrary bursts for you.
+  Result<std::vector<PendingReply>> LaunchBatchAsync(const std::vector<SpawnRequest>& reqs,
+                                                     uint64_t first_id = 0);
+
   // --- synchronous API (submit + await) ---
 
   // Ships the spawner's resolved request to the server. Pipe stdio is not
@@ -158,13 +183,20 @@ class ForkServerClient final : public RemoteSpawnService {
   // Low-level: ship an already-resolved request; returns the remote pid.
   Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
 
+  // Synchronous batch: chunks the burst to fit per-frame caps, ships each
+  // chunk as one kSpawnBatch frame, awaits every reply. One result per
+  // request, in order.
+  std::vector<Result<pid_t>> LaunchBatch(const std::vector<SpawnRequest>& reqs) override;
+
   // Opens an additional private channel to the same server (the new socket
   // travels over this one via SCM_RIGHTS). With pipelining one channel rarely
   // needs company, but private channels still isolate fd-carrying spawns.
   Result<std::unique_ptr<ForkServerClient>> NewChannel();
 
-  // Requests in flight (the sharded router's load metric).
-  size_t outstanding() const;
+  // Requests in flight (the sharded router's load metric). Lock-free: a
+  // relaxed atomic mirror of pending_.size(), so routers polling every shard
+  // per spawn never contend with completion traffic.
+  size_t outstanding() const { return outstanding_.load(std::memory_order_relaxed); }
 
   // True once the transport failed or the server closed the channel; every
   // subsequent submit fails fast with the recorded cause.
@@ -175,6 +207,24 @@ class ForkServerClient final : public RemoteSpawnService {
   Result<PendingReply> SubmitWait(pid_t pid);
   Result<PendingReply> SubmitControl(MsgType type, const std::vector<int>& fds);
   Result<PendingReply> SubmitStats(obs::StatsFormat format);
+
+  // --- submission queue ---
+  // Takes a recycled encode buffer (or a fresh one) for a framed encode.
+  std::string TakeBuf();
+  void RecycleBuf(std::string buf);
+  // Enqueues a complete frame (length prefix included); becomes the flusher
+  // if none is active. Transport failures are not reported here — they kill
+  // the channel (Die) and surface through every pending slot's Await.
+  void SubmitFramed(std::string frame);
+  // Synchronous fd-carrying submit: waits out any active flusher, drains the
+  // queue for ordering, then sends `frame` (prefix included, `fds` attached
+  // to its first bytes) as one sendmsg. Returns the transport status so the
+  // caller can recycle its buffer either way.
+  Status SubmitFdFrame(std::string_view frame, const std::vector<int>& fds);
+  // Drains q_ in gathered runs; called with q_mu_ held and flushing_ set,
+  // releases the lock around each writev. On transport failure kills the
+  // channel and discards the queue.
+  void DrainQueue(std::unique_lock<std::mutex>& lock);
 
   // Registers a slot for the given id — 0 allocates a fresh one (mu_).
   Slot* AcquireSlotLocked(uint64_t* id_out, uint64_t explicit_id);
@@ -196,11 +246,14 @@ class ForkServerClient final : public RemoteSpawnService {
 
   UniqueFd sock_;
 
-  // Send side: serializes encode+sendmsg; the writer is the per-channel
-  // encode scratch buffer.
-  std::mutex send_mu_;
-  WireWriter scratch_;
-  std::vector<int> scratch_fds_;
+  // Send side: the flat-combining submission queue. q_mu_ protects the queue
+  // and flusher election only — it is never held across a syscall (DrainQueue
+  // releases it around each writev) and never taken together with mu_.
+  std::mutex q_mu_;
+  std::condition_variable q_cv_;  // signaled when flushing_ clears
+  std::vector<std::string> q_;    // complete frames awaiting the wire
+  std::vector<std::string> spare_bufs_;  // recycled encode buffers
+  bool flushing_ = false;
 
   // Completion state shared with the receiver thread. Request ids come from
   // the process-wide obs::NextRequestId counter (they double as trace ids),
@@ -210,6 +263,7 @@ class ForkServerClient final : public RemoteSpawnService {
   std::unordered_map<uint64_t, Slot*> pending_;
   std::vector<std::unique_ptr<Slot>> slots_;  // owns every slot ever created
   std::vector<Slot*> free_;                   // completed slots ready for reuse
+  std::atomic<size_t> outstanding_{0};        // mirrors pending_.size()
   bool dead_ = false;
   Status death_ = Status::Ok();
 

@@ -1,12 +1,25 @@
 // forklift/forkserver: descriptor passing over AF_UNIX sockets (SCM_RIGHTS).
 //
 // A frame is a u32 byte-length followed by the payload; descriptors ride in
-// the ancillary data of the payload's first segment. This is the channel that
-// lets a fork-server child inherit the *client's* pipes — the capability that
-// plain fork gets by ambient copying and spawn APIs must pass explicitly.
+// the ancillary data attached to the frame's own first bytes. This is the
+// channel that lets a fork-server child inherit the *client's* pipes — the
+// capability that plain fork gets by ambient copying and spawn APIs must pass
+// explicitly.
+//
+// The wire path is syscall-amortized: senders gather a run of frames into one
+// writev (SendGathered), receivers drain whatever the socket holds in one
+// recvmsg gulp (DrainSocketInto) and parse every complete frame out of the
+// accumulated bytes (FrameBuffer). Descriptor attribution across gulps relies
+// on AF_UNIX semantics: SCM_RIGHTS attaches to the first byte its sendmsg
+// carries, and recvmsg never merges segments with different ancillary data, so
+// a gulp that collects fds *starts* at the carrying frame's first byte.
 #ifndef SRC_FORKSERVER_FD_TRANSFER_H_
 #define SRC_FORKSERVER_FD_TRANSFER_H_
 
+#include <sys/uio.h>
+
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -24,8 +37,72 @@ struct Frame {
   std::vector<UniqueFd> fds;
 };
 
-// Sends payload + fds as one frame. `fds` are borrowed, not consumed.
+// Sends payload + fds as one frame. `fds` are borrowed, not consumed. The
+// length prefix, payload, and ancillary fds go out in a single writev/sendmsg;
+// if the combined sendmsg fails outright before any byte is on the wire, the
+// legacy two-syscall shape (prefix, then payload carrying the fds) is retried
+// once so an injected fault on the combined path degrades instead of failing.
 Status SendFrame(int sock, std::string_view payload, const std::vector<int>& fds = {});
+
+// Writes every byte of `iov[0..iovcnt)` — typically a coalesced run of
+// already-framed messages — attaching `fds` to the first bytes that make it
+// out. Without fds this is one writev per run (faultinject site
+// `syscall.writev_full`); with fds it is a sendmsg loop (site
+// `wire.sendmsg_fds`) that resumes short writes at the interrupted iovec
+// offset. Mutates `iov` to track progress. Returns the number of syscalls that
+// moved bytes. `sent_bytes`, when non-null, receives the byte count delivered
+// before any failure (SendFrame's fallback needs "did anything hit the wire").
+Result<uint64_t> SendGathered(int sock, struct iovec* iov, size_t iovcnt,
+                              const std::vector<int>& fds,
+                              size_t* sent_bytes = nullptr);
+
+// Reassembles frames from a byte stream that arrives in arbitrary gulps.
+// Purely a parser — no I/O. Descriptors recorded by Append are attributed to
+// the frame whose byte span contains their arrival offset (see file comment
+// for why that is exactly the sending frame).
+class FrameBuffer {
+ public:
+  // Records `n` bytes arriving at the current stream position; `fds` are the
+  // descriptors the same recvmsg collected (they attach to the gulp's first
+  // byte).
+  void Append(const char* data, size_t n, std::vector<UniqueFd> fds);
+
+  // Extracts the next complete frame into `out` (payload buffer capacity is
+  // reused). Returns false when more bytes are needed, an error on a hostile
+  // length prefix or an over-cap descriptor count.
+  Result<bool> Next(Frame* out, size_t max_payload = 16u << 20);
+
+  // Bytes appended but not yet consumed by Next (a nonzero value at EOF means
+  // the peer died mid-frame).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+  // Descriptors awaiting attribution to a frame.
+  size_t pending_fds() const { return fds_.size(); }
+
+ private:
+  void CompactIfWorthwhile();
+
+  std::string buf_;
+  size_t pos_ = 0;        // parse offset within buf_
+  uint64_t base_off_ = 0; // absolute stream offset of buf_[0]
+  struct Arrival {
+    uint64_t off;  // absolute stream offset the carrying gulp started at
+    UniqueFd fd;
+  };
+  std::deque<Arrival> fds_;
+};
+
+// One recvmsg gulp (up to `max_bytes`) appended into `fb`. Faultinject site
+// `wire.recvmsg_drain`. would_block is only possible on O_NONBLOCK sockets;
+// eof reports a clean peer close (whether mid-frame is for the caller to judge
+// via fb->buffered()).
+struct DrainStatus {
+  size_t bytes = 0;
+  bool eof = false;
+  bool would_block = false;
+};
+Result<DrainStatus> DrainSocketInto(int sock, FrameBuffer* fb,
+                                    size_t max_bytes = 64u << 10);
 
 // Receives one frame. Returns an empty-payload frame with `eof == true` when
 // the peer closed cleanly between frames. `max_payload` caps allocation.

@@ -1,14 +1,78 @@
 #include "src/forkserver/pool.h"
 
+#include <signal.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <memory>
+#include <utility>
 
+#include "src/common/clock.h"
+#include "src/common/pipe.h"
 #include "src/common/syscall.h"
+#include "src/forkserver/client.h"
 #include "src/spawn/service.h"
 #include "src/spawn/spawner.h"
 
 namespace forklift {
+
+namespace {
+
+// ProcessHandle::Impl for a batch-started remote worker. The worker belongs
+// to the fork server, so the blocking wait is a protocol round trip
+// (WaitRemote); the non-blocking probes use kill(pid, 0) — the pid is in our
+// namespace even though parentage is not — and fall through to the remote
+// wait only once the process is gone, when the server has the status cached
+// and answers without blocking on the child.
+class RemoteWorkerImpl final : public ProcessHandle::Impl {
+ public:
+  RemoteWorkerImpl(RemoteSpawnService* service, pid_t pid) : service_(service), pid_(pid) {}
+
+  pid_t pid() const override { return pid_; }
+
+  Result<ExitStatus> Wait() override { return service_->WaitRemote(pid_); }
+
+  Result<std::optional<ExitStatus>> TryWait() override {
+    if (::kill(pid_, 0) == 0) {
+      // Still running (or a zombie the server has not reaped yet; the next
+      // probe sees it gone).
+      return std::optional<ExitStatus>();
+    }
+    if (errno != ESRCH) {
+      return ErrnoError("probe remote worker");
+    }
+    FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, service_->WaitRemote(pid_));
+    return std::optional<ExitStatus>(st);
+  }
+
+  Result<std::optional<ExitStatus>> WaitDeadline(double timeout_seconds) override {
+    const uint64_t deadline =
+        MonotonicNanos() + static_cast<uint64_t>(timeout_seconds * 1e9);
+    for (;;) {
+      FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, TryWait());
+      if (st.has_value() || MonotonicNanos() >= deadline) {
+        return st;
+      }
+      // Teardown-only path (Stop's grace wait), so a coarse poll is fine.
+      struct timespec ts = {0, 2000000};  // 2ms
+      ::nanosleep(&ts, nullptr);
+    }
+  }
+
+  Status Kill(int sig) override {
+    if (::kill(pid_, sig) != 0) {
+      return ErrnoError("kill remote worker");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  RemoteSpawnService* service_;
+  pid_t pid_;
+};
+
+}  // namespace
 
 ShellWorkerPool::~ShellWorkerPool() {
   if (started_) {
@@ -27,28 +91,36 @@ Status ShellWorkerPool::Start(const Options& opts) {
     FORKLIFT_ASSIGN_OR_RETURN(Reactor reactor, Reactor::Create());
     reactor_.emplace(std::move(reactor));
   }
-  Spawner worker_template = Spawner("/bin/sh")
-                                .Arg("-s")
-                                .SetStdin(Stdio::Pipe())
-                                .SetStdout(Stdio::Pipe())
-                                .SetStderr(Stdio::Null())
-                                .SetBackend(opts.backend);
-  auto spawn_worker = [&]() -> Result<ProcessHandle> {
-    if (opts.service != nullptr) {
-      return opts.service->Spawn(worker_template);
-    }
-    FORKLIFT_ASSIGN_OR_RETURN(Child child, worker_template.Spawn());
-    return ProcessHandle::FromChild(std::move(child));
-  };
-  for (size_t i = 0; i < opts.workers; ++i) {
-    auto handle = spawn_worker();
-    if (!handle.ok()) {
+  if (opts.remote != nullptr) {
+    Status st = StartRemoteWorkers(opts);
+    if (!st.ok()) {
       (void)Stop();
-      return Err(handle.error());
+      return st;
     }
-    Worker w;
-    w.child = std::move(handle).value();
-    workers_.push_back(std::move(w));
+  } else {
+    Spawner worker_template = Spawner("/bin/sh")
+                                  .Arg("-s")
+                                  .SetStdin(Stdio::Pipe())
+                                  .SetStdout(Stdio::Pipe())
+                                  .SetStderr(Stdio::Null())
+                                  .SetBackend(opts.backend);
+    auto spawn_worker = [&]() -> Result<ProcessHandle> {
+      if (opts.service != nullptr) {
+        return opts.service->Spawn(worker_template);
+      }
+      FORKLIFT_ASSIGN_OR_RETURN(Child child, worker_template.Spawn());
+      return ProcessHandle::FromChild(std::move(child));
+    };
+    for (size_t i = 0; i < opts.workers; ++i) {
+      auto handle = spawn_worker();
+      if (!handle.ok()) {
+        (void)Stop();
+        return Err(handle.error());
+      }
+      Worker w;
+      w.child = std::move(handle).value();
+      workers_.push_back(std::move(w));
+    }
   }
   // Arm the watches only once workers_ has its final size: the callbacks
   // index into the vector, so no reallocation may follow.
@@ -63,6 +135,54 @@ Status ShellWorkerPool::Start(const Options& opts) {
   }
   started_ = true;
   return Status::Ok();
+}
+
+Status ShellWorkerPool::StartRemoteWorkers(const Options& opts) {
+  // One kSpawnBatch launches the whole pool. The wire cannot carry pipe
+  // stdio, so each worker's pipes are made locally and the child ends travel
+  // as Stdio::Fd descriptors in the batch frame's SCM_RIGHTS payload; the
+  // parent ends go onto the returned handles. N warm shells then cost one
+  // coalesced submit instead of N spawn round trips.
+  std::vector<Pipe> stdin_pipes;
+  std::vector<Pipe> stdout_pipes;
+  std::vector<SpawnRequest> reqs;
+  stdin_pipes.reserve(opts.workers);
+  stdout_pipes.reserve(opts.workers);
+  reqs.reserve(opts.workers);
+  for (size_t i = 0; i < opts.workers; ++i) {
+    FORKLIFT_ASSIGN_OR_RETURN(Pipe in, MakePipe());
+    FORKLIFT_ASSIGN_OR_RETURN(Pipe out, MakePipe());
+    Spawner s = Spawner("/bin/sh")
+                    .Arg("-s")
+                    .SetStdin(Stdio::Fd(in.read_end.get()))
+                    .SetStdout(Stdio::Fd(out.write_end.get()))
+                    .SetStderr(Stdio::Null());
+    FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, s.BuildRequest());
+    reqs.push_back(std::move(req));
+    // The pipes must outlive the LaunchBatch call: the requests' fd plans
+    // borrow these descriptors until the frame is encoded and sent.
+    stdin_pipes.push_back(std::move(in));
+    stdout_pipes.push_back(std::move(out));
+  }
+  std::vector<Result<pid_t>> pids = opts.remote->LaunchBatch(reqs);
+  Status first_error;
+  for (size_t i = 0; i < pids.size(); ++i) {
+    if (!pids[i].ok()) {
+      if (first_error.ok()) {
+        first_error = Err(pids[i].error());
+      }
+      continue;
+    }
+    Worker w;
+    w.child = ProcessHandle::FromImpl(
+        std::make_unique<RemoteWorkerImpl>(opts.remote, pids[i].value()), "forkserver-batch");
+    w.child.stdin_fd() = std::move(stdin_pipes[i].write_end);
+    w.child.stdout_fd() = std::move(stdout_pipes[i].read_end);
+    workers_.push_back(std::move(w));
+  }
+  // Any worker the batch could not launch fails Start as a unit; the caller's
+  // Stop() tears down the ones that did come up.
+  return first_error;
 }
 
 Result<ShellWorkerPool::TaskResult> ShellWorkerPool::ExecuteOn(Worker& w,

@@ -44,7 +44,13 @@ enum class MsgType : uint32_t {
   kNewChannelAck = 10,  // server → client
   kStats = 11,          // client → server: render the metrics registry
   kStatsReply = 12,     // server → client: rendered export (or error)
+  kSpawnBatch = 13,     // client → server: N spawn requests in one frame
 };
+
+// Cap on entries per kSpawnBatch frame. Generous relative to useful burst
+// sizes (the client chunks far below this); exists so a hostile count can't
+// drive allocation.
+inline constexpr uint32_t kMaxSpawnBatch = 1024;
 
 // A SpawnRequest plus the descriptor list its plan references. Local fd
 // numbers in dup2 sources are replaced by indices into `fds` during encoding.
@@ -92,6 +98,31 @@ Result<std::string> EncodeSpawnRequest(const SpawnRequest& request, std::vector<
 Result<SpawnRequest> DecodeSpawnRequest(std::string_view payload,
                                         const std::vector<UniqueFd>& received_fds,
                                         FrameMeta* meta = nullptr);
+
+// kSpawnBatch: N spawn requests in one frame, amortizing framing and wire
+// syscalls across a burst. Layout after the v2 header: u32 count, then per
+// entry a u32 body length and the same body bytes a kSpawn frame carries (fd
+// transfer indices are LOCAL to the entry; each body ends with its own fd
+// count). The frame's request_id is the BASE of a contiguous range allocated
+// with obs::NextRequestIdRange(count): entry i is answered by an ordinary
+// kSpawnReply under request_id base+i, so batch replies flow through the same
+// completion machinery as single spawns. Batch frames are v2-only — without a
+// request_id there is no way to correlate the N replies.
+Status EncodeSpawnBatchInto(WireWriter& w, const std::vector<SpawnRequest>& requests,
+                            std::vector<int>* fds_out, const FrameMeta& meta);
+
+// Decodes a kSpawnBatch payload. `received_fds` is the concatenation of every
+// entry's descriptors in entry order; each entry's local indices are resolved
+// against its own slice. All-or-nothing: any malformed entry fails the whole
+// frame (the server then answers every slot in the id range with an error).
+Result<std::vector<SpawnRequest>> DecodeSpawnBatch(std::string_view payload,
+                                                   const std::vector<UniqueFd>& received_fds,
+                                                   FrameMeta* meta = nullptr);
+
+// Reads just the header + entry count of a kSpawnBatch frame, so a server
+// whose full decode failed can still address the right number of error
+// replies at the right id range.
+Result<uint32_t> PeekSpawnBatchCount(std::string_view payload, FrameMeta* meta = nullptr);
 
 // kSpawnReply.
 struct SpawnReply {

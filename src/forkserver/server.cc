@@ -1,7 +1,6 @@
 #include "src/forkserver/server.h"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <signal.h>
 #include <sys/epoll.h>
 #include <sys/signalfd.h>
@@ -12,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
@@ -66,6 +66,12 @@ Result<UniqueFd> BindUnixListener(const std::string& path) {
   return listener;
 }
 
+obs::Histogram& FramesPerFlush() {
+  static obs::Histogram h =
+      obs::MetricsRegistry::Global().GetHistogram("forklift_wire_frames_per_flush");
+  return h;
+}
+
 }  // namespace
 
 ForkServer::ForkServer(UniqueFd sock) { socks_.push_back(std::move(sock)); }
@@ -85,11 +91,17 @@ Status ForkServer::ListenMetrics(const std::string& path) {
 }
 
 Status ForkServer::RegisterChannel(int fd) {
+  // Non-blocking so the drain loop can empty the socket and stop on EAGAIN
+  // instead of guessing how much one event is worth. (AF_UNIX fd passing
+  // means each end is its own file description; this never flips the peer.)
+  FORKLIFT_RETURN_IF_ERROR(SetNonBlocking(fd, true));
+  channels_.emplace(fd, Channel{});
   return reactor_->AddFd(fd, EPOLLIN, [this, fd](uint32_t) { OnChannelReadable(fd); });
 }
 
 void ForkServer::CloseChannel(int fd) {
   (void)reactor_->RemoveFd(fd);
+  channels_.erase(fd);
   // Waits parked by this channel die with it — their fd number may be reused
   // by the next accept, and a reply there would correlate to a stranger.
   for (auto& [pid, waiters] : parked_waits_) {
@@ -120,32 +132,122 @@ void ForkServer::OnListenerReadable(int listener_fd) {
   }
 }
 
+void ForkServer::QueueReply(int sock, std::string_view payload) {
+  auto it = channels_.find(sock);
+  if (it == channels_.end()) {
+    // Not a registered channel (closed underneath a parked wait, or a test
+    // driving handlers directly): best-effort immediate send.
+    (void)SendFrame(sock, payload);
+    return;
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[sizeof(len)];
+  std::memcpy(prefix, &len, sizeof(len));
+  it->second.out.append(prefix, sizeof(len));
+  it->second.out.append(payload);
+  ++it->second.out_frames;
+}
+
+Status ForkServer::FlushReplies(int sock) {
+  auto it = channels_.find(sock);
+  if (it == channels_.end() || it->second.out.empty()) {
+    return Status::Ok();
+  }
+  // Move the burst out before writing: the write can yield (EAGAIN park) and
+  // by the time it finishes a parked-wait completion may queue more.
+  std::string out = std::move(it->second.out);
+  const size_t frames = it->second.out_frames;
+  it->second.out.clear();
+  it->second.out_frames = 0;
+  struct iovec iov;
+  iov.iov_base = out.data();
+  iov.iov_len = out.size();
+  auto sent = SendGathered(sock, &iov, 1, {});
+  FramesPerFlush().Observe(frames);
+  if (!sent.ok()) {
+    return Err(sent.error());
+  }
+  // Hand the (now empty) buffer's capacity back to the channel if nothing
+  // else was queued meanwhile.
+  it = channels_.find(sock);
+  if (it != channels_.end() && it->second.out.empty()) {
+    out.clear();
+    it->second.out = std::move(out);
+  }
+  return Status::Ok();
+}
+
 void ForkServer::OnChannelReadable(int fd) {
-  // Level-triggered re-check: a callback earlier in this epoll batch may have
-  // closed a channel whose fd number was immediately reused (a freshly adopted
-  // channel, a spawned child's pipe). Reading here on a stale event would
-  // block the whole server on a socket with nothing pending.
-  pollfd probe{fd, POLLIN, 0};
-  int rc = ::poll(&probe, 1, 0);
-  if (rc <= 0 || (probe.revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+  // Stale-event guard: a callback earlier in this epoll batch may have closed
+  // a channel whose fd number was immediately reused by something that is not
+  // a channel (a spawned child's pipe). Only registered channels are read.
+  if (channels_.find(fd) == channels_.end()) {
     return;
   }
-  auto rr = RecvFrame(fd);
-  if (!rr.ok()) {
-    serve_error_ = Err(rr.error());
+  // Drain everything the socket holds and handle every complete frame per
+  // wakeup — replies accumulate in the channel's out-buffer and leave in one
+  // writev below. The channel iterator is re-found per frame: a handler can
+  // close channels (parked-wait completion to a broken peer) or adopt new
+  // ones mid-burst.
+  bool at_eof = false;
+  for (;;) {
+    auto it = channels_.find(fd);
+    if (it == channels_.end()) {
+      return;  // closed by a handler mid-burst
+    }
+    auto drained = DrainSocketInto(fd, &it->second.in);
+    if (!drained.ok()) {
+      serve_error_ = Err(drained.error());
+      return;
+    }
+    at_eof = drained->eof;
+    for (;;) {
+      it = channels_.find(fd);
+      if (it == channels_.end()) {
+        return;
+      }
+      Frame frame;
+      auto has = it->second.in.Next(&frame);
+      if (!has.ok()) {
+        serve_error_ = Err(has.error());
+        return;
+      }
+      if (!*has) {
+        break;
+      }
+      auto keep_running = HandleFrame(fd, std::move(frame));
+      if (!keep_running.ok()) {
+        serve_error_ = Err(keep_running.error());
+        return;
+      }
+      if (!*keep_running) {
+        stop_serving_ = true;
+        Status flushed = FlushReplies(fd);
+        if (!flushed.ok()) {
+          serve_error_ = flushed;
+        }
+        return;
+      }
+    }
+    if (at_eof || drained->would_block) {
+      break;
+    }
+    // Full gulp with neither EAGAIN nor EOF: the socket may hold more.
+  }
+  Status flushed = FlushReplies(fd);
+  if (!flushed.ok()) {
+    serve_error_ = flushed;
     return;
   }
-  if (rr->eof) {
-    CloseChannel(fd);
-    return;
-  }
-  auto keep_running = HandleFrame(fd, std::move(rr->frame));
-  if (!keep_running.ok()) {
-    serve_error_ = Err(keep_running.error());
-    return;
-  }
-  if (!*keep_running) {
-    stop_serving_ = true;
+  if (at_eof) {
+    auto it = channels_.find(fd);
+    if (it != channels_.end()) {
+      if (it->second.in.buffered() != 0) {
+        serve_error_ = LogicalError("forkserver: peer closed mid-frame");
+        return;
+      }
+      CloseChannel(fd);
+    }
   }
 }
 
@@ -162,7 +264,8 @@ void ForkServer::CompleteParkedWaits(pid_t pid, const ExitStatus& status) {
   reply.ok = true;
   reply.status = status;
   for (const auto& w : waiters) {
-    Status sent = SendFrame(w.sock, EncodeWaitReply(reply, w.meta));
+    QueueReply(w.sock, EncodeWaitReply(reply, w.meta));
+    Status sent = FlushReplies(w.sock);
     if (!sent.ok()) {
       // The waiter's channel broke while its wait was parked: that client is
       // gone, not the server — drop the channel and keep serving.
@@ -259,6 +362,7 @@ Result<uint64_t> ForkServer::Serve() {
   // parked die with their channels; their clients see EOF.
   watches_.clear();
   parked_waits_.clear();
+  channels_.clear();
   reactor_.reset();
   if (sigusr1_fd_.valid()) {
     sigusr1_fd_.Reset();
@@ -288,7 +392,7 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
     SpawnReply reply;
     reply.ok = false;
     reply.context = hdr.error().ToString();
-    FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply)));
+    QueueReply(sock, EncodeSpawnReply(reply));
     return true;
   }
 
@@ -301,6 +405,11 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
       FORKLIFT_RETURN_IF_ERROR(HandleSpawn(sock, frame.payload, std::move(frame.fds), reply_meta));
       return true;
     }
+    case MsgType::kSpawnBatch: {
+      FORKLIFT_RETURN_IF_ERROR(
+          HandleSpawnBatch(sock, frame.payload, std::move(frame.fds), reply_meta));
+      return true;
+    }
     case MsgType::kWait: {
       FORKLIFT_RETURN_IF_ERROR(HandleWait(sock, frame.payload, reply_meta));
       return true;
@@ -310,7 +419,7 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
       return true;
     }
     case MsgType::kPing: {
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kPong, reply_meta)));
+      QueueReply(sock, EncodeControl(MsgType::kPong, reply_meta));
       return true;
     }
     case MsgType::kNewChannel: {
@@ -318,31 +427,30 @@ Result<bool> ForkServer::HandleFrame(int sock, Frame frame) {
         SpawnReply reply;
         reply.ok = false;
         reply.context = "forkserver: kNewChannel must carry exactly one socket";
-        FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply, reply_meta)));
+        QueueReply(sock, EncodeSpawnReply(reply, reply_meta));
         return true;
       }
       int adopted = frame.fds[0].get();
       socks_.push_back(std::move(frame.fds[0]));
       FORKLIFT_RETURN_IF_ERROR(RegisterChannel(adopted));
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kNewChannelAck, reply_meta)));
+      QueueReply(sock, EncodeControl(MsgType::kNewChannelAck, reply_meta));
       return true;
     }
     case MsgType::kShutdown: {
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeControl(MsgType::kShutdownAck, reply_meta)));
+      QueueReply(sock, EncodeControl(MsgType::kShutdownAck, reply_meta));
       return false;
     }
     default: {
       SpawnReply reply;
       reply.ok = false;
       reply.context = "forkserver: unexpected message type";
-      FORKLIFT_RETURN_IF_ERROR(SendFrame(sock, EncodeSpawnReply(reply, reply_meta)));
+      QueueReply(sock, EncodeSpawnReply(reply, reply_meta));
       return true;
     }
   }
 }
 
-Status ForkServer::HandleSpawn(int sock, const std::string& payload,
-                               std::vector<UniqueFd> fds, const FrameMeta& reply_meta) {
+Result<std::vector<UniqueFd>> ForkServer::RelocateFds(std::vector<UniqueFd> fds) {
   // Renumber every received descriptor above the plan's reachable range.
   std::vector<UniqueFd> high_fds;
   high_fds.reserve(fds.size());
@@ -356,40 +464,101 @@ Status ForkServer::HandleSpawn(int sock, const std::string& payload,
       high = ::fcntl(fd.get(), F_DUPFD_CLOEXEC, kTransferFdFloor);
     }
     if (high < 0) {
-      SpawnReply reply;
-      reply.ok = false;
-      reply.err = errno;
-      reply.context = "forkserver: relocating transferred fd";
-      return SendFrame(sock, EncodeSpawnReply(reply, reply_meta));
+      return ErrnoError("forkserver: relocating transferred fd");
     }
     high_fds.emplace_back(high);
     fd.Reset();
   }
+  return high_fds;
+}
 
-  auto req = DecodeSpawnRequest(payload, high_fds);
+SpawnReply ForkServer::LaunchDecoded(const SpawnRequest& req) {
+  SpawnReply reply;
+  auto pid = ForkExecBackend().Launch(req);
+  if (!pid.ok()) {
+    reply.ok = false;
+    reply.err = pid.error().code();
+    reply.context = pid.error().ToString();
+  } else {
+    reply.ok = true;
+    reply.pid = static_cast<int32_t>(*pid);
+    live_children_.insert(*pid);
+    ArmChildExitWatch(*pid);
+    ++spawns_handled_;
+    // Server-side view in the shared arena: with shards forked after the
+    // registry arena exists, every shard's spawns land in one counter.
+    obs::MetricsRegistry::Global().GetCounter("forklift_forkserver_spawns_total").Increment();
+  }
+  return reply;
+}
+
+Status ForkServer::HandleSpawn(int sock, const std::string& payload,
+                               std::vector<UniqueFd> fds, const FrameMeta& reply_meta) {
+  auto high_fds = RelocateFds(std::move(fds));
+  if (!high_fds.ok()) {
+    SpawnReply reply;
+    reply.ok = false;
+    reply.err = high_fds.error().code();
+    reply.context = high_fds.error().ToString();
+    QueueReply(sock, EncodeSpawnReply(reply, reply_meta));
+    return Status::Ok();
+  }
+
+  auto req = DecodeSpawnRequest(payload, *high_fds);
   SpawnReply reply;
   if (!req.ok()) {
     reply.ok = false;
     reply.err = req.error().code();
     reply.context = req.error().ToString();
   } else {
-    auto pid = ForkExecBackend().Launch(*req);
-    if (!pid.ok()) {
-      reply.ok = false;
-      reply.err = pid.error().code();
-      reply.context = pid.error().ToString();
-    } else {
-      reply.ok = true;
-      reply.pid = static_cast<int32_t>(*pid);
-      live_children_.insert(*pid);
-      ArmChildExitWatch(*pid);
-      ++spawns_handled_;
-      // Server-side view in the shared arena: with shards forked after the
-      // registry arena exists, every shard's spawns land in one counter.
-      obs::MetricsRegistry::Global().GetCounter("forklift_forkserver_spawns_total").Increment();
-    }
+    reply = LaunchDecoded(*req);
   }
-  return SendFrame(sock, EncodeSpawnReply(reply, reply_meta));
+  QueueReply(sock, EncodeSpawnReply(reply, reply_meta));
+  return Status::Ok();
+}
+
+Status ForkServer::HandleSpawnBatch(int sock, const std::string& payload,
+                                    std::vector<UniqueFd> fds, const FrameMeta& reply_meta) {
+  // Every outcome must answer each entry in the id range [base, base+count)
+  // with an ordinary kSpawnReply, so the client's per-slot completion
+  // machinery never learns the burst was one frame.
+  const auto answer_all = [this, sock, &reply_meta, &payload](const Error& err) {
+    SpawnReply reply;
+    reply.ok = false;
+    reply.err = err.code();
+    reply.context = err.ToString();
+    // The count peek reads only the header + count word, so it usually
+    // survives whatever broke the full decode and every slot in the range
+    // gets its error. If even the count is unreadable, answer with an
+    // uncorrelated v1 error frame: hanging N slots forever is worse than the
+    // client tearing the channel down.
+    auto count = PeekSpawnBatchCount(payload);
+    if (!count.ok()) {
+      QueueReply(sock, EncodeSpawnReply(reply));
+      return;
+    }
+    for (uint32_t i = 0; i < *count; ++i) {
+      FrameMeta meta{reply_meta.version, reply_meta.request_id + i};
+      QueueReply(sock, EncodeSpawnReply(reply, meta));
+    }
+  };
+
+  auto high_fds = RelocateFds(std::move(fds));
+  if (!high_fds.ok()) {
+    answer_all(high_fds.error());
+    return Status::Ok();
+  }
+  auto reqs = DecodeSpawnBatch(payload, *high_fds);
+  if (!reqs.ok()) {
+    answer_all(reqs.error());
+    return Status::Ok();
+  }
+  for (size_t i = 0; i < reqs->size(); ++i) {
+    SpawnReply reply = LaunchDecoded((*reqs)[i]);
+    FrameMeta meta{reply_meta.version, reply_meta.request_id + static_cast<uint64_t>(i)};
+    QueueReply(sock, EncodeSpawnReply(reply, meta));
+  }
+  return Status::Ok();
 }
 
 Status ForkServer::HandleStats(int sock, const std::string& payload,
@@ -417,7 +586,8 @@ Status ForkServer::HandleStats(int sock, const std::string& payload,
       reply.body = obs::Render(static_cast<obs::StatsFormat>(*format));
     }
   }
-  return SendFrame(sock, EncodeStatsReply(reply, reply_meta));
+  QueueReply(sock, EncodeStatsReply(reply, reply_meta));
+  return Status::Ok();
 }
 
 Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta) {
@@ -449,7 +619,10 @@ Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameM
       // v1 peer (lockstep framing — an out-of-order park would desequence its
       // replies) or a child whose exit watch failed to arm: disarm the watch
       // (we are about to steal its reap) and block. This stalls all channels —
-      // the documented trade for v1 compatibility.
+      // the documented trade for v1 compatibility. Flush anything already
+      // queued on this channel first: a coalesced burst's earlier replies
+      // must not sit unsent behind a potentially unbounded child lifetime.
+      FORKLIFT_RETURN_IF_ERROR(FlushReplies(sock));
       watches_.erase(p);
       auto st = WaitForExit(p);
       if (!st.ok()) {
@@ -467,7 +640,8 @@ Status ForkServer::HandleWait(int sock, const std::string& payload, const FrameM
       }
     }
   }
-  return SendFrame(sock, EncodeWaitReply(reply, reply_meta));
+  QueueReply(sock, EncodeWaitReply(reply, reply_meta));
+  return Status::Ok();
 }
 
 Result<ForkServerHandle> StartForkServerProcess() {

@@ -30,6 +30,7 @@
 #include "src/common/result.h"
 #include "src/common/syscall.h"
 #include "src/common/unique_fd.h"
+#include "src/forkserver/fd_transfer.h"
 #include "src/forkserver/protocol.h"
 
 namespace forklift {
@@ -80,12 +81,34 @@ class ForkServer {
     FrameMeta meta;
   };
 
+  // Per-channel wire state: the receive-side reassembly buffer and the
+  // send-side reply coalescing buffer (complete framed replies accumulated
+  // during one wakeup's burst, flushed in one writev).
+  struct Channel {
+    FrameBuffer in;
+    std::string out;
+    size_t out_frames = 0;
+  };
+
   // Returns true when the server should keep running.
   Result<bool> HandleFrame(int sock, struct Frame frame);
   Status HandleSpawn(int sock, const std::string& payload, std::vector<UniqueFd> fds,
                      const FrameMeta& reply_meta);
+  Status HandleSpawnBatch(int sock, const std::string& payload, std::vector<UniqueFd> fds,
+                          const FrameMeta& reply_meta);
   Status HandleWait(int sock, const std::string& payload, const FrameMeta& reply_meta);
   Status HandleStats(int sock, const std::string& payload, const FrameMeta& reply_meta);
+  // Dups every received descriptor above the plan-reachable range
+  // (faultinject site `forkserver.relocate_fd`); errno error on failure.
+  Result<std::vector<UniqueFd>> RelocateFds(std::vector<UniqueFd> fds);
+  // The launch half of a spawn once the request is decoded: fork+exec, child
+  // bookkeeping (live set, exit watch, counters), reply construction.
+  SpawnReply LaunchDecoded(const SpawnRequest& req);
+  // Appends one framed reply to `sock`'s coalescing buffer (falls back to a
+  // direct send for unregistered sockets).
+  void QueueReply(int sock, std::string_view payload);
+  // Writes the channel's queued replies in one gathered write.
+  Status FlushReplies(int sock);
   // Answers every wait parked on `pid` with `status` and forgets the child.
   void CompleteParkedWaits(pid_t pid, const ExitStatus& status);
 
@@ -103,6 +126,10 @@ class ForkServer {
   ForkServer() = default;
 
   std::vector<UniqueFd> socks_;
+  // Keyed by channel fd; entries live from RegisterChannel to CloseChannel.
+  // std::map: handlers adopt channels (insert) mid-drain, and node-based
+  // iterators stay valid across that.
+  std::map<int, Channel> channels_;
   UniqueFd listener_;
   std::string listen_path_;
   UniqueFd metrics_listener_;

@@ -85,6 +85,12 @@ class ShardedForkServer final : public RemoteSpawnService {
   Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
   Result<ExitStatus> WaitRemote(pid_t pid) override;
 
+  // Routes the whole burst to ONE shard as a single kSpawnBatch frame — a
+  // coalesced run is a unit, not N routing decisions — and awaits every
+  // reply. Bursts the frame format cannot carry (over the entry or fd caps)
+  // degrade to the per-request routed path.
+  std::vector<Result<pid_t>> LaunchBatch(const std::vector<SpawnRequest>& reqs) override;
+
   // Ships the spawner's resolved request through the pool.
   Result<RemoteChild> Spawn(const Spawner& spawner);
 

@@ -23,18 +23,59 @@ class WireWriter {
   // this makes a long-lived writer a zero-steady-state-allocation scratch
   // buffer: capacity survives Clear and is reused by the next frame.
   void Reserve(size_t n) { buf_.reserve(n); }
-  void Clear() { buf_.clear(); }
+  void Clear() {
+    buf_.clear();
+    overflow_ = false;
+  }
+
+  // Takes over `buf` as the backing store (cleared, capacity kept). Lets
+  // encoders recycle flushed frame buffers instead of allocating per frame.
+  void AdoptBuffer(std::string buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+    overflow_ = false;
+  }
 
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
   void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
   void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
   void PutI32(int32_t v) { PutRaw(&v, sizeof(v)); }
   void PutString(std::string_view s) {
+    // The length prefix is a u32; a larger string would be silently truncated
+    // by the cast and decode as garbage. Check BEFORE touching the bytes — a
+    // caller may legitimately discover the bound with an untouchable view.
+    if (s.size() > UINT32_MAX) {
+      overflow_ = true;
+      return;
+    }
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.append(s);
   }
   void PutBool(bool b) { PutU8(b ? 1 : 0); }
 
+  // Overwrites 4 bytes at `pos` (a placeholder written earlier with PutU32).
+  // Backfills length prefixes for sections whose size is known only after
+  // encoding, e.g. kSpawnBatch entry bodies.
+  void PokeU32(size_t pos, uint32_t v) {
+    if (pos + sizeof(v) > buf_.size()) {
+      overflow_ = true;
+      return;
+    }
+    std::memcpy(&buf_[pos], &v, sizeof(v));
+  }
+
+  // False once any Put* was rejected (oversized string, bad Poke offset).
+  // Encoders must check before shipping the frame; the buffer contents are
+  // incomplete after an overflow.
+  bool ok() const { return !overflow_; }
+  Status status() const {
+    if (overflow_) {
+      return LogicalError("wire: value exceeds u32 framing bounds");
+    }
+    return Status::Ok();
+  }
+
+  size_t size() const { return buf_.size(); }
   const std::string& data() const { return buf_; }
   std::string Take() { return std::move(buf_); }
 
@@ -44,6 +85,7 @@ class WireWriter {
   }
 
   std::string buf_;
+  bool overflow_ = false;
 };
 
 class WireReader {
@@ -78,6 +120,18 @@ class WireReader {
     std::string s(data_.substr(pos_, len));
     pos_ += len;
     return s;
+  }
+
+  // Returns a view of the next `n` raw bytes and advances past them. The view
+  // aliases the reader's underlying buffer — valid only while it lives.
+  // kSpawnBatch uses this to slice per-entry bodies without copying.
+  Result<std::string_view> GetBytes(size_t n) {
+    if (pos_ + n > data_.size() || pos_ + n < pos_) {
+      return Truncated("bytes");
+    }
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
   }
 
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -2,10 +2,15 @@
 
 #include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/uio.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/common/pipe.h"
+#include "src/faultinject/faultinject.h"
 
 namespace forklift {
 namespace {
@@ -106,6 +111,117 @@ TEST(SyscallTest, NonBlockingToggle) {
   EXPECT_LT(::read(p->read_end.get(), &c, 1), 0);
   EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
   ASSERT_TRUE(SetNonBlocking(p->read_end.get(), false).ok());
+}
+
+// Builds an iovec array over `parts` (WritevFull mutates its array, so each
+// call needs a fresh one).
+std::vector<struct iovec> IovOver(std::vector<std::string>& parts) {
+  std::vector<struct iovec> iov;
+  for (auto& p : parts) {
+    iov.push_back({p.data(), p.size()});
+  }
+  return iov;
+}
+
+TEST(SyscallTest, WritevFullGathersAllIovecs) {
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  std::vector<std::string> parts = {"alpha-", "", "beta-", "gamma"};
+  auto iov = IovOver(parts);
+  auto n = WritevFull(p->write_end.get(), iov.data(), iov.size());
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_EQ(*n, 1u) << "a small gathered write should be one syscall";
+  p->write_end.Reset();
+  auto data = ReadAll(p->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "alpha-beta-gamma");
+}
+
+TEST(SyscallFaultTest, WritevFullResumesAfterShortWrites) {
+  // Clamp EVERY kernel write to one byte: the resume logic must restart at
+  // the interrupted byte of the interrupted iovec each time, so the stream
+  // arrives intact — any off-by-one across an iovec boundary scrambles it.
+  fault::PlanSpec spec;
+  spec.site = "syscall.writev_full";
+  spec.mode = fault::Mode::kShort;
+  spec.every = 1;
+  spec.seed = 0;  // residue class 0: every hit matches
+  spec.limit = 0; // unlimited
+  fault::InstallPlan(spec);
+
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  std::vector<std::string> parts = {"ab", "cdef", "", "g", "hijklmno"};
+  std::string expect = "abcdefghijklmno";
+  auto iov = IovOver(parts);
+  auto n = WritevFull(p->write_end.get(), iov.data(), iov.size());
+  fault::ClearPlan();
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_EQ(*n, expect.size()) << "one clamped syscall per byte";
+  p->write_end.Reset();
+  auto data = ReadAll(p->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, expect);
+}
+
+TEST(SyscallFaultTest, WritevFullSurvivesInjectedEagainAndEintr) {
+  for (fault::Mode mode : {fault::Mode::kEagain, fault::Mode::kEintr}) {
+    fault::PlanSpec spec;
+    spec.site = "syscall.writev_full";
+    spec.mode = mode;
+    spec.nth = 1;
+    fault::InstallPlan(spec);
+    auto p = MakePipe();
+    ASSERT_TRUE(p.ok());
+    std::vector<std::string> parts = {"retry", "-", "able"};
+    auto iov = IovOver(parts);
+    auto n = WritevFull(p->write_end.get(), iov.data(), iov.size());
+    fault::ClearPlan();
+    ASSERT_TRUE(n.ok()) << n.error().ToString();
+    EXPECT_GE(fault::InjectionsFired(), 1u);
+    p->write_end.Reset();
+    auto data = ReadAll(p->read_end.get());
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(*data, "retry-able");
+  }
+}
+
+TEST(SyscallTest, WritevFullDrainsPastPipeCapacity) {
+  // A real nonblocking pipe that fills up: WritevFull must absorb genuine
+  // EAGAIN/short kernel writes and resume mid-run while a reader drains the
+  // other end. Total payload is several times the default pipe buffer.
+  auto p = MakePipe();
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(SetNonBlocking(p->write_end.get(), true).ok());
+
+  std::vector<std::string> parts;
+  std::string expect;
+  for (int i = 0; i < 8; ++i) {
+    std::string chunk(64 * 1024, static_cast<char>('a' + i));
+    expect += chunk;
+    parts.push_back(std::move(chunk));
+  }
+  std::string got;
+  std::thread reader([&] {
+    char buf[4096];
+    for (;;) {
+      ssize_t r = ::read(p->read_end.get(), buf, sizeof(buf));
+      if (r <= 0) {
+        if (r < 0 && errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      got.append(buf, static_cast<size_t>(r));
+    }
+  });
+  auto iov = IovOver(parts);
+  auto n = WritevFull(p->write_end.get(), iov.data(), iov.size());
+  p->write_end.Reset();
+  reader.join();
+  ASSERT_TRUE(n.ok()) << n.error().ToString();
+  EXPECT_GE(*n, 2u) << "a multi-buffer run cannot complete in one pipe write";
+  EXPECT_EQ(got, expect);
 }
 
 }  // namespace

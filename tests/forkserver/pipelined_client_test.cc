@@ -15,6 +15,8 @@
 #include "src/common/pipe.h"
 #include "src/common/syscall.h"
 #include "src/forkserver/client.h"
+#include "src/forkserver/fd_transfer.h"
+#include "src/forkserver/protocol.h"
 #include "src/forkserver/server.h"
 #include "src/spawn/spawner.h"
 
@@ -245,6 +247,122 @@ TEST(PipelinedClientTest, AbandonedPendingReplyIsHarmless) {
     EXPECT_TRUE(srv.client().Ping().ok());
   }
   EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+// --- kSpawnBatch: a burst of spawns in one frame, one reply per entry ---
+
+TEST(SpawnBatchTest, BatchOfTrivialSpawnsAllComplete) {
+  InProcessServer srv;
+  std::vector<SpawnRequest> reqs(16, TrueRequest());
+  auto batch = srv.client().LaunchBatchAsync(reqs);
+  ASSERT_TRUE(batch.ok()) << batch.error().ToString();
+  ASSERT_EQ(batch->size(), reqs.size());
+  EXPECT_EQ(srv.client().outstanding(), reqs.size());
+  for (auto& pending : *batch) {
+    auto pid = pending.AwaitPid();
+    ASSERT_TRUE(pid.ok()) << pid.error().ToString();
+    auto st = srv.client().WaitRemote(*pid);
+    ASSERT_TRUE(st.ok()) << st.error().ToString();
+    EXPECT_TRUE(st->Success());
+  }
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+TEST(SpawnBatchTest, SynchronousLaunchBatchReturnsPerEntryResults) {
+  InProcessServer srv;
+  // A bad entry mid-batch fails ONLY its own slot; the frame still launches
+  // the others (the server decodes all-or-nothing, but a well-formed request
+  // for a missing program fails at exec, per entry).
+  std::vector<SpawnRequest> reqs(4, TrueRequest());
+  auto missing = Spawner("/definitely/not/a/program").BuildRequest();
+  ASSERT_TRUE(missing.ok());
+  reqs.insert(reqs.begin() + 2, std::move(*missing));
+
+  auto results = srv.client().LaunchBatch(reqs);
+  ASSERT_EQ(results.size(), 5u);
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(results[i].ok()) << "missing program must fail its own slot";
+      continue;
+    }
+    ASSERT_TRUE(results[i].ok()) << results[i].error().ToString();
+    auto st = srv.client().WaitRemote(results[i].value());
+    ASSERT_TRUE(st.ok());
+    EXPECT_TRUE(st->Success());
+  }
+  EXPECT_TRUE(srv.client().Ping().ok()) << "channel must survive a mixed batch";
+}
+
+TEST(SpawnBatchTest, BatchCarriesDescriptorsPerEntry) {
+  // Each entry writes a distinct string to its own pipe via a transferred
+  // descriptor: the batch frame's fds ride one sendmsg and each entry must
+  // resolve its OWN slice of the arrival list.
+  InProcessServer srv;
+  constexpr int kN = 4;
+  std::vector<Pipe> pipes;
+  std::vector<SpawnRequest> reqs;
+  for (int i = 0; i < kN; ++i) {
+    auto p = MakePipe();
+    ASSERT_TRUE(p.ok());
+    Spawner s("/bin/echo");
+    s.Arg("entry" + std::to_string(i)).SetStdout(Stdio::Fd(p->write_end.get()));
+    auto req = s.BuildRequest();
+    ASSERT_TRUE(req.ok());
+    reqs.push_back(std::move(*req));
+    pipes.push_back(std::move(*p));
+  }
+  auto results = srv.client().LaunchBatch(reqs);
+  ASSERT_EQ(results.size(), static_cast<size_t>(kN));
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].error().ToString();
+    auto st = srv.client().WaitRemote(results[i].value());
+    ASSERT_TRUE(st.ok());
+    EXPECT_TRUE(st->Success());
+    pipes[i].write_end.Reset();
+    auto out = ReadAll(pipes[i].read_end.get());
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(*out, "entry" + std::to_string(i) + "\n");
+  }
+}
+
+TEST(SpawnBatchTest, OverweightBatchDegradesToSingles) {
+  // A burst whose combined fd transfers exceed the per-frame ancillary cap
+  // cannot ride one frame; LaunchBatch must fall back to per-entry requests
+  // (and the failed encode must not poison the channel or leak slots).
+  InProcessServer srv;
+  constexpr size_t kN = kMaxFdsPerFrame + 2;
+  std::vector<Pipe> pipes;
+  std::vector<SpawnRequest> reqs;
+  for (size_t i = 0; i < kN; ++i) {
+    auto p = MakePipe();
+    ASSERT_TRUE(p.ok());
+    Spawner s("/bin/true");
+    s.SetStdout(Stdio::Fd(p->write_end.get()));
+    auto req = s.BuildRequest();
+    ASSERT_TRUE(req.ok());
+    reqs.push_back(std::move(*req));
+    pipes.push_back(std::move(*p));
+  }
+  auto results = srv.client().LaunchBatch(reqs);
+  ASSERT_EQ(results.size(), kN);
+  for (auto& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error().ToString();
+    auto st = srv.client().WaitRemote(r.value());
+    ASSERT_TRUE(st.ok());
+    EXPECT_TRUE(st->Success());
+  }
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+  EXPECT_TRUE(srv.client().Ping().ok());
+}
+
+TEST(SpawnBatchTest, EmptyAndOversizedBatchRejectedClientSide) {
+  InProcessServer srv;
+  auto empty = srv.client().LaunchBatchAsync({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  std::vector<SpawnRequest> huge(kMaxSpawnBatch + 1, TrueRequest());
+  EXPECT_FALSE(srv.client().LaunchBatchAsync(huge).ok());
+  EXPECT_TRUE(srv.client().Ping().ok());
 }
 
 }  // namespace

@@ -342,5 +342,35 @@ TEST(WorkerPoolTest, ZeroWorkersRejected) {
   EXPECT_FALSE(pool.Start({.workers = 0}).ok());
 }
 
+TEST(WorkerPoolTest, RemoteBatchStartServesTasks) {
+  // Workers launched on the zygote in ONE kSpawnBatch submit: the pool makes
+  // the stdio pipes locally and the child ends ride the batch frame's
+  // SCM_RIGHTS payload. The warm workers must then behave exactly like
+  // locally-spawned ones.
+  InProcessServer srv;
+  ShellWorkerPool pool;
+  ShellWorkerPool::Options opts;
+  opts.workers = 3;
+  opts.remote = &srv.client();
+  ASSERT_TRUE(pool.Start(opts).ok());
+  EXPECT_EQ(pool.worker_count(), 3u);
+
+  // Distinct shells (round-robin lands on three different pids)...
+  std::set<std::string> pids;
+  for (int i = 0; i < 3; ++i) {
+    auto r = pool.Execute("echo $$");
+    ASSERT_TRUE(r.ok()) << r.error().ToString();
+    pids.insert(r->output);
+  }
+  EXPECT_EQ(pids.size(), 3u);
+  // ...that carry output and exit codes like any warm worker.
+  auto r = pool.Execute("echo remote-warm; exit 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->output, "remote-warm\n");
+  EXPECT_EQ(r->exit_code, 5);
+  // Stop must reap through the server (EOF → sh exits → remote wait).
+  ASSERT_TRUE(pool.Stop().ok());
+}
+
 }  // namespace
 }  // namespace forklift

@@ -64,6 +64,50 @@ TEST(WireTest, HostileStringLengthRejected) {
   EXPECT_FALSE(r.GetString().ok());
 }
 
+TEST(WireTest, OversizedPutStringRejected) {
+  // A string whose size exceeds the u32 length prefix must be rejected, not
+  // silently truncated by the cast. PutString documents that it checks the
+  // bound BEFORE touching the bytes, so an untouchable view with a fabricated
+  // length is safe here — nothing may dereference it.
+  char byte = 'x';
+  std::string_view huge(&byte, static_cast<size_t>(UINT32_MAX) + 1);
+  WireWriter w;
+  w.PutU32(7);
+  w.PutString(huge);
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.status().ok());
+}
+
+TEST(WireTest, PutStringAtExactBoundStillChecked) {
+  // One past the cap fails; the writer stays failed even after further Puts.
+  char byte = 'x';
+  std::string_view huge(&byte, static_cast<size_t>(UINT32_MAX) + 1);
+  WireWriter w;
+  w.PutString(huge);
+  w.PutU32(1);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(WireTest, PokeU32Backfill) {
+  WireWriter w;
+  w.PutU32(0);  // placeholder
+  w.PutString("body");
+  w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  ASSERT_TRUE(w.ok());
+  WireReader r(w.data());
+  EXPECT_EQ(r.GetU32().value(), w.size() - 4);
+}
+
+TEST(WireTest, PokeU32OutOfBoundsRejected) {
+  WireWriter w;
+  w.PutU32(0);
+  w.PokeU32(1, 7);  // would write past the end
+  EXPECT_FALSE(w.ok());
+  WireWriter w2;
+  w2.PokeU32(0, 7);  // empty buffer: nothing to overwrite
+  EXPECT_FALSE(w2.ok());
+}
+
 TEST(WireTest, BoolOutOfRangeRejected) {
   WireWriter w;
   w.PutU8(2);

@@ -272,6 +272,25 @@ Status ScenarioForkServer() {
     if (!status->Success()) {
       return LogicalError("forkserver: remote child failed: " + status->ToString());
     }
+    // A kSpawnBatch burst: one frame carrying several requests, so the
+    // batched wire path — client writev flush (syscall.writev_full), server
+    // drain (wire.recvmsg_drain), coalesced replies — is in this scenario's
+    // trace. The fd spawn above already traces wire.sendmsg_fds.
+    auto batch_req = Spawner("/bin/true").BuildRequest();
+    if (!batch_req.ok()) return Err(batch_req.error());
+    std::vector<SpawnRequest> burst(4, *batch_req);
+    auto batch = client.LaunchBatch(burst);
+    if (batch.size() != burst.size()) {
+      return LogicalError("forkserver: batch result count mismatch");
+    }
+    for (auto& slot : batch) {
+      if (!slot.ok()) return Err(slot.error());
+      auto st = client.WaitRemote(*slot);
+      if (!st.ok()) return Err(st.error());
+      if (!st->Success()) {
+        return LogicalError("forkserver: batch child failed: " + st->ToString());
+      }
+    }
     // Stats round-trip: exercises the kStats frames and the server-side
     // export path (the obs.export_write gate) under the sweep.
     auto stats = client.Stats(obs::StatsFormat::kPrometheus);
