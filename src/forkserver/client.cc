@@ -109,6 +109,14 @@ std::vector<Result<pid_t>> RemoteSpawnService::LaunchBatch(
   return out;
 }
 
+Result<std::optional<ExitStatus>> RemoteSpawnService::WaitRemoteFor(pid_t pid,
+                                                                    double timeout_seconds) {
+  (void)pid;
+  (void)timeout_seconds;
+  return LogicalError("forkserver: this transport cannot poll a remote wait "
+                      "(v1 channel? use WaitRemote)");
+}
+
 Result<ExitStatus> RemoteChild::Wait() {
   if (!valid() || service_ == nullptr) {
     return LogicalError("RemoteChild::Wait on invalid handle");
@@ -295,6 +303,16 @@ Status ForkServerClient::SubmitFdFrame(std::string_view frame, const std::vector
     Die(st);
   }
   lock.lock();
+  if (st.ok()) {
+    // Frames enqueued while we were inside SendFrame saw flushing_ == true
+    // and returned, counting on the active flusher to ship them. We are that
+    // flusher: drain again before stepping down, or those frames sit queued
+    // with nobody responsible and their submitters hang in Await*.
+    DrainQueue(lock);
+  } else {
+    // Die already failed every pending slot; the queued bytes are dead.
+    q_.clear();
+  }
   flushing_ = false;
   lock.unlock();
   q_cv_.notify_all();
@@ -361,6 +379,10 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitWait(pid_t pid) {
   EncodeHeaderInto(w, MsgType::kWait, FrameMeta{kForkServerProtocolV2, id});
   w.PutI32(static_cast<int32_t>(pid));
   w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  if (Status st = w.status(); !st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
   SubmitFramed(w.Take());
   return PendingReply(this, slot);
 }
@@ -381,6 +403,10 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitControl(
   w.PutU32(0);
   EncodeHeaderInto(w, type, FrameMeta{kForkServerProtocolV2, id});
   w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  if (Status st = w.status(); !st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
   if (fds.empty()) {
     SubmitFramed(w.Take());
   } else {
@@ -407,6 +433,10 @@ Result<ForkServerClient::PendingReply> ForkServerClient::SubmitStats(obs::StatsF
   EncodeHeaderInto(w, MsgType::kStats, FrameMeta{kForkServerProtocolV2, id});
   w.PutU8(static_cast<uint8_t>(format));
   w.PokeU32(0, static_cast<uint32_t>(w.size() - 4));
+  if (Status st = w.status(); !st.ok()) {
+    AbortSubmit(id, slot);
+    return Err(st.error());
+  }
   SubmitFramed(w.Take());
   return PendingReply(this, slot);
 }
@@ -754,8 +784,40 @@ Result<RemoteChild> ForkServerClient::Spawn(const Spawner& spawner) {
 }
 
 Result<ExitStatus> ForkServerClient::WaitRemote(pid_t pid) {
+  // Adopt a wait parked by WaitRemoteFor rather than racing it with a second
+  // kWait: once the server has served the exit, a fresh kWait gets ECHILD.
+  {
+    std::unique_lock<std::mutex> lock(parked_mu_);
+    auto it = parked_.find(pid);
+    if (it != parked_.end()) {
+      PendingReply pending = std::move(it->second);
+      parked_.erase(it);
+      lock.unlock();
+      return pending.AwaitExit();
+    }
+  }
   FORKLIFT_ASSIGN_OR_RETURN(PendingReply pending, WaitAsync(pid));
   return pending.AwaitExit();
+}
+
+Result<std::optional<ExitStatus>> ForkServerClient::WaitRemoteFor(pid_t pid,
+                                                                  double timeout_seconds) {
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  auto it = parked_.find(pid);
+  if (it == parked_.end()) {
+    auto pending = SubmitWait(pid);
+    if (!pending.ok()) {
+      return Err(pending.error());
+    }
+    it = parked_.emplace(pid, std::move(*pending)).first;
+  }
+  auto st = it->second.AwaitExitFor(timeout_seconds);
+  if (!st.ok() || st.value().has_value()) {
+    // Completion (or transport death) consumed the handle; drop the entry so
+    // a later poll for a recycled pid starts a fresh wait.
+    parked_.erase(it);
+  }
+  return st;
 }
 
 Status ForkServerClient::Ping() {

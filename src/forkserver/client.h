@@ -56,6 +56,16 @@ class RemoteSpawnService {
 
   // Blocks (via the server) until the child exits.
   virtual Result<ExitStatus> WaitRemote(pid_t pid) = 0;
+
+  // Polls (via the server) for the child's exit, blocking at most
+  // `timeout_seconds` (0 = pure poll); nullopt means still running. This is
+  // the only safe liveness probe for a remote child: the server reaps it on
+  // exit, after which the kernel may recycle the pid, so kill(pid, 0) can
+  // report an unrelated process as "still running". Repeated calls for the
+  // same pid are cheap — the underlying wait is parked server-side once and
+  // re-polled. The default (v1 transports, which cannot park a wait without
+  // stalling the channel) reports the poll as unsupported.
+  virtual Result<std::optional<ExitStatus>> WaitRemoteFor(pid_t pid, double timeout_seconds);
 };
 
 // A process created on our behalf by the fork server. Exit status comes from
@@ -177,8 +187,16 @@ class ForkServerClient final : public RemoteSpawnService {
   Status Shutdown();
 
   // Used by RemoteChild. The wait parks server-side on the child's pidfd
-  // watch, so it blocks only the calling thread, not the channel.
+  // watch, so it blocks only the calling thread, not the channel. Adopts a
+  // wait already parked by WaitRemoteFor for the same pid, so the two can be
+  // mixed freely — the server serves each child's exit status exactly once.
   Result<ExitStatus> WaitRemote(pid_t pid) override;
+
+  // Timed/non-blocking exit poll. The first call for a pid submits one kWait
+  // and parks the handle; later calls re-poll the same parked wait until it
+  // completes (the server answers it exactly once, so abandoning it between
+  // polls would lose the exit status). Concurrent polls serialize.
+  Result<std::optional<ExitStatus>> WaitRemoteFor(pid_t pid, double timeout_seconds) override;
 
   // Low-level: ship an already-resolved request; returns the remote pid.
   Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
@@ -266,6 +284,12 @@ class ForkServerClient final : public RemoteSpawnService {
   std::atomic<size_t> outstanding_{0};        // mirrors pending_.size()
   bool dead_ = false;
   Status death_ = Status::Ok();
+
+  // WaitRemoteFor's parked waits: at most one in-flight kWait per polled pid,
+  // held across calls. Declared after mu_ (PendingReply destruction discards
+  // its slot under mu_); parked_mu_ is never taken while holding mu_ or q_mu_.
+  std::mutex parked_mu_;
+  std::unordered_map<pid_t, PendingReply> parked_;
 
   std::thread receiver_;  // started last, joined first
 };

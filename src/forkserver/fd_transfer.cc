@@ -288,8 +288,14 @@ Status SendFrame(int sock, std::string_view payload, const std::vector<int>& fds
 }
 
 void FrameBuffer::Append(const char* data, size_t n, std::vector<UniqueFd> fds) {
-  if (!fds.empty()) {
-    uint64_t off = base_off_ + buf_.size();
+  if (!fds.empty() && n > 0) {
+    // Stamp the fds with the gulp's LAST byte, not its first. recvmsg merges
+    // plain segments from the same sender into the gulp AHEAD of the
+    // fd-carrying segment and stops right after it, so the gulp may begin
+    // before the carrier frame — but its last byte always lies inside the
+    // carrier (the fds are delivered by the gulp that reads the carrying
+    // segment's first chunk, and nothing follows it in that gulp).
+    uint64_t off = base_off_ + buf_.size() + n - 1;
     for (auto& fd : fds) {
       fds_.push_back(Arrival{off, std::move(fd)});
     }

@@ -11,8 +11,10 @@
 // recvmsg gulp (DrainSocketInto) and parse every complete frame out of the
 // accumulated bytes (FrameBuffer). Descriptor attribution across gulps relies
 // on AF_UNIX semantics: SCM_RIGHTS attaches to the first byte its sendmsg
-// carries, and recvmsg never merges segments with different ancillary data, so
-// a gulp that collects fds *starts* at the carrying frame's first byte.
+// carries, and recvmsg stops right AFTER the segment that delivered ancillary
+// data — but it happily merges same-sender plain segments in ahead of it. A
+// gulp that collects fds may therefore begin before the carrying frame, but
+// it always *ends* inside it, so fds are attributed by the gulp's last byte.
 #ifndef SRC_FORKSERVER_FD_TRANSFER_H_
 #define SRC_FORKSERVER_FD_TRANSFER_H_
 
@@ -63,8 +65,8 @@ Result<uint64_t> SendGathered(int sock, struct iovec* iov, size_t iovcnt,
 class FrameBuffer {
  public:
   // Records `n` bytes arriving at the current stream position; `fds` are the
-  // descriptors the same recvmsg collected (they attach to the gulp's first
-  // byte).
+  // descriptors the same recvmsg collected (attributed via the gulp's last
+  // byte, which is always inside the frame that carried them).
   void Append(const char* data, size_t n, std::vector<UniqueFd> fds);
 
   // Extracts the next complete frame into `out` (payload buffer capacity is

@@ -1,14 +1,12 @@
 #include "src/forkserver/pool.h"
 
 #include <signal.h>
-#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <memory>
 #include <utility>
 
-#include "src/common/clock.h"
 #include "src/common/pipe.h"
 #include "src/common/syscall.h"
 #include "src/forkserver/client.h"
@@ -20,47 +18,44 @@ namespace forklift {
 namespace {
 
 // ProcessHandle::Impl for a batch-started remote worker. The worker belongs
-// to the fork server, so the blocking wait is a protocol round trip
-// (WaitRemote); the non-blocking probes use kill(pid, 0) — the pid is in our
-// namespace even though parentage is not — and fall through to the remote
-// wait only once the process is gone, when the server has the status cached
-// and answers without blocking on the child.
+// to the fork server, so every wait — blocking, poll, or deadline — is
+// resolved through the server (WaitRemote / WaitRemoteFor). Probing the
+// local pid table (kill(pid, 0)) would be wrong here: the server reaps the
+// worker the moment it exits, after which the kernel may recycle the pid and
+// the probe would report an unrelated process as our still-running worker.
 class RemoteWorkerImpl final : public ProcessHandle::Impl {
  public:
   RemoteWorkerImpl(RemoteSpawnService* service, pid_t pid) : service_(service), pid_(pid) {}
 
   pid_t pid() const override { return pid_; }
 
-  Result<ExitStatus> Wait() override { return service_->WaitRemote(pid_); }
-
-  Result<std::optional<ExitStatus>> TryWait() override {
-    if (::kill(pid_, 0) == 0) {
-      // Still running (or a zombie the server has not reaped yet; the next
-      // probe sees it gone).
-      return std::optional<ExitStatus>();
-    }
-    if (errno != ESRCH) {
-      return ErrnoError("probe remote worker");
+  Result<ExitStatus> Wait() override {
+    if (exited_.has_value()) {
+      return *exited_;
     }
     FORKLIFT_ASSIGN_OR_RETURN(ExitStatus st, service_->WaitRemote(pid_));
-    return std::optional<ExitStatus>(st);
+    exited_ = st;
+    return st;
   }
 
+  Result<std::optional<ExitStatus>> TryWait() override { return PollFor(0); }
+
   Result<std::optional<ExitStatus>> WaitDeadline(double timeout_seconds) override {
-    const uint64_t deadline =
-        MonotonicNanos() + static_cast<uint64_t>(timeout_seconds * 1e9);
-    for (;;) {
-      FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st, TryWait());
-      if (st.has_value() || MonotonicNanos() >= deadline) {
-        return st;
-      }
-      // Teardown-only path (Stop's grace wait), so a coarse poll is fine.
-      struct timespec ts = {0, 2000000};  // 2ms
-      ::nanosleep(&ts, nullptr);
-    }
+    return PollFor(timeout_seconds);
   }
 
   Status Kill(int sig) override {
+    // Re-probe through the server first: once it has reported the exit the
+    // pid may already name a stranger. A worker exiting between this poll
+    // and the kill is an inherent race, but the common stale-pid case —
+    // signaling long after the server reaped — is closed.
+    auto st = PollFor(0);
+    if (!st.ok()) {
+      return Err(st.error());
+    }
+    if (st.value().has_value()) {
+      return LogicalError("remote worker already exited (pid may be recycled)");
+    }
     if (::kill(pid_, sig) != 0) {
       return ErrnoError("kill remote worker");
     }
@@ -68,8 +63,23 @@ class RemoteWorkerImpl final : public ProcessHandle::Impl {
   }
 
  private:
+  Result<std::optional<ExitStatus>> PollFor(double timeout_seconds) {
+    if (exited_.has_value()) {
+      return exited_;
+    }
+    FORKLIFT_ASSIGN_OR_RETURN(std::optional<ExitStatus> st,
+                              service_->WaitRemoteFor(pid_, timeout_seconds));
+    if (st.has_value()) {
+      exited_ = st;
+    }
+    return st;
+  }
+
   RemoteSpawnService* service_;
   pid_t pid_;
+  // Exit status observed through the server; once set, the pid is dead to us
+  // (and possibly recycled), so no further protocol or signal traffic.
+  std::optional<ExitStatus> exited_;
 };
 
 }  // namespace

@@ -333,6 +333,42 @@ Result<ExitStatus> ShardedForkServer::WaitRemote(pid_t pid) {
   return status;
 }
 
+Result<std::optional<ExitStatus>> ShardedForkServer::WaitRemoteFor(pid_t pid,
+                                                                   double timeout_seconds) {
+  size_t idx;
+  uint64_t generation;
+  std::shared_ptr<ForkServerClient> client;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = owner_.find(pid);
+    if (it == owner_.end()) {
+      return Err(Error(ECHILD, "sharded forkserver: pid " + std::to_string(pid) +
+                                   " is not owned by any live shard"));
+    }
+    idx = it->second.first;
+    generation = it->second.second;
+    if (shards_[idx].generation != generation || shards_[idx].client == nullptr) {
+      owner_.erase(it);
+      return Err(Error(ECHILD, "sharded forkserver: owning shard of pid " +
+                                   std::to_string(pid) + " is gone"));
+    }
+    client = shards_[idx].client;
+  }
+  auto status = client->WaitRemoteFor(pid, timeout_seconds);
+  bool channel_died = client->dead();
+  client.reset();
+  if (!status.ok() || status.value().has_value()) {
+    // Completed (or the wait is unrecoverable): the ownership entry has
+    // served its purpose. A timed-out poll keeps it for the next poll.
+    std::lock_guard<std::mutex> lock(mu_);
+    owner_.erase(pid);
+  }
+  if (!status.ok() && channel_died) {
+    NoteShardFailure(idx, generation);
+  }
+  return status;
+}
+
 Result<RemoteChild> ShardedForkServer::Spawn(const Spawner& spawner) {
   FORKLIFT_ASSIGN_OR_RETURN(SpawnRequest req, spawner.BuildRequest());
   FORKLIFT_ASSIGN_OR_RETURN(pid_t pid, LaunchRequest(req));

@@ -81,9 +81,12 @@ class ShardedForkServer final : public RemoteSpawnService {
   // trace id so the wire frame and the shard.dispatch span carry it.
   Result<PendingSpawn> LaunchAsync(const SpawnRequest& req, uint64_t trace_id = 0);
 
-  // RemoteSpawnService: synchronous routed spawn / affine wait.
+  // RemoteSpawnService: synchronous routed spawn / affine wait. The timed
+  // poll routes to the owning shard like WaitRemote, but keeps the pid→shard
+  // entry until the wait actually completes (or fails).
   Result<pid_t> LaunchRequest(const SpawnRequest& req) override;
   Result<ExitStatus> WaitRemote(pid_t pid) override;
+  Result<std::optional<ExitStatus>> WaitRemoteFor(pid_t pid, double timeout_seconds) override;
 
   // Routes the whole burst to ONE shard as a single kSpawnBatch frame — a
   // coalesced run is a unit, not N routing decisions — and awaits every

@@ -4,11 +4,24 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "src/common/pipe.h"
 #include "src/common/syscall.h"
 
 namespace forklift {
 namespace {
+
+std::string Framed(std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.append(payload);
+  return out;
+}
 
 TEST(FdTransferTest, PayloadOnlyRoundTrip) {
   auto sp = MakeSocketPair();
@@ -100,6 +113,76 @@ TEST(FdTransferTest, ManyFdsPreserveOrder) {
     ASSERT_TRUE(data.ok());
     EXPECT_EQ(*data, std::string(1, static_cast<char>('0' + i)));
   }
+}
+
+// Regression: recvmsg merges same-sender plain segments into the gulp AHEAD
+// of the SCM_RIGHTS segment (it stops right after it, not before), so a
+// single gulp can be [plain frame][fd frame]+fds. Attribution by the gulp's
+// first byte handed the fds to the plain frame; the gulp's last byte is
+// always inside the carrier.
+TEST(FdTransferTest, MergedGulpAttributesFdsToCarrierFrame) {
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+
+  FrameBuffer fb;
+  std::string gulp = Framed("plain") + Framed("carrier");
+  std::vector<UniqueFd> fds;
+  fds.push_back(std::move(pipe->write_end));
+  fb.Append(gulp.data(), gulp.size(), std::move(fds));
+
+  Frame f;
+  auto has = fb.Next(&f);
+  ASSERT_TRUE(has.ok()) << has.error().ToString();
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(f.payload, "plain");
+  EXPECT_EQ(f.fds.size(), 0u) << "the plain frame must not steal the fd";
+
+  has = fb.Next(&f);
+  ASSERT_TRUE(has.ok());
+  ASSERT_TRUE(*has);
+  EXPECT_EQ(f.payload, "carrier");
+  EXPECT_EQ(f.fds.size(), 1u);
+}
+
+// The same scenario end to end over a real socket: both frames queued before
+// the receiver drains, so the kernel serves them as one merged gulp carrying
+// the second frame's fd.
+TEST(FdTransferTest, DrainAttributesFdsAcrossMergedSegments) {
+  auto sp = MakeSocketPair();
+  ASSERT_TRUE(sp.ok());
+  auto pipe = MakePipe();
+  ASSERT_TRUE(pipe.ok());
+
+  ASSERT_TRUE(SendFrame(sp->first.get(), "plain").ok());
+  ASSERT_TRUE(SendFrame(sp->first.get(), "carrier", {pipe->write_end.get()}).ok());
+
+  FrameBuffer fb;
+  Frame f;
+  auto next_frame = [&]() {
+    for (;;) {
+      auto has = fb.Next(&f);
+      ASSERT_TRUE(has.ok()) << has.error().ToString();
+      if (*has) {
+        return;
+      }
+      auto drained = DrainSocketInto(sp->second.get(), &fb);
+      ASSERT_TRUE(drained.ok()) << drained.error().ToString();
+      ASSERT_FALSE(drained->eof);
+    }
+  };
+  next_frame();
+  EXPECT_EQ(f.payload, "plain");
+  EXPECT_EQ(f.fds.size(), 0u);
+  next_frame();
+  EXPECT_EQ(f.payload, "carrier");
+  ASSERT_EQ(f.fds.size(), 1u);
+  // The received duplicate must be the pipe's write end.
+  ASSERT_TRUE(WriteFull(f.fds[0].get(), "via-scm", 7).ok());
+  f.fds.clear();
+  pipe->write_end.Reset();
+  auto data = ReadAll(pipe->read_end.get());
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "via-scm");
 }
 
 TEST(FdTransferTest, TooManyFdsRejected) {

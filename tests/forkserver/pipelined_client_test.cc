@@ -170,6 +170,9 @@ TEST(PipelinedClientTest, V1AndV2ClientsShareOneServer) {
     EXPECT_TRUE((*legacy)->Ping().ok());
     EXPECT_TRUE((*v2)->Ping().ok());
 
+    // A v1 channel cannot park a wait, so the timed poll is unsupported.
+    EXPECT_FALSE((*legacy)->WaitRemoteFor(1, 0).ok());
+
     Spawner s("/bin/true");
     auto legacy_child = (*legacy)->Spawn(s);
     ASSERT_TRUE(legacy_child.ok()) << legacy_child.error().ToString();
@@ -232,6 +235,115 @@ TEST(PipelinedClientTest, MultiThreadedPipelinedStress) {
   }
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+// Regression: frames enqueued while an fd-carrying frame was inside its
+// synchronous sendmsg used to be stranded — the enqueuers saw an active
+// flusher and returned, counting on it, but the fd sender never re-drained
+// the queue before stepping down, so nobody shipped them and their Await*
+// hung forever. The fd thread keeps the flusher slot busy inside SendFrame
+// while the spawn threads pile frames up behind it.
+TEST(PipelinedClientTest, FdFramesInterleavedWithAsyncSpawnsDoNotStrand) {
+  InProcessServer srv;
+  SpawnRequest req = TrueRequest();
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::thread fd_thread([&srv, &stop, &failures] {
+    // NewChannel ships a socket via SCM_RIGHTS — the synchronous fd path.
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto ch = srv.client().NewChannel();
+      if (!ch.ok()) {
+        ADD_FAILURE() << "NewChannel: " << ch.error().ToString();
+        ++failures;
+        return;
+      }
+    }
+  });
+
+  constexpr int kThreads = 3;
+  constexpr int kPerThread = 24;
+  std::vector<std::thread> spawners;
+  spawners.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    spawners.emplace_back([&srv, &req, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto pid = srv.client().LaunchRequest(req);
+        if (!pid.ok()) {
+          ADD_FAILURE() << "LaunchRequest: " << pid.error().ToString();
+          ++failures;
+          return;
+        }
+        auto st = srv.client().WaitRemote(*pid);
+        if (!st.ok() || !st->Success()) {
+          ADD_FAILURE() << "WaitRemote: " << (st.ok() ? "bad status" : st.error().ToString());
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : spawners) {
+    th.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  fd_thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(srv.client().outstanding(), 0u);
+}
+
+// The timed poll: a zero-timeout WaitRemoteFor on a live child reports
+// "still running" and leaves the wait parked; a later poll on the SAME
+// parked wait collects the real status (the server answers each wait exactly
+// once, so the handle must persist between polls).
+TEST(PipelinedClientTest, WaitRemoteForPollsWithoutConsumingTheWait) {
+  InProcessServer srv;
+  auto hold = MakePipe();
+  ASSERT_TRUE(hold.ok());
+
+  Spawner s("/bin/cat");  // runs until its stdin reaches EOF
+  s.SetStdin(Stdio::Fd(hold->read_end.get()));
+  auto req = s.BuildRequest();
+  ASSERT_TRUE(req.ok());
+  auto pid = srv.client().LaunchRequest(*req);
+  ASSERT_TRUE(pid.ok()) << pid.error().ToString();
+  hold->read_end.Reset();
+
+  auto poll = srv.client().WaitRemoteFor(*pid, 0);
+  ASSERT_TRUE(poll.ok()) << poll.error().ToString();
+  EXPECT_FALSE(poll->has_value());
+
+  hold->write_end.Reset();
+  auto done = srv.client().WaitRemoteFor(*pid, 5.0);
+  ASSERT_TRUE(done.ok()) << done.error().ToString();
+  ASSERT_TRUE(done->has_value());
+  EXPECT_TRUE((*done)->Success());
+}
+
+// Mixing the poll with the blocking wait: WaitRemote must adopt a wait
+// already parked by WaitRemoteFor instead of submitting a second kWait that
+// would race it for the child's one exit answer.
+TEST(PipelinedClientTest, WaitRemoteAdoptsAParkedPoll) {
+  InProcessServer srv;
+  auto hold = MakePipe();
+  ASSERT_TRUE(hold.ok());
+
+  Spawner s("/bin/cat");
+  s.SetStdin(Stdio::Fd(hold->read_end.get()));
+  auto req = s.BuildRequest();
+  ASSERT_TRUE(req.ok());
+  auto pid = srv.client().LaunchRequest(*req);
+  ASSERT_TRUE(pid.ok()) << pid.error().ToString();
+  hold->read_end.Reset();
+
+  auto poll = srv.client().WaitRemoteFor(*pid, 0);
+  ASSERT_TRUE(poll.ok()) << poll.error().ToString();
+  EXPECT_FALSE(poll->has_value());
+
+  hold->write_end.Reset();
+  auto st = srv.client().WaitRemote(*pid);
+  ASSERT_TRUE(st.ok()) << st.error().ToString();
+  EXPECT_TRUE(st->Success());
 }
 
 // Dropping a PendingReply without awaiting it must not leak its slot or
